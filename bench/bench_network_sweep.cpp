@@ -1,0 +1,120 @@
+// Ablation A7: wormhole substrate sensitivity.
+//
+// Sweeps the router parameters the paper's context fixes implicitly —
+// input VC buffer depth, number of VC classes, routing algorithm — under
+// uniform random traffic near saturation, reporting delivered throughput
+// and latency.  Establishes that the headline ERR results are not an
+// artifact of one substrate configuration, and quantifies what the
+// adaptive west-first extension buys.
+#include <cstdio>
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/csv.hpp"
+#include "common/table.hpp"
+#include "sim/engine.hpp"
+#include "wormhole/network.hpp"
+#include "wormhole/patterns.hpp"
+
+using namespace wormsched;
+using namespace wormsched::wormhole;
+
+namespace {
+
+struct RunResult {
+  double delivered_flits_per_cycle = 0.0;
+  double mean_latency = 0.0;
+  double p99_latency = 0.0;
+};
+
+RunResult run(const NetworkConfig& config, double rate, Cycle cycles) {
+  Network net(config);
+  NetworkTrafficSource::Config traffic_config;
+  traffic_config.packets_per_node_per_cycle = rate;
+  traffic_config.inject_until = cycles;
+  traffic_config.lengths = traffic::LengthSpec::uniform(1, 12);
+  traffic_config.pattern.kind = PatternSpec::Kind::kUniform;
+  traffic_config.seed = 5;
+  NetworkTrafficSource source(net, traffic_config);
+  sim::Engine engine;
+  engine.add_component(source);
+  engine.add_component(net);
+  engine.run_until(cycles);
+  engine.run_until_idle(cycles * 50);
+
+  RunResult result;
+  result.delivered_flits_per_cycle =
+      static_cast<double>(net.delivered_flits()) / static_cast<double>(cycles);
+  QuantileEstimator q;
+  RunningStat lat;
+  for (const auto& p : net.delivered()) {
+    const auto d = static_cast<double>(p.delivered - p.created);
+    lat.add(d);
+    q.add(d);
+  }
+  result.mean_latency = lat.mean();
+  result.p99_latency = q.quantile(0.99);
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("Ablation A7: latency-vs-load curves per routing/buffering");
+  cli.add_option("cycles", "injection cycles per point", "30000");
+  cli.add_option("csv", "output CSV path", "network_sweep.csv");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const Cycle cycles = cli.get_uint("cycles");
+
+  CsvWriter csv(cli.get("csv"));
+  csv.header({"config", "rate", "flits_per_cycle", "mean_latency",
+              "p99_latency"});
+
+  struct ConfigCase {
+    const char* name;
+    NetworkConfig config;
+  };
+  std::vector<ConfigCase> cases;
+  {
+    NetworkConfig base;
+    base.topo = TopologySpec::mesh(4, 4);
+    base.router.buffer_depth = 2;
+    cases.push_back({"mesh DOR depth=2", base});
+    base.router.buffer_depth = 8;
+    cases.push_back({"mesh DOR depth=8", base});
+    base.routing = NetworkConfig::Routing::kWestFirst;
+    cases.push_back({"mesh west-first depth=8", base});
+    NetworkConfig torus;
+    torus.topo = TopologySpec::torus(4, 4);
+    torus.router.num_vcs = 2;
+    torus.router.buffer_depth = 8;
+    cases.push_back({"torus DOR depth=8", torus});
+  }
+
+  AsciiTable table(
+      "A7: 4x4 network, uniform traffic, ERR arbitration — latency vs load");
+  table.set_header({"config", "pkts/node/cyc", "delivered flits/cyc",
+                    "mean latency", "p99 latency"});
+  for (const auto& [name, config] : cases) {
+    for (const double rate : {0.02, 0.05, 0.08, 0.11}) {
+      const RunResult r = run(config, rate, cycles);
+      table.add_row(name, fixed(rate, 2),
+                    fixed(r.delivered_flits_per_cycle, 2),
+                    fixed(r.mean_latency, 1), fixed(r.p99_latency, 0));
+      csv.row(name, rate, r.delivered_flits_per_cycle, r.mean_latency,
+              r.p99_latency);
+    }
+    table.add_rule();
+  }
+  table.print(std::cout);
+  std::cout
+      << "(the classic NoC shape: flat latency at low load, a knee near "
+         "saturation; deeper\n buffers and the torus's wrap links push the "
+         "knee right.  Note west-first's greedy\n credit heuristic loses to "
+         "DOR under *balanced* uniform load — its win is routing\n around "
+         "localized jams, shown in the adaptive-routing tests — the "
+         "well-known\n determinism-vs-adaptivity trade)\n";
+  std::printf("wrote %s\n", cli.get("csv").c_str());
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Quickstart: schedule packets from three flows with Elastic Round Robin.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+//
+// The example walks through the library's central abstraction (paper
+// Sec. 1): n flows with FIFO packet queues, one output that moves one flit
+// per cycle, and a scheduler that decides which packet to dequeue next —
+// without ever looking at a packet's length before it has been sent.
+#include <cstdio>
+
+#include "core/err.hpp"
+#include "metrics/delay.hpp"
+#include "metrics/service_log.hpp"
+
+using namespace wormsched;
+
+int main() {
+  // Three flows.  Flow 2 sends packets 4x the size of the others — the
+  // classic unfairness trigger for naive round robin.
+  core::ErrScheduler scheduler(core::ErrConfig{3});
+
+  metrics::ServiceLog log(3, /*flit_bytes=*/8);
+  metrics::DelayStats delays(3);
+  metrics::ObserverChain observers;
+  observers.add(log);
+  observers.add(delays);
+  scheduler.set_observer(&observers);
+
+  // Enqueue a burst at cycle 0: 12 small packets for flows 0 and 1,
+  // 3 big ones for flow 2.  Total work: 2*12*8 + 3*32 = 288 flits.
+  PacketId::rep_type next_id = 0;
+  const auto enqueue = [&](Cycle now, std::uint32_t flow, Flits length) {
+    scheduler.enqueue(now, core::Packet{.id = PacketId(next_id++),
+                                        .flow = FlowId(flow),
+                                        .length = length,
+                                        .arrival = now});
+  };
+  for (int k = 0; k < 12; ++k) {
+    enqueue(0, 0, 8);
+    enqueue(0, 1, 8);
+  }
+  for (int k = 0; k < 3; ++k) enqueue(0, 2, 32);
+
+  // Serve one flit per cycle until everything drains.
+  Cycle now = 0;
+  while (!scheduler.idle()) {
+    (void)scheduler.pull_flit(now);
+    ++now;
+  }
+
+  std::printf("drained %lld flits in %llu cycles\n\n",
+              static_cast<long long>(log.grand_total()),
+              static_cast<unsigned long long>(now));
+  std::printf("%-6s %12s %12s %16s\n", "flow", "flits", "bytes",
+              "mean delay (cy)");
+  for (std::uint32_t f = 0; f < 3; ++f) {
+    std::printf("%-6u %12lld %12llu %16.1f\n", f,
+                static_cast<long long>(log.total(FlowId(f))),
+                static_cast<unsigned long long>(log.total_bytes(FlowId(f))),
+                delays.flow(FlowId(f)).mean());
+  }
+  std::printf(
+      "\nDespite flow 2's 32-flit packets, ERR gives each flow an equal\n"
+      "flit share over the busy period (96 flits each) — the overshoot a\n"
+      "big packet causes in one round is repaid in the next (paper Sec. 3).\n");
+  return 0;
+}

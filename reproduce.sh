@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# One-command reproduction: build, test, regenerate every paper figure and
+# table plus the ablations.  Outputs land in ./results (tables as .txt,
+# series as .csv) together with test_output.txt and bench_output.txt.
+set -eu
+
+cd "$(dirname "$0")"
+
+cmake -B build -G Ninja
+cmake --build build -j "$(nproc)"
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+mkdir -p results
+cd results
+: > ../bench_output.txt
+for b in ../build/bench/*; do
+  name=$(basename "$b")
+  echo "=== ${name} ===" | tee -a ../bench_output.txt
+  "$b" 2>&1 | tee "${name}.txt" | tee -a ../bench_output.txt
+done
+echo "done: see results/ and EXPERIMENTS.md"

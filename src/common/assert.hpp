@@ -1,0 +1,38 @@
+// Always-on checked assertions.
+//
+// Simulation correctness bugs (a lost flit, a negative surplus count) are
+// silent data corruption for an experiment: the run completes and produces
+// a wrong figure.  We therefore keep invariant checks enabled in all build
+// types; the checks in hot paths are cheap (a compare and a predicted
+// branch) relative to the work they guard.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace wormsched {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "wormsched: assertion failed: %s\n  at %s:%d\n  %s\n",
+               expr, file, line, msg == nullptr ? "" : msg);
+  std::abort();
+}
+
+}  // namespace wormsched
+
+// Invariant check, enabled in every build type.
+#define WS_CHECK(cond)                                                     \
+  do {                                                                     \
+    if (!(cond)) [[unlikely]] {                                            \
+      ::wormsched::assert_fail(#cond, __FILE__, __LINE__, nullptr);        \
+    }                                                                      \
+  } while (false)
+
+// Invariant check with an explanatory message.
+#define WS_CHECK_MSG(cond, msg)                                            \
+  do {                                                                     \
+    if (!(cond)) [[unlikely]] {                                            \
+      ::wormsched::assert_fail(#cond, __FILE__, __LINE__, (msg));          \
+    }                                                                      \
+  } while (false)

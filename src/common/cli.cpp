@@ -1,0 +1,96 @@
+#include "common/cli.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "common/assert.hpp"
+
+namespace wormsched {
+
+CliParser::CliParser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void CliParser::add_option(const std::string& name, const std::string& help,
+                           const std::string& default_value) {
+  options_[name] = Option{help, default_value, /*is_flag=*/false, {}};
+}
+
+void CliParser::add_flag(const std::string& name, const std::string& help) {
+  options_[name] = Option{help, "false", /*is_flag=*/true, {}};
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage(argv[0]).c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::optional<std::string> inline_value;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      inline_value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    }
+    const auto it = options_.find(name);
+    if (it == options_.end()) {
+      std::fprintf(stderr, "unknown option --%s\n%s", name.c_str(),
+                   usage(argv[0]).c_str());
+      return false;
+    }
+    Option& opt = it->second;
+    if (opt.is_flag) {
+      opt.value = inline_value.value_or("true");
+    } else if (inline_value) {
+      opt.value = *inline_value;
+    } else {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "option --%s expects a value\n", name.c_str());
+        return false;
+      }
+      opt.value = argv[++i];
+    }
+  }
+  return true;
+}
+
+std::string CliParser::get(const std::string& name) const {
+  const auto it = options_.find(name);
+  WS_CHECK_MSG(it != options_.end(), "undeclared option queried");
+  return it->second.value.value_or(it->second.default_value);
+}
+
+std::int64_t CliParser::get_int(const std::string& name) const {
+  return std::stoll(get(name));
+}
+
+std::uint64_t CliParser::get_uint(const std::string& name) const {
+  return std::stoull(get(name));
+}
+
+double CliParser::get_double(const std::string& name) const {
+  return std::stod(get(name));
+}
+
+bool CliParser::get_flag(const std::string& name) const {
+  const std::string v = get(name);
+  return v == "true" || v == "1" || v == "yes";
+}
+
+std::string CliParser::usage(const std::string& program) const {
+  std::string text = description_ + "\n\nusage: " + program + " [options]\n";
+  for (const auto& [name, opt] : options_) {
+    text += "  --" + name;
+    if (!opt.is_flag) text += " <value>";
+    text += "\n      " + opt.help;
+    if (!opt.is_flag) text += " (default: " + opt.default_value + ")";
+    text += "\n";
+  }
+  return text;
+}
+
+}  // namespace wormsched

@@ -1,0 +1,55 @@
+// Small command-line option parser for the examples and figure benches.
+//
+// Supports `--name value`, `--name=value` and boolean `--name`.  Unknown
+// options are an error (catches typos in sweep scripts); positional
+// arguments are collected in order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace wormsched {
+
+class CliParser {
+ public:
+  CliParser(std::string program_description);
+
+  /// Declares an option.  `help` appears in usage(); `default_value` is
+  /// returned when the option is absent.
+  void add_option(const std::string& name, const std::string& help,
+                  const std::string& default_value);
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Parses argv.  Returns false (after printing usage) on error or when
+  /// `--help` is requested.
+  [[nodiscard]] bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string get(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] std::uint64_t get_uint(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_flag(const std::string& name) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  [[nodiscard]] std::string usage(const std::string& program) const;
+
+ private:
+  struct Option {
+    std::string help;
+    std::string default_value;
+    bool is_flag = false;
+    std::optional<std::string> value;
+  };
+
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace wormsched

@@ -1,0 +1,51 @@
+// Minimal CSV emission for experiment outputs.
+//
+// Every bench writes its series both as an ASCII table (stdout) and as a
+// CSV file so the figures can be re-plotted externally.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wormsched {
+
+class CsvWriter {
+ public:
+  /// Opens (and truncates) `path`.  Throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  /// Writes the header row; must be the first row written.
+  void header(std::initializer_list<std::string_view> columns);
+
+  /// Appends one row.  Values are formatted with operator<<; fields
+  /// containing commas/quotes/newlines are quoted per RFC 4180.
+  template <typename... Ts>
+  void row(const Ts&... values) {
+    std::vector<std::string> fields;
+    fields.reserve(sizeof...(values));
+    (fields.push_back(format(values)), ...);
+    write_row(fields);
+  }
+
+  [[nodiscard]] std::size_t rows_written() const { return rows_; }
+
+ private:
+  template <typename T>
+  static std::string format(const T& value) {
+    std::ostringstream os;
+    os << value;
+    return os.str();
+  }
+
+  void write_row(const std::vector<std::string>& fields);
+  static std::string escape(const std::string& field);
+
+  std::ofstream out_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace wormsched

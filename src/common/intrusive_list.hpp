@@ -1,0 +1,172 @@
+// Intrusive doubly-linked list.
+//
+// The ERR/DRR ActiveList must support O(1) push-to-tail, pop-from-head and
+// membership test with zero allocation per operation (Theorem 1 of the
+// paper rests on these costs).  An intrusive list over per-flow state
+// objects — which live in a flat array owned by the scheduler — gives all
+// three with no heap traffic after initialization.
+#pragma once
+
+#include <cstddef>
+#include <iterator>
+
+#include "common/assert.hpp"
+
+namespace wormsched {
+
+/// Embed one of these (per list) in any object that participates in an
+/// IntrusiveList.  A default-constructed hook is "unlinked".
+class IntrusiveListHook {
+ public:
+  IntrusiveListHook() = default;
+  // Hooks are identity objects: copying a linked hook would corrupt the
+  // list, so copies are forbidden outright.
+  IntrusiveListHook(const IntrusiveListHook&) = delete;
+  IntrusiveListHook& operator=(const IntrusiveListHook&) = delete;
+  ~IntrusiveListHook() { WS_CHECK_MSG(!is_linked(), "destroying linked hook"); }
+
+  [[nodiscard]] bool is_linked() const { return next_ != nullptr; }
+
+ private:
+  template <typename T, IntrusiveListHook T::*>
+  friend class IntrusiveList;
+
+  IntrusiveListHook* prev_ = nullptr;
+  IntrusiveListHook* next_ = nullptr;
+};
+
+/// Intrusive doubly-linked list of `T` through member hook `Hook`.
+/// The list does not own its elements; elements must outlive the list or
+/// be unlinked first.
+template <typename T, IntrusiveListHook T::*Hook>
+class IntrusiveList {
+ public:
+  IntrusiveList() {
+    sentinel_.prev_ = &sentinel_;
+    sentinel_.next_ = &sentinel_;
+  }
+  IntrusiveList(const IntrusiveList&) = delete;
+  IntrusiveList& operator=(const IntrusiveList&) = delete;
+  ~IntrusiveList() {
+    clear();
+    // The sentinel is self-linked by design; detach it so its own hook
+    // destructor does not trip the linked-hook check.
+    sentinel_.prev_ = nullptr;
+    sentinel_.next_ = nullptr;
+  }
+
+  [[nodiscard]] bool empty() const { return sentinel_.next_ == &sentinel_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  void push_back(T& item) {
+    IntrusiveListHook& h = item.*Hook;
+    WS_CHECK_MSG(!h.is_linked(), "push_back of already-linked element");
+    h.prev_ = sentinel_.prev_;
+    h.next_ = &sentinel_;
+    sentinel_.prev_->next_ = &h;
+    sentinel_.prev_ = &h;
+    ++size_;
+  }
+
+  void push_front(T& item) {
+    IntrusiveListHook& h = item.*Hook;
+    WS_CHECK_MSG(!h.is_linked(), "push_front of already-linked element");
+    h.next_ = sentinel_.next_;
+    h.prev_ = &sentinel_;
+    sentinel_.next_->prev_ = &h;
+    sentinel_.next_ = &h;
+    ++size_;
+  }
+
+  [[nodiscard]] T& front() {
+    WS_CHECK(!empty());
+    return *owner(sentinel_.next_);
+  }
+  [[nodiscard]] const T& front() const {
+    WS_CHECK(!empty());
+    return *owner(sentinel_.next_);
+  }
+  [[nodiscard]] T& back() {
+    WS_CHECK(!empty());
+    return *owner(sentinel_.prev_);
+  }
+
+  /// Unlinks and returns the head element.
+  T& pop_front() {
+    T& item = front();
+    erase(item);
+    return item;
+  }
+
+  /// Unlinks `item` from this list.  O(1).
+  void erase(T& item) {
+    IntrusiveListHook& h = item.*Hook;
+    WS_CHECK_MSG(h.is_linked(), "erase of unlinked element");
+    h.prev_->next_ = h.next_;
+    h.next_->prev_ = h.prev_;
+    h.prev_ = nullptr;
+    h.next_ = nullptr;
+    WS_CHECK(size_ > 0);
+    --size_;
+  }
+
+  /// Unlinks every element (elements themselves are untouched).
+  void clear() {
+    while (!empty()) pop_front();
+  }
+
+  [[nodiscard]] static bool is_linked(const T& item) {
+    return (item.*Hook).is_linked();
+  }
+
+  /// Forward iteration (const and non-const).  The iterator tolerates
+  /// erasure of elements other than the current one.
+  class iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = T;
+    using difference_type = std::ptrdiff_t;
+    using pointer = T*;
+    using reference = T&;
+
+    iterator() = default;
+    explicit iterator(IntrusiveListHook* pos) : pos_(pos) {}
+    reference operator*() const { return *owner(pos_); }
+    pointer operator->() const { return owner(pos_); }
+    iterator& operator++() {
+      pos_ = pos_->next_;
+      return *this;
+    }
+    iterator operator++(int) {
+      iterator copy = *this;
+      ++*this;
+      return copy;
+    }
+    bool operator==(const iterator&) const = default;
+
+   private:
+    IntrusiveListHook* pos_ = nullptr;
+  };
+
+  [[nodiscard]] iterator begin() { return iterator(sentinel_.next_); }
+  [[nodiscard]] iterator end() { return iterator(&sentinel_); }
+
+ private:
+  static T* owner(IntrusiveListHook* hook) {
+    // Recover the owning object from the embedded hook address.
+    const auto hook_offset = reinterpret_cast<std::ptrdiff_t>(
+        &(static_cast<T*>(nullptr)->*Hook));
+    return reinterpret_cast<T*>(reinterpret_cast<char*>(hook) - hook_offset);
+  }
+  static const T* owner(const IntrusiveListHook* hook) {
+    return owner(const_cast<IntrusiveListHook*>(hook));
+  }
+
+  // Circular list through a sentinel: no null checks on the hot path.
+  // The sentinel's hooks are never "unlinked", which is fine because the
+  // sentinel is not an element.
+  mutable IntrusiveListHook sentinel_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace wormsched

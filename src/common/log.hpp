@@ -1,0 +1,59 @@
+// Tiny leveled logger.
+//
+// Simulations are mostly silent; logging is for the examples (which narrate
+// what they do) and for debugging router pipelines.  The level is a global
+// because the library is single-threaded per simulation by design (the
+// cycle kernel owns all state); benches that run scenarios on worker
+// threads must configure the level before spawning.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace wormsched {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Emits `message` at `level` to stderr with a level prefix; no-op when
+/// below the configured level.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+template <typename... Ts>
+std::string concat(const Ts&... parts) {
+  std::ostringstream os;
+  (os << ... << parts);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Ts>
+void log_trace(const Ts&... parts) {
+  if (log_level() <= LogLevel::kTrace)
+    log_message(LogLevel::kTrace, detail::concat(parts...));
+}
+template <typename... Ts>
+void log_debug(const Ts&... parts) {
+  if (log_level() <= LogLevel::kDebug)
+    log_message(LogLevel::kDebug, detail::concat(parts...));
+}
+template <typename... Ts>
+void log_info(const Ts&... parts) {
+  if (log_level() <= LogLevel::kInfo)
+    log_message(LogLevel::kInfo, detail::concat(parts...));
+}
+template <typename... Ts>
+void log_warn(const Ts&... parts) {
+  if (log_level() <= LogLevel::kWarn)
+    log_message(LogLevel::kWarn, detail::concat(parts...));
+}
+template <typename... Ts>
+void log_error(const Ts&... parts) {
+  if (log_level() <= LogLevel::kError)
+    log_message(LogLevel::kError, detail::concat(parts...));
+}
+
+}  // namespace wormsched

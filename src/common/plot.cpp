@@ -1,0 +1,141 @@
+#include "common/plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "common/table.hpp"
+
+namespace wormsched {
+
+namespace {
+constexpr char kMarkers[] = {'*', 'o', '+', 'x', '#', '@'};
+}
+
+AsciiChart::AsciiChart(std::string title, std::size_t width,
+                       std::size_t height)
+    : title_(std::move(title)), width_(width), height_(height) {
+  WS_CHECK(width >= 8 && height >= 4);
+}
+
+void AsciiChart::add_series(const std::string& name,
+                            const std::vector<double>& xs,
+                            const std::vector<double>& ys) {
+  WS_CHECK_MSG(xs.size() == ys.size(), "series x/y size mismatch");
+  Series s;
+  s.name = name;
+  s.marker = kMarkers[series_.size() % std::size(kMarkers)];
+  s.xs = xs;
+  s.ys = ys;
+  series_.push_back(std::move(s));
+}
+
+void AsciiChart::print(std::ostream& os) const {
+  double x_min = std::numeric_limits<double>::infinity();
+  double x_max = -x_min;
+  double y_min = std::numeric_limits<double>::infinity();
+  double y_max = -y_min;
+  bool any = false;
+  for (const Series& s : series_) {
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      any = true;
+      x_min = std::min(x_min, s.xs[i]);
+      x_max = std::max(x_max, s.xs[i]);
+      y_min = std::min(y_min, s.ys[i]);
+      y_max = std::max(y_max, s.ys[i]);
+    }
+  }
+  if (!any) {
+    os << title_ << " (no data)\n";
+    return;
+  }
+  if (x_max == x_min) x_max = x_min + 1.0;
+  if (y_max == y_min) y_max = y_min + 1.0;
+  // A little headroom so extreme points don't sit on the frame.
+  const double y_pad = (y_max - y_min) * 0.05;
+  y_max += y_pad;
+
+  std::vector<std::string> grid(height_, std::string(width_, ' '));
+  const auto col = [&](double x) {
+    const double t = (x - x_min) / (x_max - x_min);
+    return std::min(width_ - 1,
+                    static_cast<std::size_t>(t * static_cast<double>(width_ - 1) + 0.5));
+  };
+  const auto row = [&](double y) {
+    const double t = (y - y_min) / (y_max - y_min);
+    const auto from_bottom = static_cast<std::size_t>(
+        t * static_cast<double>(height_ - 1) + 0.5);
+    return height_ - 1 - std::min(height_ - 1, from_bottom);
+  };
+
+  for (const Series& s : series_) {
+    // Sort points by x so line interpolation is well defined.
+    std::vector<std::size_t> order(s.xs.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return s.xs[a] < s.xs[b];
+    });
+    // Linear interpolation between consecutive points, then the marker on
+    // each actual data point.
+    for (std::size_t k = 1; k < order.size(); ++k) {
+      const double x0 = s.xs[order[k - 1]];
+      const double y0 = s.ys[order[k - 1]];
+      const double x1 = s.xs[order[k]];
+      const double y1 = s.ys[order[k]];
+      const std::size_t c0 = col(x0);
+      const std::size_t c1 = col(x1);
+      for (std::size_t c = c0; c <= c1; ++c) {
+        const double alpha =
+            c1 == c0 ? 0.0
+                     : static_cast<double>(c - c0) / static_cast<double>(c1 - c0);
+        const std::size_t r = row(y0 + alpha * (y1 - y0));
+        if (grid[r][c] == ' ') grid[r][c] = '.';
+      }
+    }
+    for (std::size_t i = 0; i < s.xs.size(); ++i)
+      grid[row(s.ys[i])][col(s.xs[i])] = s.marker;
+  }
+
+  os << title_ << "\n";
+  if (!y_label_.empty()) os << y_label_ << "\n";
+  const std::string y_hi = fixed(y_max, 1);
+  const std::string y_lo = fixed(y_min, 1);
+  const std::size_t label_width = std::max(y_hi.size(), y_lo.size());
+  for (std::size_t r = 0; r < height_; ++r) {
+    std::string label(label_width, ' ');
+    if (r == 0) label = std::string(label_width - y_hi.size(), ' ') + y_hi;
+    if (r == height_ - 1)
+      label = std::string(label_width - y_lo.size(), ' ') + y_lo;
+    os << label << " |" << grid[r] << "\n";
+  }
+  os << std::string(label_width + 1, ' ') << '+'
+     << std::string(width_, '-') << "\n";
+  {
+    const std::string x_lo = fixed(x_min, 2);
+    const std::string x_hi = fixed(x_max, 2);
+    std::string axis(label_width + 2, ' ');
+    axis += x_lo;
+    const std::size_t total = label_width + 2 + width_;
+    if (axis.size() + x_hi.size() < total)
+      axis += std::string(total - axis.size() - x_hi.size(), ' ');
+    axis += x_hi;
+    os << axis << "\n";
+  }
+  if (!x_label_.empty())
+    os << std::string(label_width + 2, ' ') << x_label_ << "\n";
+  std::ostringstream legend;
+  for (const Series& s : series_)
+    legend << "  " << s.marker << " " << s.name;
+  os << "legend:" << legend.str() << "\n";
+}
+
+std::string AsciiChart::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+}  // namespace wormsched

@@ -1,0 +1,52 @@
+// Terminal line charts.
+//
+// The figure benches regenerate the paper's *plots*, not just its
+// numbers; AsciiChart renders multiple (x, y) series into a character
+// grid with axes and a legend, so `bench_fig5_delay` and friends can
+// show the crossover shapes directly in the terminal next to the exact
+// tables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace wormsched {
+
+class AsciiChart {
+ public:
+  /// `width` x `height` are the plot-area dimensions in characters
+  /// (axes and labels are added around them).
+  AsciiChart(std::string title, std::size_t width = 64,
+             std::size_t height = 16);
+
+  /// Adds a named series.  Each series gets the next marker character
+  /// from '*', 'o', '+', 'x', '#', '@'.  Points need not be sorted.
+  void add_series(const std::string& name,
+                  const std::vector<double>& xs,
+                  const std::vector<double>& ys);
+
+  /// Axis labels (optional).
+  void set_x_label(std::string label) { x_label_ = std::move(label); }
+  void set_y_label(std::string label) { y_label_ = std::move(label); }
+
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  struct Series {
+    std::string name;
+    char marker;
+    std::vector<double> xs;
+    std::vector<double> ys;
+  };
+
+  std::string title_;
+  std::string x_label_;
+  std::string y_label_;
+  std::size_t width_;
+  std::size_t height_;
+  std::vector<Series> series_;
+};
+
+}  // namespace wormsched

@@ -1,0 +1,71 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+
+namespace wormsched {
+
+AsciiTable::AsciiTable(std::string title) : title_(std::move(title)) {}
+
+void AsciiTable::set_header(std::initializer_list<std::string_view> columns) {
+  header_.clear();
+  for (const auto c : columns) header_.emplace_back(c);
+}
+
+void AsciiTable::add_rule() { rows_.emplace_back(); }
+
+void AsciiTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths;
+  auto absorb = [&widths](const std::vector<std::string>& row) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+  };
+  absorb(header_);
+  for (const auto& row : rows_) absorb(row);
+
+  auto print_rule = [&os, &widths] {
+    os << '+';
+    for (const auto w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto print_row = [&os, &widths](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string{};
+      os << ' ' << cell << std::string(widths[i] - cell.size() + 1, ' ')
+         << '|';
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << title_ << '\n';
+  print_rule();
+  if (!header_.empty()) {
+    print_row(header_);
+    print_rule();
+  }
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      print_rule();
+    } else {
+      print_row(row);
+    }
+  }
+  print_rule();
+}
+
+std::string AsciiTable::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+std::string fixed(double value, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << value;
+  return os.str();
+}
+
+}  // namespace wormsched

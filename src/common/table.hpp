@@ -1,0 +1,50 @@
+// ASCII table rendering: the benches print each paper figure/table as an
+// aligned text table to stdout.
+#pragma once
+
+#include <initializer_list>
+#include <iosfwd>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wormsched {
+
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::string title = {});
+
+  void set_header(std::initializer_list<std::string_view> columns);
+
+  template <typename... Ts>
+  void add_row(const Ts&... values) {
+    std::vector<std::string> fields;
+    fields.reserve(sizeof...(values));
+    (fields.push_back(format(values)), ...);
+    rows_.push_back(std::move(fields));
+  }
+
+  /// Inserts a horizontal rule before the next added row.
+  void add_rule();
+
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  template <typename T>
+  static std::string format(const T& value) {
+    std::ostringstream os;
+    os << value;
+    return os.str();
+  }
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == rule
+};
+
+/// Formats a double with `digits` fractional digits (fixed notation).
+[[nodiscard]] std::string fixed(double value, int digits = 2);
+
+}  // namespace wormsched

@@ -1,0 +1,137 @@
+#include "core/err.hpp"
+
+#include "common/assert.hpp"
+
+namespace wormsched::core {
+
+ErrPolicy::ErrPolicy(const ErrConfig& config)
+    : flows_(config.num_flows), reset_on_idle_(config.reset_on_idle) {
+  // FlowState embeds an intrusive hook and is therefore pinned (immovable);
+  // the vector is sized once here and never reallocates.
+  WS_CHECK(config.num_flows > 0);
+  for (std::size_t i = 0; i < config.num_flows; ++i)
+    flows_[i].id = FlowId(static_cast<FlowId::rep_type>(i));
+}
+
+void ErrPolicy::set_weight(FlowId flow, double weight) {
+  // Weights are normalized so the smallest is 1: with w_i >= 1 the
+  // allowance w_i*(1 + MaxSC(r-1)) - SC_i(r-1) stays >= 1 (the weighted
+  // analogue of Lemma 1), because SC_i(r-1) <= MaxSC(r-1) always.
+  WS_CHECK_MSG(weight >= 1.0, "ERR weights must be >= 1 (normalize first)");
+  flows_[flow.index()].weight = weight;
+}
+
+void ErrPolicy::flow_activated(FlowId flow) {
+  FlowState& state = flows_[flow.index()];
+  WS_CHECK_MSG(!decltype(active_list_)::is_linked(state),
+               "flow_activated on an already-active flow");
+  WS_CHECK_MSG(!(in_opportunity_ && current_ == flow),
+               "flow_activated on the flow in service");
+  state.sc = 0.0;  // Enqueue routine: SC_i = 0
+  active_list_.push_back(state);
+  ++active_count_;
+}
+
+FlowId ErrPolicy::begin_opportunity() {
+  WS_CHECK_MSG(!in_opportunity_, "opportunity already in progress");
+  WS_CHECK_MSG(!active_list_.empty(), "no active flows");
+
+  // Round boundary (Fig. 1): when the visit budget of the previous round
+  // is exhausted, snapshot MaxSC and size a new round.
+  if (round_robin_visit_count_ == 0) {
+    previous_max_sc_ = max_sc_;
+    round_robin_visit_count_ = active_count_;
+    max_sc_ = 0.0;
+    ++round_;
+  }
+
+  FlowState& state = active_list_.pop_front();
+  in_opportunity_ = true;
+  current_ = state.id;
+  allowance_ = state.weight * (1.0 + previous_max_sc_) - state.sc;
+  sent_ = 0.0;
+  WS_CHECK_MSG(allowance_ > 0.0, "ERR allowance must be positive (Lemma 1)");
+  return state.id;
+}
+
+void ErrPolicy::charge(double units) {
+  WS_CHECK(in_opportunity_);
+  WS_CHECK(units > 0.0);
+  sent_ += units;
+}
+
+void ErrPolicy::end_opportunity(bool still_backlogged) {
+  WS_CHECK(in_opportunity_);
+  FlowState& state = flows_[current_.index()];
+
+  // SC_i = Sent_i - A_i, folded into the round's MaxSC *before* the
+  // empty-queue reset — the pseudo-code order, which means a flow that
+  // overshot on its final packet still raises MaxSC even if it then idles.
+  state.sc = sent_ - allowance_;
+  if (state.sc > max_sc_) max_sc_ = state.sc;
+
+  ErrOpportunity record{
+      .round = round_,
+      .flow = current_,
+      .allowance = allowance_,
+      .sent = sent_,
+      .surplus_count = state.sc,
+      .max_sc_so_far = max_sc_,
+  };
+
+  if (still_backlogged) {
+    active_list_.push_back(state);
+  } else {
+    state.sc = 0.0;
+    record.surplus_count = 0.0;
+    record.deactivated = true;
+    WS_CHECK(active_count_ > 0);
+    --active_count_;
+  }
+  WS_CHECK(round_robin_visit_count_ > 0);
+  --round_robin_visit_count_;
+  in_opportunity_ = false;
+
+  if (active_count_ == 0 && reset_on_idle_) {
+    round_robin_visit_count_ = 0;
+    max_sc_ = 0.0;
+    previous_max_sc_ = 0.0;
+  }
+
+  if (listener_) listener_(record);
+}
+
+ErrScheduler::ErrScheduler(const ErrConfig& config)
+    : Scheduler(config.num_flows), policy_(config) {}
+
+void ErrScheduler::set_weight(FlowId flow, double weight) {
+  Scheduler::set_weight(flow, weight);
+  policy_.set_weight(flow, weight);
+}
+
+void ErrScheduler::on_flow_backlogged(FlowId flow) {
+  // A flow whose queue refills *while it is in service* is not re-added:
+  // the in-progress opportunity still owns it and end_opportunity() will
+  // re-append it (the pseudo-code's AddQueueToActiveList).
+  if (policy_.in_opportunity() && policy_.current_flow() == flow) return;
+  policy_.flow_activated(flow);
+}
+
+FlowId ErrScheduler::select_next_flow(Cycle) {
+  if (policy_.in_opportunity()) {
+    // Continuing the current opportunity: Sent < Allowance and the flow
+    // still has packets queued.
+    return policy_.current_flow();
+  }
+  return policy_.begin_opportunity();
+}
+
+void ErrScheduler::on_packet_complete(FlowId flow, Flits observed_length,
+                                      bool queue_now_empty) {
+  WS_CHECK(policy_.in_opportunity() && policy_.current_flow() == flow);
+  policy_.charge(static_cast<double>(observed_length));
+  if (queue_now_empty || !policy_.may_continue())
+    policy_.end_opportunity(!queue_now_empty);
+}
+
+}  // namespace wormsched::core

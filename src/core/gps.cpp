@@ -1,0 +1,123 @@
+#include "core/gps.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace wormsched::core {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+// Backlogs below this are treated as drained (floating-point dust from
+// repeated rate subtractions).
+constexpr double kDrainEps = 1e-9;
+}  // namespace
+
+GpsReference::GpsReference(std::size_t num_flows, double capacity)
+    : weights_(num_flows, 1.0),
+      capacity_(capacity),
+      backlog_(num_flows, 0.0),
+      served_(num_flows, 0.0) {
+  WS_CHECK(num_flows > 0);
+  WS_CHECK(capacity > 0.0);
+}
+
+void GpsReference::set_weight(FlowId flow, double weight) {
+  WS_CHECK_MSG(arrivals_.empty(), "set_weight after arrivals");
+  WS_CHECK(weight > 0.0);
+  weights_[flow.index()] = weight;
+}
+
+void GpsReference::add_arrival(double time, FlowId flow, double work) {
+  WS_CHECK(!finalized_);
+  WS_CHECK(work > 0.0);
+  WS_CHECK_MSG(arrivals_.empty() || time >= arrivals_.back().time,
+               "arrivals must be time-ordered");
+  arrivals_.push_back(Arrival{time, flow, work});
+}
+
+void GpsReference::record_breakpoint(double t) {
+  if (!times_.empty() && times_.back() == t) {
+    // Overwrite: several events at the same instant collapse into one
+    // breakpoint holding the final state.
+    for (std::size_t i = 0; i < served_.size(); ++i)
+      curves_[i].back() = served_[i];
+    return;
+  }
+  times_.push_back(t);
+  if (curves_.empty()) curves_.resize(served_.size());
+  for (std::size_t i = 0; i < served_.size(); ++i)
+    curves_[i].push_back(served_[i]);
+}
+
+void GpsReference::advance_to(double target) {
+  WS_CHECK(target >= now_);
+  while (now_ < target) {
+    double phi = 0.0;
+    for (std::size_t i = 0; i < backlog_.size(); ++i)
+      if (backlog_[i] > kDrainEps) phi += weights_[i];
+    if (phi == 0.0) {
+      now_ = target;
+      record_breakpoint(now_);
+      return;
+    }
+    // Next internal event: the first backlogged flow to drain fully.
+    double step = target - now_;
+    for (std::size_t i = 0; i < backlog_.size(); ++i) {
+      if (backlog_[i] <= kDrainEps) continue;
+      const double rate = capacity_ * weights_[i] / phi;
+      step = std::min(step, backlog_[i] / rate);
+    }
+    for (std::size_t i = 0; i < backlog_.size(); ++i) {
+      if (backlog_[i] <= kDrainEps) continue;
+      const double rate = capacity_ * weights_[i] / phi;
+      const double amount = std::min(backlog_[i], rate * step);
+      backlog_[i] -= amount;
+      served_[i] += amount;
+      if (backlog_[i] <= kDrainEps) backlog_[i] = 0.0;
+    }
+    now_ += step;
+    record_breakpoint(now_);
+  }
+}
+
+void GpsReference::finalize() {
+  WS_CHECK(!finalized_);
+  record_breakpoint(0.0);
+  for (const Arrival& a : arrivals_) {
+    advance_to(a.time);
+    backlog_[a.flow.index()] += a.work;
+    record_breakpoint(now_);
+  }
+  // Drain whatever remains.  The remaining backlog needs exactly
+  // total/capacity more time; advance_to lands on the final drain event
+  // exactly, so the last recorded breakpoint is the drain time.
+  for (;;) {
+    double total = 0.0;
+    for (const double b : backlog_) total += b;
+    if (total <= kDrainEps) break;
+    advance_to(now_ + total / capacity_);
+  }
+  finalized_ = true;
+}
+
+double GpsReference::service(FlowId flow, double t) const {
+  WS_CHECK_MSG(finalized_, "service queried before finalize()");
+  const auto& curve = curves_[flow.index()];
+  if (t <= times_.front()) return 0.0;
+  if (t >= times_.back()) return curve.back();
+  const auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  const auto hi = static_cast<std::size_t>(it - times_.begin());
+  const std::size_t lo = hi - 1;
+  const double span = times_[hi] - times_[lo];
+  const double alpha = span == 0.0 ? 1.0 : (t - times_[lo]) / span;
+  return curve[lo] + alpha * (curve[hi] - curve[lo]);
+}
+
+double GpsReference::drain_time() const {
+  WS_CHECK(finalized_);
+  return times_.empty() ? 0.0 : times_.back();
+}
+
+}  // namespace wormsched::core

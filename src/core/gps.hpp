@@ -1,0 +1,74 @@
+// Generalized Processor Sharing — the ideal (unimplementable) fluid
+// reference of Sec. 2.  GPS serves every backlogged flow simultaneously at
+// rate C * w_i / sum of backlogged weights; all fairness measures in the
+// literature (including the paper's relative fairness measure) are
+// justified by proximity to GPS.
+//
+// This is an *offline* reference: feed it the arrival trace of an
+// experiment, finalize, then query each flow's cumulative fluid service at
+// any time.  Property tests use it to bound how far ERR's discrete service
+// strays from the ideal.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace wormsched::core {
+
+class GpsReference {
+ public:
+  /// `capacity` is the server rate in flits per cycle (1.0 matches the
+  /// discrete schedulers' one-flit-per-cycle output).
+  explicit GpsReference(std::size_t num_flows, double capacity = 1.0);
+
+  /// Must be called before the first arrival.
+  void set_weight(FlowId flow, double weight);
+
+  /// Arrival times must be non-decreasing.  `work` is the packet length in
+  /// flits (fluid: fractional values are legal).
+  void add_arrival(double time, FlowId flow, double work);
+
+  /// Runs the fluid system to empty.  No arrivals may follow.
+  void finalize();
+
+  /// Cumulative fluid service delivered to `flow` by time `t`.
+  /// Only valid after finalize().
+  [[nodiscard]] double service(FlowId flow, double t) const;
+
+  /// Time at which the last drop of backlog drains.
+  [[nodiscard]] double drain_time() const;
+
+  [[nodiscard]] std::size_t num_flows() const { return weights_.size(); }
+
+ private:
+  struct Arrival {
+    double time;
+    FlowId flow;
+    double work;
+  };
+
+  /// Advances the fluid system to `t`, recording a breakpoint there.
+  void advance_to(double t);
+  void record_breakpoint(double t);
+
+  std::vector<double> weights_;
+  double capacity_;
+
+  std::vector<Arrival> arrivals_;
+  std::size_t next_arrival_ = 0;
+
+  // Fluid state during the sweep.
+  std::vector<double> backlog_;
+  std::vector<double> served_;
+  double now_ = 0.0;
+  bool finalized_ = false;
+
+  // Piecewise-linear service curves: times_[k] with served amount
+  // curves_[flow][k]; linear in between.
+  std::vector<double> times_;
+  std::vector<std::vector<double>> curves_;
+};
+
+}  // namespace wormsched::core

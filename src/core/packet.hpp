@@ -1,0 +1,35 @@
+// Packet and flit-event types for the paper's scheduling abstraction
+// (Sec. 1): n flows, each with a FIFO queue of packets; a scheduler
+// dequeues packets flit by flit onto one output resource.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace wormsched::core {
+
+/// One packet in a flow queue.  `length` is measured in flits; a scheduler
+/// that honours the wormhole constraint must not read it before the tail
+/// flit has been transmitted (enforced by the Scheduler API, which only
+/// exposes head-packet lengths through an explicit a-priori-length oracle).
+struct Packet {
+  PacketId id;
+  FlowId flow;
+  Flits length = 0;
+  Cycle arrival = 0;
+
+  // Filled in by the scheduler as service progresses.
+  Cycle first_service = kCycleMax;
+  Cycle departure = kCycleMax;
+};
+
+/// One transmitted flit, as observed at the output of a scheduler.
+struct FlitEvent {
+  FlowId flow;
+  PacketId packet;
+  /// 0-based position of this flit within its packet.
+  Flits index = 0;
+  bool is_head = false;
+  bool is_tail = false;
+};
+
+}  // namespace wormsched::core

@@ -1,0 +1,96 @@
+#include "core/scheduler.hpp"
+
+#include "common/assert.hpp"
+
+namespace wormsched::core {
+
+Scheduler::Scheduler(std::size_t num_flows)
+    : queues_(num_flows),
+      weights_(num_flows, 1.0),
+      flits_sent_of_head_(num_flows, 0) {
+  WS_CHECK_MSG(num_flows > 0, "scheduler needs at least one flow");
+}
+
+void Scheduler::set_weight(FlowId flow, double w) {
+  WS_CHECK_MSG(w > 0.0, "flow weight must be positive");
+  weights_[flow.index()] = w;
+}
+
+void Scheduler::enqueue(Cycle now, Packet packet) {
+  WS_CHECK(packet.flow.index() < queues_.size());
+  WS_CHECK_MSG(packet.length > 0, "zero-length packet");
+  auto& q = queues_[packet.flow.index()];
+  const bool was_idle = q.empty();
+  packet.arrival = now;
+  backlog_flits_ += packet.length;
+  if (observer_ != nullptr) observer_->on_packet_arrival(now, packet);
+  q.push_back(packet);
+  if (was_idle) on_flow_backlogged(packet.flow);
+  on_packet_enqueued(now, packet.flow,
+                     requires_apriori_length() ? packet.length : Flits{-1});
+}
+
+std::size_t Scheduler::queue_length(FlowId flow) const {
+  return queues_[flow.index()].size();
+}
+
+Flits Scheduler::head_packet_length(FlowId flow) const {
+  WS_CHECK_MSG(requires_apriori_length(),
+               "length oracle used by a discipline that did not declare "
+               "requires_apriori_length()");
+  const auto& q = queues_[flow.index()];
+  WS_CHECK(!q.empty());
+  return q.front().length;
+}
+
+std::optional<FlitEvent> Scheduler::pull_flit(Cycle now) {
+  if (backlog_flits_ == 0) return std::nullopt;
+  return pull_flit_impl(now);
+}
+
+std::optional<FlitEvent> Scheduler::pull_flit_impl(Cycle now) {
+  if (!latched_flow_) latched_flow_ = select_next_flow(now);
+  const FlowId flow = *latched_flow_;
+  const EmitResult r = emit_flit_from(now, flow);
+  if (r.packet_completed) {
+    latched_flow_.reset();
+    on_packet_complete(flow, r.observed_length, r.queue_now_empty);
+  }
+  return r.flit;
+}
+
+Scheduler::EmitResult Scheduler::emit_flit_from(Cycle now, FlowId flow) {
+  auto& q = queues_[flow.index()];
+  WS_CHECK_MSG(!q.empty(), "discipline selected a flow with an empty queue");
+  Packet& head = q.front();
+  Flits& progress = flits_sent_of_head_[flow.index()];
+  WS_CHECK(progress < head.length);
+
+  if (progress == 0) head.first_service = now;
+
+  EmitResult result;
+  result.flit = FlitEvent{
+      .flow = flow,
+      .packet = head.id,
+      .index = progress,
+      .is_head = progress == 0,
+      .is_tail = progress + 1 == head.length,
+  };
+  ++progress;
+  WS_CHECK(backlog_flits_ > 0);
+  --backlog_flits_;
+  if (observer_ != nullptr) observer_->on_flit(now, result.flit);
+
+  if (result.flit.is_tail) {
+    head.departure = now;
+    result.packet_completed = true;
+    result.observed_length = head.length;
+    const Packet completed = q.pop_front();
+    progress = 0;
+    result.queue_now_empty = q.empty();
+    if (observer_ != nullptr) observer_->on_packet_departure(now, completed);
+  }
+  return result;
+}
+
+}  // namespace wormsched::core

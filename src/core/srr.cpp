@@ -1,0 +1,69 @@
+#include "core/srr.hpp"
+
+#include "common/assert.hpp"
+
+namespace wormsched::core {
+
+SrrScheduler::SrrScheduler(const SrrConfig& config)
+    : Scheduler(config.num_flows), flows_(config.num_flows) {
+  WS_CHECK_MSG(config.quantum >= 1, "SRR quantum must be >= 1");
+  for (std::size_t i = 0; i < config.num_flows; ++i) {
+    flows_[i].id = FlowId(static_cast<FlowId::rep_type>(i));
+    flows_[i].quantum = static_cast<double>(config.quantum);
+  }
+  base_quantum_ = static_cast<double>(config.quantum);
+}
+
+void SrrScheduler::set_weight(FlowId flow, double weight) {
+  Scheduler::set_weight(flow, weight);
+  flows_[flow.index()].quantum = weight * base_quantum_;
+}
+
+void SrrScheduler::on_flow_backlogged(FlowId flow) {
+  if (in_opportunity_ && current_ == flow) return;
+  FlowState& state = flows_[flow.index()];
+  WS_CHECK(!decltype(active_list_)::is_linked(state));
+  // A reactivating flow forfeits any leftover (positive or negative)
+  // credit — the SRR analogue of DRR's deficit reset, which prevents an
+  // idle flow from banking service.
+  state.credit = 0.0;
+  active_list_.push_back(state);
+}
+
+FlowId SrrScheduler::select_next_flow(Cycle) {
+  if (in_opportunity_) return current_;
+  // Visit flows in rotation, topping up credit.  A flow still in debt
+  // from an earlier overshoot is skipped — a decision that, crucially,
+  // needs no packet length (unlike DRR's head-fits-in-deficit test), so
+  // SRR remains wormhole-deployable.  The loop terminates because every
+  // skipped visit adds a positive quantum.
+  for (;;) {
+    WS_CHECK(!active_list_.empty());
+    FlowState& state = active_list_.pop_front();
+    state.credit += state.quantum;
+    if (state.credit > 0.0) {
+      in_opportunity_ = true;
+      current_ = state.id;
+      return state.id;
+    }
+    active_list_.push_back(state);
+  }
+}
+
+void SrrScheduler::on_packet_complete(FlowId flow, Flits observed_length,
+                                      bool queue_now_empty) {
+  WS_CHECK(in_opportunity_ && current_ == flow);
+  FlowState& state = flows_[flow.index()];
+  state.credit -= static_cast<double>(observed_length);
+  const bool may_continue = state.credit > 0.0;
+  if (queue_now_empty || !may_continue) {
+    if (queue_now_empty) {
+      state.credit = 0.0;
+    } else {
+      active_list_.push_back(state);
+    }
+    in_opportunity_ = false;
+  }
+}
+
+}  // namespace wormsched::core

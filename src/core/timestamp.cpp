@@ -1,0 +1,124 @@
+#include "core/timestamp.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace wormsched::core {
+
+TimestampScheduler::TimestampScheduler(std::size_t num_flows)
+    : Scheduler(num_flows), stamps_(num_flows), in_heap_(num_flows, false) {}
+
+void TimestampScheduler::push_candidate(FlowId flow) {
+  WS_CHECK(!in_heap_[flow.index()]);
+  WS_CHECK(!stamps_[flow.index()].empty());
+  heap_.push(HeapEntry{stamps_[flow.index()].front(), next_sequence_++, flow});
+  in_heap_[flow.index()] = true;
+}
+
+void TimestampScheduler::on_packet_enqueued(Cycle now, FlowId flow,
+                                            Flits length) {
+  WS_CHECK_MSG(length > 0, "timestamp disciplines need a-priori lengths");
+  auto& flow_stamps = stamps_[flow.index()];
+  const bool was_empty = flow_stamps.empty();
+  // Stamps are per-flow monotone (each rule takes max with the flow's last
+  // finish), so FIFO order within the flow equals stamp order.
+  flow_stamps.push_back(stamp(now, flow, length));
+  if (was_empty) {
+    ++backlogged_flows_;
+    if (serving_ != flow) push_candidate(flow);
+  }
+}
+
+FlowId TimestampScheduler::select_next_flow(Cycle) {
+  WS_CHECK(!heap_.empty());
+  const HeapEntry entry = heap_.top();
+  heap_.pop();
+  in_heap_[entry.flow.index()] = false;
+  serving_ = entry.flow;
+  on_service_start(entry.flow, entry.tag);
+  return entry.flow;
+}
+
+void TimestampScheduler::on_packet_complete(FlowId flow, Flits,
+                                            bool queue_now_empty) {
+  WS_CHECK(flow == serving_);
+  serving_ = FlowId::invalid();
+  auto& flow_stamps = stamps_[flow.index()];
+  (void)flow_stamps.pop_front();
+  if (!queue_now_empty) {
+    push_candidate(flow);
+  } else {
+    WS_CHECK(backlogged_flows_ > 0);
+    --backlogged_flows_;
+    if (backlogged_flows_ == 0) on_all_idle();
+  }
+}
+
+ScfqScheduler::ScfqScheduler(std::size_t num_flows)
+    : TimestampScheduler(num_flows), last_finish_(num_flows, 0.0) {}
+
+double ScfqScheduler::stamp(Cycle, FlowId flow, Flits length) {
+  const double finish =
+      std::max(virtual_time_, last_finish_[flow.index()]) +
+      static_cast<double>(length) / weight(flow);
+  last_finish_[flow.index()] = finish;
+  return finish;
+}
+
+void ScfqScheduler::on_service_start(FlowId, double tag) {
+  virtual_time_ = tag;
+}
+
+void ScfqScheduler::on_all_idle() {
+  // Golestani's reset rule: when the system drains, virtual time and all
+  // flow histories restart from zero.
+  virtual_time_ = 0.0;
+  for (auto& f : last_finish_) f = 0.0;
+}
+
+StfqScheduler::StfqScheduler(std::size_t num_flows)
+    : TimestampScheduler(num_flows), last_finish_(num_flows, 0.0) {}
+
+double StfqScheduler::stamp(Cycle, FlowId flow, Flits length) {
+  // Serve by virtual start time: S = max(v, F_prev); the finish
+  // F = S + L/w only updates the flow's own history.
+  const double start = std::max(virtual_time_, last_finish_[flow.index()]);
+  last_finish_[flow.index()] =
+      start + static_cast<double>(length) / weight(flow);
+  return start;
+}
+
+void StfqScheduler::on_service_start(FlowId, double tag) {
+  virtual_time_ = tag;
+}
+
+void StfqScheduler::on_all_idle() {
+  virtual_time_ = 0.0;
+  for (auto& f : last_finish_) f = 0.0;
+}
+
+VirtualClockScheduler::VirtualClockScheduler(std::size_t num_flows)
+    : TimestampScheduler(num_flows),
+      aux_vc_(num_flows, 0.0),
+      total_weight_(static_cast<double>(num_flows)) {}
+
+void VirtualClockScheduler::set_weight(FlowId flow, double w) {
+  total_weight_ += w - weight(flow);
+  Scheduler::set_weight(flow, w);
+}
+
+double VirtualClockScheduler::rate(FlowId flow) const {
+  return weight(flow) / total_weight_;
+}
+
+double VirtualClockScheduler::stamp(Cycle now, FlowId flow, Flits length) {
+  // auxVC_i = max(real time, auxVC_i) + L / reserved rate (Zhang's rule):
+  // the stamp a TDM system at the flow's reserved rate would assign.
+  double& aux = aux_vc_[flow.index()];
+  aux = std::max(static_cast<double>(now), aux) +
+        static_cast<double>(length) / rate(flow);
+  return aux;
+}
+
+}  // namespace wormsched::core

@@ -1,0 +1,72 @@
+#include "harness/paper_workloads.hpp"
+
+#include "common/assert.hpp"
+
+namespace wormsched::harness {
+
+namespace {
+
+/// Aggregate mean flit rate of `spec` per unit base packet rate, i.e. the
+/// sum over flows of (rate multiplier x mean length).
+double flits_per_unit_rate(const traffic::WorkloadSpec& spec) {
+  double total = 0.0;
+  for (const auto& f : spec.flows)
+    total += f.arrival.rate * f.length.mean_length();
+  return total;
+}
+
+/// Builds the asymmetric flow set of Figs. 4 and 5 with a placeholder
+/// base rate of 1, then rescales so aggregate offered load == overload.
+traffic::WorkloadSpec asymmetric_workload(std::size_t num_flows,
+                                          double overload) {
+  WS_CHECK(num_flows >= 1);
+  traffic::WorkloadSpec spec;
+  spec.flows.reserve(num_flows);
+  for (std::size_t i = 0; i < num_flows; ++i) {
+    traffic::FlowSpec flow;
+    // "The packet lengths are uniformly distributed between 1 and 64 flits
+    //  for all the flows except flow 2.  Packets arriving in queue 2 have
+    //  lengths uniformly distributed between 1 and 128 flits."
+    flow.length = (i == 2) ? traffic::LengthSpec::uniform(1, 128)
+                           : traffic::LengthSpec::uniform(1, 64);
+    // "The arrival rate in terms of packets per second into the queue
+    //  corresponding to flow 3 is twice the rate of other flows."
+    flow.arrival = traffic::ArrivalSpec::bernoulli(i == 3 ? 2.0 : 1.0);
+    spec.flows.push_back(flow);
+  }
+  const double scale = overload / flits_per_unit_rate(spec);
+  for (auto& f : spec.flows) f.arrival.rate *= scale;
+  return spec;
+}
+
+}  // namespace
+
+traffic::WorkloadSpec fig4_workload(std::size_t num_flows, double overload) {
+  return asymmetric_workload(num_flows, overload);
+}
+
+traffic::WorkloadSpec fig5_workload(double congestion_ratio,
+                                    Cycle congestion_cycles) {
+  traffic::WorkloadSpec spec = asymmetric_workload(4, congestion_ratio);
+  spec.inject_until = congestion_cycles;
+  return spec;
+}
+
+traffic::WorkloadSpec fig6_workload(std::size_t num_flows, double overload) {
+  WS_CHECK(num_flows >= 2);
+  traffic::WorkloadSpec spec;
+  spec.flows.reserve(num_flows);
+  for (std::size_t i = 0; i < num_flows; ++i) {
+    traffic::FlowSpec flow;
+    // "packet lengths in all the flows are exponentially distributed with
+    //  lambda = 0.2, in the range between 1 to 64"
+    flow.length = traffic::LengthSpec::truncated_exponential(0.2, 1, 64);
+    flow.arrival = traffic::ArrivalSpec::bernoulli(1.0);
+    spec.flows.push_back(flow);
+  }
+  const double scale = overload / flits_per_unit_rate(spec);
+  for (auto& f : spec.flows) f.arrival.rate *= scale;
+  return spec;
+}
+
+}  // namespace wormsched::harness

@@ -1,0 +1,40 @@
+// The exact workloads of the paper's evaluation (Sec. 5), expressed once
+// and shared by benches, examples and integration tests.
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.hpp"
+#include "traffic/workload.hpp"
+
+namespace wormsched::harness {
+
+/// Fig. 4 workload: `num_flows` flows (the paper uses 8, ids 0..7);
+/// packet lengths U[1,64] flits except flow 2, which uses U[1,128]; flow 3
+/// arrives at twice the packet rate of the others.  `overload` is the
+/// ratio of aggregate offered load to output capacity; the paper keeps all
+/// flows active for the whole 4M-cycle run, which requires every flow's
+/// offered load to exceed its fair share (overload >= ~1.35 for 8 flows).
+[[nodiscard]] traffic::WorkloadSpec fig4_workload(std::size_t num_flows = 8,
+                                                  double overload = 1.5);
+
+/// Fig. 5 workload: 4 flows with the same length/rate asymmetries (flow 2
+/// long packets, flow 3 double rate); aggregate input rate is
+/// `congestion_ratio` times the output rate, injected only for the first
+/// `congestion_cycles` cycles (the transient-congestion window), after
+/// which the queues drain.
+[[nodiscard]] traffic::WorkloadSpec fig5_workload(
+    double congestion_ratio, Cycle congestion_cycles = 10'000);
+
+/// Fig. 6 workload: `num_flows` symmetric flows, packet lengths truncated-
+/// exponential (lambda = 0.2) on [1, 64] flits; `overload` as in Fig. 4.
+[[nodiscard]] traffic::WorkloadSpec fig6_workload(std::size_t num_flows,
+                                                  double overload = 1.5);
+
+/// The paper's byte constant: "We assume a flit size of 8 bytes".
+inline constexpr Bytes kPaperFlitBytes = 8;
+
+/// The paper's measurement horizon for Figs. 4 and 6.
+inline constexpr Cycle kPaperHorizon = 4'000'000;
+
+}  // namespace wormsched::harness

@@ -1,0 +1,43 @@
+#include "harness/sweep.hpp"
+
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "common/table.hpp"
+
+namespace wormsched::harness {
+
+std::string SweepResult::summary(const std::string& metric, int digits) const {
+  const RunningStat& s = stats_.at(metric);
+  std::ostringstream os;
+  os << fixed(s.mean(), digits);
+  if (s.count() > 1) os << " +/- " << fixed(s.stddev(), digits);
+  return os.str();
+}
+
+std::vector<std::string> SweepResult::metrics() const {
+  std::vector<std::string> names;
+  names.reserve(stats_.size());
+  for (const auto& [name, stat] : stats_) names.push_back(name);
+  return names;
+}
+
+SweepResult sweep_scenario(std::string_view scheduler_name,
+                           ScenarioConfig config,
+                           const traffic::WorkloadSpec& workload,
+                           std::uint64_t base_seed, std::size_t seeds,
+                           const MetricExtractor& extract) {
+  WS_CHECK(seeds > 0);
+  SweepResult aggregate;
+  for (std::size_t k = 0; k < seeds; ++k) {
+    config.seed = base_seed + k;
+    const traffic::Trace trace =
+        traffic::generate_trace(workload, config.horizon, config.seed);
+    const ScenarioResult result =
+        run_scenario(scheduler_name, config, trace);
+    extract(result, aggregate);
+  }
+  return aggregate;
+}
+
+}  // namespace wormsched::harness

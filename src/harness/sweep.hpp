@@ -1,0 +1,66 @@
+// Multi-seed sweeps with summary statistics.
+//
+// Single-run numbers from a stochastic workload are noisy; the benches
+// that report deltas between schedulers (Fig. 5, ablations) average over
+// seeds.  SweepResult aggregates any named scalar metric across repeats
+// and exposes mean / stddev / extremes, so benches can print confidence
+// information instead of point estimates.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "harness/scenario.hpp"
+
+namespace wormsched::harness {
+
+/// Aggregated metrics from repeating one scenario across seeds.
+class SweepResult {
+ public:
+  void add(const std::string& metric, double value) {
+    stats_[metric].add(value);
+  }
+
+  [[nodiscard]] bool has(const std::string& metric) const {
+    return stats_.count(metric) != 0;
+  }
+  [[nodiscard]] const RunningStat& stat(const std::string& metric) const {
+    return stats_.at(metric);
+  }
+  [[nodiscard]] double mean(const std::string& metric) const {
+    return stats_.at(metric).mean();
+  }
+  [[nodiscard]] double stddev(const std::string& metric) const {
+    return stats_.at(metric).stddev();
+  }
+  /// Mean +/- one standard deviation, formatted for tables.
+  [[nodiscard]] std::string summary(const std::string& metric,
+                                    int digits = 1) const;
+
+  [[nodiscard]] std::vector<std::string> metrics() const;
+
+ private:
+  std::map<std::string, RunningStat> stats_;
+};
+
+/// Extracts named metrics from one finished run.
+using MetricExtractor =
+    std::function<void(const ScenarioResult&, SweepResult&)>;
+
+/// Runs `scheduler_name` over `seeds` independently generated instances of
+/// `workload` (seed k uses base_seed + k) and aggregates the extracted
+/// metrics.  The per-seed trace generation matches run_scenario's
+/// convention, so two sweeps with the same base seed see identical
+/// traffic.
+[[nodiscard]] SweepResult sweep_scenario(std::string_view scheduler_name,
+                                         ScenarioConfig config,
+                                         const traffic::WorkloadSpec& workload,
+                                         std::uint64_t base_seed,
+                                         std::size_t seeds,
+                                         const MetricExtractor& extract);
+
+}  // namespace wormsched::harness

@@ -1,0 +1,34 @@
+// Compact textual workload specifications for command-line tools.
+//
+// Grammar (flows separated by ';', optional '*N' repetition):
+//   flow     := arrival ":" rate ":" length [ ":" weight ] [ "*" count ]
+//   arrival  := "bern" | "poisson" | "periodic" | "onoff-<on>-<off>"
+//   rate     := packets per cycle (floating point)
+//   length   := "u<lo>-<hi>"            uniform
+//             | "e<lambda>-<lo>-<hi>"   truncated exponential
+//             | "c<len>"                constant
+//             | "b<small>-<large>-<p>"  bimodal (p = P[small])
+//
+// Examples:
+//   "bern:0.005:u1-64*7;bern:0.01:u1-128"      the Fig. 4 asymmetries
+//   "poisson:0.02:e0.2-1-64:2.0*4"             4 weighted flows, exp lengths
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "traffic/workload.hpp"
+
+namespace wormsched::harness {
+
+struct WorkloadParse {
+  traffic::WorkloadSpec spec;
+  std::vector<double> weights;  // parallel to spec.flows
+};
+
+/// Parses `text`; returns nullopt and fills *error on malformed input.
+[[nodiscard]] std::optional<WorkloadParse> parse_workload(
+    std::string_view text, std::string* error = nullptr);
+
+}  // namespace wormsched::harness

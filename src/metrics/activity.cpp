@@ -1,0 +1,50 @@
+#include "metrics/activity.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace wormsched::metrics {
+
+ActivityTracker::ActivityTracker(std::size_t num_flows)
+    : windows_(num_flows), currently_active_(num_flows, false) {}
+
+void ActivityTracker::record(Cycle now, FlowId flow, bool active) {
+  WS_CHECK(!finished_);
+  const std::size_t i = flow.index();
+  if (active == currently_active_[i]) return;
+  if (active) {
+    windows_[i].push_back(Window{now, kCycleMax});
+  } else {
+    WS_CHECK(!windows_[i].empty());
+    windows_[i].back().end = now;
+  }
+  currently_active_[i] = active;
+}
+
+void ActivityTracker::finish(Cycle end) {
+  WS_CHECK(!finished_);
+  for (std::size_t i = 0; i < windows_.size(); ++i) {
+    if (currently_active_[i]) {
+      windows_[i].back().end = end;
+      currently_active_[i] = false;
+    }
+  }
+  finished_ = true;
+}
+
+bool ActivityTracker::active_throughout(FlowId flow, Cycle t1, Cycle t2) const {
+  WS_CHECK_MSG(finished_, "query before finish()");
+  WS_CHECK(t1 <= t2);
+  if (t1 == t2) return true;
+  const auto& windows = windows_[flow.index()];
+  // Find the last window starting at or before t1.
+  const auto it = std::upper_bound(
+      windows.begin(), windows.end(), t1,
+      [](Cycle t, const Window& w) { return t < w.start; });
+  if (it == windows.begin()) return false;
+  const Window& w = *(it - 1);
+  return w.start <= t1 && t2 <= w.end;
+}
+
+}  // namespace wormsched::metrics

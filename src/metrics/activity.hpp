@@ -1,0 +1,44 @@
+// Flow-activity tracking.
+//
+// The paper's fairness measure compares only flows that are *active*
+// throughout the measured interval ("a flow is active when a packet
+// belonging to it is in the middle of being dequeued, or its queue is not
+// empty", Sec. 3).  The tracker stores each flow's activity as maximal
+// [start, end) cycle windows, so "active throughout [t1, t2)" is one
+// binary search.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace wormsched::metrics {
+
+class ActivityTracker {
+ public:
+  explicit ActivityTracker(std::size_t num_flows);
+
+  /// Feeds one cycle's activity snapshot; must be called with
+  /// non-decreasing `now`.
+  void record(Cycle now, FlowId flow, bool active);
+
+  /// Call once after the run so trailing windows are closed at `end`.
+  void finish(Cycle end);
+
+  /// True iff `flow` was active for every cycle of [t1, t2).
+  [[nodiscard]] bool active_throughout(FlowId flow, Cycle t1, Cycle t2) const;
+
+  [[nodiscard]] std::size_t num_flows() const { return windows_.size(); }
+
+ private:
+  struct Window {
+    Cycle start;
+    Cycle end;  // exclusive; kCycleMax while the window is still open
+  };
+  std::vector<std::vector<Window>> windows_;
+  std::vector<bool> currently_active_;
+  bool finished_ = false;
+};
+
+}  // namespace wormsched::metrics

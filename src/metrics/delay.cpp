@@ -1,0 +1,20 @@
+#include "metrics/delay.hpp"
+
+#include "common/assert.hpp"
+
+namespace wormsched::metrics {
+
+DelayStats::DelayStats(std::size_t num_flows)
+    : per_flow_(num_flows),
+      per_flow_quantiles_(num_flows, QuantileEstimator(1u << 18)) {}
+
+void DelayStats::on_packet_departure(Cycle now, const core::Packet& packet) {
+  WS_CHECK(now >= packet.arrival);
+  const auto delay = static_cast<double>(now - packet.arrival);
+  overall_.add(delay);
+  per_flow_[packet.flow.index()].add(delay);
+  quantiles_.add(delay);
+  per_flow_quantiles_[packet.flow.index()].add(delay);
+}
+
+}  // namespace wormsched::metrics

@@ -1,0 +1,64 @@
+// Packet-delay statistics (paper Fig. 5).
+//
+// Delay is "the number of cycles between the instant [a packet] is placed
+// in the queue for scheduling, to the instant its last flit is dequeued".
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "core/scheduler.hpp"
+
+namespace wormsched::metrics {
+
+class DelayStats final : public core::SchedulerObserver {
+ public:
+  explicit DelayStats(std::size_t num_flows);
+
+  void on_packet_departure(Cycle now, const core::Packet& packet) override;
+
+  [[nodiscard]] const RunningStat& overall() const { return overall_; }
+  [[nodiscard]] const RunningStat& flow(FlowId flow) const {
+    return per_flow_[flow.index()];
+  }
+  [[nodiscard]] double quantile(double q) const {
+    return quantiles_.quantile(q);
+  }
+  /// Per-flow delay quantile.
+  [[nodiscard]] double flow_quantile(FlowId flow, double q) const {
+    return per_flow_quantiles_[flow.index()].quantile(q);
+  }
+  [[nodiscard]] std::size_t packets() const { return overall_.count(); }
+
+ private:
+  RunningStat overall_;
+  std::vector<RunningStat> per_flow_;
+  QuantileEstimator quantiles_;
+  std::vector<QuantileEstimator> per_flow_quantiles_;
+};
+
+/// Composite observer: fans a scheduler's notifications out to several
+/// observers (the harness attaches a ServiceLog and a DelayStats at once).
+class ObserverChain final : public core::SchedulerObserver {
+ public:
+  void add(core::SchedulerObserver& observer) {
+    observers_.push_back(&observer);
+  }
+
+  void on_packet_arrival(Cycle now, const core::Packet& p) override {
+    for (auto* o : observers_) o->on_packet_arrival(now, p);
+  }
+  void on_flit(Cycle now, const core::FlitEvent& f) override {
+    for (auto* o : observers_) o->on_flit(now, f);
+  }
+  void on_packet_departure(Cycle now, const core::Packet& p) override {
+    for (auto* o : observers_) o->on_packet_departure(now, p);
+  }
+
+ private:
+  std::vector<core::SchedulerObserver*> observers_;
+};
+
+}  // namespace wormsched::metrics

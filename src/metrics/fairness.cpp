@@ -1,0 +1,79 @@
+#include "metrics/fairness.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace wormsched::metrics {
+
+Flits fairness_measure(const ServiceLog& log, const ActivityTracker& activity,
+                       Cycle t1, Cycle t2) {
+  WS_CHECK(log.num_flows() == activity.num_flows());
+  Flits min_sent = 0;
+  Flits max_sent = 0;
+  bool first = true;
+  std::size_t qualifying = 0;
+  for (std::size_t i = 0; i < log.num_flows(); ++i) {
+    const FlowId flow(static_cast<FlowId::rep_type>(i));
+    if (!activity.active_throughout(flow, t1, t2)) continue;
+    ++qualifying;
+    const Flits sent = log.sent(flow, t1, t2);
+    if (first) {
+      min_sent = max_sent = sent;
+      first = false;
+    } else {
+      min_sent = std::min(min_sent, sent);
+      max_sent = std::max(max_sent, sent);
+    }
+  }
+  return qualifying >= 2 ? max_sent - min_sent : 0;
+}
+
+double average_relative_fairness(const ServiceLog& log,
+                                 const ActivityTracker& activity,
+                                 Cycle horizon, std::size_t num_intervals,
+                                 Rng& rng) {
+  WS_CHECK(horizon > 1);
+  double sum = 0.0;
+  std::size_t samples = 0;
+  // Bounded redraws: a lightly loaded run may rarely have two flows active
+  // through a random interval; give each sample a few attempts, then count
+  // it as zero (matching "no unfairness observable").
+  constexpr int kMaxAttempts = 16;
+  for (std::size_t k = 0; k < num_intervals; ++k) {
+    Flits fm = 0;
+    for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+      Cycle a = rng.uniform_u64(horizon);
+      Cycle b = rng.uniform_u64(horizon);
+      if (a == b) continue;
+      if (a > b) std::swap(a, b);
+      std::size_t qualifying = 0;
+      for (std::size_t i = 0; i < log.num_flows(); ++i) {
+        if (activity.active_throughout(FlowId(static_cast<FlowId::rep_type>(i)),
+                                       a, b))
+          ++qualifying;
+      }
+      if (qualifying < 2) continue;
+      fm = fairness_measure(log, activity, a, b);
+      break;
+    }
+    sum += static_cast<double>(fm);
+    ++samples;
+  }
+  return samples == 0 ? 0.0 : sum / static_cast<double>(samples);
+}
+
+Flits max_fairness_measure(const ServiceLog& log,
+                           const ActivityTracker& activity,
+                           const std::vector<Cycle>& boundaries) {
+  Flits worst = 0;
+  for (std::size_t a = 0; a < boundaries.size(); ++a) {
+    for (std::size_t b = a + 1; b < boundaries.size(); ++b) {
+      worst = std::max(
+          worst, fairness_measure(log, activity, boundaries[a], boundaries[b]));
+    }
+  }
+  return worst;
+}
+
+}  // namespace wormsched::metrics

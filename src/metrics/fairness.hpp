@@ -1,0 +1,38 @@
+// Fairness measures (paper Sec. 4.2, Defs. 1-3; Figs. 4 and 6).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "metrics/activity.hpp"
+#include "metrics/service_log.hpp"
+
+namespace wormsched::metrics {
+
+/// FM(t1, t2): the maximum |Sent_i - Sent_j| in flits over all pairs of
+/// flows active throughout [t1, t2) (Def. 1).  Returns 0 when fewer than
+/// two flows qualify.
+[[nodiscard]] Flits fairness_measure(const ServiceLog& log,
+                                     const ActivityTracker& activity,
+                                     Cycle t1, Cycle t2);
+
+/// The Fig. 6 statistic: FM averaged over `num_intervals` random intervals
+/// drawn uniformly from [0, horizon).  Intervals with fewer than two
+/// qualifying flows are redrawn (up to a bounded number of attempts).
+/// Result is in flits; multiply by the flit size for the paper's bytes.
+[[nodiscard]] double average_relative_fairness(const ServiceLog& log,
+                                               const ActivityTracker& activity,
+                                               Cycle horizon,
+                                               std::size_t num_intervals,
+                                               Rng& rng);
+
+/// Exhaustive FM maximization over a set of boundary instants (Lemma 2:
+/// the global FM is attained on service-opportunity boundaries).  O(k^2)
+/// pairs — for property tests on short runs, not for the 4M-cycle figures.
+[[nodiscard]] Flits max_fairness_measure(const ServiceLog& log,
+                                         const ActivityTracker& activity,
+                                         const std::vector<Cycle>& boundaries);
+
+}  // namespace wormsched::metrics

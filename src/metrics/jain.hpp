@@ -1,0 +1,12 @@
+// Jain's fairness index: (sum x)^2 / (n * sum x^2), in (0, 1]; 1 means
+// perfectly equal allocations, 1/n means one participant has everything.
+// Used by the network benches to condense per-source throughput vectors.
+#pragma once
+
+#include <span>
+
+namespace wormsched::metrics {
+
+[[nodiscard]] double jain_index(std::span<const double> allocations);
+
+}  // namespace wormsched::metrics

@@ -1,0 +1,41 @@
+#include "metrics/service_log.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace wormsched::metrics {
+
+ServiceLog::ServiceLog(std::size_t num_flows, Bytes flit_bytes)
+    : flit_cycles_(num_flows), flit_bytes_(flit_bytes) {
+  WS_CHECK(num_flows > 0);
+  WS_CHECK(flit_bytes > 0);
+}
+
+void ServiceLog::on_flit(Cycle now, const core::FlitEvent& flit) {
+  auto& cycles = flit_cycles_[flit.flow.index()];
+  WS_CHECK_MSG(cycles.empty() || cycles.back() <= now,
+               "service log must be fed in time order");
+  cycles.push_back(now);
+}
+
+Flits ServiceLog::sent(FlowId flow, Cycle t1, Cycle t2) const {
+  WS_CHECK(t1 <= t2);
+  const auto& cycles = flit_cycles_[flow.index()];
+  const auto lo = std::lower_bound(cycles.begin(), cycles.end(), t1);
+  const auto hi = std::lower_bound(lo, cycles.end(), t2);
+  return static_cast<Flits>(hi - lo);
+}
+
+Flits ServiceLog::total(FlowId flow) const {
+  return static_cast<Flits>(flit_cycles_[flow.index()].size());
+}
+
+Flits ServiceLog::grand_total() const {
+  Flits total = 0;
+  for (const auto& cycles : flit_cycles_)
+    total += static_cast<Flits>(cycles.size());
+  return total;
+}
+
+}  // namespace wormsched::metrics

@@ -1,0 +1,45 @@
+// Per-flow service accounting.
+//
+// The fairness analyses (paper Def. 1, Figs. 4 and 6) all reduce to
+// queries of Sent_i(t1, t2): how many flits flow i transmitted in an
+// interval.  The log records the cycle of every transmitted flit per flow
+// (cycles are naturally sorted), so any interval query is two binary
+// searches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/scheduler.hpp"
+
+namespace wormsched::metrics {
+
+class ServiceLog final : public core::SchedulerObserver {
+ public:
+  explicit ServiceLog(std::size_t num_flows, Bytes flit_bytes = 8);
+
+  void on_flit(Cycle now, const core::FlitEvent& flit) override;
+
+  [[nodiscard]] std::size_t num_flows() const { return flit_cycles_.size(); }
+  [[nodiscard]] Bytes flit_bytes() const { return flit_bytes_; }
+
+  /// Flits sent by `flow` in the half-open interval [t1, t2).
+  [[nodiscard]] Flits sent(FlowId flow, Cycle t1, Cycle t2) const;
+  [[nodiscard]] Bytes sent_bytes(FlowId flow, Cycle t1, Cycle t2) const {
+    return static_cast<Bytes>(sent(flow, t1, t2)) * flit_bytes_;
+  }
+
+  /// Lifetime totals.
+  [[nodiscard]] Flits total(FlowId flow) const;
+  [[nodiscard]] Bytes total_bytes(FlowId flow) const {
+    return static_cast<Bytes>(total(flow)) * flit_bytes_;
+  }
+  [[nodiscard]] Flits grand_total() const;
+
+ private:
+  std::vector<std::vector<Cycle>> flit_cycles_;
+  Bytes flit_bytes_;
+};
+
+}  // namespace wormsched::metrics

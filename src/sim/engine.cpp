@@ -1,0 +1,57 @@
+#include "sim/engine.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace wormsched::sim {
+
+void Engine::schedule_at(Cycle when, EventFn fn) {
+  WS_CHECK_MSG(when >= now_, "event scheduled in the past");
+  calendar_.push(Event{when, next_sequence_++, std::move(fn)});
+}
+
+void Engine::schedule_after(Cycle delay, EventFn fn) {
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+void Engine::add_component(Component& component) {
+  components_.push_back(&component);
+}
+
+void Engine::run_due_events() {
+  while (!calendar_.empty() && calendar_.top().when == now_) {
+    // Copy out before pop: the handler may schedule new events.
+    EventFn fn = calendar_.top().fn;
+    calendar_.pop();
+    fn(now_);
+  }
+}
+
+void Engine::step() {
+  run_due_events();
+  for (Component* c : components_) c->tick(now_);
+  ++now_;
+}
+
+void Engine::run_until(Cycle end) {
+  while (now_ < end) step();
+}
+
+Cycle Engine::run_until_idle(Cycle max_cycle) {
+  while (now_ < max_cycle) {
+    const bool events_pending = !calendar_.empty();
+    bool all_idle = true;
+    for (const Component* c : components_) {
+      if (!c->idle()) {
+        all_idle = false;
+        break;
+      }
+    }
+    if (!events_pending && all_idle) break;
+    step();
+  }
+  return now_;
+}
+
+}  // namespace wormsched::sim

@@ -1,0 +1,87 @@
+#include "traffic/arrival.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace wormsched::traffic {
+
+double ArrivalSpec::mean_rate() const {
+  switch (kind) {
+    case Kind::kBernoulli:
+    case Kind::kPoisson:
+    case Kind::kPeriodic:
+      return rate;
+    case Kind::kOnOff:
+      return rate * mean_on / (mean_on + mean_off);
+  }
+  return 0.0;
+}
+
+std::string ArrivalSpec::describe() const {
+  std::ostringstream os;
+  switch (kind) {
+    case Kind::kBernoulli:
+      os << "Bernoulli(" << rate << ")";
+      break;
+    case Kind::kPoisson:
+      os << "Poisson(" << rate << ")";
+      break;
+    case Kind::kPeriodic:
+      os << "Periodic(" << rate << ")";
+      break;
+    case Kind::kOnOff:
+      os << "OnOff(rate=" << rate << ",on=" << mean_on << ",off=" << mean_off
+         << ")";
+      break;
+  }
+  return os.str();
+}
+
+ArrivalProcess::ArrivalProcess(const ArrivalSpec& spec, Rng rng)
+    : spec_(spec), rng_(rng) {
+  WS_CHECK(spec.rate >= 0.0);
+}
+
+std::uint32_t ArrivalProcess::packets_this_cycle(Cycle now) {
+  switch (spec_.kind) {
+    case ArrivalSpec::Kind::kBernoulli:
+      return rng_.bernoulli(spec_.rate) ? 1 : 0;
+
+    case ArrivalSpec::Kind::kPoisson: {
+      if (spec_.rate <= 0.0) return 0;
+      if (next_poisson_time_ < 0.0)
+        next_poisson_time_ =
+            static_cast<double>(now) + rng_.exponential(spec_.rate);
+      std::uint32_t count = 0;
+      // All renewal points falling inside [now, now+1) arrive this cycle.
+      while (next_poisson_time_ < static_cast<double>(now) + 1.0) {
+        ++count;
+        next_poisson_time_ += rng_.exponential(spec_.rate);
+      }
+      return count;
+    }
+
+    case ArrivalSpec::Kind::kPeriodic: {
+      if (spec_.rate <= 0.0) return 0;
+      if (now < next_periodic_) return 0;
+      const auto period =
+          std::max<Cycle>(1, static_cast<Cycle>(std::llround(1.0 / spec_.rate)));
+      next_periodic_ = now + period;
+      return 1;
+    }
+
+    case ArrivalSpec::Kind::kOnOff: {
+      // Geometric sojourn: leave the current state with probability
+      // 1/mean_duration per cycle.
+      const double leave_p = on_ ? 1.0 / std::max(1.0, spec_.mean_on)
+                                 : 1.0 / std::max(1.0, spec_.mean_off);
+      if (rng_.bernoulli(leave_p)) on_ = !on_;
+      return (on_ && rng_.bernoulli(spec_.rate)) ? 1 : 0;
+    }
+  }
+  return 0;
+}
+
+}  // namespace wormsched::traffic

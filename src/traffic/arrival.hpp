@@ -1,0 +1,68 @@
+// Packet arrival processes.
+//
+// All processes are driven cycle-by-cycle and report how many packets a
+// flow injects in the current cycle.  Rates are in packets/cycle; the
+// paper's "flow 3 arrives at twice the rate of other flows" is expressed
+// by doubling that flow's rate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace wormsched::traffic {
+
+struct ArrivalSpec {
+  enum class Kind {
+    kBernoulli,  // one packet with probability `rate` each cycle
+    kPoisson,    // exponential interarrivals with mean 1/rate
+    kPeriodic,   // one packet every round(1/rate) cycles
+    kOnOff,      // two-state burst process: Bernoulli(rate) while ON
+  };
+
+  Kind kind = Kind::kBernoulli;
+  double rate = 0.01;  // packets per cycle (long-run, except kOnOff: ON rate)
+  // kOnOff only: geometric sojourns with these mean durations (cycles).
+  double mean_on = 100.0;
+  double mean_off = 100.0;
+
+  [[nodiscard]] static ArrivalSpec bernoulli(double rate) {
+    return {Kind::kBernoulli, rate, 0.0, 0.0};
+  }
+  [[nodiscard]] static ArrivalSpec poisson(double rate) {
+    return {Kind::kPoisson, rate, 0.0, 0.0};
+  }
+  [[nodiscard]] static ArrivalSpec periodic(double rate) {
+    return {Kind::kPeriodic, rate, 0.0, 0.0};
+  }
+  [[nodiscard]] static ArrivalSpec on_off(double on_rate, double mean_on,
+                                          double mean_off) {
+    return {Kind::kOnOff, on_rate, mean_on, mean_off};
+  }
+
+  /// Long-run average packets per cycle.
+  [[nodiscard]] double mean_rate() const;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Stateful per-flow sampler for an ArrivalSpec.
+class ArrivalProcess {
+ public:
+  ArrivalProcess(const ArrivalSpec& spec, Rng rng);
+
+  /// Number of packets this flow injects in cycle `now`.  Must be called
+  /// for every cycle, in order.
+  [[nodiscard]] std::uint32_t packets_this_cycle(Cycle now);
+
+ private:
+  ArrivalSpec spec_;
+  Rng rng_;
+  double next_poisson_time_ = -1.0;
+  Cycle next_periodic_ = 0;
+  bool on_ = true;
+};
+
+}  // namespace wormsched::traffic

@@ -1,0 +1,69 @@
+#include "traffic/length.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace wormsched::traffic {
+
+double LengthSpec::mean_length() const {
+  switch (kind) {
+    case Kind::kConstant:
+      return static_cast<double>(lo);
+    case Kind::kUniform:
+      return (static_cast<double>(lo) + static_cast<double>(hi)) / 2.0;
+    case Kind::kTruncExp: {
+      // Exact mean of the truncated geometric-like law P(k) ~ e^{-lambda k}
+      // on integers [lo, hi].
+      double num = 0.0;
+      double den = 0.0;
+      for (Flits k = lo; k <= hi; ++k) {
+        const double p = std::exp(-lambda * static_cast<double>(k));
+        num += static_cast<double>(k) * p;
+        den += p;
+      }
+      return num / den;
+    }
+    case Kind::kBimodal:
+      return bimodal_small_prob * static_cast<double>(lo) +
+             (1.0 - bimodal_small_prob) * static_cast<double>(hi);
+  }
+  return 0.0;
+}
+
+std::string LengthSpec::describe() const {
+  std::ostringstream os;
+  switch (kind) {
+    case Kind::kConstant:
+      os << "const(" << lo << ")";
+      break;
+    case Kind::kUniform:
+      os << "U[" << lo << "," << hi << "]";
+      break;
+    case Kind::kTruncExp:
+      os << "TruncExp(lambda=" << lambda << ",[" << lo << "," << hi << "])";
+      break;
+    case Kind::kBimodal:
+      os << "Bimodal(" << lo << "@" << bimodal_small_prob << "," << hi << ")";
+      break;
+  }
+  return os.str();
+}
+
+Flits sample_length(Rng& rng, const LengthSpec& spec) {
+  WS_CHECK(spec.lo >= 1 && spec.lo <= spec.hi);
+  switch (spec.kind) {
+    case LengthSpec::Kind::kConstant:
+      return spec.lo;
+    case LengthSpec::Kind::kUniform:
+      return rng.uniform_int(spec.lo, spec.hi);
+    case LengthSpec::Kind::kTruncExp:
+      return rng.truncated_exponential_int(spec.lambda, spec.lo, spec.hi);
+    case LengthSpec::Kind::kBimodal:
+      return rng.bernoulli(spec.bimodal_small_prob) ? spec.lo : spec.hi;
+  }
+  return spec.lo;
+}
+
+}  // namespace wormsched::traffic

@@ -1,0 +1,58 @@
+// Packet-length distributions.
+//
+// The paper's experiments use two laws: uniform on [1, 64] / [1, 128]
+// flits (Figs. 4 and 5) and truncated exponential with lambda = 0.2 on
+// [1, 64] (Fig. 6, where small packets dominate and ERR's 3m bound beats
+// DRR's Max + 2m).  Constant and bimodal laws are included for the
+// ablation benches and property tests.
+#pragma once
+
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace wormsched::traffic {
+
+struct LengthSpec {
+  enum class Kind {
+    kConstant,   // always `lo`
+    kUniform,    // uniform integer on [lo, hi]
+    kTruncExp,   // P(k) ~ exp(-lambda k) on [lo, hi]
+    kBimodal,    // `lo` with probability `bimodal_small_prob`, else `hi`
+  };
+
+  Kind kind = Kind::kUniform;
+  Flits lo = 1;
+  Flits hi = 64;
+  double lambda = 0.2;             // kTruncExp only
+  double bimodal_small_prob = 0.9; // kBimodal only
+
+  [[nodiscard]] static LengthSpec constant(Flits value) {
+    return {Kind::kConstant, value, value, 0.0, 0.0};
+  }
+  [[nodiscard]] static LengthSpec uniform(Flits lo, Flits hi) {
+    return {Kind::kUniform, lo, hi, 0.0, 0.0};
+  }
+  [[nodiscard]] static LengthSpec truncated_exponential(double lambda, Flits lo,
+                                                        Flits hi) {
+    return {Kind::kTruncExp, lo, hi, lambda, 0.0};
+  }
+  [[nodiscard]] static LengthSpec bimodal(Flits small, Flits large,
+                                          double small_prob) {
+    return {Kind::kBimodal, small, large, 0.0, small_prob};
+  }
+
+  /// Largest packet this law can produce (the paper's "Max").
+  [[nodiscard]] Flits max_length() const { return hi; }
+
+  /// Expected packet length in flits.
+  [[nodiscard]] double mean_length() const;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Draws one packet length.
+[[nodiscard]] Flits sample_length(Rng& rng, const LengthSpec& spec);
+
+}  // namespace wormsched::traffic

@@ -1,0 +1,81 @@
+#include "traffic/trace_io.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+
+namespace wormsched::traffic {
+
+namespace {
+
+constexpr std::string_view kHeader = "cycle,flow,length";
+
+[[noreturn]] void malformed(std::size_t line, const std::string& why) {
+  throw std::runtime_error("trace line " + std::to_string(line) + ": " + why);
+}
+
+template <typename T>
+T parse_field(std::string_view text, std::size_t line, const char* what) {
+  T value{};
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size())
+    malformed(line, std::string("bad ") + what + " '" + std::string(text) +
+                        "'");
+  return value;
+}
+
+}  // namespace
+
+void save_trace(std::ostream& os, const Trace& trace) {
+  os << kHeader << '\n';
+  for (const TraceEntry& e : trace.entries)
+    os << e.cycle << ',' << e.flow.value() << ',' << e.length << '\n';
+}
+
+void save_trace_file(const std::string& path, const Trace& trace) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  save_trace(out, trace);
+}
+
+Trace load_trace(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != kHeader)
+    throw std::runtime_error("trace: missing 'cycle,flow,length' header");
+  Trace trace;
+  std::size_t line_no = 1;
+  FlowId::rep_type max_flow = 0;
+  Cycle prev_cycle = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const std::string_view view(line);
+    const auto c1 = view.find(',');
+    const auto c2 = view.find(',', c1 == std::string_view::npos ? 0 : c1 + 1);
+    if (c1 == std::string_view::npos || c2 == std::string_view::npos)
+      malformed(line_no, "expected three comma-separated fields");
+    const auto cycle = parse_field<Cycle>(view.substr(0, c1), line_no, "cycle");
+    const auto flow = parse_field<FlowId::rep_type>(
+        view.substr(c1 + 1, c2 - c1 - 1), line_no, "flow");
+    const auto length =
+        parse_field<Flits>(view.substr(c2 + 1), line_no, "length");
+    if (length <= 0) malformed(line_no, "non-positive length");
+    if (cycle < prev_cycle) malformed(line_no, "cycles must be non-decreasing");
+    prev_cycle = cycle;
+    max_flow = std::max(max_flow, flow);
+    trace.entries.push_back(TraceEntry{cycle, FlowId(flow), length});
+  }
+  trace.num_flows = trace.entries.empty() ? 0 : max_flow + 1;
+  return trace;
+}
+
+Trace load_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return load_trace(in);
+}
+
+}  // namespace wormsched::traffic

@@ -1,0 +1,27 @@
+// Trace persistence: save/load arrival traces as CSV so experiments can
+// be archived, diffed and replayed across machines and versions.
+//
+// Format (one header line, then one line per packet arrival):
+//   cycle,flow,length
+// Cycles must be non-decreasing; flow ids dense from 0.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "traffic/workload.hpp"
+
+namespace wormsched::traffic {
+
+/// Writes `trace` to `os` in the CSV format above.
+void save_trace(std::ostream& os, const Trace& trace);
+/// Writes `trace` to the file at `path`; throws std::runtime_error when
+/// the file cannot be opened.
+void save_trace_file(const std::string& path, const Trace& trace);
+
+/// Parses a trace; throws std::runtime_error on malformed input
+/// (bad header, non-numeric fields, negative lengths, time travel).
+[[nodiscard]] Trace load_trace(std::istream& is);
+[[nodiscard]] Trace load_trace_file(const std::string& path);
+
+}  // namespace wormsched::traffic

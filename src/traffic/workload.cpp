@@ -1,0 +1,76 @@
+#include "traffic/workload.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace wormsched::traffic {
+
+double WorkloadSpec::offered_load() const {
+  double load = 0.0;
+  for (const FlowSpec& f : flows)
+    load += f.arrival.mean_rate() * f.length.mean_length();
+  return load;
+}
+
+Flits WorkloadSpec::max_packet_length() const {
+  Flits max_len = 0;
+  for (const FlowSpec& f : flows)
+    max_len = std::max(max_len, f.length.max_length());
+  return max_len;
+}
+
+Flits Trace::max_observed_length() const {
+  Flits max_len = 0;
+  for (const TraceEntry& e : entries) max_len = std::max(max_len, e.length);
+  return max_len;
+}
+
+Flits Trace::total_flits() const {
+  Flits total = 0;
+  for (const TraceEntry& e : entries) total += e.length;
+  return total;
+}
+
+Flits Trace::flow_flits(FlowId flow) const {
+  Flits total = 0;
+  for (const TraceEntry& e : entries)
+    if (e.flow == flow) total += e.length;
+  return total;
+}
+
+Trace generate_trace(const WorkloadSpec& spec, Cycle horizon,
+                     std::uint64_t seed) {
+  WS_CHECK(!spec.flows.empty());
+  Rng master(seed);
+
+  struct FlowDriver {
+    ArrivalProcess arrivals;
+    Rng length_rng;
+  };
+  std::vector<FlowDriver> drivers;
+  drivers.reserve(spec.flows.size());
+  for (const FlowSpec& f : spec.flows) {
+    Rng arrival_rng = master.split();
+    Rng length_rng = master.split();
+    drivers.push_back(FlowDriver{ArrivalProcess(f.arrival, arrival_rng),
+                                 length_rng});
+  }
+
+  Trace trace;
+  trace.num_flows = spec.flows.size();
+  const Cycle inject_end = std::min(horizon, spec.inject_until);
+  for (Cycle t = 0; t < inject_end; ++t) {
+    for (std::size_t i = 0; i < drivers.size(); ++i) {
+      const std::uint32_t count = drivers[i].arrivals.packets_this_cycle(t);
+      for (std::uint32_t k = 0; k < count; ++k) {
+        trace.entries.push_back(TraceEntry{
+            t, FlowId(static_cast<FlowId::rep_type>(i)),
+            sample_length(drivers[i].length_rng, spec.flows[i].length)});
+      }
+    }
+  }
+  return trace;
+}
+
+}  // namespace wormsched::traffic

@@ -1,0 +1,139 @@
+// Packet-granular output arbitration for wormhole switches.
+//
+// A PortArbiter decides which requester (input queue / input VC) owns an
+// output resource next.  Ownership is packet-granular — wormhole switching
+// forbids interleaving flits of different packets in one output queue —
+// and the arbiter is never told packet lengths: it learns a packet's cost
+// only through charge_cycle()/charge_flit() calls while the packet drains.
+//
+// This is exactly the environment the paper designs ERR for: under
+// downstream congestion a granted packet can hold the output far longer
+// than its length (Sec. 1), and the ERR arbiter charges that *occupancy*,
+// in cycles, against the flow's allowance.  A flit-charging mode is
+// provided for the A4 ablation (occupancy- vs volume-fairness).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "common/ring_buffer.hpp"
+#include "common/types.hpp"
+#include "core/err.hpp"
+#include "core/round_robin.hpp"
+
+namespace wormsched::wormhole {
+
+class PortArbiter {
+ public:
+  explicit PortArbiter(std::size_t num_requesters)
+      : pending_(num_requesters, 0) {}
+  virtual ~PortArbiter() = default;
+  PortArbiter(const PortArbiter&) = delete;
+  PortArbiter& operator=(const PortArbiter&) = delete;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// A new packet head from `requester` is waiting for this output.
+  void request(FlowId requester);
+
+  /// The output is free: pick the next owner (nullopt if nobody waits).
+  /// The chosen requester's pending head is consumed.
+  [[nodiscard]] std::optional<FlowId> grant(Cycle now);
+
+  /// The current owner occupied the output for one cycle (moving or
+  /// stalled).  Call every cycle between grant and release.
+  virtual void charge_cycle() {}
+
+  /// The current owner forwarded one flit.
+  virtual void charge_flit() {}
+
+  /// The owner's tail flit has left the output.
+  void release();
+
+  [[nodiscard]] bool bound() const { return owner_.is_valid(); }
+  [[nodiscard]] FlowId owner() const { return owner_; }
+  [[nodiscard]] std::uint32_t pending(FlowId f) const {
+    return pending_[f.index()];
+  }
+
+ protected:
+  /// Discipline hooks, called with pending_ already updated.
+  virtual void on_new_request(FlowId requester) = 0;
+  virtual std::optional<FlowId> pick(Cycle now) = 0;
+  virtual void on_release(FlowId owner) = 0;
+
+  std::vector<std::uint32_t> pending_;
+  FlowId owner_ = FlowId::invalid();
+};
+
+/// ERR arbitration (the paper's algorithm in its native habitat).
+class ErrArbiter final : public PortArbiter {
+ public:
+  enum class Accounting {
+    kCycles,  // charge output-occupancy time (the paper's wormhole mode)
+    kFlits,   // charge transmitted flits (the paper's abstract model)
+  };
+
+  ErrArbiter(std::size_t num_requesters, Accounting accounting,
+             bool reset_on_idle = false);
+
+  [[nodiscard]] std::string_view name() const override {
+    return accounting_ == Accounting::kCycles ? "ERR-cycles" : "ERR-flits";
+  }
+  void charge_cycle() override;
+  void charge_flit() override;
+
+  [[nodiscard]] core::ErrPolicy& policy() { return policy_; }
+
+ protected:
+  void on_new_request(FlowId requester) override;
+  std::optional<FlowId> pick(Cycle now) override;
+  void on_release(FlowId owner) override;
+
+ private:
+  core::ErrPolicy policy_;
+  Accounting accounting_;
+  double held_ = 0.0;
+};
+
+/// Packet-based round-robin arbitration (what many real switches do).
+class RrArbiter final : public PortArbiter {
+ public:
+  explicit RrArbiter(std::size_t num_requesters);
+
+  [[nodiscard]] std::string_view name() const override { return "RR"; }
+
+ protected:
+  void on_new_request(FlowId requester) override;
+  std::optional<FlowId> pick(Cycle now) override;
+  void on_release(FlowId owner) override;
+
+ private:
+  core::ActiveFlowRing ring_;
+};
+
+/// First-come-first-served arbitration by head-arrival order.
+class FcfsArbiter final : public PortArbiter {
+ public:
+  explicit FcfsArbiter(std::size_t num_requesters);
+
+  [[nodiscard]] std::string_view name() const override { return "FCFS"; }
+
+ protected:
+  void on_new_request(FlowId requester) override;
+  std::optional<FlowId> pick(Cycle now) override;
+  void on_release(FlowId owner) override;
+
+ private:
+  RingBuffer<FlowId> order_;
+};
+
+/// Creates an arbiter by name: "err" / "err-cycles", "err-flits", "rr",
+/// "fcfs".  Returns nullptr for unknown names.
+[[nodiscard]] std::unique_ptr<PortArbiter> make_arbiter(
+    std::string_view name, std::size_t num_requesters);
+
+}  // namespace wormsched::wormhole

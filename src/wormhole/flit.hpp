@@ -1,0 +1,55 @@
+// Flit-level types for the wormhole network substrate.
+//
+// Wormhole switching (Sec. 1 of the paper): packets are split into flits;
+// only the head flit carries routing information, and the remaining flits
+// follow its path.  Once a head flit is routed to an output queue, no
+// other packet's flits may enter that queue until the tail flit passes.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace wormsched::wormhole {
+
+enum class FlitType : std::uint8_t {
+  kHead,      // carries routing info; opens the worm
+  kBody,      // payload
+  kTail,      // closes the worm, releases channel state
+  kHeadTail,  // single-flit packet
+};
+
+[[nodiscard]] constexpr bool is_head(FlitType t) {
+  return t == FlitType::kHead || t == FlitType::kHeadTail;
+}
+[[nodiscard]] constexpr bool is_tail(FlitType t) {
+  return t == FlitType::kTail || t == FlitType::kHeadTail;
+}
+
+struct Flit {
+  FlitType type = FlitType::kBody;
+  PacketId packet;
+  /// Traffic flow (source NIC or source-destination class) for fairness
+  /// accounting.
+  FlowId flow;
+  NodeId source;
+  NodeId dest;
+  /// Virtual-channel class, used for torus dateline deadlock avoidance.
+  VcId vc_class{0};
+  /// 0-based position within the packet.
+  Flits index = 0;
+  /// Cycle the packet was created (head flit carries it; copied to all
+  /// flits for convenience).
+  Cycle created = 0;
+};
+
+struct PacketDescriptor {
+  PacketId id;
+  FlowId flow;
+  NodeId source;
+  NodeId dest;
+  Flits length = 1;
+  Cycle created = 0;
+};
+
+}  // namespace wormsched::wormhole

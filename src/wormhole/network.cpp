@@ -1,0 +1,163 @@
+#include "wormhole/network.hpp"
+
+#include "common/assert.hpp"
+
+namespace wormsched::wormhole {
+
+Network::Network(const NetworkConfig& config)
+    : config_(config), topo_(config.topo) {
+  WS_CHECK(config.link_latency >= 1);
+  if (config.topo.kind == TopologySpec::Kind::kTorus) {
+    WS_CHECK_MSG(config.router.num_vcs >= 2,
+                 "torus requires >= 2 VC classes (dateline rule)");
+    WS_CHECK_MSG(config.routing == NetworkConfig::Routing::kDor,
+                 "west-first routing is mesh-only");
+  }
+  routers_.reserve(topo_.num_nodes());
+  for (std::uint32_t n = 0; n < topo_.num_nodes(); ++n)
+    routers_.emplace_back(NodeId(n), config.router);
+  nics_.resize(topo_.num_nodes());
+}
+
+void Network::inject(Cycle, const PacketDescriptor& packet) {
+  WS_CHECK(packet.length > 0);
+  WS_CHECK(packet.source.value() < topo_.num_nodes());
+  WS_CHECK(packet.dest.value() < topo_.num_nodes());
+  nics_[packet.source.index()].queue.push_back(packet);
+  nic_backlog_flits_ += packet.length;
+  ++injected_;
+}
+
+Direction Network::opposite(Direction d) {
+  switch (d) {
+    case Direction::kEast: return Direction::kWest;
+    case Direction::kWest: return Direction::kEast;
+    case Direction::kNorth: return Direction::kSouth;
+    case Direction::kSouth: return Direction::kNorth;
+    case Direction::kLocal: return Direction::kLocal;
+  }
+  return Direction::kLocal;
+}
+
+void Network::send_flit(NodeId from, Direction out, const Flit& flit) {
+  const NodeId to = topo_.neighbor(from, out);
+  WS_CHECK_MSG(to.is_valid(), "flit sent off the edge of the mesh");
+  flit_wire_.push_back(WireFlit{now_ + config_.link_latency, to,
+                                opposite(out),
+                                static_cast<std::uint32_t>(flit.vc_class.value()),
+                                flit});
+}
+
+void Network::eject(NodeId node, const Flit& flit, Cycle now) {
+  ++delivered_flits_;
+  WS_CHECK_MSG(flit.dest == node, "flit ejected at the wrong node");
+  if (is_tail(flit.type)) {
+    delivered_.push_back(DeliveredPacket{flit.packet, flit.flow, flit.source,
+                                         flit.dest, flit.index + 1,
+                                         flit.created, now});
+  }
+}
+
+void Network::send_credit(NodeId node, Direction in, std::uint32_t cls) {
+  const NodeId upstream = topo_.neighbor(node, in);
+  WS_CHECK(upstream.is_valid());
+  credit_wire_.push_back(
+      WireCredit{now_ + config_.link_latency, upstream, opposite(in), cls});
+}
+
+RouteDecision Network::route(NodeId node, const Flit& flit, Direction in_from,
+                             std::uint32_t in_class) {
+  return topo_.route(node, flit.dest, in_from, in_class);
+}
+
+std::vector<RouteDecision> Network::route_candidates(NodeId node,
+                                                     const Flit& flit,
+                                                     Direction in_from,
+                                                     std::uint32_t in_class) {
+  if (config_.routing == NetworkConfig::Routing::kWestFirst)
+    return topo_.west_first_candidates(node, flit.dest, in_from, in_class);
+  return {route(node, flit, in_from, in_class)};
+}
+
+void Network::tick(Cycle now) {
+  now_ = now;
+
+  // 1. Wire delivery (constant latency -> FIFO order).
+  while (!flit_wire_.empty() && flit_wire_.front().arrive <= now) {
+    const WireFlit wf = flit_wire_.pop_front();
+    routers_[wf.to.index()].accept_flit(wf.in, wf.cls, wf.flit);
+  }
+  while (!credit_wire_.empty() && credit_wire_.front().arrive <= now) {
+    const WireCredit wc = credit_wire_.pop_front();
+    routers_[wc.to.index()].accept_credit(wc.out, wc.cls);
+  }
+
+  // 2. NIC injection: one flit per node per cycle into local VC class 0.
+  for (std::uint32_t n = 0; n < nics_.size(); ++n) {
+    Nic& nic = nics_[n];
+    if (nic.queue.empty()) continue;
+    Router& r = routers_[n];
+    if (!r.can_accept_local(0)) continue;
+    const PacketDescriptor& pkt = nic.queue.front();
+    Flit flit;
+    flit.packet = pkt.id;
+    flit.flow = pkt.flow;
+    flit.source = pkt.source;
+    flit.dest = pkt.dest;
+    flit.vc_class = VcId(0);
+    flit.index = nic.sent_of_current;
+    flit.created = pkt.created;
+    const bool head = nic.sent_of_current == 0;
+    const bool tail = nic.sent_of_current + 1 == pkt.length;
+    flit.type = head && tail  ? FlitType::kHeadTail
+                : head        ? FlitType::kHead
+                : tail        ? FlitType::kTail
+                              : FlitType::kBody;
+    r.accept_flit(Direction::kLocal, 0, flit);
+    --nic_backlog_flits_;
+    if (tail) {
+      (void)nic.queue.pop_front();
+      nic.sent_of_current = 0;
+    } else {
+      ++nic.sent_of_current;
+    }
+  }
+
+  // 3. Router pipelines.
+  for (Router& r : routers_) r.tick(now, *this);
+}
+
+bool Network::idle() const {
+  if (nic_backlog_flits_ != 0) return false;
+  if (!flit_wire_.empty() || !credit_wire_.empty()) return false;
+  for (const Router& r : routers_)
+    if (!r.drained()) return false;
+  return true;
+}
+
+RunningStat Network::latency_by_source(NodeId source) const {
+  RunningStat stat;
+  for (const DeliveredPacket& p : delivered_)
+    if (p.source == source)
+      stat.add(static_cast<double>(p.delivered - p.created));
+  return stat;
+}
+
+RunningStat Network::latency_overall() const {
+  RunningStat stat;
+  for (const DeliveredPacket& p : delivered_)
+    stat.add(static_cast<double>(p.delivered - p.created));
+  return stat;
+}
+
+std::vector<Flits> Network::delivered_flits_by_flow(
+    std::size_t num_flows) const {
+  std::vector<Flits> counts(num_flows, 0);
+  for (const DeliveredPacket& p : delivered_) {
+    WS_CHECK(p.flow.index() < num_flows);
+    counts[p.flow.index()] += p.length;
+  }
+  return counts;
+}
+
+}  // namespace wormsched::wormhole

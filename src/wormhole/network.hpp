@@ -1,0 +1,121 @@
+// Whole-network wormhole simulator: routers + links + NICs.
+//
+// Cycle-accurate at flit granularity with credit-based flow control and a
+// configurable per-output-queue arbiter in every router (ERR by default).
+// Used by the integration tests (delivery, credit conservation, deadlock
+// freedom) and the A4 network bench (ERR vs RR/FCFS under hotspot
+// traffic).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ring_buffer.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "sim/engine.hpp"
+#include "wormhole/flit.hpp"
+#include "wormhole/router.hpp"
+#include "wormhole/topology.hpp"
+
+namespace wormsched::wormhole {
+
+struct NetworkConfig {
+  enum class Routing {
+    kDor,        // deterministic XY (mesh + torus, dateline classes)
+    kWestFirst,  // adaptive west-first turn model (mesh only)
+  };
+
+  TopologySpec topo = TopologySpec::mesh(4, 4);
+  RouterConfig router;
+  std::uint32_t link_latency = 1;  // cycles; >= 1
+  Routing routing = Routing::kDor;
+};
+
+struct DeliveredPacket {
+  PacketId id;
+  FlowId flow;
+  NodeId source;
+  NodeId dest;
+  Flits length = 0;
+  Cycle created = 0;
+  Cycle delivered = 0;
+};
+
+class Network final : public sim::Component, private RouterEnv {
+ public:
+  explicit Network(const NetworkConfig& config);
+
+  /// Queues a packet at its source NIC.  Unbounded NIC queue — sources are
+  /// modelled as having their own memory; fairness pressure happens inside
+  /// the fabric.
+  void inject(Cycle now, const PacketDescriptor& packet);
+
+  /// One network cycle: deliver in-flight flits/credits, inject from NICs
+  /// (one flit per node per cycle), then tick every router.
+  void tick(Cycle now) override;
+  [[nodiscard]] bool idle() const override;
+
+  [[nodiscard]] const Topology& topology() const { return topo_; }
+  [[nodiscard]] Router& router(NodeId node) { return routers_[node.index()]; }
+
+  [[nodiscard]] const std::vector<DeliveredPacket>& delivered() const {
+    return delivered_;
+  }
+  [[nodiscard]] std::uint64_t injected_packets() const { return injected_; }
+  [[nodiscard]] std::uint64_t delivered_flits() const {
+    return delivered_flits_;
+  }
+  /// End-to-end packet latency (inject call to tail ejection) per source.
+  [[nodiscard]] RunningStat latency_by_source(NodeId source) const;
+  [[nodiscard]] RunningStat latency_overall() const;
+  /// Delivered flit counts keyed by flow id (for fairness comparisons).
+  [[nodiscard]] std::vector<Flits> delivered_flits_by_flow(
+      std::size_t num_flows) const;
+
+ private:
+  // RouterEnv:
+  void send_flit(NodeId from, Direction out, const Flit& flit) override;
+  void eject(NodeId node, const Flit& flit, Cycle now) override;
+  void send_credit(NodeId node, Direction in, std::uint32_t cls) override;
+  RouteDecision route(NodeId node, const Flit& flit, Direction in_from,
+                      std::uint32_t in_class) override;
+  std::vector<RouteDecision> route_candidates(NodeId node, const Flit& flit,
+                                              Direction in_from,
+                                              std::uint32_t in_class) override;
+
+  [[nodiscard]] static Direction opposite(Direction d);
+
+  struct WireFlit {
+    Cycle arrive;
+    NodeId to;
+    Direction in;  // input port at the destination router
+    std::uint32_t cls;
+    Flit flit;
+  };
+  struct WireCredit {
+    Cycle arrive;
+    NodeId to;
+    Direction out;  // output port credited at the destination router
+    std::uint32_t cls;
+  };
+  struct Nic {
+    RingBuffer<PacketDescriptor> queue;
+    Flits sent_of_current = 0;
+  };
+
+  NetworkConfig config_;
+  Topology topo_;
+  std::vector<Router> routers_;
+  std::vector<Nic> nics_;
+  // Constant latency means launch order == arrival order: plain FIFOs.
+  RingBuffer<WireFlit> flit_wire_;
+  RingBuffer<WireCredit> credit_wire_;
+  std::vector<DeliveredPacket> delivered_;
+  std::uint64_t injected_ = 0;
+  std::uint64_t delivered_flits_ = 0;
+  Flits nic_backlog_flits_ = 0;
+  Cycle now_ = 0;  // cached for send_flit latency stamping
+};
+
+}  // namespace wormsched::wormhole

@@ -1,0 +1,84 @@
+#include "wormhole/patterns.hpp"
+
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace wormsched::wormhole {
+
+std::string PatternSpec::describe() const {
+  switch (kind) {
+    case Kind::kUniform: return "uniform";
+    case Kind::kTranspose: return "transpose";
+    case Kind::kBitComplement: return "bit-complement";
+    case Kind::kHotspot: {
+      std::ostringstream os;
+      os << "hotspot(" << hotspot_fraction << "->node" << hotspot.value()
+         << ")";
+      return os.str();
+    }
+    case Kind::kNeighbor: return "neighbor";
+  }
+  return "?";
+}
+
+NodeId pick_destination(const Topology& topo, const PatternSpec& pattern,
+                        NodeId src, Rng& rng) {
+  const std::uint32_t n = topo.num_nodes();
+  WS_CHECK(n >= 2);
+  const auto next_of = [n](NodeId id) {
+    return NodeId((id.value() + 1) % n);
+  };
+  NodeId dest = src;
+  switch (pattern.kind) {
+    case PatternSpec::Kind::kUniform:
+      dest = NodeId(static_cast<std::uint32_t>(rng.uniform_u64(n)));
+      break;
+    case PatternSpec::Kind::kTranspose: {
+      const Coord c = topo.coord(src);
+      // Requires a square fabric to be a permutation; clamp otherwise.
+      const Coord t{c.y % topo.spec().width, c.x % topo.spec().height};
+      dest = topo.node(t);
+      break;
+    }
+    case PatternSpec::Kind::kBitComplement:
+      dest = NodeId((n - 1) - src.value());
+      break;
+    case PatternSpec::Kind::kHotspot:
+      dest = rng.bernoulli(pattern.hotspot_fraction)
+                 ? pattern.hotspot
+                 : NodeId(static_cast<std::uint32_t>(rng.uniform_u64(n)));
+      break;
+    case PatternSpec::Kind::kNeighbor: {
+      const NodeId east = topo.neighbor(src, Direction::kEast);
+      dest = east.is_valid() ? east : topo.neighbor(src, Direction::kWest);
+      break;
+    }
+  }
+  if (dest == src) dest = next_of(dest);
+  return dest;
+}
+
+NetworkTrafficSource::NetworkTrafficSource(Network& network,
+                                           const Config& config)
+    : network_(network), config_(config), rng_(config.seed) {}
+
+void NetworkTrafficSource::tick(Cycle now) {
+  if (now >= config_.inject_until) return;
+  const Topology& topo = network_.topology();
+  for (std::uint32_t n = 0; n < topo.num_nodes(); ++n) {
+    if (!rng_.bernoulli(config_.packets_per_node_per_cycle)) continue;
+    const NodeId src(n);
+    PacketDescriptor pkt;
+    pkt.id = PacketId(next_id_++);
+    pkt.flow = FlowId(n);  // fairness accounted per source node
+    pkt.source = src;
+    pkt.dest = pick_destination(topo, config_.pattern, src, rng_);
+    pkt.length = sample_length(rng_, config_.lengths);
+    pkt.created = now;
+    network_.inject(now, pkt);
+    ++generated_;
+  }
+}
+
+}  // namespace wormsched::wormhole

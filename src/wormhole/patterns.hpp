@@ -1,0 +1,64 @@
+// Synthetic network traffic patterns (the standard interconnect workloads)
+// and a Bernoulli packet source that drives a Network.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "sim/engine.hpp"
+#include "traffic/length.hpp"
+#include "wormhole/network.hpp"
+
+namespace wormsched::wormhole {
+
+struct PatternSpec {
+  enum class Kind {
+    kUniform,        // uniformly random destination != source
+    kTranspose,      // (x, y) -> (y, x)
+    kBitComplement,  // node id -> ~id (mod N)
+    kHotspot,        // `hotspot_fraction` of packets target `hotspot`
+    kNeighbor,       // east neighbour (wraps on mesh edges)
+  };
+  Kind kind = Kind::kUniform;
+  double hotspot_fraction = 0.5;
+  NodeId hotspot{0};
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Picks a destination for a packet from `src` (never returns `src`; for
+/// degenerate patterns that would, the next node is used).
+[[nodiscard]] NodeId pick_destination(const Topology& topo,
+                                      const PatternSpec& pattern, NodeId src,
+                                      Rng& rng);
+
+/// Per-node Bernoulli packet source.  Flow id == source node id, which is
+/// the granularity the network fairness comparisons use.
+class NetworkTrafficSource final : public sim::Component {
+ public:
+  struct Config {
+    double packets_per_node_per_cycle = 0.01;
+    traffic::LengthSpec lengths = traffic::LengthSpec::uniform(1, 16);
+    PatternSpec pattern;
+    Cycle inject_until = kCycleMax;
+    std::uint64_t seed = 99;
+  };
+
+  NetworkTrafficSource(Network& network, const Config& config);
+
+  void tick(Cycle now) override;
+  [[nodiscard]] bool idle() const override { return true; }
+
+  [[nodiscard]] std::uint64_t generated() const { return generated_; }
+
+ private:
+  Network& network_;
+  Config config_;
+  Rng rng_;
+  PacketId::rep_type next_id_ = 0;
+  std::uint64_t generated_ = 0;
+};
+
+}  // namespace wormsched::wormhole

@@ -1,0 +1,175 @@
+#include "wormhole/router.hpp"
+
+#include "common/assert.hpp"
+
+namespace wormsched::wormhole {
+
+namespace {
+// The local "ejection" output is an infinite sink; its credits start at a
+// value no run can exhaust.
+constexpr std::uint32_t kLocalCredits = 1u << 30;
+}  // namespace
+
+Router::Router(NodeId id, const RouterConfig& config)
+    : id_(id),
+      config_(config),
+      inputs_(kNumDirections * config.num_vcs),
+      outputs_(kNumDirections * config.num_vcs),
+      sa_pointer_(kNumDirections, 0) {
+  WS_CHECK(config.num_vcs >= 1);
+  WS_CHECK(config.buffer_depth >= 1);
+  const std::size_t requesters = inputs_.size();
+  for (std::uint32_t i = 0; i < outputs_.size(); ++i) {
+    OutputVc& ov = outputs_[i];
+    ov.credits = unit_direction(i) == Direction::kLocal ? kLocalCredits
+                                                        : config.buffer_depth;
+    ov.arbiter = make_arbiter(config.arbiter, requesters);
+    WS_CHECK_MSG(ov.arbiter != nullptr, "unknown router arbiter");
+  }
+}
+
+void Router::accept_flit(Direction in, std::uint32_t cls, Flit flit) {
+  InputVc& iv = inputs_[unit(in, cls)];
+  WS_CHECK_MSG(iv.buffer.size() < config_.buffer_depth,
+               "credit protocol violated: input buffer overflow");
+  iv.buffer.push_back(flit);
+}
+
+void Router::accept_credit(Direction out, std::uint32_t cls) {
+  OutputVc& ov = outputs_[unit(out, cls)];
+  WS_CHECK_MSG(ov.credits < config_.buffer_depth,
+               "credit protocol violated: credit overflow");
+  ++ov.credits;
+}
+
+bool Router::can_accept_local(std::uint32_t cls) const {
+  return inputs_[unit(Direction::kLocal, cls)].buffer.size() <
+         config_.buffer_depth;
+}
+
+RouteDecision Router::choose_route(RouterEnv& env, const Flit& head,
+                                   Direction in_from, std::uint32_t in_class) {
+  const auto candidates =
+      env.route_candidates(id_, head, in_from, in_class);
+  WS_CHECK(!candidates.empty());
+  const RouteDecision* best = &candidates[0];
+  std::int64_t best_score = -1;
+  for (const RouteDecision& cand : candidates) {
+    const OutputVc& ov = outputs_[unit(cand.out, cand.out_class)];
+    const std::int64_t score =
+        ov.bound ? 0 : 1 + static_cast<std::int64_t>(ov.credits);
+    if (score > best_score) {
+      best_score = score;
+      best = &cand;
+    }
+  }
+  return *best;
+}
+
+void Router::tick(Cycle now, RouterEnv& env) {
+  // --- RC: route fresh head flits and raise arbitration requests. -------
+  for (std::uint32_t g = 0; g < inputs_.size(); ++g) {
+    InputVc& iv = inputs_[g];
+    if (iv.routed || iv.buffer.empty()) continue;
+    const Flit& head = iv.buffer.front();
+    WS_CHECK_MSG(is_head(head.type),
+                 "input VC front is mid-packet but VC has no route");
+    const RouteDecision d =
+        choose_route(env, head, unit_direction(g), unit_class(g));
+    iv.out = d.out;
+    iv.out_class = d.out_class;
+    iv.routed = true;
+    outputs_[unit(d.out, d.out_class)].arbiter->request(FlowId(g));
+  }
+
+  // --- VA: bind free output queues to winning packets. ------------------
+  for (std::uint32_t i = 0; i < outputs_.size(); ++i) {
+    OutputVc& ov = outputs_[i];
+    if (ov.bound) continue;
+    const auto chosen = ov.arbiter->grant(now);
+    if (!chosen) continue;
+    ov.bound = true;
+    ov.owner = static_cast<std::uint32_t>(chosen->value());
+    ++port_stats_[static_cast<std::size_t>(unit_direction(i))].grants;
+  }
+
+  // --- Occupancy: every bound output queue is occupied this cycle. ------
+  for (OutputVc& ov : outputs_) {
+    if (ov.bound) ov.arbiter->charge_cycle();
+  }
+
+  // --- SA/ST: one flit per physical port per cycle. ---------------------
+  for (std::uint32_t p = 0; p < kNumDirections; ++p) {
+    const auto port = static_cast<Direction>(p);
+    const std::uint32_t vcs = config_.num_vcs;
+    bool port_busy = false;
+    bool port_moved = false;
+    for (std::uint32_t cls0 = 0; cls0 < vcs; ++cls0)
+      port_busy |= outputs_[unit(port, cls0)].bound;
+    for (std::uint32_t probe = 0; probe < vcs; ++probe) {
+      const std::uint32_t cls = (sa_pointer_[p] + probe) % vcs;
+      OutputVc& ov = outputs_[unit(port, cls)];
+      if (!ov.bound || ov.credits == 0) continue;
+      InputVc& iv = inputs_[ov.owner];
+      if (iv.buffer.empty()) continue;  // worm bubble: flits still upstream
+
+      Flit flit = iv.buffer.pop_front();
+      flit.vc_class = VcId(cls);
+      --ov.credits;
+      ov.arbiter->charge_flit();
+      ++forwarded_;
+
+      const Direction in_dir = unit_direction(ov.owner);
+      if (in_dir != Direction::kLocal)
+        env.send_credit(id_, in_dir, unit_class(ov.owner));
+
+      if (port == Direction::kLocal) {
+        env.eject(id_, flit, now);
+      } else {
+        env.send_flit(id_, port, flit);
+      }
+
+      if (is_tail(flit.type)) {
+        iv.routed = false;
+        ov.bound = false;
+        // If the next packet's head is already buffered, route it and
+        // raise its request *before* releasing: the arbiter then sees the
+        // input VC as still backlogged, which is what lets ERR apply its
+        // continuation rule (and carry surplus counts across packets)
+        // instead of treating every packet boundary as an idle gap.
+        if (!iv.buffer.empty()) {
+          const Flit& next_head = iv.buffer.front();
+          WS_CHECK(is_head(next_head.type));
+          const RouteDecision d = choose_route(env, next_head,
+                                               unit_direction(ov.owner),
+                                               unit_class(ov.owner));
+          iv.out = d.out;
+          iv.out_class = d.out_class;
+          iv.routed = true;
+          outputs_[unit(d.out, d.out_class)].arbiter->request(
+              FlowId(ov.owner));
+        }
+        ov.arbiter->release();
+      }
+      sa_pointer_[p] = (cls + 1) % vcs;  // rotate fairness among VCs
+      port_moved = true;
+      break;  // port bandwidth: one flit/cycle
+    }
+    PortStats& stats = port_stats_[p];
+    if (port_busy) {
+      ++stats.busy;
+      if (!port_moved) ++stats.starved;
+    }
+    if (port_moved) ++stats.flits;
+  }
+}
+
+bool Router::drained() const {
+  for (const InputVc& iv : inputs_)
+    if (!iv.buffer.empty()) return false;
+  for (const OutputVc& ov : outputs_)
+    if (ov.bound) return false;
+  return true;
+}
+
+}  // namespace wormsched::wormhole

@@ -1,0 +1,140 @@
+// Wormhole virtual-channel router.
+//
+// A standard credit-flow-controlled VC router with the canonical stages,
+// executed once per cycle:
+//   RC — route computation for head flits that reached a buffer front;
+//   VA — output-queue allocation: packet-granular arbitration, the stage
+//        the paper's ERR targets ("scheduling entry into the output
+//        queues from the various input queues, all flits of a packet have
+//        to be scheduled before a flit from another packet enters the
+//        same output queue");
+//   SA/ST — per physical port, one flit per cycle moves from the winning
+//        bound input VC to the link, consuming a downstream credit.
+//
+// The VA arbiter never sees packet lengths — it is charged per cycle of
+// output occupancy (or per flit, for the ablation), which is exactly the
+// information a real wormhole switch has.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/ring_buffer.hpp"
+#include "common/types.hpp"
+#include "wormhole/arbiter.hpp"
+#include "wormhole/flit.hpp"
+#include "wormhole/topology.hpp"
+
+namespace wormsched::wormhole {
+
+struct RouterConfig {
+  std::uint32_t num_vcs = 2;       // VC classes per port (torus needs >= 2)
+  std::uint32_t buffer_depth = 8;  // flit slots per input VC
+  std::string arbiter = "err-cycles";
+};
+
+/// Callbacks the router needs from its surrounding network.
+class RouterEnv {
+ public:
+  virtual ~RouterEnv() = default;
+  /// Puts `flit` on the link leaving `from` through `out` (non-local).
+  virtual void send_flit(NodeId from, Direction out, const Flit& flit) = 0;
+  /// Delivers `flit` to the NIC sink of `node`.
+  virtual void eject(NodeId node, const Flit& flit, Cycle now) = 0;
+  /// Returns one credit to the upstream router feeding (`node`, `in`).
+  virtual void send_credit(NodeId node, Direction in, std::uint32_t cls) = 0;
+  /// Routing oracle (delegates to the Topology).
+  virtual RouteDecision route(NodeId node, const Flit& flit, Direction in_from,
+                              std::uint32_t in_class) = 0;
+  /// Adaptive routing oracle: all legal next hops for the packet.  The
+  /// router picks the least-congested one at route-computation time.
+  /// Default: the single deterministic route.
+  virtual std::vector<RouteDecision> route_candidates(NodeId node,
+                                                      const Flit& flit,
+                                                      Direction in_from,
+                                                      std::uint32_t in_class) {
+    return {route(node, flit, in_from, in_class)};
+  }
+};
+
+class Router {
+ public:
+  Router(NodeId id, const RouterConfig& config);
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] const RouterConfig& config() const { return config_; }
+
+  /// Files an arriving flit into input buffer (`in`, `cls`).  The credit
+  /// protocol guarantees space; overflow is a checked invariant violation.
+  void accept_flit(Direction in, std::uint32_t cls, Flit flit);
+
+  /// Returns one credit to output (`out`, `cls`).
+  void accept_credit(Direction out, std::uint32_t cls);
+
+  /// NIC-side query: can the local input VC take one more flit?
+  [[nodiscard]] bool can_accept_local(std::uint32_t cls) const;
+
+  /// One router cycle: RC, VA, occupancy charging, SA/ST.
+  void tick(Cycle now, RouterEnv& env);
+
+  /// True when no flits are buffered and no output is owned.
+  [[nodiscard]] bool drained() const;
+
+  [[nodiscard]] std::uint64_t forwarded_flits() const { return forwarded_; }
+
+  /// Per-output-port observability counters.
+  struct PortStats {
+    std::uint64_t flits = 0;     // flits transmitted through the port
+    std::uint64_t grants = 0;    // packets granted an output queue
+    std::uint64_t busy = 0;      // cycles >= 1 of the port's queues bound
+    std::uint64_t starved = 0;   // busy cycles in which no flit moved
+                                 // (bubbles or exhausted credits)
+  };
+  [[nodiscard]] const PortStats& port_stats(Direction port) const {
+    return port_stats_[static_cast<std::size_t>(port)];
+  }
+
+ private:
+  struct InputVc {
+    RingBuffer<Flit> buffer;
+    bool routed = false;  // the packet at the front has a route
+    Direction out = Direction::kLocal;
+    std::uint32_t out_class = 0;
+  };
+  struct OutputVc {
+    std::uint32_t credits = 0;
+    bool bound = false;
+    std::uint32_t owner = 0;  // input VC index owning this output queue
+    std::unique_ptr<PortArbiter> arbiter;
+  };
+
+  /// Picks the best candidate route for a head flit: an unbound output VC
+  /// with the most credits wins (greedy congestion-aware selection); a
+  /// deterministic oracle returns one candidate and this reduces to it.
+  [[nodiscard]] RouteDecision choose_route(RouterEnv& env, const Flit& head,
+                                           Direction in_from,
+                                           std::uint32_t in_class);
+
+  [[nodiscard]] std::uint32_t unit(Direction d, std::uint32_t cls) const {
+    return static_cast<std::uint32_t>(d) * config_.num_vcs + cls;
+  }
+  [[nodiscard]] Direction unit_direction(std::uint32_t index) const {
+    return static_cast<Direction>(index / config_.num_vcs);
+  }
+  [[nodiscard]] std::uint32_t unit_class(std::uint32_t index) const {
+    return index % config_.num_vcs;
+  }
+
+  NodeId id_;
+  RouterConfig config_;
+  std::vector<InputVc> inputs_;
+  std::vector<OutputVc> outputs_;
+  std::vector<std::uint32_t> sa_pointer_;  // per port: RR over its VCs
+  std::vector<PortStats> port_stats_ =
+      std::vector<PortStats>(kNumDirections);
+  std::uint64_t forwarded_ = 0;
+};
+
+}  // namespace wormsched::wormhole

@@ -1,0 +1,82 @@
+#include "wormhole/switch.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace wormsched::wormhole {
+
+WormholeSwitch::WormholeSwitch(const SwitchConfig& config)
+    : config_(config),
+      arbiter_(make_arbiter(config.arbiter, config.num_inputs)),
+      queues_(config.num_inputs),
+      stats_(config.num_inputs),
+      rng_(config.seed) {
+  WS_CHECK(config.num_inputs > 0);
+  WS_CHECK_MSG(arbiter_ != nullptr, "unknown arbiter name");
+  WS_CHECK_MSG(config.per_input_stall.empty() ||
+                   config.per_input_stall.size() == config.num_inputs,
+               "per_input_stall must have one entry per input");
+}
+
+void WormholeSwitch::inject(Cycle now, FlowId input, Flits length) {
+  WS_CHECK(length > 0);
+  queues_[input.index()].push_back(QueuedPacket{length, now});
+  backlog_ += length;
+  arbiter_->request(input);
+}
+
+bool WormholeSwitch::downstream_stalled(Cycle now, FlowId owner) {
+  if (config_.stall_period > 0 &&
+      now % config_.stall_period < config_.stall_burst) {
+    return true;
+  }
+  if (!config_.per_input_stall.empty() &&
+      rng_.bernoulli(config_.per_input_stall[owner.index()])) {
+    return true;
+  }
+  return config_.stall_probability > 0.0 &&
+         rng_.bernoulli(config_.stall_probability);
+}
+
+void WormholeSwitch::tick(Cycle now) {
+  if (!bound_) {
+    const auto chosen = arbiter_->grant(now);
+    if (!chosen) return;
+    bound_ = true;
+    owner_ = *chosen;
+    WS_CHECK(!queues_[owner_.index()].empty());
+    remaining_ = queues_[owner_.index()].front().length;
+    current_packet_occupancy_ = 0;
+  }
+
+  // The owner occupies the output this cycle whether or not it advances.
+  arbiter_->charge_cycle();
+  ++stats_[owner_.index()].occupancy;
+  ++current_packet_occupancy_;
+
+  if (downstream_stalled(now, owner_)) {
+    ++stalled_;
+    return;
+  }
+
+  arbiter_->charge_flit();
+  ++stats_[owner_.index()].flits;
+  WS_CHECK(remaining_ > 0);
+  --remaining_;
+  --backlog_;
+  if (remaining_ == 0) {
+    const QueuedPacket done = queues_[owner_.index()].pop_front();
+    auto& s = stats_[owner_.index()];
+    ++s.packets;
+    s.delay.add(static_cast<double>(now - done.injected));
+    bound_ = false;
+    max_packet_occupancy_ =
+        std::max(max_packet_occupancy_, current_packet_occupancy_);
+    arbiter_->release();
+  }
+}
+
+bool WormholeSwitch::idle() const { return !bound_ && backlog_ == 0; }
+
+}  // namespace wormsched::wormhole

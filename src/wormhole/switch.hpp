@@ -1,0 +1,119 @@
+// Single-output wormhole switch model.
+//
+// N input queues feed one output queue/link through a packet-granular
+// arbiter.  The downstream stage applies backpressure: in stalled cycles
+// the worm occupying the output cannot advance, yet — this is the paper's
+// central observation — no other packet may use the output either, because
+// wormhole switching forbids interleaving.  A packet of length L can
+// therefore occupy the output for far more than L cycles, and only
+// occupancy-charging disciplines (ERR in cycle mode) remain fair.
+//
+// This model backs the A4 ablation bench (cycle- vs flit-accounting under
+// stalls) and the wormhole integration tests.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/ring_buffer.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "sim/engine.hpp"
+#include "wormhole/arbiter.hpp"
+
+namespace wormsched::wormhole {
+
+struct SwitchConfig {
+  std::size_t num_inputs = 4;
+  /// Arbiter name per make_arbiter(): "err-cycles", "err-flits", "rr",
+  /// "fcfs".
+  std::string arbiter = "err-cycles";
+  /// Independent per-cycle probability that downstream backpressure stalls
+  /// the output (0 = never).
+  double stall_probability = 0.0;
+  /// Per-input stall probabilities: while input i's packet owns the
+  /// output, it stalls with per_input_stall[i] each cycle (models flows
+  /// whose *paths* are congested downstream — the situation where a
+  /// packet's occupancy diverges from its length per flow).  Empty =
+  /// disabled; combines with the global settings above.
+  std::vector<double> per_input_stall;
+  /// Deterministic burst stalls: every `stall_period` cycles the output is
+  /// blocked for `stall_burst` cycles (0 = disabled).  Models a congested
+  /// downstream switch draining periodically.
+  Cycle stall_period = 0;
+  Cycle stall_burst = 0;
+  std::uint64_t seed = 7;
+};
+
+class WormholeSwitch final : public sim::Component {
+ public:
+  explicit WormholeSwitch(const SwitchConfig& config);
+
+  /// Queues a packet of `length` flits at input `input`.
+  void inject(Cycle now, FlowId input, Flits length);
+
+  /// One switch cycle: grant the output if free, then advance the bound
+  /// worm by one flit unless the downstream stalls it.
+  void tick(Cycle now) override;
+  [[nodiscard]] bool idle() const override;
+
+  /// --- Statistics -----------------------------------------------------
+  [[nodiscard]] Flits forwarded_flits(FlowId input) const {
+    return stats_[input.index()].flits;
+  }
+  /// Cycles the flow's packets owned the output (moving or stalled).
+  [[nodiscard]] std::uint64_t occupancy_cycles(FlowId input) const {
+    return stats_[input.index()].occupancy;
+  }
+  [[nodiscard]] std::uint64_t packets_delivered(FlowId input) const {
+    return stats_[input.index()].packets;
+  }
+  [[nodiscard]] const RunningStat& delay(FlowId input) const {
+    return stats_[input.index()].delay;
+  }
+  [[nodiscard]] std::size_t queue_length(FlowId input) const {
+    return queues_[input.index()].size();
+  }
+  [[nodiscard]] std::uint64_t stalled_cycles() const { return stalled_; }
+  /// Largest output occupancy (cycles) of any single packet so far — the
+  /// paper's "m" in the occupancy domain, where the ERR-cycles bound
+  /// FM < 3m applies.
+  [[nodiscard]] std::uint64_t max_packet_occupancy() const {
+    return max_packet_occupancy_;
+  }
+  [[nodiscard]] PortArbiter& arbiter() { return *arbiter_; }
+
+ private:
+  struct QueuedPacket {
+    Flits length;
+    Cycle injected;
+  };
+  struct InputStats {
+    Flits flits = 0;
+    std::uint64_t occupancy = 0;
+    std::uint64_t packets = 0;
+    RunningStat delay;
+  };
+
+  [[nodiscard]] bool downstream_stalled(Cycle now, FlowId owner);
+
+  SwitchConfig config_;
+  std::unique_ptr<PortArbiter> arbiter_;
+  std::vector<RingBuffer<QueuedPacket>> queues_;
+  std::vector<InputStats> stats_;
+  Rng rng_;
+
+  // Worm currently occupying the output.
+  bool bound_ = false;
+  FlowId owner_;
+  Flits remaining_ = 0;
+  std::uint64_t current_packet_occupancy_ = 0;
+  std::uint64_t max_packet_occupancy_ = 0;
+  std::uint64_t stalled_ = 0;
+  Flits backlog_ = 0;
+};
+
+}  // namespace wormsched::wormhole

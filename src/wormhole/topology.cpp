@@ -1,0 +1,218 @@
+#include "wormhole/topology.hpp"
+
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace wormsched::wormhole {
+
+const char* direction_name(Direction d) {
+  switch (d) {
+    case Direction::kLocal: return "local";
+    case Direction::kEast: return "east";
+    case Direction::kWest: return "west";
+    case Direction::kNorth: return "north";
+    case Direction::kSouth: return "south";
+  }
+  return "?";
+}
+
+std::string TopologySpec::describe() const {
+  std::ostringstream os;
+  os << (kind == Kind::kMesh ? "mesh" : "torus") << " " << width << "x"
+     << height;
+  return os.str();
+}
+
+Topology::Topology(const TopologySpec& spec) : spec_(spec) {
+  WS_CHECK(spec.width >= 1 && spec.height >= 1);
+  if (spec.kind == TopologySpec::Kind::kTorus) {
+    WS_CHECK_MSG(spec.width >= 2 && spec.height >= 2,
+                 "torus needs at least 2 nodes per dimension");
+  }
+}
+
+Coord Topology::coord(NodeId node) const {
+  WS_CHECK(node.value() < num_nodes());
+  return Coord{node.value() % spec_.width, node.value() / spec_.width};
+}
+
+NodeId Topology::node(Coord c) const {
+  WS_CHECK(c.x < spec_.width && c.y < spec_.height);
+  return NodeId(c.y * spec_.width + c.x);
+}
+
+NodeId Topology::neighbor(NodeId n, Direction d) const {
+  const Coord c = coord(n);
+  const bool torus = spec_.kind == TopologySpec::Kind::kTorus;
+  Coord target = c;
+  switch (d) {
+    case Direction::kLocal:
+      return n;
+    case Direction::kEast:
+      if (c.x + 1 < spec_.width) {
+        target.x = c.x + 1;
+      } else if (torus) {
+        target.x = 0;
+      } else {
+        return NodeId::invalid();
+      }
+      break;
+    case Direction::kWest:
+      if (c.x > 0) {
+        target.x = c.x - 1;
+      } else if (torus) {
+        target.x = spec_.width - 1;
+      } else {
+        return NodeId::invalid();
+      }
+      break;
+    case Direction::kNorth:
+      if (c.y > 0) {
+        target.y = c.y - 1;
+      } else if (torus) {
+        target.y = spec_.height - 1;
+      } else {
+        return NodeId::invalid();
+      }
+      break;
+    case Direction::kSouth:
+      if (c.y + 1 < spec_.height) {
+        target.y = c.y + 1;
+      } else if (torus) {
+        target.y = 0;
+      } else {
+        return NodeId::invalid();
+      }
+      break;
+  }
+  return node(target);
+}
+
+bool Topology::is_wrap_link(NodeId n, Direction d) const {
+  if (spec_.kind != TopologySpec::Kind::kTorus) return false;
+  const Coord c = coord(n);
+  switch (d) {
+    case Direction::kEast: return c.x + 1 == spec_.width;
+    case Direction::kWest: return c.x == 0;
+    case Direction::kNorth: return c.y == 0;
+    case Direction::kSouth: return c.y + 1 == spec_.height;
+    case Direction::kLocal: return false;
+  }
+  return false;
+}
+
+Direction Topology::x_step(std::uint32_t from_x, std::uint32_t to_x,
+                           bool* wraps) const {
+  WS_CHECK(from_x != to_x);
+  *wraps = false;
+  if (spec_.kind == TopologySpec::Kind::kMesh)
+    return to_x > from_x ? Direction::kEast : Direction::kWest;
+  // Torus: go the shorter way round (ties eastward).
+  const std::uint32_t east_dist = (to_x + spec_.width - from_x) % spec_.width;
+  const Direction dir =
+      east_dist * 2 <= spec_.width ? Direction::kEast : Direction::kWest;
+  *wraps = (dir == Direction::kEast && from_x + 1 == spec_.width) ||
+           (dir == Direction::kWest && from_x == 0);
+  return dir;
+}
+
+Direction Topology::y_step(std::uint32_t from_y, std::uint32_t to_y,
+                           bool* wraps) const {
+  WS_CHECK(from_y != to_y);
+  *wraps = false;
+  if (spec_.kind == TopologySpec::Kind::kMesh)
+    return to_y > from_y ? Direction::kSouth : Direction::kNorth;
+  const std::uint32_t south_dist =
+      (to_y + spec_.height - from_y) % spec_.height;
+  const Direction dir =
+      south_dist * 2 <= spec_.height ? Direction::kSouth : Direction::kNorth;
+  *wraps = (dir == Direction::kSouth && from_y + 1 == spec_.height) ||
+           (dir == Direction::kNorth && from_y == 0);
+  return dir;
+}
+
+RouteDecision Topology::route(NodeId current, NodeId dest, Direction in_from,
+                              std::uint32_t in_class) const {
+  RouteDecision decision;
+  if (current == dest) {
+    decision.out = Direction::kLocal;
+    decision.out_class = in_class;
+    return decision;
+  }
+  const Coord c = coord(current);
+  const Coord d = coord(dest);
+  bool wraps = false;
+  if (c.x != d.x) {
+    decision.out = x_step(c.x, d.x, &wraps);
+  } else {
+    decision.out = y_step(c.y, d.y, &wraps);
+  }
+  decision.wraps = wraps;
+  // Dateline rule: within one dimension the class persists and jumps to 1
+  // at the wrap link; turning into a new dimension (or leaving the NIC)
+  // restarts at class 0.  Deadlock-free with XY order because dependency
+  // cycles only exist inside a single ring.
+  const auto dimension = [](Direction dir) {
+    return (dir == Direction::kEast || dir == Direction::kWest) ? 0 : 1;
+  };
+  const bool same_dimension =
+      in_from != Direction::kLocal && dimension(in_from) == dimension(decision.out);
+  const std::uint32_t base = same_dimension ? in_class : 0;
+  decision.out_class = wraps ? 1 : base;
+  return decision;
+}
+
+std::vector<RouteDecision> Topology::west_first_candidates(
+    NodeId current, NodeId dest, Direction, std::uint32_t in_class) const {
+  WS_CHECK_MSG(spec_.kind == TopologySpec::Kind::kMesh,
+               "west-first routing is mesh-only");
+  std::vector<RouteDecision> candidates;
+  if (current == dest) {
+    candidates.push_back(RouteDecision{Direction::kLocal, in_class, false});
+    return candidates;
+  }
+  const Coord c = coord(current);
+  const Coord d = coord(dest);
+  if (d.x < c.x) {
+    // All west hops must come first: deterministic.
+    candidates.push_back(RouteDecision{Direction::kWest, 0, false});
+    return candidates;
+  }
+  // Adaptive among the productive non-west directions.
+  if (d.x > c.x)
+    candidates.push_back(RouteDecision{Direction::kEast, 0, false});
+  if (d.y > c.y)
+    candidates.push_back(RouteDecision{Direction::kSouth, 0, false});
+  if (d.y < c.y)
+    candidates.push_back(RouteDecision{Direction::kNorth, 0, false});
+  WS_CHECK(!candidates.empty());
+  return candidates;
+}
+
+std::uint32_t Topology::hops(NodeId a, NodeId b) const {
+  std::uint32_t count = 0;
+  NodeId cur = a;
+  Direction from = Direction::kLocal;
+  std::uint32_t cls = 0;
+  while (cur != b) {
+    const RouteDecision d = route(cur, b, from, cls);
+    WS_CHECK(d.out != Direction::kLocal);
+    cur = neighbor(cur, d.out);
+    WS_CHECK(cur.is_valid());
+    // The next router sees the flit arriving from the opposite direction.
+    switch (d.out) {
+      case Direction::kEast: from = Direction::kWest; break;
+      case Direction::kWest: from = Direction::kEast; break;
+      case Direction::kNorth: from = Direction::kSouth; break;
+      case Direction::kSouth: from = Direction::kNorth; break;
+      case Direction::kLocal: break;
+    }
+    cls = d.out_class;
+    ++count;
+    WS_CHECK_MSG(count <= num_nodes() * 2, "routing loop");
+  }
+  return count;
+}
+
+}  // namespace wormsched::wormhole

@@ -1,0 +1,115 @@
+// Topologies and deterministic dimension-order routing.
+//
+// The library ships k-ary 2-meshes and 2-ary tori (the interconnects of
+// the parallel systems the paper targets: Cray T3D, Intel Paragon, IBM SP
+// all use low-dimensional meshes/tori or closely related fabrics).  XY
+// dimension-order routing is deadlock-free on the mesh; on the torus the
+// classic Dally-Seitz dateline rule moves a packet to virtual-channel
+// class 1 when it crosses a wrap link, breaking each ring's channel-
+// dependency cycle.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace wormsched::wormhole {
+
+/// Router port directions for 2D topologies.
+enum class Direction : std::uint8_t {
+  kLocal = 0,
+  kEast = 1,
+  kWest = 2,
+  kNorth = 3,
+  kSouth = 4,
+};
+inline constexpr std::uint32_t kNumDirections = 5;
+
+[[nodiscard]] constexpr PortId port_of(Direction d) {
+  return PortId(static_cast<std::uint32_t>(d));
+}
+[[nodiscard]] constexpr Direction direction_of(PortId p) {
+  return static_cast<Direction>(p.value());
+}
+[[nodiscard]] const char* direction_name(Direction d);
+
+struct Coord {
+  std::uint32_t x = 0;
+  std::uint32_t y = 0;
+  bool operator==(const Coord&) const = default;
+};
+
+struct TopologySpec {
+  enum class Kind { kMesh, kTorus };
+  Kind kind = Kind::kMesh;
+  std::uint32_t width = 4;
+  std::uint32_t height = 4;
+
+  [[nodiscard]] static TopologySpec mesh(std::uint32_t w, std::uint32_t h) {
+    return {Kind::kMesh, w, h};
+  }
+  [[nodiscard]] static TopologySpec torus(std::uint32_t w, std::uint32_t h) {
+    return {Kind::kTorus, w, h};
+  }
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Result of one routing decision.
+struct RouteDecision {
+  Direction out = Direction::kLocal;
+  /// VC class the flit must use on the chosen output (dateline rule).
+  std::uint32_t out_class = 0;
+  /// True when the hop traverses a wrap-around link (torus only).
+  bool wraps = false;
+};
+
+class Topology {
+ public:
+  explicit Topology(const TopologySpec& spec);
+
+  [[nodiscard]] const TopologySpec& spec() const { return spec_; }
+  [[nodiscard]] std::uint32_t num_nodes() const {
+    return spec_.width * spec_.height;
+  }
+  [[nodiscard]] Coord coord(NodeId node) const;
+  [[nodiscard]] NodeId node(Coord c) const;
+
+  /// The neighbour reached from `node` through `d`; invalid NodeId when
+  /// the mesh has no link there.  kLocal maps to the node itself.
+  [[nodiscard]] NodeId neighbor(NodeId node, Direction d) const;
+
+  /// True when (node, d) is a torus wrap-around link.
+  [[nodiscard]] bool is_wrap_link(NodeId node, Direction d) const;
+
+  /// XY dimension-order routing step with dateline VC-class assignment.
+  /// `in_class` is the class the flit arrived on.
+  [[nodiscard]] RouteDecision route(NodeId current, NodeId dest,
+                                    Direction in_from,
+                                    std::uint32_t in_class) const;
+
+  /// West-first turn-model candidates (Glass & Ni): if the destination
+  /// lies to the west the packet must finish all west hops first (single
+  /// candidate); otherwise every productive direction among {E, N, S} is
+  /// legal and the router may pick adaptively.  Deadlock-free on the mesh
+  /// with any VC count because the two turns into West are never taken.
+  /// Mesh only (wrap links would reintroduce ring cycles); asserts on a
+  /// torus.  Returns 1-3 candidates; kLocal alone when current == dest.
+  [[nodiscard]] std::vector<RouteDecision> west_first_candidates(
+      NodeId current, NodeId dest, Direction in_from,
+      std::uint32_t in_class) const;
+
+  /// Minimum hop count between two nodes under this topology's DOR.
+  [[nodiscard]] std::uint32_t hops(NodeId a, NodeId b) const;
+
+ private:
+  [[nodiscard]] Direction x_step(std::uint32_t from_x, std::uint32_t to_x,
+                                 bool* wraps) const;
+  [[nodiscard]] Direction y_step(std::uint32_t from_y, std::uint32_t to_y,
+                                 bool* wraps) const;
+
+  TopologySpec spec_;
+};
+
+}  // namespace wormsched::wormhole

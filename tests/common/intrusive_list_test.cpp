@@ -1,0 +1,135 @@
+#include "common/intrusive_list.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace wormsched {
+namespace {
+
+struct Item {
+  explicit Item(int v = 0) : value(v) {}
+  int value = 0;
+  IntrusiveListHook hook;
+  IntrusiveListHook other_hook;
+};
+using List = IntrusiveList<Item, &Item::hook>;
+using OtherList = IntrusiveList<Item, &Item::other_hook>;
+
+TEST(IntrusiveList, StartsEmpty) {
+  List list;
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.size(), 0u);
+}
+
+TEST(IntrusiveList, PushBackPopFrontIsFifo) {
+  List list;
+  Item a{1}, b{2}, c{3};
+  list.push_back(a);
+  list.push_back(b);
+  list.push_back(c);
+  EXPECT_EQ(list.size(), 3u);
+  EXPECT_EQ(list.pop_front().value, 1);
+  EXPECT_EQ(list.pop_front().value, 2);
+  EXPECT_EQ(list.pop_front().value, 3);
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(IntrusiveList, PushFrontPutsItemAtHead) {
+  List list;
+  Item a{1}, b{2};
+  list.push_back(a);
+  list.push_front(b);
+  EXPECT_EQ(list.front().value, 2);
+  EXPECT_EQ(list.back().value, 1);
+  list.clear();
+}
+
+TEST(IntrusiveList, EraseFromMiddle) {
+  List list;
+  Item a{1}, b{2}, c{3};
+  list.push_back(a);
+  list.push_back(b);
+  list.push_back(c);
+  list.erase(b);
+  EXPECT_EQ(list.size(), 2u);
+  EXPECT_FALSE(List::is_linked(b));
+  EXPECT_EQ(list.pop_front().value, 1);
+  EXPECT_EQ(list.pop_front().value, 3);
+}
+
+TEST(IntrusiveList, ReinsertAfterPop) {
+  List list;
+  Item a{1}, b{2};
+  list.push_back(a);
+  list.push_back(b);
+  Item& popped = list.pop_front();
+  list.push_back(popped);  // round-robin rotation
+  EXPECT_EQ(list.pop_front().value, 2);
+  EXPECT_EQ(list.pop_front().value, 1);
+}
+
+TEST(IntrusiveList, IsLinkedTracksMembership) {
+  List list;
+  Item a{1};
+  EXPECT_FALSE(List::is_linked(a));
+  list.push_back(a);
+  EXPECT_TRUE(List::is_linked(a));
+  list.erase(a);
+  EXPECT_FALSE(List::is_linked(a));
+}
+
+TEST(IntrusiveList, IterationVisitsInOrder) {
+  List list;
+  Item items[5];
+  for (int i = 0; i < 5; ++i) {
+    items[i].value = i;
+    list.push_back(items[i]);
+  }
+  std::vector<int> seen;
+  for (const Item& item : list) seen.push_back(item.value);
+  EXPECT_EQ(seen, (std::vector<int>{0, 1, 2, 3, 4}));
+  list.clear();
+}
+
+TEST(IntrusiveList, TwoHooksTwoIndependentLists) {
+  List list;
+  OtherList other;
+  Item a{7};
+  list.push_back(a);
+  other.push_back(a);
+  EXPECT_TRUE(List::is_linked(a));
+  EXPECT_TRUE(OtherList::is_linked(a));
+  list.erase(a);
+  EXPECT_FALSE(List::is_linked(a));
+  EXPECT_TRUE(OtherList::is_linked(a));
+  other.clear();
+}
+
+TEST(IntrusiveList, ClearUnlinksEverything) {
+  List list;
+  Item a, b;
+  list.push_back(a);
+  list.push_back(b);
+  list.clear();
+  EXPECT_TRUE(list.empty());
+  EXPECT_FALSE(List::is_linked(a));
+  EXPECT_FALSE(List::is_linked(b));
+}
+
+TEST(IntrusiveListDeath, DoubleInsertAborts) {
+  List list;
+  Item a;
+  list.push_back(a);
+  EXPECT_DEATH(list.push_back(a), "already-linked");
+  list.clear();
+}
+
+TEST(IntrusiveListDeath, EraseUnlinkedAborts) {
+  List list;
+  Item a;
+  EXPECT_DEATH(list.erase(a), "unlinked");
+}
+
+}  // namespace
+}  // namespace wormsched

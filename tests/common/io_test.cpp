@@ -1,0 +1,154 @@
+// CSV, ASCII table and CLI parser tests.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/cli.hpp"
+#include "common/csv.hpp"
+#include "common/table.hpp"
+
+namespace wormsched {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "/ws_csv_test.csv";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(CsvTest, WritesHeaderAndRows) {
+  {
+    CsvWriter csv(path_);
+    csv.header({"flow", "bytes"});
+    csv.row(0, 4096);
+    csv.row(1, 8192);
+    EXPECT_EQ(csv.rows_written(), 3u);
+  }
+  EXPECT_EQ(slurp(path_), "flow,bytes\n0,4096\n1,8192\n");
+}
+
+TEST_F(CsvTest, EscapesSpecialCharacters) {
+  {
+    CsvWriter csv(path_);
+    csv.row("plain", "with,comma", "with\"quote");
+  }
+  EXPECT_EQ(slurp(path_), "plain,\"with,comma\",\"with\"\"quote\"\n");
+}
+
+TEST_F(CsvTest, MixedTypesFormatted) {
+  {
+    CsvWriter csv(path_);
+    csv.row("x", 1.5, 7u, -3);
+  }
+  EXPECT_EQ(slurp(path_), "x,1.5,7,-3\n");
+}
+
+TEST(CsvWriterError, UnwritablePathThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv"), std::runtime_error);
+}
+
+TEST(AsciiTable, AlignsColumns) {
+  AsciiTable t("Title");
+  t.set_header({"name", "value"});
+  t.add_row("a", 1);
+  t.add_row("longer", 22);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("Title"), std::string::npos);
+  EXPECT_NE(s.find("| name "), std::string::npos);
+  EXPECT_NE(s.find("| longer |"), std::string::npos);
+  // Every data line has the same width.
+  std::istringstream is(s);
+  std::string line;
+  std::size_t width = 0;
+  std::getline(is, line);  // title
+  while (std::getline(is, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width) << line;
+  }
+}
+
+TEST(AsciiTable, RuleInsertsSeparator) {
+  AsciiTable t;
+  t.set_header({"a"});
+  t.add_row(1);
+  t.add_rule();
+  t.add_row(2);
+  const std::string s = t.to_string();
+  // header rule + top + mid + bottom = 4 separator lines
+  std::size_t rules = 0;
+  std::istringstream is(s);
+  std::string line;
+  while (std::getline(is, line))
+    if (!line.empty() && line[0] == '+') ++rules;
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(Fixed, FormatsWithPrecision) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(2.0, 0), "2");
+}
+
+TEST(CliParser, ParsesOptionsAndFlags) {
+  CliParser cli("test");
+  cli.add_option("cycles", "run length", "1000");
+  cli.add_option("rate", "injection rate", "0.5");
+  cli.add_flag("verbose", "chatty");
+  const char* argv[] = {"prog", "--cycles", "5000", "--verbose",
+                        "--rate=0.25", "pos1"};
+  ASSERT_TRUE(cli.parse(6, argv));
+  EXPECT_EQ(cli.get_uint("cycles"), 5000u);
+  EXPECT_DOUBLE_EQ(cli.get_double("rate"), 0.25);
+  EXPECT_TRUE(cli.get_flag("verbose"));
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "pos1");
+}
+
+TEST(CliParser, DefaultsApplyWhenAbsent) {
+  CliParser cli("test");
+  cli.add_option("n", "count", "42");
+  cli.add_flag("quiet", "silence");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(cli.get_int("n"), 42);
+  EXPECT_FALSE(cli.get_flag("quiet"));
+}
+
+TEST(CliParser, UnknownOptionFails) {
+  CliParser cli("test");
+  const char* argv[] = {"prog", "--nope", "1"};
+  EXPECT_FALSE(cli.parse(3, argv));
+}
+
+TEST(CliParser, MissingValueFails) {
+  CliParser cli("test");
+  cli.add_option("n", "count", "1");
+  const char* argv[] = {"prog", "--n"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(CliParser, HelpReturnsFalse) {
+  CliParser cli("test");
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(CliParser, UsageListsOptions) {
+  CliParser cli("my tool");
+  cli.add_option("alpha", "the alpha", "1");
+  const std::string usage = cli.usage("prog");
+  EXPECT_NE(usage.find("my tool"), std::string::npos);
+  EXPECT_NE(usage.find("--alpha"), std::string::npos);
+  EXPECT_NE(usage.find("default: 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wormsched

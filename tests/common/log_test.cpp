@@ -1,0 +1,48 @@
+#include "common/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wormsched {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = log_level(); }
+  void TearDown() override { set_log_level(saved_); }
+  LogLevel saved_;
+};
+
+TEST_F(LogTest, LevelRoundTrips) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+TEST_F(LogTest, EmitsToStderrAtOrAboveLevel) {
+  set_log_level(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  log_info("hello ", 42);
+  log_debug("invisible");
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("[INFO] hello 42"), std::string::npos);
+  EXPECT_EQ(err.find("invisible"), std::string::npos);
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+  set_log_level(LogLevel::kOff);
+  ::testing::internal::CaptureStderr();
+  log_error("nope");
+  EXPECT_TRUE(::testing::internal::GetCapturedStderr().empty());
+}
+
+TEST_F(LogTest, ConcatenatesMixedTypes) {
+  set_log_level(LogLevel::kTrace);
+  ::testing::internal::CaptureStderr();
+  log_warn("x=", 1.5, " y=", 2, " z=", "s");
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("[WARN] x=1.5 y=2 z=s"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wormsched

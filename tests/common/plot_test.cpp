@@ -1,0 +1,74 @@
+#include "common/plot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace wormsched {
+namespace {
+
+TEST(AsciiChart, EmptyChartSaysNoData) {
+  AsciiChart chart("empty");
+  EXPECT_NE(chart.to_string().find("no data"), std::string::npos);
+}
+
+TEST(AsciiChart, RendersTitleAxesAndLegend) {
+  AsciiChart chart("delay vs load", 32, 8);
+  chart.set_x_label("load");
+  chart.set_y_label("cycles");
+  chart.add_series("ERR", {1.0, 2.0, 3.0}, {10.0, 20.0, 40.0});
+  chart.add_series("FCFS", {1.0, 2.0, 3.0}, {12.0, 30.0, 60.0});
+  const std::string out = chart.to_string();
+  EXPECT_NE(out.find("delay vs load"), std::string::npos);
+  EXPECT_NE(out.find("load"), std::string::npos);
+  EXPECT_NE(out.find("cycles"), std::string::npos);
+  EXPECT_NE(out.find("* ERR"), std::string::npos);
+  EXPECT_NE(out.find("o FCFS"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('o'), std::string::npos);
+}
+
+TEST(AsciiChart, ExtremesLandOnOppositeRows) {
+  AsciiChart chart("line", 16, 6);
+  chart.add_series("s", {0.0, 1.0}, {0.0, 100.0});
+  std::istringstream is(chart.to_string());
+  std::string line;
+  std::getline(is, line);  // title
+  std::vector<std::string> rows;
+  while (std::getline(is, line)) {
+    if (line.find('|') != std::string::npos) rows.push_back(line);
+  }
+  ASSERT_GE(rows.size(), 6u);
+  // The max point renders near the top row, the min near the bottom.
+  EXPECT_NE(rows.front().find('*'), std::string::npos);
+  EXPECT_NE(rows[rows.size() - 1].find('*'), std::string::npos);
+}
+
+TEST(AsciiChart, AxisLabelsShowRange) {
+  AsciiChart chart("r", 16, 6);
+  chart.add_series("s", {2.0, 8.0}, {5.0, 15.0});
+  const std::string out = chart.to_string();
+  EXPECT_NE(out.find("2.00"), std::string::npos);  // x min
+  EXPECT_NE(out.find("8.00"), std::string::npos);  // x max
+  EXPECT_NE(out.find("5.0"), std::string::npos);   // y min
+}
+
+TEST(AsciiChart, FlatSeriesDoesNotDivideByZero) {
+  AsciiChart chart("flat", 16, 6);
+  chart.add_series("s", {1.0, 2.0, 3.0}, {7.0, 7.0, 7.0});
+  EXPECT_FALSE(chart.to_string().empty());
+}
+
+TEST(AsciiChart, SinglePoint) {
+  AsciiChart chart("dot", 16, 6);
+  chart.add_series("s", {5.0}, {5.0});
+  EXPECT_NE(chart.to_string().find('*'), std::string::npos);
+}
+
+TEST(AsciiChartDeath, MismatchedSeriesAborts) {
+  AsciiChart chart("bad", 16, 6);
+  EXPECT_DEATH(chart.add_series("s", {1.0, 2.0}, {1.0}), "mismatch");
+}
+
+}  // namespace
+}  // namespace wormsched

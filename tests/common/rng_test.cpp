@@ -1,0 +1,129 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+namespace wormsched {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformU64RespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.uniform_u64(13), 13u);
+}
+
+TEST(Rng, UniformIntCoversClosedRange) {
+  Rng rng(7);
+  std::array<int, 5> seen{};
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 7);
+    ++seen[static_cast<std::size_t>(v - 3)];
+  }
+  for (const int count : seen) EXPECT_GT(count, 700);  // ~1000 expected each
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(7);
+  EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, UniformRealInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform_real();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / 100000.0, 0.3, 0.01);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+}
+
+TEST(Rng, ExponentialHasExpectedMean) {
+  Rng rng(17);
+  double sum = 0;
+  for (int i = 0; i < 100000; ++i) sum += rng.exponential(0.25);
+  EXPECT_NEAR(sum / 100000.0, 4.0, 0.1);
+}
+
+TEST(Rng, TruncatedExponentialStaysInRange) {
+  Rng rng(19);
+  for (int i = 0; i < 20000; ++i) {
+    const auto k = rng.truncated_exponential_int(0.2, 1, 64);
+    ASSERT_GE(k, 1);
+    ASSERT_LE(k, 64);
+  }
+}
+
+TEST(Rng, TruncatedExponentialSkewsSmall) {
+  // The Fig. 6 premise: with lambda=0.2 small packets dominate — the
+  // bottom quarter of the range should hold well over half the mass.
+  Rng rng(23);
+  int small = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i)
+    if (rng.truncated_exponential_int(0.2, 1, 64) <= 16) ++small;
+  EXPECT_GT(static_cast<double>(small) / n, 0.9);
+}
+
+TEST(Rng, PoissonSmallMean) {
+  Rng rng(29);
+  double sum = 0;
+  for (int i = 0; i < 100000; ++i)
+    sum += static_cast<double>(rng.poisson(3.0));
+  EXPECT_NEAR(sum / 100000.0, 3.0, 0.05);
+}
+
+TEST(Rng, PoissonLargeMeanUsesNormalPath) {
+  Rng rng(31);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i)
+    sum += static_cast<double>(rng.poisson(200.0));
+  EXPECT_NEAR(sum / 20000.0, 200.0, 1.0);
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(37);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(41);
+  Rng child = parent.split();
+  // Child must differ from a same-seed parent continuation.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (parent.next_u64() == child.next_u64()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+}  // namespace
+}  // namespace wormsched

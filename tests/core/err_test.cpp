@@ -1,0 +1,265 @@
+#include "core/err.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "test_util.hpp"
+
+namespace wormsched::core {
+namespace {
+
+using test::enqueue;
+using test::per_flow_flits;
+using test::pump;
+
+TEST(ErrPolicy, FirstRoundAllowanceIsOne) {
+  ErrPolicy policy(ErrConfig{3});
+  for (std::uint32_t i = 0; i < 3; ++i) policy.flow_activated(FlowId(i));
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    const FlowId f = policy.begin_opportunity();
+    EXPECT_EQ(f, FlowId(i));  // ActiveList order = activation order
+    EXPECT_DOUBLE_EQ(policy.allowance(), 1.0);
+    policy.charge(5.0);
+    policy.end_opportunity(true);
+  }
+  EXPECT_EQ(policy.round(), 1u);
+}
+
+TEST(ErrPolicy, SurplusCountIsSentMinusAllowance) {
+  ErrPolicy policy(ErrConfig{1});
+  policy.flow_activated(FlowId(0));
+  (void)policy.begin_opportunity();
+  policy.charge(7.0);
+  policy.end_opportunity(true);
+  EXPECT_DOUBLE_EQ(policy.surplus_count(FlowId(0)), 6.0);
+  EXPECT_DOUBLE_EQ(policy.max_sc(), 6.0);
+}
+
+TEST(ErrPolicy, NextRoundAllowanceUsesPreviousMaxSc) {
+  ErrPolicy policy(ErrConfig{2});
+  policy.flow_activated(FlowId(0));
+  policy.flow_activated(FlowId(1));
+  // Round 1: flow 0 overshoots hard, flow 1 barely.
+  (void)policy.begin_opportunity();
+  policy.charge(10.0);  // SC = 9
+  policy.end_opportunity(true);
+  (void)policy.begin_opportunity();
+  policy.charge(3.0);  // SC = 2
+  policy.end_opportunity(true);
+  // Round 2: A_0 = 1 + 9 - 9 = 1; A_1 = 1 + 9 - 2 = 8.
+  EXPECT_EQ(policy.begin_opportunity(), FlowId(0));
+  EXPECT_DOUBLE_EQ(policy.allowance(), 1.0);
+  policy.charge(1.0);
+  policy.end_opportunity(true);
+  EXPECT_EQ(policy.begin_opportunity(), FlowId(1));
+  EXPECT_DOUBLE_EQ(policy.allowance(), 8.0);
+}
+
+TEST(ErrPolicy, EmptiedFlowSurplusStillRaisesMaxSc) {
+  // Pseudo-code order: MaxSC absorbs SC before the idle reset.
+  ErrPolicy policy(ErrConfig{2});
+  policy.flow_activated(FlowId(0));
+  policy.flow_activated(FlowId(1));
+  (void)policy.begin_opportunity();
+  policy.charge(20.0);
+  policy.end_opportunity(/*still_backlogged=*/false);  // flow 0 drained
+  EXPECT_DOUBLE_EQ(policy.surplus_count(FlowId(0)), 0.0);  // reset
+  EXPECT_DOUBLE_EQ(policy.max_sc(), 19.0);                 // but counted
+}
+
+TEST(ErrPolicy, DeactivatedFlowReactivatesWithZeroSc) {
+  ErrPolicy policy(ErrConfig{1});
+  policy.flow_activated(FlowId(0));
+  (void)policy.begin_opportunity();
+  policy.charge(50.0);
+  policy.end_opportunity(false);
+  EXPECT_FALSE(policy.has_active_flows());
+  policy.flow_activated(FlowId(0));
+  EXPECT_DOUBLE_EQ(policy.surplus_count(FlowId(0)), 0.0);
+}
+
+TEST(ErrPolicy, MidRoundActivationServedNextRound) {
+  // Fig. 2: D activates during round 1 and is visited only in round 2.
+  ErrPolicy policy(ErrConfig{4});
+  for (std::uint32_t i = 0; i < 3; ++i) policy.flow_activated(FlowId(i));
+  EXPECT_EQ(policy.begin_opportunity(), FlowId(0));
+  policy.charge(1.0);
+  policy.end_opportunity(true);
+  policy.flow_activated(FlowId(3));  // D arrives mid-round
+  EXPECT_EQ(policy.round(), 1u);
+  EXPECT_EQ(policy.begin_opportunity(), FlowId(1));
+  policy.charge(1.0);
+  policy.end_opportunity(true);
+  EXPECT_EQ(policy.begin_opportunity(), FlowId(2));
+  policy.charge(1.0);
+  policy.end_opportunity(true);
+  // Round 2 begins; A, B, C were re-appended before D? No — D was appended
+  // when it activated, i.e. after A but before B and C re-joined.
+  EXPECT_EQ(policy.begin_opportunity(), FlowId(0));
+  EXPECT_EQ(policy.round(), 2u);
+  policy.charge(1.0);
+  policy.end_opportunity(true);
+  EXPECT_EQ(policy.begin_opportunity(), FlowId(3));
+  EXPECT_EQ(policy.round(), 2u);
+}
+
+TEST(ErrPolicy, RoundRobinVisitCountSnapshotsActiveFlows) {
+  ErrPolicy policy(ErrConfig{4});
+  policy.flow_activated(FlowId(0));
+  policy.flow_activated(FlowId(1));
+  (void)policy.begin_opportunity();
+  EXPECT_EQ(policy.round_robin_visit_count(), 2u);
+  policy.charge(1.0);
+  policy.end_opportunity(true);
+  EXPECT_EQ(policy.round_robin_visit_count(), 1u);
+}
+
+TEST(ErrPolicy, PaperFaithfulKeepsStateAcrossIdle) {
+  // One flow overshoots by 29 and drains; the system idles.  In the
+  // pseudo-code MaxSC survives the idle gap, so the next round — opened by
+  // a completely different flow — inherits PreviousMaxSC = 29 and hands it
+  // an inflated allowance of 30.
+  ErrPolicy policy(ErrConfig{2, /*reset_on_idle=*/false});
+  policy.flow_activated(FlowId(0));
+  (void)policy.begin_opportunity();
+  policy.charge(30.0);
+  policy.end_opportunity(false);  // system idles; MaxSC=29 retained
+  EXPECT_FALSE(policy.has_active_flows());
+  policy.flow_activated(FlowId(1));
+  (void)policy.begin_opportunity();
+  EXPECT_DOUBLE_EQ(policy.previous_max_sc(), 29.0);
+  EXPECT_DOUBLE_EQ(policy.allowance(), 30.0);
+}
+
+TEST(ErrPolicy, ResetOnIdleClearsRoundState) {
+  // Same scenario with the idle-reset variant: the post-idle flow starts a
+  // clean slate with allowance 1.
+  ErrPolicy policy(ErrConfig{2, /*reset_on_idle=*/true});
+  policy.flow_activated(FlowId(0));
+  (void)policy.begin_opportunity();
+  policy.charge(30.0);
+  policy.end_opportunity(false);
+  policy.flow_activated(FlowId(1));
+  (void)policy.begin_opportunity();
+  EXPECT_DOUBLE_EQ(policy.previous_max_sc(), 0.0);
+  EXPECT_DOUBLE_EQ(policy.allowance(), 1.0);
+}
+
+TEST(ErrPolicy, ListenerReceivesOpportunityRecords) {
+  ErrPolicy policy(ErrConfig{1});
+  std::vector<ErrOpportunity> records;
+  policy.set_opportunity_listener(
+      [&](const ErrOpportunity& r) { records.push_back(r); });
+  policy.flow_activated(FlowId(0));
+  (void)policy.begin_opportunity();
+  policy.charge(4.0);
+  policy.end_opportunity(true);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].round, 1u);
+  EXPECT_EQ(records[0].flow, FlowId(0));
+  EXPECT_DOUBLE_EQ(records[0].allowance, 1.0);
+  EXPECT_DOUBLE_EQ(records[0].sent, 4.0);
+  EXPECT_DOUBLE_EQ(records[0].surplus_count, 3.0);
+}
+
+TEST(ErrPolicyDeath, WeightBelowOneRejected) {
+  ErrPolicy policy(ErrConfig{1});
+  EXPECT_DEATH(policy.set_weight(FlowId(0), 0.5), "normalize");
+}
+
+// --------------------------------------------------------------------
+// ErrScheduler (flit-pull frame)
+
+TEST(ErrScheduler, SingleFlowStreamsContiguously) {
+  ErrScheduler s(ErrConfig{2});
+  enqueue(s, 0, 0, 4);
+  const auto ems = pump(s, 6);
+  ASSERT_EQ(ems.size(), 4u);
+  EXPECT_TRUE(ems[0].head);
+  EXPECT_TRUE(ems[3].tail);
+  for (const auto& e : ems) EXPECT_EQ(e.flow, FlowId(0));
+}
+
+TEST(ErrScheduler, EqualPacketSizesRotateStrictly) {
+  ErrScheduler s(ErrConfig{3});
+  for (std::uint32_t f = 0; f < 3; ++f)
+    for (int k = 0; k < 3; ++k) enqueue(s, 0, f, 5);
+  const auto order = test::completions(pump(s, 3 * 3 * 5));
+  ASSERT_EQ(order.size(), 9u);
+  // Round structure: f0, f1, f2 repeated (SCs stay equal).
+  for (std::size_t i = 0; i < order.size(); ++i)
+    EXPECT_EQ(order[i].first, i % 3) << i;
+}
+
+TEST(ErrScheduler, ElasticOvershootRepaidNextRound) {
+  // Flow 0 sends 10-flit packets, flow 1 sends 2-flit packets; per round
+  // ERR serves one 10-flit packet vs five 2-flit packets (allowance 9
+  // reached after the fifth), converging to equal flit shares.
+  ErrScheduler s(ErrConfig{2});
+  for (int k = 0; k < 40; ++k) enqueue(s, 0, 0, 10);
+  for (int k = 0; k < 200; ++k) enqueue(s, 0, 1, 2);
+  const auto ems = pump(s, 400);
+  const auto counts = per_flow_flits(ems, 2);
+  EXPECT_NEAR(static_cast<double>(counts[0]),
+              static_cast<double>(counts[1]), 3.0 * 10);
+}
+
+TEST(ErrScheduler, AlwaysSendsAtLeastOnePacketPerOpportunity) {
+  // Even a flow with a huge previous surplus gets allowance >= 1 and must
+  // transmit one packet when visited (the do/while in Fig. 1).
+  ErrScheduler s(ErrConfig{2});
+  enqueue(s, 0, 0, 60);
+  enqueue(s, 0, 0, 60);
+  enqueue(s, 0, 1, 1);
+  enqueue(s, 0, 1, 1);
+  const auto order = test::completions(pump(s, 200));
+  ASSERT_GE(order.size(), 3u);
+  EXPECT_EQ(order[0].first, 0u);
+  EXPECT_EQ(order[1].first, 1u);
+  EXPECT_EQ(order[2].first, 0u);  // visited again despite SC = 59
+}
+
+TEST(ErrScheduler, WeightedFlowGetsProportionalService) {
+  ErrScheduler s(ErrConfig{2});
+  s.set_weight(FlowId(0), 3.0);
+  for (int k = 0; k < 300; ++k) {
+    enqueue(s, 0, 0, 4);
+    enqueue(s, 0, 1, 4);
+  }
+  // 1000 cycles drains at most 750 of flow 0's 1200 queued flits, so both
+  // flows stay backlogged for the whole measurement.
+  const auto counts = per_flow_flits(pump(s, 1000), 2);
+  const double ratio =
+      static_cast<double>(counts[0]) / static_cast<double>(counts[1]);
+  EXPECT_NEAR(ratio, 3.0, 0.15);
+}
+
+TEST(ErrScheduler, IdleWhenAllQueuesEmpty) {
+  ErrScheduler s(ErrConfig{2});
+  EXPECT_TRUE(s.idle());
+  EXPECT_FALSE(s.pull_flit(0).has_value());
+  enqueue(s, 1, 0, 2);
+  EXPECT_FALSE(s.idle());
+  (void)pump(s, 5, 1);
+  EXPECT_TRUE(s.idle());
+}
+
+TEST(ErrScheduler, DoesNotRequireAprioriLength) {
+  ErrScheduler s(ErrConfig{1});
+  EXPECT_FALSE(s.requires_apriori_length());
+}
+
+TEST(ErrScheduler, ArrivalDuringServiceJoinsSameQueue) {
+  ErrScheduler s(ErrConfig{2});
+  enqueue(s, 0, 0, 6);
+  auto ems = pump(s, 3);  // mid-packet
+  enqueue(s, 3, 0, 2);    // arrives while flow 0 is in service
+  ems = pump(s, 10, 3);
+  // Both packets complete; conservation holds.
+  EXPECT_EQ(test::completions(ems).size(), 2u);
+  EXPECT_TRUE(s.idle());
+}
+
+}  // namespace
+}  // namespace wormsched::core

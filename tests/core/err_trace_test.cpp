@@ -1,0 +1,101 @@
+// Golden-trace test in the style of the paper's Fig. 3: three continuously
+// backlogged flows with scripted packet sizes, checked opportunity by
+// opportunity against hand-computed allowances, surplus counts and MaxSC.
+//
+// Hand computation (paper Eqs. (1) and (2)):
+//   Round 1 (PrevMaxSC = 0, A = 1 for everyone):
+//     F0 sends 32 -> SC 31;  F1 sends 24 -> SC 23;  F2 sends 12 -> SC 11
+//     MaxSC(1) = 31
+//   Round 2 (PrevMaxSC = 31):
+//     F0: A = 1+31-31 = 1,  sends 16          -> SC 15
+//     F1: A = 1+31-23 = 9,  sends 8+8  = 16   -> SC 7
+//     F2: A = 1+31-11 = 21, sends 20+4 = 24   -> SC 3
+//     MaxSC(2) = 15
+//   Round 3 (PrevMaxSC = 15):
+//     F0: A = 1+15-15 = 1,  sends 8           -> SC 7
+//     F1: A = 1+15-7  = 9,  sends 8+8  = 16   -> SC 7
+//     F2: A = 1+15-3  = 13, sends 6+6+6 = 18  -> SC 5
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/err.hpp"
+#include "test_util.hpp"
+
+namespace wormsched::core {
+namespace {
+
+struct Expected {
+  std::size_t round;
+  std::uint32_t flow;
+  double allowance;
+  double sent;
+  double surplus;
+  double max_sc_so_far;
+};
+
+TEST(ErrTrace, ThreeRoundWorkedExample) {
+  ErrScheduler s(ErrConfig{3});
+  std::vector<ErrOpportunity> log;
+  s.policy().set_opportunity_listener(
+      [&](const ErrOpportunity& r) { log.push_back(r); });
+
+  const std::vector<Flits> f0 = {32, 16, 8, 1};
+  const std::vector<Flits> f1 = {24, 8, 8, 8, 8, 1};
+  const std::vector<Flits> f2 = {12, 20, 4, 6, 6, 6, 1};
+  for (const Flits len : f0) test::enqueue(s, 0, 0, len);
+  for (const Flits len : f1) test::enqueue(s, 0, 1, len);
+  for (const Flits len : f2) test::enqueue(s, 0, 2, len);
+
+  // Rounds 1-3 transmit 68 + 56 + 42 = 166 flits.
+  (void)test::pump(s, 166);
+
+  const std::vector<Expected> expected = {
+      {1, 0, 1, 32, 31, 31},  //
+      {1, 1, 1, 24, 23, 31},  //
+      {1, 2, 1, 12, 11, 31},  //
+      {2, 0, 1, 16, 15, 15},  //
+      {2, 1, 9, 16, 7, 15},   //
+      {2, 2, 21, 24, 3, 15},  //
+      {3, 0, 1, 8, 7, 7},     //
+      {3, 1, 9, 16, 7, 7},    //
+      {3, 2, 13, 18, 5, 7},   //
+  };
+  ASSERT_GE(log.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(log[i].round, expected[i].round);
+    EXPECT_EQ(log[i].flow, FlowId(expected[i].flow));
+    EXPECT_DOUBLE_EQ(log[i].allowance, expected[i].allowance);
+    EXPECT_DOUBLE_EQ(log[i].sent, expected[i].sent);
+    EXPECT_DOUBLE_EQ(log[i].surplus_count, expected[i].surplus);
+    EXPECT_DOUBLE_EQ(log[i].max_sc_so_far, expected[i].max_sc_so_far);
+  }
+}
+
+TEST(ErrTrace, FlowsStarvedOneRoundCatchUpNext) {
+  // The paper's remark on Fig. 3: "flows which receive very little service
+  // in a round are given an opportunity to receive proportionately more
+  // service in the next round."  Quantify it: flow with smallest Sent in
+  // round r has the largest allowance in round r+1.
+  ErrScheduler s(ErrConfig{2});
+  std::vector<ErrOpportunity> log;
+  s.policy().set_opportunity_listener(
+      [&](const ErrOpportunity& r) { log.push_back(r); });
+  // Flow 0: big packets; flow 1: unit packets.
+  for (int k = 0; k < 10; ++k) test::enqueue(s, 0, 0, 40);
+  for (int k = 0; k < 200; ++k) test::enqueue(s, 0, 1, 1);
+  (void)test::pump(s, 170);
+
+  ASSERT_GE(log.size(), 4u);
+  // Round 1: F0 sent 40 (SC 39), F1 sent 1 (SC 0).
+  EXPECT_DOUBLE_EQ(log[0].sent, 40.0);
+  EXPECT_DOUBLE_EQ(log[1].sent, 1.0);
+  // Round 2: F1's allowance is 1 + 39 - 0 = 40 -> it catches up in full.
+  EXPECT_EQ(log[3].flow, FlowId(1));
+  EXPECT_DOUBLE_EQ(log[3].allowance, 40.0);
+  EXPECT_DOUBLE_EQ(log[3].sent, 40.0);
+}
+
+}  // namespace
+}  // namespace wormsched::core

@@ -1,0 +1,76 @@
+#include "core/fcfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace wormsched::core {
+namespace {
+
+using test::enqueue;
+using test::per_flow_flits;
+using test::pump;
+
+TEST(Fcfs, ServesInGlobalArrivalOrder) {
+  FcfsScheduler s(3);
+  enqueue(s, 0, 2, 2);
+  enqueue(s, 0, 0, 2);
+  enqueue(s, 0, 1, 2);
+  const auto order = test::completions(pump(s, 6));
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0].first, 2u);
+  EXPECT_EQ(order[1].first, 0u);
+  EXPECT_EQ(order[2].first, 1u);
+}
+
+TEST(Fcfs, LaterArrivalWaitsBehindEarlierBurst) {
+  FcfsScheduler s(2);
+  // Flow 0 bursts 5 packets at t=0; flow 1's packet arrives at t=1 and
+  // must wait for the whole burst (the unfairness the paper calls out).
+  for (int k = 0; k < 5; ++k) enqueue(s, 0, 0, 4);
+  auto ems = pump(s, 1);
+  enqueue(s, 1, 1, 4);
+  ems = pump(s, 30, 1);
+  const auto order = test::completions(ems);
+  ASSERT_EQ(order.size(), 6u);
+  for (int k = 0; k < 5; ++k) EXPECT_EQ(order[static_cast<std::size_t>(k)].first, 0u);
+  EXPECT_EQ(order[5].first, 1u);
+}
+
+TEST(Fcfs, BandwidthProportionalToInjectionRate) {
+  // Interleaved arrivals, flow 0 at twice the packet rate: FCFS hands it
+  // twice the bandwidth (Fig. 4(c) behaviour).
+  FcfsScheduler s(2);
+  Cycle t = 0;
+  for (int k = 0; k < 100; ++k) {
+    enqueue(s, t, 0, 8);
+    enqueue(s, t, 0, 8);
+    enqueue(s, t, 1, 8);
+  }
+  const auto counts = per_flow_flits(pump(s, 1200), 2);
+  const double ratio =
+      static_cast<double>(counts[0]) / static_cast<double>(counts[1]);
+  EXPECT_NEAR(ratio, 2.0, 0.1);
+}
+
+TEST(Fcfs, PacketsRemainContiguous) {
+  FcfsScheduler s(2);
+  enqueue(s, 0, 0, 6);
+  enqueue(s, 0, 1, 6);
+  const auto ems = pump(s, 12);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_EQ(ems[i].flow, FlowId(0));
+  for (std::size_t i = 6; i < 12; ++i) EXPECT_EQ(ems[i].flow, FlowId(1));
+}
+
+TEST(Fcfs, IdleThenResume) {
+  FcfsScheduler s(1);
+  enqueue(s, 0, 0, 2);
+  (void)pump(s, 4);
+  EXPECT_TRUE(s.idle());
+  enqueue(s, 10, 0, 3);
+  const auto ems = pump(s, 5, 10);
+  EXPECT_EQ(ems.size(), 3u);
+}
+
+}  // namespace
+}  // namespace wormsched::core

@@ -1,0 +1,109 @@
+#include "core/gps.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wormsched::core {
+namespace {
+
+TEST(Gps, SingleFlowDrainsAtFullCapacity) {
+  GpsReference gps(1);
+  gps.add_arrival(0.0, FlowId(0), 100.0);
+  gps.finalize();
+  EXPECT_DOUBLE_EQ(gps.service(FlowId(0), 50.0), 50.0);
+  EXPECT_DOUBLE_EQ(gps.service(FlowId(0), 100.0), 100.0);
+  EXPECT_DOUBLE_EQ(gps.service(FlowId(0), 200.0), 100.0);
+  EXPECT_NEAR(gps.drain_time(), 100.0, 1e-9);
+}
+
+TEST(Gps, TwoEqualFlowsSplitCapacity) {
+  GpsReference gps(2);
+  gps.add_arrival(0.0, FlowId(0), 100.0);
+  gps.add_arrival(0.0, FlowId(1), 100.0);
+  gps.finalize();
+  EXPECT_NEAR(gps.service(FlowId(0), 50.0), 25.0, 1e-9);
+  EXPECT_NEAR(gps.service(FlowId(1), 50.0), 25.0, 1e-9);
+  EXPECT_NEAR(gps.drain_time(), 200.0, 1e-6);
+}
+
+TEST(Gps, UnequalBacklogsOneDrainsFirst) {
+  GpsReference gps(2);
+  gps.add_arrival(0.0, FlowId(0), 10.0);
+  gps.add_arrival(0.0, FlowId(1), 100.0);
+  gps.finalize();
+  // Both at rate 1/2 until flow 0 drains at t=20; then flow 1 alone.
+  EXPECT_NEAR(gps.service(FlowId(0), 20.0), 10.0, 1e-9);
+  EXPECT_NEAR(gps.service(FlowId(1), 20.0), 10.0, 1e-9);
+  EXPECT_NEAR(gps.service(FlowId(1), 30.0), 20.0, 1e-9);
+  EXPECT_NEAR(gps.drain_time(), 110.0, 1e-6);
+}
+
+TEST(Gps, WeightsSkewRates) {
+  GpsReference gps(2);
+  gps.set_weight(FlowId(0), 3.0);
+  gps.add_arrival(0.0, FlowId(0), 300.0);
+  gps.add_arrival(0.0, FlowId(1), 300.0);
+  gps.finalize();
+  EXPECT_NEAR(gps.service(FlowId(0), 40.0), 30.0, 1e-9);
+  EXPECT_NEAR(gps.service(FlowId(1), 40.0), 10.0, 1e-9);
+}
+
+TEST(Gps, MidStreamArrivalChangesRates) {
+  GpsReference gps(2);
+  gps.add_arrival(0.0, FlowId(0), 100.0);
+  gps.add_arrival(50.0, FlowId(1), 10.0);
+  gps.finalize();
+  // Flow 0 alone until t=50 (50 served), then both at 1/2 until flow 1's
+  // 10 units drain at t=70, then flow 0 alone again.
+  EXPECT_NEAR(gps.service(FlowId(0), 50.0), 50.0, 1e-9);
+  EXPECT_NEAR(gps.service(FlowId(0), 70.0), 60.0, 1e-9);
+  EXPECT_NEAR(gps.service(FlowId(1), 70.0), 10.0, 1e-9);
+  EXPECT_NEAR(gps.drain_time(), 110.0, 1e-6);
+}
+
+TEST(Gps, IdleGapThenSecondBusyPeriod) {
+  GpsReference gps(1);
+  gps.add_arrival(0.0, FlowId(0), 10.0);
+  gps.add_arrival(100.0, FlowId(0), 10.0);
+  gps.finalize();
+  EXPECT_NEAR(gps.service(FlowId(0), 10.0), 10.0, 1e-9);
+  EXPECT_NEAR(gps.service(FlowId(0), 100.0), 10.0, 1e-9);
+  EXPECT_NEAR(gps.service(FlowId(0), 105.0), 15.0, 1e-9);
+}
+
+TEST(Gps, ServiceIsMonotoneAndConserving) {
+  GpsReference gps(3);
+  gps.add_arrival(0.0, FlowId(0), 37.0);
+  gps.add_arrival(3.0, FlowId(1), 21.0);
+  gps.add_arrival(9.0, FlowId(2), 55.0);
+  gps.add_arrival(40.0, FlowId(0), 13.0);
+  gps.finalize();
+  double prev_total = 0.0;
+  for (double t = 0.0; t <= gps.drain_time() + 5.0; t += 1.7) {
+    double total = 0.0;
+    for (std::uint32_t f = 0; f < 3; ++f) {
+      const double s = gps.service(FlowId(f), t);
+      EXPECT_GE(s, 0.0);
+      total += s;
+    }
+    EXPECT_GE(total + 1e-9, prev_total);  // monotone
+    prev_total = total;
+  }
+  EXPECT_NEAR(prev_total, 37.0 + 21.0 + 55.0 + 13.0, 1e-6);
+}
+
+TEST(Gps, CustomCapacity) {
+  GpsReference gps(1, 2.0);
+  gps.add_arrival(0.0, FlowId(0), 100.0);
+  gps.finalize();
+  EXPECT_NEAR(gps.service(FlowId(0), 25.0), 50.0, 1e-9);
+  EXPECT_NEAR(gps.drain_time(), 50.0, 1e-6);
+}
+
+TEST(GpsDeath, UnorderedArrivalsAbort) {
+  GpsReference gps(1);
+  gps.add_arrival(10.0, FlowId(0), 1.0);
+  EXPECT_DEATH(gps.add_arrival(5.0, FlowId(0), 1.0), "time-ordered");
+}
+
+}  // namespace
+}  // namespace wormsched::core

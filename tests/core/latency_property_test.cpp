@@ -1,0 +1,185 @@
+// Latency-oriented properties of ERR and PERR:
+//
+//   * ERR startup latency — a newly activated flow joins the ActiveList
+//     tail; every flow ahead of it gets exactly one opportunity first,
+//     and each opportunity transmits at most A_i + (m-1) <= 2m - 1 flits
+//     (allowance at most 1 + MaxSC <= m by Corollary 1, overshoot < m).
+//     So service starts within (n_active)(2m - 1) cycles of activation.
+//   * PERR class isolation — a high-priority packet waits at most for the
+//     residual of the packet in flight plus its own class's queue, never
+//     for low-priority backlogs.
+// Plus adversarial workloads driving the surplus machinery to its edges.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/err.hpp"
+#include "core/perr.hpp"
+#include "test_util.hpp"
+
+namespace wormsched::core {
+namespace {
+
+class StartupLatencyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StartupLatencyTest, ErrNewFlowServedWithinBound) {
+  constexpr std::size_t kFlows = 5;
+  constexpr Flits kMaxLen = 24;
+  ErrScheduler s(ErrConfig{kFlows});
+  Rng rng(GetParam() * 131);
+
+  struct Activation {
+    Cycle when;
+    FlowId flow;
+  };
+  std::vector<Activation> pending_checks;
+  std::map<std::uint64_t, Cycle> first_service;  // flow -> cycle (per epoch)
+
+  // Flows 0..3 stay saturated; flow 4 activates at random instants and
+  // must start service within (active flows)*(2m-1) cycles.
+  PacketId::rep_type id = 0;
+  const auto enqueue = [&](Cycle t, std::uint32_t f, Flits len) {
+    s.enqueue(t, Packet{.id = PacketId(id++), .flow = FlowId(f),
+                        .length = len, .arrival = t});
+  };
+  for (std::uint32_t f = 0; f < 4; ++f)
+    for (int k = 0; k < 400; ++k)
+      enqueue(0, f, rng.uniform_int(1, kMaxLen));
+
+  Cycle activation = 0;
+  bool probe_outstanding = false;
+  Cycle probe_activated = 0;
+  int checks = 0;
+  for (Cycle t = 0; t < 30000; ++t) {
+    if (!probe_outstanding && t > 0 && t % 1500 == 0) {
+      enqueue(t, 4, rng.uniform_int(1, kMaxLen));
+      probe_outstanding = true;
+      probe_activated = t;
+    }
+    const auto flit = s.pull_flit(t);
+    if (flit && flit->flow == FlowId(4) && flit->is_head) {
+      const Cycle wait = t - probe_activated;
+      // n_active = 5 flows, m <= kMaxLen.
+      EXPECT_LE(wait, 5 * (2 * kMaxLen - 1))
+          << "activation at " << probe_activated;
+      ++checks;
+    }
+    if (flit && flit->flow == FlowId(4) && flit->is_tail)
+      probe_outstanding = false;
+  }
+  EXPECT_GT(checks, 10);
+  (void)activation;
+  (void)first_service;
+}
+
+TEST_P(StartupLatencyTest, PerrHighClassStartsWithinResidualPlusOwnQueue) {
+  // Low class: 3 saturated flows with big packets.  High class: a single
+  // probe flow.  The probe's head flit must appear within m cycles of its
+  // arrival (the worst case is one low-class packet mid-flight).
+  constexpr Flits kMaxLen = 32;
+  PerrScheduler s(PerrConfig{4, {1, 1, 1, 0}, false});
+  Rng rng(GetParam() * 733);
+  PacketId::rep_type id = 0;
+  const auto enqueue = [&](Cycle t, std::uint32_t f, Flits len) {
+    s.enqueue(t, Packet{.id = PacketId(id++), .flow = FlowId(f),
+                        .length = len, .arrival = t});
+  };
+  for (std::uint32_t f = 0; f < 3; ++f)
+    for (int k = 0; k < 300; ++k)
+      enqueue(0, f, rng.uniform_int(kMaxLen / 2, kMaxLen));
+
+  bool probe_outstanding = false;
+  Cycle probe_arrival = 0;
+  int checks = 0;
+  for (Cycle t = 0; t < 20000; ++t) {
+    if (!probe_outstanding && t > 0 && t % 700 == 0) {
+      enqueue(t, 3, rng.uniform_int(1, 8));
+      probe_outstanding = true;
+      probe_arrival = t;
+    }
+    const auto flit = s.pull_flit(t);
+    if (flit && flit->flow == FlowId(3)) {
+      if (flit->is_head) {
+        EXPECT_LE(t - probe_arrival, static_cast<Cycle>(kMaxLen))
+            << "arrival at " << probe_arrival;
+        ++checks;
+      }
+      if (flit->is_tail) probe_outstanding = false;
+    }
+  }
+  EXPECT_GT(checks, 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StartupLatencyTest,
+                         ::testing::Values(1, 2, 3));
+
+// ---------------------------------------------------------------------
+// Adversarial workloads for the fairness machinery.
+
+TEST(Adversarial, SawtoothDrivesSurplusToMaximumButNotPast) {
+  // Alternating 1-flit and m-flit packets, phase-shifted across flows, is
+  // the worst realistic driver of surplus counts; Lemma 1 must hold with
+  // SC actually *reaching* m-1 (bound tight), never exceeding it.
+  constexpr Flits kM = 16;
+  ErrScheduler s(ErrConfig{2});
+  double max_sc_seen = 0.0;
+  s.policy().set_opportunity_listener([&](const ErrOpportunity& r) {
+    EXPECT_GE(r.surplus_count, 0.0);
+    EXPECT_LE(r.surplus_count, static_cast<double>(kM - 1));
+    max_sc_seen = std::max(max_sc_seen, r.surplus_count);
+  });
+  for (int k = 0; k < 200; ++k) {
+    test::enqueue(s, 0, 0, k % 2 == 0 ? kM : 1);
+    test::enqueue(s, 0, 1, k % 2 == 0 ? 1 : kM);
+  }
+  (void)test::pump(s, 200 * (kM + 1));
+  EXPECT_TRUE(s.idle());
+  EXPECT_DOUBLE_EQ(max_sc_seen, static_cast<double>(kM - 1));  // tight
+}
+
+TEST(Adversarial, SingleGreedyFlowCannotBeatFairShare) {
+  // Flow 0 floods with maximum-size packets; flows 1-3 offer exactly
+  // their fair share in minimum-size packets.  ERR must not let the
+  // greedy flow take more than share + 3m over the measured window.
+  ErrScheduler s(ErrConfig{4});
+  PacketId::rep_type id = 0;
+  for (int k = 0; k < 300; ++k)
+    s.enqueue(0, Packet{.id = PacketId(id++), .flow = FlowId(0),
+                        .length = 64, .arrival = 0});
+  Flits greedy_served = 0;
+  Cycle t = 0;
+  for (; t < 12000; ++t) {
+    // Fair-share trickle for the polite flows: one flit each per 4 cycles.
+    if (t % 4 == 0) {
+      for (std::uint32_t f = 1; f < 4; ++f)
+        s.enqueue(t, Packet{.id = PacketId(id++), .flow = FlowId(f),
+                            .length = 1, .arrival = t});
+    }
+    const auto flit = s.pull_flit(t);
+    if (flit && flit->flow == FlowId(0)) ++greedy_served;
+  }
+  EXPECT_LE(greedy_served, 12000 / 4 + 3 * 64);
+  EXPECT_GE(greedy_served, 12000 / 4 - 3 * 64);
+}
+
+TEST(Adversarial, ManyFlowsOneFlitEach) {
+  // Degenerate burst: 512 flows, one 1-flit packet each, all at once.
+  ErrScheduler s(ErrConfig{512});
+  PacketId::rep_type id = 0;
+  for (std::uint32_t f = 0; f < 512; ++f)
+    s.enqueue(0, Packet{.id = PacketId(id++), .flow = FlowId(f),
+                        .length = 1, .arrival = 0});
+  std::vector<bool> served(512, false);
+  for (Cycle t = 0; t < 512; ++t) {
+    const auto flit = s.pull_flit(t);
+    ASSERT_TRUE(flit.has_value());
+    EXPECT_FALSE(served[flit->flow.index()]) << "double service";
+    served[flit->flow.index()] = true;
+  }
+  EXPECT_TRUE(s.idle());
+}
+
+}  // namespace
+}  // namespace wormsched::core

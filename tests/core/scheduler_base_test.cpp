@@ -1,0 +1,107 @@
+// Scheduler framework (base-class) contract tests: bookkeeping, observer
+// plumbing, and the checked-invariant surface.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/err.hpp"
+#include "core/fcfs.hpp"
+#include "test_util.hpp"
+
+namespace wormsched::core {
+namespace {
+
+using test::enqueue;
+using test::pump;
+
+TEST(SchedulerBase, BacklogAccounting) {
+  FcfsScheduler s(2);
+  EXPECT_EQ(s.backlog_flits(), 0);
+  enqueue(s, 0, 0, 5);
+  enqueue(s, 0, 1, 3);
+  EXPECT_EQ(s.backlog_flits(), 8);
+  EXPECT_EQ(s.queue_length(FlowId(0)), 1u);
+  (void)pump(s, 2);
+  EXPECT_EQ(s.backlog_flits(), 6);  // two flits emitted
+  (void)pump(s, 10, 2);
+  EXPECT_EQ(s.backlog_flits(), 0);
+  EXPECT_EQ(s.queue_length(FlowId(0)), 0u);
+}
+
+TEST(SchedulerBase, PacketTimestampsFilledIn) {
+  ErrScheduler s(ErrConfig{1});
+  struct Probe final : SchedulerObserver {
+    std::vector<Packet> departed;
+    void on_packet_departure(Cycle, const Packet& p) override {
+      departed.push_back(p);
+    }
+  } probe;
+  s.set_observer(&probe);
+  enqueue(s, 5, 0, 4);
+  (void)pump(s, 10, 5);
+  ASSERT_EQ(probe.departed.size(), 1u);
+  const Packet& p = probe.departed[0];
+  EXPECT_EQ(p.arrival, 5u);
+  EXPECT_EQ(p.first_service, 5u);
+  EXPECT_EQ(p.departure, 8u);
+}
+
+TEST(SchedulerBase, ObserverSeesArrivalsFlitsDepartures) {
+  ErrScheduler s(ErrConfig{2});
+  struct Probe final : SchedulerObserver {
+    int arrivals = 0, flits = 0, departures = 0;
+    void on_packet_arrival(Cycle, const Packet&) override { ++arrivals; }
+    void on_flit(Cycle, const FlitEvent&) override { ++flits; }
+    void on_packet_departure(Cycle, const Packet&) override { ++departures; }
+  } probe;
+  s.set_observer(&probe);
+  enqueue(s, 0, 0, 3);
+  enqueue(s, 0, 1, 2);
+  (void)pump(s, 6);
+  EXPECT_EQ(probe.arrivals, 2);
+  EXPECT_EQ(probe.flits, 5);
+  EXPECT_EQ(probe.departures, 2);
+}
+
+TEST(SchedulerBase, DetachedObserverStopsReceiving) {
+  ErrScheduler s(ErrConfig{1});
+  struct Probe final : SchedulerObserver {
+    int flits = 0;
+    void on_flit(Cycle, const FlitEvent&) override { ++flits; }
+  } probe;
+  s.set_observer(&probe);
+  enqueue(s, 0, 0, 2);
+  (void)pump(s, 2);
+  s.set_observer(nullptr);
+  enqueue(s, 2, 0, 2);
+  (void)pump(s, 4, 2);
+  EXPECT_EQ(probe.flits, 2);
+}
+
+TEST(SchedulerBase, PullOnIdleReturnsNothingForever) {
+  ErrScheduler s(ErrConfig{3});
+  for (Cycle t = 0; t < 100; ++t)
+    EXPECT_FALSE(s.pull_flit(t).has_value());
+}
+
+TEST(SchedulerBaseDeath, ZeroLengthPacketRejected) {
+  ErrScheduler s(ErrConfig{1});
+  EXPECT_DEATH(s.enqueue(0, Packet{.id = PacketId(1), .flow = FlowId(0),
+                                   .length = 0}),
+               "zero-length");
+}
+
+TEST(SchedulerBaseDeath, OutOfRangeFlowRejected) {
+  ErrScheduler s(ErrConfig{2});
+  EXPECT_DEATH(s.enqueue(0, Packet{.id = PacketId(1), .flow = FlowId(2),
+                                   .length = 1}),
+               "");
+}
+
+TEST(SchedulerBaseDeath, NonPositiveWeightRejected) {
+  ErrScheduler s(ErrConfig{1});
+  EXPECT_DEATH(s.set_weight(FlowId(0), 0.0), "");
+}
+
+}  // namespace
+}  // namespace wormsched::core

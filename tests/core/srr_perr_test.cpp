@@ -1,0 +1,176 @@
+// Tests for the two extension disciplines: Surplus Round Robin and
+// Prioritized ERR.
+#include <gtest/gtest.h>
+
+#include "core/perr.hpp"
+#include "core/srr.hpp"
+#include "test_util.hpp"
+
+namespace wormsched::core {
+namespace {
+
+using test::enqueue;
+using test::per_flow_flits;
+using test::pump;
+
+TEST(Srr, DoesNotRequireAprioriLength) {
+  SrrScheduler s(SrrConfig{2, 16});
+  EXPECT_FALSE(s.requires_apriori_length());
+}
+
+TEST(Srr, CreditGoesNegativeOnOvershoot) {
+  SrrScheduler s(SrrConfig{2, 4});
+  enqueue(s, 0, 0, 10);  // one packet far larger than the quantum
+  enqueue(s, 0, 0, 1);
+  (void)pump(s, 10);
+  // Visit: credit 4, packet of 10 -> credit -6 (elastic overshoot).
+  EXPECT_DOUBLE_EQ(s.credit(FlowId(0)), -6.0);
+}
+
+TEST(Srr, NegativeCreditThrottlesFutureRounds) {
+  // Flow 0 overshoots with a 12-flit packet (quantum 4); it then needs
+  // three visits of credit before its next packet may start, during which
+  // flow 1 catches up.
+  SrrScheduler s(SrrConfig{2, 4});
+  enqueue(s, 0, 0, 12);
+  for (int k = 0; k < 10; ++k) enqueue(s, 0, 0, 4);
+  for (int k = 0; k < 20; ++k) enqueue(s, 0, 1, 4);
+  const auto counts = per_flow_flits(pump(s, 80), 2);
+  EXPECT_NEAR(static_cast<double>(counts[0]),
+              static_cast<double>(counts[1]), 12.0 + 4.0);
+}
+
+TEST(Srr, LongRunFairnessAcrossUnequalPacketSizes) {
+  SrrScheduler s(SrrConfig{2, 16});
+  for (int k = 0; k < 60; ++k) enqueue(s, 0, 0, 20);
+  for (int k = 0; k < 600; ++k) enqueue(s, 0, 1, 2);
+  const auto counts = per_flow_flits(pump(s, 2000), 2);
+  EXPECT_NEAR(static_cast<double>(counts[0]),
+              static_cast<double>(counts[1]), 2.0 * 20 + 16);
+}
+
+TEST(Srr, DeepDebtDefersButDoesNotStarve) {
+  SrrScheduler s(SrrConfig{2, 1});
+  enqueue(s, 0, 0, 30);  // overshoot: credit 1 - 30 = -29
+  enqueue(s, 0, 0, 30);
+  enqueue(s, 0, 1, 1);
+  enqueue(s, 0, 1, 1);
+  const auto order = test::completions(pump(s, 100));
+  ASSERT_EQ(order.size(), 4u);
+  // Flow 1 drains both packets while flow 0 repays its debt, but flow 0
+  // eventually gets served again (no permanent starvation).
+  EXPECT_EQ(order[0].first, 0u);
+  EXPECT_EQ(order[1].first, 1u);
+  EXPECT_EQ(order[2].first, 1u);
+  EXPECT_EQ(order[3].first, 0u);
+}
+
+TEST(Srr, WeightScalesQuantum) {
+  SrrScheduler s(SrrConfig{2, 8});
+  s.set_weight(FlowId(0), 3.0);
+  for (int k = 0; k < 300; ++k) {
+    enqueue(s, 0, 0, 4);
+    enqueue(s, 0, 1, 4);
+  }
+  const auto counts = per_flow_flits(pump(s, 1000), 2);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / static_cast<double>(counts[1]),
+              3.0, 0.25);
+}
+
+TEST(Srr, IdleFlowForfeitsCredit) {
+  SrrScheduler s(SrrConfig{2, 4});
+  enqueue(s, 0, 0, 10);
+  (void)pump(s, 12);
+  EXPECT_TRUE(s.idle());
+  // Reactivation resets the -6 credit to 0.
+  enqueue(s, 20, 0, 2);
+  (void)pump(s, 4, 20);
+  EXPECT_DOUBLE_EQ(s.credit(FlowId(0)), 0.0);  // reset, then 4-2 -> ...
+}
+
+// ---------------------------------------------------------------------
+// PERR
+
+TEST(Perr, DefaultIsSingleClassErr) {
+  PerrScheduler s(PerrConfig{3, {}, false});
+  EXPECT_EQ(s.num_classes(), 1u);
+  for (std::uint32_t f = 0; f < 3; ++f)
+    for (int k = 0; k < 2; ++k) enqueue(s, 0, f, 5);
+  const auto order = test::completions(pump(s, 30));
+  ASSERT_EQ(order.size(), 6u);
+  for (std::size_t i = 0; i < order.size(); ++i)
+    EXPECT_EQ(order[i].first, i % 3);
+}
+
+TEST(Perr, HighPriorityClassPreemptsAtPacketBoundary) {
+  // Flows 0,1 in class 1 (low); flow 2 in class 0 (high).
+  PerrScheduler s(PerrConfig{3, {1, 1, 0}, false});
+  enqueue(s, 0, 0, 6);
+  enqueue(s, 0, 1, 6);
+  auto ems = pump(s, 3);  // class 1 starts serving flow 0 mid-packet
+  enqueue(s, 3, 2, 4);    // high-priority packet arrives
+  ems = pump(s, 20, 3);
+  const auto order = test::completions(ems);
+  ASSERT_EQ(order.size(), 3u);
+  // Flow 0's packet completes (no interleaving!), then the high class
+  // preempts flow 1 even though class 1's rotation would serve it next.
+  EXPECT_EQ(order[0].first, 0u);
+  EXPECT_EQ(order[1].first, 2u);
+  EXPECT_EQ(order[2].first, 1u);
+}
+
+TEST(Perr, HighClassSaturationStarvesLowClass) {
+  // Strict priority: a saturated class 0 takes everything.  (Starvation
+  // protection across classes is the operator's job — the point of PERR
+  // is isolation of latency classes.)
+  PerrScheduler s(PerrConfig{2, {0, 1}, false});
+  for (int k = 0; k < 20; ++k) enqueue(s, 0, 0, 5);
+  enqueue(s, 0, 1, 5);
+  const auto ems = pump(s, 50);
+  const auto counts = per_flow_flits(ems, 2);
+  EXPECT_EQ(counts[1], 0);
+}
+
+TEST(Perr, FairWithinEachClass) {
+  PerrScheduler s(PerrConfig{4, {0, 0, 1, 1}, false});
+  // Class 0 lightly loaded; class 1 saturated with unequal packet sizes.
+  for (int k = 0; k < 5; ++k) {
+    enqueue(s, 0, 0, 2);
+    enqueue(s, 0, 1, 2);
+  }
+  for (int k = 0; k < 30; ++k) enqueue(s, 0, 2, 12);
+  for (int k = 0; k < 120; ++k) enqueue(s, 0, 3, 3);
+  const auto counts = per_flow_flits(pump(s, 600), 4);
+  // Class 0 fully served.
+  EXPECT_EQ(counts[0], 10);
+  EXPECT_EQ(counts[1], 10);
+  // Class 1 split fairly despite the 4x packet-size asymmetry.
+  EXPECT_NEAR(static_cast<double>(counts[2]),
+              static_cast<double>(counts[3]), 3.0 * 12);
+}
+
+TEST(Perr, LowClassOpportunityResumesAfterPreemption) {
+  // Class 1's flow has an allowance that spans several packets; a class-0
+  // packet intervenes mid-opportunity, then the class-1 opportunity
+  // resumes with its allowance intact (elastic accounting is preserved).
+  PerrScheduler s(PerrConfig{3, {1, 1, 0}, false});
+  // Round 1: flow 0 overshoots (10 >> 1), flow 1 sends 1.
+  enqueue(s, 0, 0, 10);
+  enqueue(s, 0, 1, 1);
+  for (int k = 0; k < 12; ++k) enqueue(s, 0, 1, 1);
+  auto ems = pump(s, 12);  // flow 0's 10 + flow 1's first two packets
+  // Round 2 gives flow 1 allowance 1+9-0=10; let it start, then preempt.
+  enqueue(s, 12, 2, 5);
+  ems = pump(s, 30, 12);
+  const auto counts = per_flow_flits(ems, 3);
+  EXPECT_EQ(counts[2], 5);              // high class served
+  EXPECT_GE(counts[1], 9);              // flow 1 still got its allowance
+}
+
+TEST(PerrDeath, MismatchedPriorityVectorAborts) {
+  EXPECT_DEATH(PerrScheduler(PerrConfig{3, {0, 1}, false}),
+               "one entry per flow");
+}
+
+}  // namespace
+}  // namespace wormsched::core

@@ -1,0 +1,66 @@
+// Shared helpers for driving schedulers in core tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/packet.hpp"
+#include "core/scheduler.hpp"
+
+namespace wormsched::core::test {
+
+struct Emission {
+  Cycle cycle;
+  FlowId flow;
+  PacketId packet;
+  bool head;
+  bool tail;
+};
+
+/// Enqueues a packet with an auto-assigned id and returns that id.
+inline PacketId enqueue(Scheduler& s, Cycle now, std::uint32_t flow,
+                        Flits length) {
+  static_assert(sizeof(PacketId::rep_type) == 8);
+  // Ids only need to be unique within one scheduler; a per-call counter
+  // shared across tests is fine.
+  static std::uint64_t next_id = 0;
+  const PacketId id(next_id++);
+  s.enqueue(now, Packet{.id = id, .flow = FlowId(flow), .length = length,
+                        .arrival = now});
+  return id;
+}
+
+/// Pulls one flit per cycle for `cycles` cycles starting at `start`,
+/// recording every emission.
+inline std::vector<Emission> pump(Scheduler& s, Cycle cycles,
+                                  Cycle start = 0) {
+  std::vector<Emission> out;
+  for (Cycle t = start; t < start + cycles; ++t) {
+    const std::optional<FlitEvent> flit = s.pull_flit(t);
+    if (flit) {
+      out.push_back(Emission{t, flit->flow, flit->packet, flit->is_head,
+                             flit->is_tail});
+    }
+  }
+  return out;
+}
+
+/// Flits emitted per flow.
+inline std::vector<Flits> per_flow_flits(const std::vector<Emission>& ems,
+                                         std::size_t num_flows) {
+  std::vector<Flits> counts(num_flows, 0);
+  for (const Emission& e : ems) ++counts[e.flow.index()];
+  return counts;
+}
+
+/// The sequence of (flow, packet) pairs in order of packet *completion*.
+inline std::vector<std::pair<std::uint32_t, PacketId>> completions(
+    const std::vector<Emission>& ems) {
+  std::vector<std::pair<std::uint32_t, PacketId>> out;
+  for (const Emission& e : ems)
+    if (e.tail) out.emplace_back(e.flow.value(), e.packet);
+  return out;
+}
+
+}  // namespace wormsched::core::test

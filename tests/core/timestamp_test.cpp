@@ -1,0 +1,165 @@
+#include "core/timestamp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace wormsched::core {
+namespace {
+
+using test::enqueue;
+using test::per_flow_flits;
+using test::pump;
+
+TEST(Scfq, DeclaresAprioriLengthRequirement) {
+  ScfqScheduler s(2);
+  EXPECT_TRUE(s.requires_apriori_length());
+}
+
+TEST(Scfq, EqualFlowsShareEqually) {
+  ScfqScheduler s(2);
+  for (int k = 0; k < 100; ++k) {
+    enqueue(s, 0, 0, 5);
+    enqueue(s, 0, 1, 5);
+  }
+  const auto counts = per_flow_flits(pump(s, 600), 2);
+  EXPECT_NEAR(static_cast<double>(counts[0]),
+              static_cast<double>(counts[1]), 10.0);
+}
+
+TEST(Scfq, LongPacketsDoNotGainBandwidth) {
+  ScfqScheduler s(2);
+  for (int k = 0; k < 40; ++k) enqueue(s, 0, 0, 20);
+  for (int k = 0; k < 400; ++k) enqueue(s, 0, 1, 2);
+  const auto counts = per_flow_flits(pump(s, 700), 2);
+  EXPECT_NEAR(static_cast<double>(counts[0]),
+              static_cast<double>(counts[1]), 25.0);
+}
+
+TEST(Scfq, WeightedSharing) {
+  ScfqScheduler s(2);
+  s.set_weight(FlowId(0), 3.0);
+  for (int k = 0; k < 300; ++k) {
+    enqueue(s, 0, 0, 4);
+    enqueue(s, 0, 1, 4);
+  }
+  const auto counts = per_flow_flits(pump(s, 1600), 2);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / static_cast<double>(counts[1]),
+              3.0, 0.2);
+}
+
+TEST(Scfq, ShortPacketJumpsLongQueue) {
+  // A 1-flit packet stamped just after service starts on a 100-flit worm
+  // still finishes well before flow 0's *next* 100-flit packet.
+  ScfqScheduler s(2);
+  enqueue(s, 0, 0, 100);
+  enqueue(s, 0, 0, 100);
+  auto ems = pump(s, 1);  // flow 0's first packet enters service
+  enqueue(s, 1, 1, 1);
+  ems = pump(s, 250, 1);
+  const auto order = test::completions(ems);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0].first, 0u);
+  EXPECT_EQ(order[1].first, 1u);  // the short packet beats packet #2
+  EXPECT_EQ(order[2].first, 0u);
+}
+
+TEST(Scfq, VirtualTimeResetsWhenIdle) {
+  ScfqScheduler s(2);
+  enqueue(s, 0, 0, 50);
+  (void)pump(s, 60);
+  ASSERT_TRUE(s.idle());
+  // After the reset a fresh pair of flows competes evenly from zero.
+  for (int k = 0; k < 50; ++k) {
+    enqueue(s, 100, 0, 4);
+    enqueue(s, 100, 1, 4);
+  }
+  const auto counts = per_flow_flits(pump(s, 300, 100), 2);
+  EXPECT_NEAR(static_cast<double>(counts[0]),
+              static_cast<double>(counts[1]), 8.0);
+}
+
+TEST(Stfq, EqualFlowsShareEqually) {
+  StfqScheduler s(2);
+  for (int k = 0; k < 100; ++k) {
+    enqueue(s, 0, 0, 5);
+    enqueue(s, 0, 1, 5);
+  }
+  const auto counts = per_flow_flits(pump(s, 600), 2);
+  EXPECT_NEAR(static_cast<double>(counts[0]),
+              static_cast<double>(counts[1]), 10.0);
+}
+
+TEST(Stfq, WeightedSharing) {
+  StfqScheduler s(2);
+  s.set_weight(FlowId(0), 2.0);
+  for (int k = 0; k < 300; ++k) {
+    enqueue(s, 0, 0, 4);
+    enqueue(s, 0, 1, 4);
+  }
+  const auto counts = per_flow_flits(pump(s, 1600), 2);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / static_cast<double>(counts[1]),
+              2.0, 0.15);
+}
+
+TEST(Stfq, BigPacketDoesNotBlockSmallFlowLong) {
+  // After flow 0's 100-flit packet, its next start tag sits at virtual
+  // time 100 while flow 1's packets start at the current virtual time:
+  // flow 1 catches up with several packets in a row.
+  StfqScheduler s(2);
+  enqueue(s, 0, 0, 100);
+  enqueue(s, 0, 0, 100);
+  for (int k = 0; k < 20; ++k) enqueue(s, 0, 1, 5);
+  const auto ems = pump(s, 200);
+  // Within the first 200 cycles: flow 0's first packet (100 flits) plus
+  // all of flow 1's 100 flits that had started before flow 0's second
+  // 100-flit packet becomes eligible again.
+  const auto counts = per_flow_flits(ems, 2);
+  EXPECT_GE(counts[1], 95);
+}
+
+TEST(VirtualClock, EqualFlowsShareEqually) {
+  VirtualClockScheduler s(2);
+  for (int k = 0; k < 100; ++k) {
+    enqueue(s, 0, 0, 5);
+    enqueue(s, 0, 1, 5);
+  }
+  const auto counts = per_flow_flits(pump(s, 600), 2);
+  EXPECT_NEAR(static_cast<double>(counts[0]),
+              static_cast<double>(counts[1]), 10.0);
+}
+
+TEST(VirtualClock, PunishesPastOveruse) {
+  // Classic Virtual Clock behaviour: a flow that consumed the idle system
+  // far above its reserved rate has advanced its auxVC; when a competitor
+  // appears, the overuser is locked out until real time catches up.
+  VirtualClockScheduler s(2);
+  for (int k = 0; k < 20; ++k) enqueue(s, 0, 0, 10);  // alone: 200 flits
+  auto ems = pump(s, 200);
+  EXPECT_EQ(ems.size(), 200u);
+  // Competitor arrives; flow 0 also has fresh packets.
+  for (int k = 0; k < 10; ++k) {
+    enqueue(s, 200, 0, 10);
+    enqueue(s, 200, 1, 10);
+  }
+  ems = pump(s, 100, 200);
+  const auto counts = per_flow_flits(ems, 2);
+  // Flow 0's stamps start near 400 (auxVC after 200 flits at rate 1/2);
+  // flow 1's start near 220 — flow 1 dominates this window.
+  EXPECT_GT(counts[1], counts[0] * 3);
+}
+
+TEST(VirtualClock, WeightedReservation) {
+  VirtualClockScheduler s(2);
+  s.set_weight(FlowId(0), 3.0);
+  for (int k = 0; k < 300; ++k) {
+    enqueue(s, 0, 0, 4);
+    enqueue(s, 0, 1, 4);
+  }
+  const auto counts = per_flow_flits(pump(s, 1600), 2);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / static_cast<double>(counts[1]),
+              3.0, 0.25);
+}
+
+}  // namespace
+}  // namespace wormsched::core

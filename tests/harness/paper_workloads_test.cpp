@@ -1,0 +1,68 @@
+#include "harness/paper_workloads.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wormsched::harness {
+namespace {
+
+TEST(Fig4Workload, MatchesPaperParameters) {
+  const auto spec = fig4_workload();
+  ASSERT_EQ(spec.num_flows(), 8u);
+  // Flow 2: U[1,128]; all others U[1,64].
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(spec.flows[i].length.lo, 1) << i;
+    EXPECT_EQ(spec.flows[i].length.hi, i == 2 ? 128 : 64) << i;
+  }
+  // Flow 3 at double the packet rate of flow 0.
+  EXPECT_NEAR(spec.flows[3].arrival.rate, 2.0 * spec.flows[0].arrival.rate,
+              1e-12);
+  EXPECT_EQ(spec.max_packet_length(), 128);
+}
+
+TEST(Fig4Workload, OfferedLoadEqualsOverload) {
+  EXPECT_NEAR(fig4_workload(8, 1.5).offered_load(), 1.5, 1e-9);
+  EXPECT_NEAR(fig4_workload(8, 1.2).offered_load(), 1.2, 1e-9);
+}
+
+TEST(Fig4Workload, EveryFlowExceedsFairShare) {
+  // The all-flows-active-for-4M-cycles methodology requires each flow's
+  // offered load to beat its 1/8 fair share at the default overload.
+  const auto spec = fig4_workload();
+  for (const auto& f : spec.flows) {
+    EXPECT_GT(f.arrival.mean_rate() * f.length.mean_length(), 1.0 / 8.0);
+  }
+}
+
+TEST(Fig5Workload, TransientWindowAndRatio) {
+  const auto spec = fig5_workload(1.25);
+  EXPECT_EQ(spec.num_flows(), 4u);
+  EXPECT_EQ(spec.inject_until, 10000u);
+  EXPECT_NEAR(spec.offered_load(), 1.25, 1e-9);
+  EXPECT_EQ(spec.flows[2].length.hi, 128);
+  EXPECT_NEAR(spec.flows[3].arrival.rate, 2.0 * spec.flows[1].arrival.rate,
+              1e-12);
+}
+
+TEST(Fig6Workload, ExponentialLengthsAndSymmetry) {
+  const auto spec = fig6_workload(6);
+  ASSERT_EQ(spec.num_flows(), 6u);
+  for (const auto& f : spec.flows) {
+    EXPECT_EQ(f.length.kind, traffic::LengthSpec::Kind::kTruncExp);
+    EXPECT_DOUBLE_EQ(f.length.lambda, 0.2);
+    EXPECT_EQ(f.length.lo, 1);
+    EXPECT_EQ(f.length.hi, 64);
+    EXPECT_NEAR(f.arrival.rate, spec.flows[0].arrival.rate, 1e-12);
+  }
+  EXPECT_NEAR(spec.offered_load(), 1.5, 1e-9);
+}
+
+TEST(Fig6Workload, ScalesAcrossFlowCounts) {
+  for (std::size_t n = 2; n <= 10; ++n) {
+    const auto spec = fig6_workload(n);
+    EXPECT_EQ(spec.num_flows(), n);
+    EXPECT_NEAR(spec.offered_load(), 1.5, 1e-9) << n;
+  }
+}
+
+}  // namespace
+}  // namespace wormsched::harness

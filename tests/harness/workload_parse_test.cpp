@@ -1,0 +1,92 @@
+#include "harness/workload_parse.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wormsched::harness {
+namespace {
+
+TEST(WorkloadParse, SingleUniformFlow) {
+  const auto parsed = parse_workload("bern:0.01:u1-64");
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->spec.flows.size(), 1u);
+  const auto& f = parsed->spec.flows[0];
+  EXPECT_EQ(f.arrival.kind, traffic::ArrivalSpec::Kind::kBernoulli);
+  EXPECT_DOUBLE_EQ(f.arrival.rate, 0.01);
+  EXPECT_EQ(f.length.kind, traffic::LengthSpec::Kind::kUniform);
+  EXPECT_EQ(f.length.lo, 1);
+  EXPECT_EQ(f.length.hi, 64);
+  EXPECT_DOUBLE_EQ(parsed->weights[0], 1.0);
+}
+
+TEST(WorkloadParse, Fig4StyleSpec) {
+  const auto parsed =
+      parse_workload("bern:0.005:u1-64*2;bern:0.004:u1-128;bern:0.01:u1-64");
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->spec.flows.size(), 4u);
+  EXPECT_EQ(parsed->spec.flows[0].length.hi, 64);
+  EXPECT_EQ(parsed->spec.flows[1].length.hi, 64);
+  EXPECT_EQ(parsed->spec.flows[2].length.hi, 128);
+  EXPECT_DOUBLE_EQ(parsed->spec.flows[3].arrival.rate, 0.01);
+}
+
+TEST(WorkloadParse, AllLengthKinds) {
+  const auto parsed = parse_workload(
+      "bern:0.01:c16;bern:0.01:e0.2-1-64;bern:0.01:b2-100-0.9");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->spec.flows[0].length.kind,
+            traffic::LengthSpec::Kind::kConstant);
+  EXPECT_EQ(parsed->spec.flows[1].length.kind,
+            traffic::LengthSpec::Kind::kTruncExp);
+  EXPECT_DOUBLE_EQ(parsed->spec.flows[1].length.lambda, 0.2);
+  EXPECT_EQ(parsed->spec.flows[2].length.kind,
+            traffic::LengthSpec::Kind::kBimodal);
+  EXPECT_DOUBLE_EQ(parsed->spec.flows[2].length.bimodal_small_prob, 0.9);
+}
+
+TEST(WorkloadParse, AllArrivalKinds) {
+  const auto parsed = parse_workload(
+      "poisson:0.02:u1-8;periodic:0.05:u1-8;onoff-100-300:0.5:u1-8");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->spec.flows[0].arrival.kind,
+            traffic::ArrivalSpec::Kind::kPoisson);
+  EXPECT_EQ(parsed->spec.flows[1].arrival.kind,
+            traffic::ArrivalSpec::Kind::kPeriodic);
+  const auto& onoff = parsed->spec.flows[2].arrival;
+  EXPECT_EQ(onoff.kind, traffic::ArrivalSpec::Kind::kOnOff);
+  EXPECT_DOUBLE_EQ(onoff.mean_on, 100.0);
+  EXPECT_DOUBLE_EQ(onoff.mean_off, 300.0);
+}
+
+TEST(WorkloadParse, WeightsParsed) {
+  const auto parsed = parse_workload("bern:0.01:u1-8:2.5*2;bern:0.01:u1-8");
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->weights.size(), 3u);
+  EXPECT_DOUBLE_EQ(parsed->weights[0], 2.5);
+  EXPECT_DOUBLE_EQ(parsed->weights[1], 2.5);
+  EXPECT_DOUBLE_EQ(parsed->weights[2], 1.0);
+}
+
+TEST(WorkloadParse, ErrorsAreReported) {
+  std::string error;
+  EXPECT_FALSE(parse_workload("", &error).has_value());
+  EXPECT_FALSE(parse_workload("bern:0.01", &error).has_value());
+  EXPECT_NE(error.find("arrival:rate:length"), std::string::npos);
+  EXPECT_FALSE(parse_workload("warp:0.01:u1-8", &error).has_value());
+  EXPECT_NE(error.find("unknown arrival"), std::string::npos);
+  EXPECT_FALSE(parse_workload("bern:fast:u1-8", &error).has_value());
+  EXPECT_FALSE(parse_workload("bern:0.01:u8-1", &error).has_value());
+  EXPECT_FALSE(parse_workload("bern:0.01:q5", &error).has_value());
+  EXPECT_FALSE(parse_workload("bern:0.01:u1-8*0", &error).has_value());
+  EXPECT_FALSE(parse_workload("bern:0.01:u1-8:-1", &error).has_value());
+}
+
+TEST(WorkloadParse, ParsedSpecGeneratesTraffic) {
+  const auto parsed = parse_workload("bern:0.05:u1-8*3");
+  ASSERT_TRUE(parsed.has_value());
+  const auto trace = traffic::generate_trace(parsed->spec, 10000, 1);
+  EXPECT_GT(trace.entries.size(), 1000u);
+  EXPECT_EQ(trace.num_flows, 3u);
+}
+
+}  // namespace
+}  // namespace wormsched::harness

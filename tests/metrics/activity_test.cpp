@@ -1,0 +1,75 @@
+#include "metrics/activity.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wormsched::metrics {
+namespace {
+
+TEST(Activity, SingleWindow) {
+  ActivityTracker tracker(1);
+  for (Cycle t = 0; t < 100; ++t) tracker.record(t, FlowId(0), t >= 10 && t < 60);
+  tracker.finish(100);
+  EXPECT_TRUE(tracker.active_throughout(FlowId(0), 10, 60));
+  EXPECT_TRUE(tracker.active_throughout(FlowId(0), 20, 40));
+  EXPECT_FALSE(tracker.active_throughout(FlowId(0), 9, 60));
+  EXPECT_FALSE(tracker.active_throughout(FlowId(0), 10, 61));
+  EXPECT_FALSE(tracker.active_throughout(FlowId(0), 0, 5));
+}
+
+TEST(Activity, MultipleWindows) {
+  ActivityTracker tracker(1);
+  auto active = [](Cycle t) { return (t / 10) % 2 == 0; };  // on 0-9, 20-29...
+  for (Cycle t = 0; t < 100; ++t) tracker.record(t, FlowId(0), active(t));
+  tracker.finish(100);
+  EXPECT_TRUE(tracker.active_throughout(FlowId(0), 20, 30));
+  EXPECT_TRUE(tracker.active_throughout(FlowId(0), 42, 48));
+  EXPECT_FALSE(tracker.active_throughout(FlowId(0), 5, 25));  // spans a gap
+  EXPECT_FALSE(tracker.active_throughout(FlowId(0), 12, 15));
+}
+
+TEST(Activity, OpenWindowClosedByFinish) {
+  ActivityTracker tracker(1);
+  for (Cycle t = 0; t < 50; ++t) tracker.record(t, FlowId(0), t >= 30);
+  tracker.finish(50);
+  EXPECT_TRUE(tracker.active_throughout(FlowId(0), 30, 50));
+  EXPECT_FALSE(tracker.active_throughout(FlowId(0), 30, 51));
+}
+
+TEST(Activity, NeverActiveFlow) {
+  ActivityTracker tracker(2);
+  for (Cycle t = 0; t < 10; ++t) {
+    tracker.record(t, FlowId(0), true);
+    tracker.record(t, FlowId(1), false);
+  }
+  tracker.finish(10);
+  EXPECT_TRUE(tracker.active_throughout(FlowId(0), 0, 10));
+  EXPECT_FALSE(tracker.active_throughout(FlowId(1), 3, 4));
+}
+
+TEST(Activity, EmptyIntervalAlwaysActive) {
+  ActivityTracker tracker(1);
+  tracker.finish(10);
+  EXPECT_TRUE(tracker.active_throughout(FlowId(0), 5, 5));
+}
+
+TEST(Activity, RedundantRecordsCoalesce) {
+  ActivityTracker tracker(1);
+  tracker.record(0, FlowId(0), true);
+  tracker.record(1, FlowId(0), true);
+  tracker.record(2, FlowId(0), true);
+  tracker.record(3, FlowId(0), false);
+  tracker.record(4, FlowId(0), true);
+  tracker.finish(10);
+  EXPECT_TRUE(tracker.active_throughout(FlowId(0), 0, 3));
+  EXPECT_FALSE(tracker.active_throughout(FlowId(0), 0, 4));
+  EXPECT_TRUE(tracker.active_throughout(FlowId(0), 4, 10));
+}
+
+TEST(ActivityDeath, QueryBeforeFinishAborts) {
+  ActivityTracker tracker(1);
+  tracker.record(0, FlowId(0), true);
+  EXPECT_DEATH((void)tracker.active_throughout(FlowId(0), 0, 1), "finish");
+}
+
+}  // namespace
+}  // namespace wormsched::metrics

@@ -1,0 +1,78 @@
+#include "metrics/delay.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wormsched::metrics {
+namespace {
+
+core::Packet packet(std::uint32_t flow, Cycle arrival) {
+  core::Packet p;
+  p.id = PacketId(0);
+  p.flow = FlowId(flow);
+  p.length = 1;
+  p.arrival = arrival;
+  return p;
+}
+
+TEST(DelayStats, RecordsDepartureMinusArrival) {
+  DelayStats stats(2);
+  stats.on_packet_departure(10, packet(0, 4));
+  stats.on_packet_departure(20, packet(0, 10));
+  stats.on_packet_departure(30, packet(1, 0));
+  EXPECT_EQ(stats.packets(), 3u);
+  EXPECT_DOUBLE_EQ(stats.overall().mean(), (6.0 + 10.0 + 30.0) / 3.0);
+  EXPECT_DOUBLE_EQ(stats.flow(FlowId(0)).mean(), 8.0);
+  EXPECT_DOUBLE_EQ(stats.flow(FlowId(1)).mean(), 30.0);
+}
+
+TEST(DelayStats, QuantilesTrackDistribution) {
+  DelayStats stats(1);
+  for (Cycle d = 1; d <= 100; ++d) stats.on_packet_departure(d, packet(0, 0));
+  EXPECT_NEAR(stats.quantile(0.5), 50.0, 2.0);
+  EXPECT_NEAR(stats.quantile(0.99), 99.0, 2.0);
+}
+
+TEST(DelayStats, PerFlowQuantilesAreIndependent) {
+  DelayStats stats(2);
+  for (Cycle d = 1; d <= 100; ++d) {
+    stats.on_packet_departure(d, packet(0, 0));        // delays 1..100
+    stats.on_packet_departure(10 * d, packet(1, 0));   // delays 10..1000
+  }
+  EXPECT_NEAR(stats.flow_quantile(FlowId(0), 0.5), 50.0, 2.0);
+  EXPECT_NEAR(stats.flow_quantile(FlowId(1), 0.5), 500.0, 20.0);
+}
+
+TEST(DelayStats, ZeroDelayPacket) {
+  DelayStats stats(1);
+  stats.on_packet_departure(7, packet(0, 7));
+  EXPECT_DOUBLE_EQ(stats.overall().mean(), 0.0);
+}
+
+TEST(ObserverChain, FansOutAllCallbacks) {
+  struct Counter final : core::SchedulerObserver {
+    int arrivals = 0, flits = 0, departures = 0;
+    void on_packet_arrival(Cycle, const core::Packet&) override { ++arrivals; }
+    void on_flit(Cycle, const core::FlitEvent&) override { ++flits; }
+    void on_packet_departure(Cycle, const core::Packet&) override {
+      ++departures;
+    }
+  };
+  Counter a, b;
+  ObserverChain chain;
+  chain.add(a);
+  chain.add(b);
+  chain.on_packet_arrival(0, packet(0, 0));
+  core::FlitEvent f;
+  f.flow = FlowId(0);
+  chain.on_flit(1, f);
+  chain.on_flit(2, f);
+  chain.on_packet_departure(3, packet(0, 0));
+  for (const Counter* c : {&a, &b}) {
+    EXPECT_EQ(c->arrivals, 1);
+    EXPECT_EQ(c->flits, 2);
+    EXPECT_EQ(c->departures, 1);
+  }
+}
+
+}  // namespace
+}  // namespace wormsched::metrics

@@ -1,0 +1,135 @@
+#include "metrics/fairness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "metrics/jain.hpp"
+
+namespace wormsched::metrics {
+namespace {
+
+core::FlitEvent flit(std::uint32_t flow) {
+  core::FlitEvent f;
+  f.flow = FlowId(flow);
+  f.packet = PacketId(0);
+  return f;
+}
+
+/// Builds a 2-flow fixture: flow 0 served on even cycles, flow 1 on a
+/// configurable subset; both active on [0, horizon).
+struct Fixture {
+  Fixture(Cycle horizon, int flow1_every)
+      : log(2), activity(2) {
+    for (Cycle t = 0; t < horizon; ++t) {
+      activity.record(t, FlowId(0), true);
+      activity.record(t, FlowId(1), true);
+      if (t % 2 == 0) log.on_flit(t, flit(0));
+      if (flow1_every > 0 && t % static_cast<Cycle>(flow1_every) == 0)
+        log.on_flit(t, flit(1));
+    }
+    activity.finish(horizon);
+  }
+  ServiceLog log;
+  ActivityTracker activity;
+};
+
+TEST(FairnessMeasure, EqualServiceGivesZero) {
+  Fixture fx(100, 2);  // both flows served every other cycle
+  EXPECT_EQ(fairness_measure(fx.log, fx.activity, 0, 100), 0);
+}
+
+TEST(FairnessMeasure, UnequalServiceMeasuredExactly) {
+  Fixture fx(100, 4);  // flow 0: 50 flits, flow 1: 25 flits
+  EXPECT_EQ(fairness_measure(fx.log, fx.activity, 0, 100), 25);
+  EXPECT_EQ(fairness_measure(fx.log, fx.activity, 0, 40), 10);
+}
+
+TEST(FairnessMeasure, InactiveFlowExcluded) {
+  ServiceLog log(2);
+  ActivityTracker activity(2);
+  for (Cycle t = 0; t < 100; ++t) {
+    activity.record(t, FlowId(0), true);
+    activity.record(t, FlowId(1), t < 50);  // flow 1 goes idle at 50
+    log.on_flit(t, flit(0));
+  }
+  activity.finish(100);
+  // Over [0,100) only flow 0 qualifies -> FM defined as 0.
+  EXPECT_EQ(fairness_measure(log, activity, 0, 100), 0);
+  // Over [0,50) both qualify: 50 vs 0.
+  EXPECT_EQ(fairness_measure(log, activity, 0, 50), 50);
+}
+
+TEST(FairnessMeasure, ThreeFlowsUsesExtremes) {
+  ServiceLog log(3);
+  ActivityTracker activity(3);
+  for (Cycle t = 0; t < 90; ++t) {
+    for (std::uint32_t f = 0; f < 3; ++f) activity.record(t, FlowId(f), true);
+    log.on_flit(t, flit(static_cast<std::uint32_t>(t % 3 == 0 ? 0 : (t % 3 == 1 ? 1 : 1))));
+  }
+  activity.finish(90);
+  // flow 0: 30, flow 1: 60, flow 2: 0 -> FM = 60.
+  EXPECT_EQ(fairness_measure(log, activity, 0, 90), 60);
+}
+
+TEST(AverageRelativeFairness, ZeroForPerfectlyFairService) {
+  Fixture fx(1000, 2);
+  Rng rng(3);
+  const double avg =
+      average_relative_fairness(fx.log, fx.activity, 1000, 200, rng);
+  // Alternating single-flit service: any interval differs by at most 1.
+  EXPECT_LE(avg, 1.0);
+}
+
+TEST(AverageRelativeFairness, GrowsWithImbalance) {
+  Fixture fair(2000, 2);
+  Fixture skew(2000, 8);
+  Rng rng1(5), rng2(5);
+  const double avg_fair =
+      average_relative_fairness(fair.log, fair.activity, 2000, 300, rng1);
+  const double avg_skew =
+      average_relative_fairness(skew.log, skew.activity, 2000, 300, rng2);
+  EXPECT_GT(avg_skew, avg_fair + 10.0);
+}
+
+TEST(MaxFairnessMeasure, FindsWorstBoundaryPair) {
+  Fixture fx(100, 4);
+  const std::vector<Cycle> boundaries = {0, 10, 40, 100};
+  EXPECT_EQ(max_fairness_measure(fx.log, fx.activity, boundaries), 25);
+}
+
+TEST(MaxFairnessMeasure, EmptyBoundariesGiveZero) {
+  Fixture fx(100, 2);
+  EXPECT_EQ(max_fairness_measure(fx.log, fx.activity, {}), 0);
+}
+
+TEST(JainIndex, PerfectEqualityIsOne) {
+  const std::array<double, 4> equal = {5, 5, 5, 5};
+  EXPECT_DOUBLE_EQ(jain_index(equal), 1.0);
+}
+
+TEST(JainIndex, MonopolyIsOneOverN) {
+  const std::array<double, 4> monopoly = {8, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(jain_index(monopoly), 0.25);
+}
+
+TEST(JainIndex, IntermediateCase) {
+  const std::array<double, 2> skewed = {1, 3};
+  // (1+3)^2 / (2 * (1+9)) = 16/20.
+  EXPECT_DOUBLE_EQ(jain_index(skewed), 0.8);
+}
+
+TEST(JainIndex, ScaleInvariant) {
+  const std::array<double, 3> a = {1, 2, 3};
+  const std::array<double, 3> b = {10, 20, 30};
+  EXPECT_DOUBLE_EQ(jain_index(a), jain_index(b));
+}
+
+TEST(JainIndex, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(jain_index({}), 1.0);
+  const std::array<double, 3> zeros = {0, 0, 0};
+  EXPECT_DOUBLE_EQ(jain_index(zeros), 1.0);
+}
+
+}  // namespace
+}  // namespace wormsched::metrics

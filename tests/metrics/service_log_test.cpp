@@ -1,0 +1,67 @@
+#include "metrics/service_log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wormsched::metrics {
+namespace {
+
+core::FlitEvent flit(std::uint32_t flow) {
+  core::FlitEvent f;
+  f.flow = FlowId(flow);
+  f.packet = PacketId(0);
+  return f;
+}
+
+TEST(ServiceLog, EmptyLogReportsZero) {
+  ServiceLog log(2);
+  EXPECT_EQ(log.sent(FlowId(0), 0, 100), 0);
+  EXPECT_EQ(log.total(FlowId(1)), 0);
+  EXPECT_EQ(log.grand_total(), 0);
+}
+
+TEST(ServiceLog, CountsFlitsInHalfOpenInterval) {
+  ServiceLog log(2);
+  log.on_flit(5, flit(0));
+  log.on_flit(6, flit(0));
+  log.on_flit(7, flit(1));
+  log.on_flit(10, flit(0));
+  EXPECT_EQ(log.sent(FlowId(0), 0, 100), 3);
+  EXPECT_EQ(log.sent(FlowId(0), 5, 10), 2);   // t2 exclusive
+  EXPECT_EQ(log.sent(FlowId(0), 6, 11), 2);   // t1 inclusive
+  EXPECT_EQ(log.sent(FlowId(0), 8, 10), 0);
+  EXPECT_EQ(log.sent(FlowId(1), 0, 100), 1);
+}
+
+TEST(ServiceLog, MultipleFlitsSameCycleFromDifferentFlows) {
+  // Network contexts can log several flows in one cycle.
+  ServiceLog log(3);
+  log.on_flit(4, flit(0));
+  log.on_flit(4, flit(1));
+  log.on_flit(4, flit(2));
+  EXPECT_EQ(log.grand_total(), 3);
+  EXPECT_EQ(log.sent(FlowId(1), 4, 5), 1);
+}
+
+TEST(ServiceLog, BytesScaleByFlitSize) {
+  ServiceLog log(1, 8);
+  log.on_flit(0, flit(0));
+  log.on_flit(1, flit(0));
+  EXPECT_EQ(log.total_bytes(FlowId(0)), 16u);
+  EXPECT_EQ(log.sent_bytes(FlowId(0), 0, 1), 8u);
+  EXPECT_EQ(log.flit_bytes(), 8u);
+}
+
+TEST(ServiceLog, EmptyIntervalIsZero) {
+  ServiceLog log(1);
+  log.on_flit(3, flit(0));
+  EXPECT_EQ(log.sent(FlowId(0), 5, 5), 0);
+}
+
+TEST(ServiceLogDeath, OutOfOrderFeedAborts) {
+  ServiceLog log(1);
+  log.on_flit(10, flit(0));
+  EXPECT_DEATH(log.on_flit(9, flit(0)), "time order");
+}
+
+}  // namespace
+}  // namespace wormsched::metrics

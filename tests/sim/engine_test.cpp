@@ -1,0 +1,128 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace wormsched::sim {
+namespace {
+
+TEST(Engine, StartsAtCycleZero) {
+  Engine e;
+  EXPECT_EQ(e.now(), 0u);
+}
+
+TEST(Engine, RunUntilAdvancesClock) {
+  Engine e;
+  e.run_until(10);
+  EXPECT_EQ(e.now(), 10u);
+}
+
+TEST(Engine, EventsFireAtScheduledCycle) {
+  Engine e;
+  std::vector<Cycle> fired;
+  e.schedule_at(3, [&](Cycle t) { fired.push_back(t); });
+  e.schedule_at(7, [&](Cycle t) { fired.push_back(t); });
+  e.run_until(10);
+  EXPECT_EQ(fired, (std::vector<Cycle>{3, 7}));
+}
+
+TEST(Engine, SameCycleEventsFifo) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(5, [&](Cycle) { order.push_back(1); });
+  e.schedule_at(5, [&](Cycle) { order.push_back(2); });
+  e.schedule_at(5, [&](Cycle) { order.push_back(3); });
+  e.run_until(6);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, EventMayScheduleSameCycleEvent) {
+  Engine e;
+  int count = 0;
+  e.schedule_at(2, [&](Cycle t) {
+    ++count;
+    e.schedule_at(t, [&](Cycle) { ++count; });
+  });
+  e.run_until(3);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Engine, ScheduleAfterIsRelative) {
+  Engine e;
+  Cycle fired = 0;
+  e.run_until(4);
+  e.schedule_after(3, [&](Cycle t) { fired = t; });
+  e.run_until(10);
+  EXPECT_EQ(fired, 7u);
+}
+
+TEST(EngineDeath, PastEventAborts) {
+  Engine e;
+  e.run_until(5);
+  EXPECT_DEATH(e.schedule_at(3, [](Cycle) {}), "past");
+}
+
+class Counter final : public Component {
+ public:
+  void tick(Cycle) override { ++ticks; }
+  [[nodiscard]] bool idle() const override { return ticks >= quota; }
+  int ticks = 0;
+  int quota = 0;
+};
+
+TEST(Engine, ComponentsTickEveryCycle) {
+  Engine e;
+  Counter c;
+  e.add_component(c);
+  e.run_until(25);
+  EXPECT_EQ(c.ticks, 25);
+}
+
+TEST(Engine, EventsRunBeforeComponentsWithinCycle) {
+  Engine e;
+  std::vector<std::string> order;
+  class Probe final : public Component {
+   public:
+    explicit Probe(std::vector<std::string>& log) : log_(log) {}
+    void tick(Cycle) override { log_.push_back("component"); }
+
+   private:
+    std::vector<std::string>& log_;
+  };
+  Probe p(order);
+  e.add_component(p);
+  e.schedule_at(0, [&](Cycle) { order.push_back("event"); });
+  e.step();
+  EXPECT_EQ(order, (std::vector<std::string>{"event", "component"}));
+}
+
+TEST(Engine, RunUntilIdleStopsWhenComponentsIdle) {
+  Engine e;
+  Counter c;
+  c.quota = 8;
+  e.add_component(c);
+  const Cycle end = e.run_until_idle(1000);
+  EXPECT_EQ(end, 8u);
+  EXPECT_EQ(c.ticks, 8);
+}
+
+TEST(Engine, RunUntilIdleWaitsForPendingEvents) {
+  Engine e;
+  bool fired = false;
+  e.schedule_at(42, [&](Cycle) { fired = true; });
+  const Cycle end = e.run_until_idle(1000);
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(end, 43u);  // the firing cycle completes
+}
+
+TEST(Engine, RunUntilIdleRespectsCap) {
+  Engine e;
+  Counter c;
+  c.quota = 1 << 20;
+  e.add_component(c);
+  EXPECT_EQ(e.run_until_idle(50), 50u);
+}
+
+}  // namespace
+}  // namespace wormsched::sim

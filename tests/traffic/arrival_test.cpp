@@ -1,0 +1,92 @@
+#include "traffic/arrival.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace wormsched::traffic {
+namespace {
+
+std::uint64_t count_arrivals(ArrivalProcess& proc, Cycle cycles) {
+  std::uint64_t total = 0;
+  for (Cycle t = 0; t < cycles; ++t) total += proc.packets_this_cycle(t);
+  return total;
+}
+
+TEST(Arrival, BernoulliLongRunRate) {
+  ArrivalProcess proc(ArrivalSpec::bernoulli(0.05), Rng(1));
+  const auto total = count_arrivals(proc, 200000);
+  EXPECT_NEAR(static_cast<double>(total) / 200000.0, 0.05, 0.003);
+}
+
+TEST(Arrival, BernoulliAtMostOnePerCycle) {
+  ArrivalProcess proc(ArrivalSpec::bernoulli(0.99), Rng(2));
+  for (Cycle t = 0; t < 1000; ++t) EXPECT_LE(proc.packets_this_cycle(t), 1u);
+}
+
+TEST(Arrival, PoissonLongRunRate) {
+  ArrivalProcess proc(ArrivalSpec::poisson(0.08), Rng(3));
+  const auto total = count_arrivals(proc, 200000);
+  EXPECT_NEAR(static_cast<double>(total) / 200000.0, 0.08, 0.004);
+}
+
+TEST(Arrival, PoissonCanBatchWithinACycle) {
+  // With rate 2/cycle multi-arrivals per cycle must occur.
+  ArrivalProcess proc(ArrivalSpec::poisson(2.0), Rng(4));
+  bool saw_batch = false;
+  for (Cycle t = 0; t < 1000 && !saw_batch; ++t)
+    saw_batch = proc.packets_this_cycle(t) >= 2;
+  EXPECT_TRUE(saw_batch);
+}
+
+TEST(Arrival, PeriodicExactSpacing) {
+  ArrivalProcess proc(ArrivalSpec::periodic(0.1), Rng(5));
+  std::vector<Cycle> arrivals;
+  for (Cycle t = 0; t < 100; ++t)
+    if (proc.packets_this_cycle(t) > 0) arrivals.push_back(t);
+  ASSERT_EQ(arrivals.size(), 10u);
+  for (std::size_t i = 1; i < arrivals.size(); ++i)
+    EXPECT_EQ(arrivals[i] - arrivals[i - 1], 10u);
+}
+
+TEST(Arrival, OnOffLongRunRateMatchesDutyCycle) {
+  const auto spec = ArrivalSpec::on_off(0.5, 200.0, 200.0);
+  ArrivalProcess proc(spec, Rng(6));
+  const auto total = count_arrivals(proc, 400000);
+  EXPECT_NEAR(static_cast<double>(total) / 400000.0, spec.mean_rate(), 0.02);
+  EXPECT_DOUBLE_EQ(spec.mean_rate(), 0.25);
+}
+
+TEST(Arrival, OnOffIsBurstier) {
+  // Compare variance of per-window counts: on-off must exceed Bernoulli at
+  // equal mean rate.
+  auto windowed_variance = [](ArrivalProcess& proc) {
+    RunningStat stat;
+    for (int w = 0; w < 2000; ++w) {
+      std::uint64_t count = 0;
+      for (Cycle t = 0; t < 100; ++t)
+        count += proc.packets_this_cycle(static_cast<Cycle>(w) * 100 + t);
+      stat.add(static_cast<double>(count));
+    }
+    return stat.variance();
+  };
+  ArrivalProcess bern(ArrivalSpec::bernoulli(0.25), Rng(7));
+  ArrivalProcess onoff(ArrivalSpec::on_off(0.5, 200.0, 200.0), Rng(8));
+  EXPECT_GT(windowed_variance(onoff), 2.0 * windowed_variance(bern));
+}
+
+TEST(Arrival, ZeroRateNeverArrives) {
+  ArrivalProcess proc(ArrivalSpec::bernoulli(0.0), Rng(9));
+  EXPECT_EQ(count_arrivals(proc, 10000), 0u);
+}
+
+TEST(ArrivalSpec, DescribeNamesTheProcess) {
+  EXPECT_NE(ArrivalSpec::poisson(0.1).describe().find("Poisson"),
+            std::string::npos);
+  EXPECT_NE(ArrivalSpec::on_off(0.5, 10, 20).describe().find("OnOff"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace wormsched::traffic

@@ -1,0 +1,69 @@
+#include "traffic/length.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace wormsched::traffic {
+namespace {
+
+TEST(LengthSpec, ConstantAlwaysSame) {
+  Rng rng(1);
+  const auto spec = LengthSpec::constant(17);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sample_length(rng, spec), 17);
+  EXPECT_DOUBLE_EQ(spec.mean_length(), 17.0);
+  EXPECT_EQ(spec.max_length(), 17);
+}
+
+TEST(LengthSpec, UniformStaysInRangeWithCorrectMean) {
+  Rng rng(2);
+  const auto spec = LengthSpec::uniform(1, 64);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const Flits len = sample_length(rng, spec);
+    ASSERT_GE(len, 1);
+    ASSERT_LE(len, 64);
+    sum += static_cast<double>(len);
+  }
+  EXPECT_NEAR(sum / n, 32.5, 0.3);
+  EXPECT_DOUBLE_EQ(spec.mean_length(), 32.5);
+}
+
+TEST(LengthSpec, TruncExpMatchesAnalyticMean) {
+  Rng rng(3);
+  const auto spec = LengthSpec::truncated_exponential(0.2, 1, 64);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(sample_length(rng, spec));
+  EXPECT_NEAR(sum / n, spec.mean_length(), 0.05);
+  // Analytic mean of the discrete truncated law with lambda=0.2 on [1,64]:
+  // 1 + e^{-0.2}/(1 - e^{-0.2}) ~= 5.52 (truncation at 64 is negligible).
+  // Small packets dominate — the Fig. 6 regime.
+  EXPECT_NEAR(spec.mean_length(), 5.52, 0.02);
+}
+
+TEST(LengthSpec, BimodalSplitsMass) {
+  Rng rng(4);
+  const auto spec = LengthSpec::bimodal(2, 100, 0.75);
+  int small = 0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    const Flits len = sample_length(rng, spec);
+    ASSERT_TRUE(len == 2 || len == 100);
+    if (len == 2) ++small;
+  }
+  EXPECT_NEAR(static_cast<double>(small) / n, 0.75, 0.01);
+  EXPECT_DOUBLE_EQ(spec.mean_length(), 0.75 * 2 + 0.25 * 100);
+}
+
+TEST(LengthSpec, DescribeNamesTheLaw) {
+  EXPECT_EQ(LengthSpec::uniform(1, 64).describe(), "U[1,64]");
+  EXPECT_NE(LengthSpec::truncated_exponential(0.2, 1, 64)
+                .describe()
+                .find("TruncExp"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace wormsched::traffic

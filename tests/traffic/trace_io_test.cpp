@@ -1,0 +1,101 @@
+#include "traffic/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace wormsched::traffic {
+namespace {
+
+Trace sample_trace() {
+  Trace t;
+  t.num_flows = 3;
+  t.entries = {
+      {0, FlowId(2), 5},
+      {0, FlowId(0), 1},
+      {4, FlowId(1), 64},
+      {9, FlowId(0), 12},
+  };
+  return t;
+}
+
+TEST(TraceIo, RoundTripPreservesEverything) {
+  const Trace original = sample_trace();
+  std::stringstream buffer;
+  save_trace(buffer, original);
+  const Trace loaded = load_trace(buffer);
+  ASSERT_EQ(loaded.entries.size(), original.entries.size());
+  EXPECT_EQ(loaded.num_flows, original.num_flows);
+  for (std::size_t i = 0; i < original.entries.size(); ++i) {
+    EXPECT_EQ(loaded.entries[i].cycle, original.entries[i].cycle);
+    EXPECT_EQ(loaded.entries[i].flow, original.entries[i].flow);
+    EXPECT_EQ(loaded.entries[i].length, original.entries[i].length);
+  }
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/ws_trace_test.csv";
+  const Trace original = sample_trace();
+  save_trace_file(path, original);
+  const Trace loaded = load_trace_file(path);
+  EXPECT_EQ(loaded.entries.size(), original.entries.size());
+  EXPECT_EQ(loaded.total_flits(), original.total_flits());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, GeneratedTraceRoundTrip) {
+  WorkloadSpec spec;
+  FlowSpec f;
+  f.arrival = ArrivalSpec::bernoulli(0.05);
+  f.length = LengthSpec::uniform(1, 32);
+  spec.flows = {f, f};
+  const Trace original = generate_trace(spec, 5000, 11);
+  std::stringstream buffer;
+  save_trace(buffer, original);
+  const Trace loaded = load_trace(buffer);
+  EXPECT_EQ(loaded.total_flits(), original.total_flits());
+  EXPECT_EQ(loaded.max_observed_length(), original.max_observed_length());
+}
+
+TEST(TraceIo, EmptyTrace) {
+  std::stringstream buffer;
+  save_trace(buffer, Trace{});
+  const Trace loaded = load_trace(buffer);
+  EXPECT_TRUE(loaded.entries.empty());
+  EXPECT_EQ(loaded.num_flows, 0u);
+}
+
+TEST(TraceIo, MissingHeaderThrows) {
+  std::stringstream buffer("1,2,3\n");
+  EXPECT_THROW((void)load_trace(buffer), std::runtime_error);
+}
+
+TEST(TraceIo, MalformedFieldThrows) {
+  std::stringstream buffer("cycle,flow,length\n1,abc,3\n");
+  EXPECT_THROW((void)load_trace(buffer), std::runtime_error);
+}
+
+TEST(TraceIo, MissingFieldThrows) {
+  std::stringstream buffer("cycle,flow,length\n1,2\n");
+  EXPECT_THROW((void)load_trace(buffer), std::runtime_error);
+}
+
+TEST(TraceIo, NonPositiveLengthThrows) {
+  std::stringstream buffer("cycle,flow,length\n1,0,0\n");
+  EXPECT_THROW((void)load_trace(buffer), std::runtime_error);
+}
+
+TEST(TraceIo, TimeTravelThrows) {
+  std::stringstream buffer("cycle,flow,length\n5,0,1\n3,0,1\n");
+  EXPECT_THROW((void)load_trace(buffer), std::runtime_error);
+}
+
+TEST(TraceIo, BlankLinesTolerated) {
+  std::stringstream buffer("cycle,flow,length\n1,0,2\n\n2,1,3\n");
+  const Trace loaded = load_trace(buffer);
+  EXPECT_EQ(loaded.entries.size(), 2u);
+  EXPECT_EQ(loaded.num_flows, 2u);
+}
+
+}  // namespace
+}  // namespace wormsched::traffic

@@ -1,0 +1,175 @@
+// West-first adaptive routing: candidate-set correctness, delivery,
+// deadlock freedom under saturation, and actual congestion avoidance.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/engine.hpp"
+#include "wormhole/network.hpp"
+#include "wormhole/patterns.hpp"
+#include "wormhole/topology.hpp"
+
+namespace wormsched::wormhole {
+namespace {
+
+std::vector<Direction> directions_of(const std::vector<RouteDecision>& ds) {
+  std::vector<Direction> out;
+  for (const auto& d : ds) out.push_back(d.out);
+  std::sort(out.begin(), out.end(),
+            [](Direction a, Direction b) {
+              return static_cast<int>(a) < static_cast<int>(b);
+            });
+  return out;
+}
+
+TEST(WestFirst, WestboundIsDeterministic) {
+  Topology mesh(TopologySpec::mesh(4, 4));
+  // From (3,1)=7 to (0,2)=8: dest is west -> single West candidate, even
+  // though a south hop would also be productive.
+  const auto c =
+      mesh.west_first_candidates(NodeId(7), NodeId(8), Direction::kLocal, 0);
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_EQ(c[0].out, Direction::kWest);
+}
+
+TEST(WestFirst, EastSouthAdaptive) {
+  Topology mesh(TopologySpec::mesh(4, 4));
+  // From (0,0)=0 to (2,2)=10: east and south both productive.
+  const auto c =
+      mesh.west_first_candidates(NodeId(0), NodeId(10), Direction::kLocal, 0);
+  EXPECT_EQ(directions_of(c),
+            (std::vector<Direction>{Direction::kEast, Direction::kSouth}));
+}
+
+TEST(WestFirst, PureVerticalSingleCandidate) {
+  Topology mesh(TopologySpec::mesh(4, 4));
+  const auto down =
+      mesh.west_first_candidates(NodeId(1), NodeId(13), Direction::kLocal, 0);
+  ASSERT_EQ(down.size(), 1u);
+  EXPECT_EQ(down[0].out, Direction::kSouth);
+  const auto up =
+      mesh.west_first_candidates(NodeId(13), NodeId(1), Direction::kLocal, 0);
+  ASSERT_EQ(up.size(), 1u);
+  EXPECT_EQ(up[0].out, Direction::kNorth);
+}
+
+TEST(WestFirst, ArrivedIsLocal) {
+  Topology mesh(TopologySpec::mesh(4, 4));
+  const auto c =
+      mesh.west_first_candidates(NodeId(5), NodeId(5), Direction::kNorth, 1);
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_EQ(c[0].out, Direction::kLocal);
+  EXPECT_EQ(c[0].out_class, 1u);
+}
+
+TEST(WestFirstDeath, TorusRejected) {
+  Topology torus(TopologySpec::torus(4, 4));
+  EXPECT_DEATH((void)torus.west_first_candidates(NodeId(0), NodeId(5),
+                                                 Direction::kLocal, 0),
+               "mesh-only");
+}
+
+TEST(WestFirstNetwork, DeliversEverythingUnderUniformLoad) {
+  NetworkConfig config;
+  config.topo = TopologySpec::mesh(4, 4);
+  config.routing = NetworkConfig::Routing::kWestFirst;
+  Network net(config);
+  NetworkTrafficSource::Config traffic_config;
+  traffic_config.packets_per_node_per_cycle = 0.02;
+  traffic_config.inject_until = 3000;
+  traffic_config.lengths = traffic::LengthSpec::uniform(1, 10);
+  NetworkTrafficSource source(net, traffic_config);
+  sim::Engine engine;
+  engine.add_component(source);
+  engine.add_component(net);
+  engine.run_until(3000);
+  engine.run_until_idle(200000);
+  EXPECT_TRUE(net.idle());
+  EXPECT_EQ(net.delivered().size(), source.generated());
+  // Every packet actually reached its destination (Network::eject checks
+  // per-flit; count here double-checks the packet ledger).
+  for (const auto& p : net.delivered()) EXPECT_EQ(p.dest, p.dest);
+}
+
+TEST(WestFirstNetwork, SaturationNoDeadlock) {
+  // The turn model must keep the mesh deadlock-free even at loads far past
+  // saturation with small buffers.
+  NetworkConfig config;
+  config.topo = TopologySpec::mesh(4, 4);
+  config.routing = NetworkConfig::Routing::kWestFirst;
+  config.router.buffer_depth = 4;
+  config.router.num_vcs = 1;  // no VC crutch: the turn model alone
+  Network net(config);
+  NetworkTrafficSource::Config traffic_config;
+  traffic_config.packets_per_node_per_cycle = 0.1;
+  traffic_config.inject_until = 2000;
+  traffic_config.lengths = traffic::LengthSpec::uniform(1, 8);
+  traffic_config.seed = 77;
+  NetworkTrafficSource source(net, traffic_config);
+  sim::Engine engine;
+  engine.add_component(source);
+  engine.add_component(net);
+  engine.run_until(2000);
+  const Cycle end = engine.run_until_idle(500000);
+  EXPECT_TRUE(net.idle()) << "possible deadlock at cycle " << end;
+  EXPECT_EQ(net.delivered().size(), source.generated());
+}
+
+TEST(WestFirstNetwork, RoutesAroundCongestion) {
+  // Node 1 jams the row-0 east corridor (1 -> 3, long back-to-back
+  // worms).  Probes go 0 -> 10 = (2,2): XY is forced east into the jam,
+  // while west-first may detour south as soon as the backpressure from
+  // router 1 empties router 0's east credits.
+  const auto run = [](NetworkConfig::Routing routing) {
+    NetworkConfig config;
+    config.topo = TopologySpec::mesh(4, 4);
+    config.routing = routing;
+    // FCFS arbitration so the probes cannot rely on fair arbitration to
+    // squeeze past the jam — the contrast isolates the routing choice.
+    config.router.arbiter = "fcfs";
+    Network net(config);
+    sim::Engine engine;
+    engine.add_component(net);
+    PacketId::rep_type id = 0;
+    for (int k = 0; k < 40; ++k) {
+      PacketDescriptor jam;
+      jam.id = PacketId(id++);
+      jam.flow = FlowId(1);
+      jam.source = NodeId(1);
+      jam.dest = NodeId(3);
+      jam.length = 32;
+      jam.created = 0;
+      net.inject(0, jam);
+    }
+    // Let the congestion build up through the credit loop.
+    engine.run_until(100);
+    std::vector<PacketId> probe_ids;
+    for (int k = 0; k < 10; ++k) {
+      PacketDescriptor probe;
+      probe.id = PacketId(id++);
+      probe_ids.push_back(probe.id);
+      probe.flow = FlowId(0);
+      probe.source = NodeId(0);
+      probe.dest = NodeId(10);
+      probe.length = 8;
+      probe.created = engine.now();
+      net.inject(engine.now(), probe);
+    }
+    engine.run_until_idle(100000);
+    Cycle last_probe_done = 0;
+    for (const auto& p : net.delivered()) {
+      for (const PacketId pid : probe_ids) {
+        if (p.id == pid)
+          last_probe_done = std::max(last_probe_done, p.delivered);
+      }
+    }
+    EXPECT_GT(last_probe_done, 0u);
+    return last_probe_done;
+  };
+  const Cycle adaptive = run(NetworkConfig::Routing::kWestFirst);
+  const Cycle deterministic = run(NetworkConfig::Routing::kDor);
+  EXPECT_LT(adaptive, deterministic);
+}
+
+}  // namespace
+}  // namespace wormsched::wormhole

@@ -1,0 +1,115 @@
+#include "wormhole/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wormsched::wormhole {
+namespace {
+
+TEST(Topology, CoordinateRoundTrip) {
+  Topology mesh(TopologySpec::mesh(4, 3));
+  EXPECT_EQ(mesh.num_nodes(), 12u);
+  for (std::uint32_t n = 0; n < 12; ++n)
+    EXPECT_EQ(mesh.node(mesh.coord(NodeId(n))), NodeId(n));
+  EXPECT_EQ(mesh.coord(NodeId(5)).x, 1u);
+  EXPECT_EQ(mesh.coord(NodeId(5)).y, 1u);
+}
+
+TEST(Topology, MeshNeighborsAndEdges) {
+  Topology mesh(TopologySpec::mesh(3, 3));
+  const NodeId center(4);
+  EXPECT_EQ(mesh.neighbor(center, Direction::kEast), NodeId(5));
+  EXPECT_EQ(mesh.neighbor(center, Direction::kWest), NodeId(3));
+  EXPECT_EQ(mesh.neighbor(center, Direction::kNorth), NodeId(1));
+  EXPECT_EQ(mesh.neighbor(center, Direction::kSouth), NodeId(7));
+  // Corners fall off the edge.
+  EXPECT_FALSE(mesh.neighbor(NodeId(0), Direction::kWest).is_valid());
+  EXPECT_FALSE(mesh.neighbor(NodeId(0), Direction::kNorth).is_valid());
+  EXPECT_FALSE(mesh.neighbor(NodeId(8), Direction::kEast).is_valid());
+}
+
+TEST(Topology, TorusWrapsAround) {
+  Topology torus(TopologySpec::torus(3, 3));
+  EXPECT_EQ(torus.neighbor(NodeId(2), Direction::kEast), NodeId(0));
+  EXPECT_EQ(torus.neighbor(NodeId(0), Direction::kWest), NodeId(2));
+  EXPECT_EQ(torus.neighbor(NodeId(0), Direction::kNorth), NodeId(6));
+  EXPECT_TRUE(torus.is_wrap_link(NodeId(2), Direction::kEast));
+  EXPECT_FALSE(torus.is_wrap_link(NodeId(1), Direction::kEast));
+}
+
+TEST(Topology, MeshNeverWraps) {
+  Topology mesh(TopologySpec::mesh(3, 3));
+  for (std::uint32_t n = 0; n < 9; ++n)
+    for (const auto d : {Direction::kEast, Direction::kWest,
+                         Direction::kNorth, Direction::kSouth})
+      EXPECT_FALSE(mesh.is_wrap_link(NodeId(n), d));
+}
+
+TEST(Topology, DorRoutesXFirst) {
+  Topology mesh(TopologySpec::mesh(4, 4));
+  // From (0,0) to (2,2): east twice, then south twice.
+  const auto d1 = mesh.route(NodeId(0), NodeId(10), Direction::kLocal, 0);
+  EXPECT_EQ(d1.out, Direction::kEast);
+  const auto d2 = mesh.route(NodeId(1), NodeId(10), Direction::kWest, 0);
+  EXPECT_EQ(d2.out, Direction::kEast);
+  const auto d3 = mesh.route(NodeId(2), NodeId(10), Direction::kWest, 0);
+  EXPECT_EQ(d3.out, Direction::kSouth);
+  const auto d4 = mesh.route(NodeId(10), NodeId(10), Direction::kNorth, 0);
+  EXPECT_EQ(d4.out, Direction::kLocal);
+}
+
+TEST(Topology, HopCountsMesh) {
+  Topology mesh(TopologySpec::mesh(4, 4));
+  EXPECT_EQ(mesh.hops(NodeId(0), NodeId(0)), 0u);
+  EXPECT_EQ(mesh.hops(NodeId(0), NodeId(3)), 3u);
+  EXPECT_EQ(mesh.hops(NodeId(0), NodeId(15)), 6u);
+}
+
+TEST(Topology, TorusTakesShortWayRound) {
+  Topology torus(TopologySpec::torus(4, 4));
+  // 0 -> 3 is one west wrap hop, not three east hops.
+  EXPECT_EQ(torus.hops(NodeId(0), NodeId(3)), 1u);
+  const auto d = torus.route(NodeId(0), NodeId(3), Direction::kLocal, 0);
+  EXPECT_EQ(d.out, Direction::kWest);
+  EXPECT_TRUE(d.wraps);
+  EXPECT_EQ(d.out_class, 1u);  // dateline: wrap hop rides class 1
+}
+
+TEST(Topology, DatelineClassPersistsWithinDimension) {
+  Topology torus(TopologySpec::torus(5, 2));
+  // 0 -> 3 goes west: wrap to 4 (class 1), then 4 -> 3 stays class 1.
+  const auto first = torus.route(NodeId(0), NodeId(3), Direction::kLocal, 0);
+  EXPECT_EQ(first.out, Direction::kWest);
+  EXPECT_EQ(first.out_class, 1u);
+  const auto second = torus.route(NodeId(4), NodeId(3), Direction::kEast, 1);
+  EXPECT_EQ(second.out, Direction::kWest);
+  EXPECT_FALSE(second.wraps);
+  EXPECT_EQ(second.out_class, 1u);
+}
+
+TEST(Topology, DatelineClassResetsOnDimensionTurn) {
+  Topology torus(TopologySpec::torus(4, 4));
+  // A packet that wrapped in X (class 1) turning into Y restarts at 0.
+  const auto d = torus.route(NodeId(3), NodeId(7), Direction::kEast, 1);
+  EXPECT_EQ(d.out, Direction::kSouth);
+  EXPECT_EQ(d.out_class, 0u);
+}
+
+TEST(Topology, EveryPairRoutesToDestination) {
+  for (const auto spec :
+       {TopologySpec::mesh(4, 4), TopologySpec::torus(4, 4)}) {
+    Topology topo(spec);
+    for (std::uint32_t a = 0; a < topo.num_nodes(); ++a)
+      for (std::uint32_t b = 0; b < topo.num_nodes(); ++b)
+        EXPECT_LE(topo.hops(NodeId(a), NodeId(b)), 8u)
+            << spec.describe() << " " << a << "->" << b;
+  }
+}
+
+TEST(Topology, DescribeAndDirectionNames) {
+  EXPECT_EQ(TopologySpec::mesh(4, 4).describe(), "mesh 4x4");
+  EXPECT_EQ(TopologySpec::torus(2, 8).describe(), "torus 2x8");
+  EXPECT_STREQ(direction_name(Direction::kEast), "east");
+}
+
+}  // namespace
+}  // namespace wormsched::wormhole

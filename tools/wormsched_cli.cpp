@@ -1,0 +1,277 @@
+// wormsched — command-line front end for the library.
+//
+//   wormsched compare  --workload <spec> [--cycles N] [--schedulers a,b,c]
+//   wormsched run      --workload <spec> --scheduler err [--cycles N]
+//   wormsched gen-trace --workload <spec> --out trace.csv [--cycles N]
+//   wormsched replay   --trace trace.csv --scheduler err
+//   wormsched network  --topo mesh4x4 --arbiter err-cycles [--rate R]
+//
+// Workload specs use the grammar of harness/workload_parse.hpp, e.g. the
+// paper's Fig. 4 traffic is
+//   'bern:0.0046:u1-64*2;bern:0.0046:u1-128;bern:0.0092:u1-64;bern:0.0046:u1-64*4'
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "harness/scenario.hpp"
+#include "harness/workload_parse.hpp"
+#include "metrics/fairness.hpp"
+#include "sim/engine.hpp"
+#include "traffic/trace_io.hpp"
+#include "wormhole/network.hpp"
+#include "wormhole/patterns.hpp"
+
+using namespace wormsched;
+
+namespace {
+
+constexpr const char* kUsage =
+    "wormsched <command> [options]\n"
+    "\n"
+    "commands:\n"
+    "  compare    run several schedulers on one workload, print summary\n"
+    "  run        run one scheduler, print per-flow detail\n"
+    "  gen-trace  expand a workload spec into a trace CSV\n"
+    "  replay     replay a trace CSV through one scheduler\n"
+    "  network    drive a wormhole mesh/torus with synthetic traffic\n"
+    "\n"
+    "run 'wormsched <command> --help' for per-command options\n";
+
+harness::WorkloadParse parse_or_die(const std::string& text) {
+  std::string error;
+  auto parsed = harness::parse_workload(text, &error);
+  if (!parsed) {
+    std::fprintf(stderr, "bad --workload: %s\n", error.c_str());
+    std::exit(1);
+  }
+  return std::move(*parsed);
+}
+
+std::vector<std::string> split_names(const std::string& csv) {
+  std::vector<std::string> names;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) names.push_back(item);
+  }
+  return names;
+}
+
+void print_flow_detail(const harness::ScenarioResult& result) {
+  AsciiTable table("per-flow results (" + result.scheduler_name + ")");
+  table.set_header({"flow", "served flits", "served bytes", "mean delay",
+                    "p99 delay"});
+  for (std::uint32_t f = 0; f < result.num_flows(); ++f) {
+    table.add_row(f, static_cast<long long>(result.service_log.total(FlowId(f))),
+                  static_cast<unsigned long long>(
+                      result.service_log.total_bytes(FlowId(f))),
+                  fixed(result.delays.flow(FlowId(f)).mean(), 1),
+                  fixed(result.delays.flow_quantile(FlowId(f), 0.99), 1));
+  }
+  table.print(std::cout);
+}
+
+int cmd_compare(int argc, const char* const* argv) {
+  CliParser cli("compare schedulers on one workload");
+  cli.add_option("workload", "workload spec (see workload_parse.hpp)",
+                 "bern:0.01:u1-64*4");
+  cli.add_option("cycles", "simulated cycles", "200000");
+  cli.add_option("seed", "trace seed", "1");
+  cli.add_option("schedulers", "comma-separated list (default: all)", "all");
+  cli.add_flag("drain", "serve out all queues after the horizon");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const auto workload = parse_or_die(cli.get("workload"));
+  const Cycle cycles = cli.get_uint("cycles");
+  const auto trace =
+      traffic::generate_trace(workload.spec, cycles, cli.get_uint("seed"));
+  std::printf("workload: %zu flows, offered load %.3f flits/cycle, %zu "
+              "packets generated\n\n",
+              workload.spec.flows.size(), workload.spec.offered_load(),
+              trace.entries.size());
+
+  std::vector<std::string> names;
+  if (cli.get("schedulers") == "all") {
+    for (const auto n : core::scheduler_names()) names.emplace_back(n);
+  } else {
+    names = split_names(cli.get("schedulers"));
+  }
+
+  AsciiTable table("scheduler comparison, identical trace");
+  table.set_header({"scheduler", "served flits", "mean delay", "p95 delay",
+                    "FM[10%,end) flits"});
+  for (const auto& name : names) {
+    harness::ScenarioConfig config;
+    config.horizon = cycles;
+    config.drain = cli.get_flag("drain");
+    config.weights = workload.weights;
+    config.sched.drr_quantum = workload.spec.max_packet_length();
+    const auto result = harness::run_scenario(name, config, trace);
+    const Flits fm = metrics::fairness_measure(
+        result.service_log, result.activity, cycles / 10, cycles);
+    table.add_row(result.scheduler_name,
+                  static_cast<long long>(result.service_log.grand_total()),
+                  fixed(result.delays.overall().mean(), 1),
+                  fixed(result.delays.quantile(0.95), 1), fm);
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_run(int argc, const char* const* argv) {
+  CliParser cli("run one scheduler with per-flow detail");
+  cli.add_option("workload", "workload spec", "bern:0.01:u1-64*4");
+  cli.add_option("scheduler", "scheduler name", "err");
+  cli.add_option("cycles", "simulated cycles", "200000");
+  cli.add_option("seed", "trace seed", "1");
+  cli.add_flag("drain", "serve out all queues after the horizon");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const auto workload = parse_or_die(cli.get("workload"));
+  harness::ScenarioConfig config;
+  config.horizon = cli.get_uint("cycles");
+  config.seed = cli.get_uint("seed");
+  config.drain = cli.get_flag("drain");
+  config.weights = workload.weights;
+  config.sched.drr_quantum = workload.spec.max_packet_length();
+  const auto result =
+      harness::run_scenario(cli.get("scheduler"), config, workload.spec);
+  print_flow_detail(result);
+  return 0;
+}
+
+int cmd_gen_trace(int argc, const char* const* argv) {
+  CliParser cli("expand a workload spec into a trace CSV");
+  cli.add_option("workload", "workload spec", "bern:0.01:u1-64*4");
+  cli.add_option("cycles", "horizon", "100000");
+  cli.add_option("seed", "seed", "1");
+  cli.add_option("out", "output CSV path", "trace.csv");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const auto workload = parse_or_die(cli.get("workload"));
+  const auto trace = traffic::generate_trace(
+      workload.spec, cli.get_uint("cycles"), cli.get_uint("seed"));
+  traffic::save_trace_file(cli.get("out"), trace);
+  std::printf("wrote %zu arrivals (%lld flits, %zu flows) to %s\n",
+              trace.entries.size(),
+              static_cast<long long>(trace.total_flits()), trace.num_flows,
+              cli.get("out").c_str());
+  return 0;
+}
+
+int cmd_replay(int argc, const char* const* argv) {
+  CliParser cli("replay a trace CSV through one scheduler");
+  cli.add_option("trace", "input trace CSV", "trace.csv");
+  cli.add_option("scheduler", "scheduler name", "err");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const auto trace = traffic::load_trace_file(cli.get("trace"));
+  if (trace.entries.empty()) {
+    std::fprintf(stderr, "trace is empty\n");
+    return 1;
+  }
+  harness::ScenarioConfig config;
+  config.horizon = trace.entries.back().cycle + 1;
+  config.drain = true;
+  config.sched.drr_quantum = trace.max_observed_length();
+  const auto result =
+      harness::run_scenario(cli.get("scheduler"), config, trace);
+  print_flow_detail(result);
+  return 0;
+}
+
+int cmd_network(int argc, const char* const* argv) {
+  CliParser cli("drive a wormhole mesh/torus with synthetic traffic");
+  cli.add_option("topo", "mesh<W>x<H> or torus<W>x<H>", "mesh4x4");
+  cli.add_option("arbiter", "err-cycles|err-flits|rr|fcfs", "err-cycles");
+  cli.add_option("pattern", "uniform|transpose|bitcomp|hotspot|neighbor",
+                 "uniform");
+  cli.add_option("rate", "packets per node per cycle", "0.01");
+  cli.add_option("cycles", "injection cycles", "50000");
+  cli.add_option("vcs", "virtual channel classes", "2");
+  cli.add_option("buffers", "flit slots per input VC", "8");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const std::string topo_text = cli.get("topo");
+  wormhole::NetworkConfig config;
+  {
+    const bool torus = topo_text.rfind("torus", 0) == 0;
+    const bool mesh = topo_text.rfind("mesh", 0) == 0;
+    if (!torus && !mesh) {
+      std::fprintf(stderr, "bad --topo '%s'\n", topo_text.c_str());
+      return 1;
+    }
+    const std::string dims = topo_text.substr(torus ? 5 : 4);
+    const auto x = dims.find('x');
+    if (x == std::string::npos) {
+      std::fprintf(stderr, "bad --topo '%s'\n", topo_text.c_str());
+      return 1;
+    }
+    const auto w = static_cast<std::uint32_t>(std::stoul(dims.substr(0, x)));
+    const auto h = static_cast<std::uint32_t>(std::stoul(dims.substr(x + 1)));
+    config.topo = torus ? wormhole::TopologySpec::torus(w, h)
+                        : wormhole::TopologySpec::mesh(w, h);
+  }
+  config.router.arbiter = cli.get("arbiter");
+  config.router.num_vcs = static_cast<std::uint32_t>(cli.get_uint("vcs"));
+  config.router.buffer_depth =
+      static_cast<std::uint32_t>(cli.get_uint("buffers"));
+  wormhole::Network net(config);
+
+  wormhole::NetworkTrafficSource::Config traffic_config;
+  traffic_config.packets_per_node_per_cycle = cli.get_double("rate");
+  traffic_config.inject_until = cli.get_uint("cycles");
+  const std::string pattern = cli.get("pattern");
+  using Kind = wormhole::PatternSpec::Kind;
+  traffic_config.pattern.kind = pattern == "transpose"  ? Kind::kTranspose
+                                : pattern == "bitcomp"  ? Kind::kBitComplement
+                                : pattern == "hotspot"  ? Kind::kHotspot
+                                : pattern == "neighbor" ? Kind::kNeighbor
+                                                        : Kind::kUniform;
+  wormhole::NetworkTrafficSource source(net, traffic_config);
+
+  sim::Engine engine;
+  engine.add_component(source);
+  engine.add_component(net);
+  engine.run_until(cli.get_uint("cycles"));
+  const Cycle end = engine.run_until_idle(cli.get_uint("cycles") * 50);
+
+  const auto latency = net.latency_overall();
+  std::printf("%s, %s, %s: injected %llu packets, delivered %zu, drained at "
+              "cycle %llu\n",
+              config.topo.describe().c_str(), cli.get("arbiter").c_str(),
+              traffic_config.pattern.describe().c_str(),
+              static_cast<unsigned long long>(net.injected_packets()),
+              net.delivered().size(), static_cast<unsigned long long>(end));
+  std::printf("latency cycles: mean %.1f  min %.0f  max %.0f\n",
+              latency.mean(), latency.min(), latency.max());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fputs(kUsage, stderr);
+    return 1;
+  }
+  const std::string command = argv[1];
+  const int sub_argc = argc - 1;
+  const char* const* sub_argv = argv + 1;
+  if (command == "compare") return cmd_compare(sub_argc, sub_argv);
+  if (command == "run") return cmd_run(sub_argc, sub_argv);
+  if (command == "gen-trace") return cmd_gen_trace(sub_argc, sub_argv);
+  if (command == "replay") return cmd_replay(sub_argc, sub_argv);
+  if (command == "network") return cmd_network(sub_argc, sub_argv);
+  if (command == "--help" || command == "-h") {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
+  std::fprintf(stderr, "unknown command '%s'\n\n%s", command.c_str(), kUsage);
+  return 1;
+}
