@@ -6,66 +6,35 @@
 // and latency.  Establishes that the headline ERR results are not an
 // artifact of one substrate configuration, and quantifies what the
 // adaptive west-first extension buys.
+//
+// Each (config, rate) point runs --seeds independent instances through
+// harness::sweep_network, fanned across --jobs workers; the default
+// --seeds 1 reproduces the historical single-run tables exactly.
 #include <cstdio>
 #include <iostream>
 
 #include "common/cli.hpp"
 #include "common/csv.hpp"
 #include "common/table.hpp"
-#include "sim/engine.hpp"
-#include "wormhole/network.hpp"
-#include "wormhole/patterns.hpp"
+#include "harness/network_sweep.hpp"
 
 using namespace wormsched;
+using namespace wormsched::harness;
 using namespace wormsched::wormhole;
-
-namespace {
-
-struct RunResult {
-  double delivered_flits_per_cycle = 0.0;
-  double mean_latency = 0.0;
-  double p99_latency = 0.0;
-};
-
-RunResult run(const NetworkConfig& config, double rate, Cycle cycles) {
-  Network net(config);
-  NetworkTrafficSource::Config traffic_config;
-  traffic_config.packets_per_node_per_cycle = rate;
-  traffic_config.inject_until = cycles;
-  traffic_config.lengths = traffic::LengthSpec::uniform(1, 12);
-  traffic_config.pattern.kind = PatternSpec::Kind::kUniform;
-  traffic_config.seed = 5;
-  NetworkTrafficSource source(net, traffic_config);
-  sim::Engine engine;
-  engine.add_component(source);
-  engine.add_component(net);
-  engine.run_until(cycles);
-  engine.run_until_idle(cycles * 50);
-
-  RunResult result;
-  result.delivered_flits_per_cycle =
-      static_cast<double>(net.delivered_flits()) / static_cast<double>(cycles);
-  QuantileEstimator q;
-  RunningStat lat;
-  for (const auto& p : net.delivered()) {
-    const auto d = static_cast<double>(p.delivered - p.created);
-    lat.add(d);
-    q.add(d);
-  }
-  result.mean_latency = lat.mean();
-  result.p99_latency = q.quantile(0.99);
-  return result;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   CliParser cli("Ablation A7: latency-vs-load curves per routing/buffering");
   cli.add_option("cycles", "injection cycles per point", "30000");
+  cli.add_option("seeds", "independent seeds per point", "1");
   cli.add_option("csv", "output CSV path", "network_sweep.csv");
+  add_jobs_option(cli);
   if (!cli.parse(argc, argv)) return 1;
 
   const Cycle cycles = cli.get_uint("cycles");
+  SweepOptions sweep;
+  sweep.base_seed = 5;
+  sweep.seeds = cli.get_uint("seeds");
+  sweep.jobs = resolve_jobs(cli);
 
   CsvWriter csv(cli.get("csv"));
   csv.header({"config", "rate", "flits_per_cycle", "mean_latency",
@@ -98,12 +67,27 @@ int main(int argc, char** argv) {
                     "mean latency", "p99 latency"});
   for (const auto& [name, config] : cases) {
     for (const double rate : {0.02, 0.05, 0.08, 0.11}) {
-      const RunResult r = run(config, rate, cycles);
+      NetworkScenarioConfig point;
+      point.network = config;
+      point.traffic.packets_per_node_per_cycle = rate;
+      point.traffic.inject_until = cycles;
+      point.traffic.lengths = traffic::LengthSpec::uniform(1, 12);
+      point.traffic.pattern.kind = PatternSpec::Kind::kUniform;
+      const SweepResult r = sweep_network(
+          point, sweep,
+          [cycles](const NetworkScenarioResult& run, SweepResult& out) {
+            out.add("flits_per_cycle",
+                    static_cast<double>(run.delivered_flits) /
+                        static_cast<double>(cycles));
+            out.add("mean_latency", run.latency.mean());
+            out.add("p99_latency", run.p99_latency);
+          });
       table.add_row(name, fixed(rate, 2),
-                    fixed(r.delivered_flits_per_cycle, 2),
-                    fixed(r.mean_latency, 1), fixed(r.p99_latency, 0));
-      csv.row(name, rate, r.delivered_flits_per_cycle, r.mean_latency,
-              r.p99_latency);
+                    fixed(r.mean("flits_per_cycle"), 2),
+                    fixed(r.mean("mean_latency"), 1),
+                    fixed(r.mean("p99_latency"), 0));
+      csv.row(name, rate, r.mean("flits_per_cycle"), r.mean("mean_latency"),
+              r.mean("p99_latency"));
     }
     table.add_rule();
   }

@@ -1,0 +1,235 @@
+// Simulator performance baseline: the numbers future PRs are held to.
+//
+// Three canonical scenarios, chosen to cover the three hot paths the
+// performance layer owns:
+//   1. fig4-standalone — the scenario runner replaying the paper's Fig. 4
+//      workload through ERR (scheduler + metrics hot loop);
+//   2. mesh8x8-hotspot — the wormhole substrate with the hot ejection
+//      port driven just past saturation (0.5 * rate * 64 nodes * 6.5
+//      mean flits ~ 1.25 flits/cycle at the default --hotspot-rate),
+//      measured with active-set scheduling and with the legacy dense
+//      tick-everything loop (the kernel speedup claim), results checked
+//      bit-identical;
+//   3. sweep-50seed — wall time of a 50-seed standalone sweep, serial vs
+//      --jobs workers (the parallel-sweep speedup claim; bounded by the
+//      machine's core count).
+// Prints an ASCII table and writes the machine-readable BENCH_perf.json
+// (schema wormsched-perf-v1) that reproduce.sh copies to the repo root.
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "harness/network_sweep.hpp"
+#include "harness/paper_workloads.hpp"
+#include "harness/scenario.hpp"
+#include "harness/sweep.hpp"
+
+using namespace wormsched;
+using namespace wormsched::harness;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration<double>(elapsed).count();
+}
+
+struct StandaloneRun {
+  double wall_seconds = 0.0;
+  Cycle cycles = 0;
+  std::uint64_t flits = 0;
+};
+
+StandaloneRun run_fig4_standalone(Cycle horizon) {
+  ScenarioConfig config;
+  config.horizon = horizon;
+  config.flit_bytes = kPaperFlitBytes;
+  const traffic::WorkloadSpec workload = fig4_workload();
+  const auto start = std::chrono::steady_clock::now();
+  const ScenarioResult result = run_scenario("err", config, workload);
+  StandaloneRun run;
+  run.wall_seconds = seconds_since(start);
+  run.cycles = result.end_cycle;
+  run.flits = static_cast<std::uint64_t>(result.service_log.grand_total());
+  return run;
+}
+
+struct NetworkRun {
+  double wall_seconds = 0.0;
+  Cycle cycles = 0;
+  std::uint64_t flits = 0;
+  std::uint64_t delivered_packets = 0;
+};
+
+NetworkRun run_hotspot(Cycle inject_cycles, double rate, bool dense_tick) {
+  NetworkScenarioConfig config;
+  config.network.topo = wormhole::TopologySpec::mesh(8, 8);
+  config.network.dense_tick = dense_tick;
+  config.traffic.packets_per_node_per_cycle = rate;
+  config.traffic.inject_until = inject_cycles;
+  config.traffic.lengths = traffic::LengthSpec::uniform(1, 12);
+  config.traffic.pattern.kind = wormhole::PatternSpec::Kind::kHotspot;
+  const auto start = std::chrono::steady_clock::now();
+  const NetworkScenarioResult result = run_network_scenario(config, 7);
+  NetworkRun run;
+  run.wall_seconds = seconds_since(start);
+  run.cycles = result.end_cycle;
+  run.flits = result.delivered_flits;
+  run.delivered_packets = result.delivered_packets;
+  return run;
+}
+
+double run_sweep(std::size_t seeds, std::size_t jobs, Cycle horizon) {
+  ScenarioConfig config;
+  config.horizon = horizon;
+  config.drain = true;
+  SweepOptions options;
+  options.base_seed = 1;
+  options.seeds = seeds;
+  options.jobs = jobs;
+  const traffic::WorkloadSpec workload = fig4_workload();
+  const auto start = std::chrono::steady_clock::now();
+  const SweepResult result = sweep_scenario(
+      "err", config, workload, options,
+      [](const ScenarioResult& r, SweepResult& out) {
+        out.add("mean_delay", r.delays.overall().mean());
+        out.add("served", static_cast<double>(r.service_log.grand_total()));
+      });
+  (void)result;
+  return seconds_since(start);
+}
+
+double per_sec(double quantity, double secs) {
+  return secs > 0.0 ? quantity / secs : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("simulator perf baseline: kernel + sweep throughput");
+  cli.add_option("fig4-cycles", "standalone scenario horizon", "400000");
+  cli.add_option("hotspot-cycles", "8x8 hotspot injection cycles", "20000");
+  cli.add_option("hotspot-rate", "packets/node/cycle into the hotspot run",
+                 "0.006");
+  cli.add_option("sweep-seeds", "seeds in the sweep scenario", "50");
+  cli.add_option("sweep-cycles", "per-seed horizon in the sweep", "20000");
+  cli.add_option("out", "output JSON path", "BENCH_perf.json");
+  add_jobs_option(cli, /*default_value=*/"0");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const Cycle fig4_cycles = cli.get_uint("fig4-cycles");
+  const Cycle hotspot_cycles = cli.get_uint("hotspot-cycles");
+  const std::size_t sweep_seeds = cli.get_uint("sweep-seeds");
+  const Cycle sweep_cycles = cli.get_uint("sweep-cycles");
+  const std::size_t jobs = resolve_jobs(cli);
+
+  const StandaloneRun fig4 = run_fig4_standalone(fig4_cycles);
+
+  const double hotspot_rate = cli.get_double("hotspot-rate");
+  const NetworkRun dense =
+      run_hotspot(hotspot_cycles, hotspot_rate, /*dense_tick=*/true);
+  const NetworkRun active =
+      run_hotspot(hotspot_cycles, hotspot_rate, /*dense_tick=*/false);
+  const bool identical = dense.cycles == active.cycles &&
+                         dense.flits == active.flits &&
+                         dense.delivered_packets == active.delivered_packets;
+  if (!identical) {
+    std::fprintf(stderr,
+                 "FATAL: active-set run diverged from dense baseline "
+                 "(cycles %llu vs %llu, flits %llu vs %llu)\n",
+                 static_cast<unsigned long long>(active.cycles),
+                 static_cast<unsigned long long>(dense.cycles),
+                 static_cast<unsigned long long>(active.flits),
+                 static_cast<unsigned long long>(dense.flits));
+    return 1;
+  }
+  const double kernel_speedup =
+      active.wall_seconds > 0.0 ? dense.wall_seconds / active.wall_seconds
+                                : 0.0;
+
+  const double sweep_serial = run_sweep(sweep_seeds, 1, sweep_cycles);
+  const double sweep_parallel = run_sweep(sweep_seeds, jobs, sweep_cycles);
+  const double sweep_speedup =
+      sweep_parallel > 0.0 ? sweep_serial / sweep_parallel : 0.0;
+
+  AsciiTable table("simulator perf baseline (wall-clock)");
+  table.set_header({"scenario", "wall s", "cycles/s", "flits/s", "speedup"});
+  table.add_row("fig4 standalone (ERR)", fixed(fig4.wall_seconds, 3),
+                fixed(per_sec(static_cast<double>(fig4.cycles),
+                              fig4.wall_seconds), 0),
+                fixed(per_sec(static_cast<double>(fig4.flits),
+                              fig4.wall_seconds), 0),
+                "-");
+  table.add_row("8x8 hotspot, dense tick", fixed(dense.wall_seconds, 3),
+                fixed(per_sec(static_cast<double>(dense.cycles),
+                              dense.wall_seconds), 0),
+                fixed(per_sec(static_cast<double>(dense.flits),
+                              dense.wall_seconds), 0),
+                "1.00 (baseline)");
+  table.add_row("8x8 hotspot, active set", fixed(active.wall_seconds, 3),
+                fixed(per_sec(static_cast<double>(active.cycles),
+                              active.wall_seconds), 0),
+                fixed(per_sec(static_cast<double>(active.flits),
+                              active.wall_seconds), 0),
+                fixed(kernel_speedup, 2));
+  table.add_row("sweep " + std::to_string(sweep_seeds) + " seeds, jobs=1",
+                fixed(sweep_serial, 3), "-", "-", "1.00 (baseline)");
+  table.add_row("sweep " + std::to_string(sweep_seeds) +
+                    " seeds, jobs=" + std::to_string(jobs),
+                fixed(sweep_parallel, 3), "-", "-", fixed(sweep_speedup, 2));
+  table.print(std::cout);
+  std::printf("(active-set results verified identical to the dense "
+              "baseline; sweep speedup is bounded\n by the %zu hardware "
+              "thread(s) of this machine)\n",
+              ThreadPool::hardware_workers());
+
+  FILE* out = std::fopen(cli.get("out").c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", cli.get("out").c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"schema\": \"wormsched-perf-v1\",\n");
+  std::fprintf(out, "  \"hardware_threads\": %zu,\n",
+               ThreadPool::hardware_workers());
+  std::fprintf(out, "  \"scenarios\": {\n");
+  std::fprintf(out,
+               "    \"fig4_standalone\": {\"wall_seconds\": %.6f, "
+               "\"sim_cycles\": %llu, \"served_flits\": %llu, "
+               "\"cycles_per_sec\": %.0f, \"flits_per_sec\": %.0f},\n",
+               fig4.wall_seconds,
+               static_cast<unsigned long long>(fig4.cycles),
+               static_cast<unsigned long long>(fig4.flits),
+               per_sec(static_cast<double>(fig4.cycles), fig4.wall_seconds),
+               per_sec(static_cast<double>(fig4.flits), fig4.wall_seconds));
+  std::fprintf(out,
+               "    \"mesh8x8_hotspot\": {\"sim_cycles\": %llu, "
+               "\"delivered_flits\": %llu, \"results_identical\": %s,\n"
+               "      \"dense\": {\"wall_seconds\": %.6f, "
+               "\"cycles_per_sec\": %.0f},\n"
+               "      \"active_set\": {\"wall_seconds\": %.6f, "
+               "\"cycles_per_sec\": %.0f},\n"
+               "      \"kernel_speedup\": %.3f},\n",
+               static_cast<unsigned long long>(active.cycles),
+               static_cast<unsigned long long>(active.flits),
+               identical ? "true" : "false", dense.wall_seconds,
+               per_sec(static_cast<double>(dense.cycles), dense.wall_seconds),
+               active.wall_seconds,
+               per_sec(static_cast<double>(active.cycles),
+                       active.wall_seconds),
+               kernel_speedup);
+  std::fprintf(out,
+               "    \"sweep_50seed\": {\"seeds\": %zu, \"jobs\": %zu, "
+               "\"serial_seconds\": %.6f, \"parallel_seconds\": %.6f, "
+               "\"parallel_speedup\": %.3f}\n",
+               sweep_seeds, jobs, sweep_serial, sweep_parallel,
+               sweep_speedup);
+  std::fprintf(out, "  }\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", cli.get("out").c_str());
+  return 0;
+}

@@ -1,12 +1,21 @@
 #!/usr/bin/env sh
 # One-command reproduction: build, test, regenerate every paper figure and
 # table plus the ablations.  Outputs land in ./results (tables as .txt,
-# series as .csv) together with test_output.txt and bench_output.txt.
+# series as .csv) together with test_output.txt and bench_output.txt; the
+# perf baseline BENCH_perf.json is copied to the repo root.
 set -eu
 
 cd "$(dirname "$0")"
 
-cmake -B build -G Ninja
+# Reuse an existing build tree's generator; otherwise prefer Ninja when
+# it is installed and fall back to CMake's default (Makefiles) when not.
+if [ -f build/CMakeCache.txt ]; then
+  cmake -B build
+elif command -v ninja >/dev/null 2>&1; then
+  cmake -B build -G Ninja
+else
+  cmake -B build
+fi
 cmake --build build -j "$(nproc)"
 
 ctest --test-dir build 2>&1 | tee test_output.txt
@@ -19,4 +28,10 @@ for b in ../build/bench/*; do
   echo "=== ${name} ===" | tee -a ../bench_output.txt
   "$b" 2>&1 | tee "${name}.txt" | tee -a ../bench_output.txt
 done
-echo "done: see results/ and EXPERIMENTS.md"
+# bench_perf_kernel writes BENCH_perf.json into results/; the repo-root
+# copy is the machine-readable baseline future changes are held to.
+if [ -f BENCH_perf.json ]; then
+  cp BENCH_perf.json ../BENCH_perf.json
+fi
+cd ..
+echo "done: see results/, BENCH_perf.json and EXPERIMENTS.md"

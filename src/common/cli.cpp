@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/assert.hpp"
+#include "common/thread_pool.hpp"
 
 namespace wormsched {
 
@@ -79,6 +80,17 @@ double CliParser::get_double(const std::string& name) const {
 bool CliParser::get_flag(const std::string& name) const {
   const std::string v = get(name);
   return v == "true" || v == "1" || v == "yes";
+}
+
+void add_jobs_option(CliParser& cli, const std::string& default_value) {
+  cli.add_option("jobs", "worker threads for multi-seed sweeps (0 = all cores)",
+                 default_value);
+}
+
+std::size_t resolve_jobs(const CliParser& cli) {
+  const std::uint64_t jobs = cli.get_uint("jobs");
+  if (jobs == 0) return ThreadPool::hardware_workers();
+  return static_cast<std::size_t>(jobs);
 }
 
 std::string CliParser::usage(const std::string& program) const {

@@ -1,0 +1,110 @@
+#include "common/thread_pool.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace wormsched {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers == 0) workers = hardware_workers();
+  if (workers <= 1) return;  // inline pool
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i)
+    threads_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+std::size_t ThreadPool::hardware_workers() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+void ThreadPool::record_exception(std::exception_ptr error) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!first_error_) first_error_ = std::move(error);
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  WS_CHECK(task != nullptr);
+  if (threads_.empty()) {
+    try {
+      task();
+    } catch (...) {
+      record_exception(std::current_exception());
+    }
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  work_ready_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock,
+                       [this] { return stopping_ || queue_head_ < queue_.size(); });
+      if (queue_head_ >= queue_.size()) {
+        if (stopping_) return;
+        continue;
+      }
+      task = std::move(queue_[queue_head_++]);
+      ++in_flight_;
+      if (queue_head_ == queue_.size()) {
+        queue_.clear();
+        queue_head_ = 0;
+      }
+    }
+    try {
+      task();
+    } catch (...) {
+      record_exception(std::current_exception());
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+    }
+    all_done_.notify_all();
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    all_done_.wait(lock, [this] {
+      return queue_head_ >= queue_.size() && in_flight_ == 0;
+    });
+    error = std::exchange(first_error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (threads_.empty()) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  // One task per index: seeds are coarse enough that per-task queue cost
+  // is noise, and dynamic hand-out balances uneven drain times.
+  for (std::size_t i = 0; i < n; ++i) {
+    submit([&body, i] { body(i); });
+  }
+  wait_idle();
+}
+
+}  // namespace wormsched

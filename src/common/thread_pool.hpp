@@ -1,0 +1,65 @@
+// Small fixed-size task pool for embarrassingly parallel work.
+//
+// The sweeps fan independent per-seed simulations across workers; each
+// seed is a coarse task (milliseconds to seconds), so a plain mutex +
+// condition-variable queue is plenty and keeps the pool auditable.  A
+// pool built with `workers <= 1` never spawns a thread: submit() runs the
+// task inline, which makes the serial path byte-for-byte the code path a
+// `--jobs 1` run takes (no "parallel framework with one worker" skew in
+// baselines).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wormsched {
+
+class ThreadPool {
+ public:
+  /// `workers == 0` asks for one worker per hardware thread; `<= 1`
+  /// degenerates to inline execution.
+  explicit ThreadPool(std::size_t workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (0 for an inline pool).
+  [[nodiscard]] std::size_t worker_count() const { return threads_.size(); }
+
+  /// Enqueues `task`.  Inline pools run it before returning.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.  The first exception
+  /// thrown by any task is rethrown here (subsequent ones are dropped).
+  void wait_idle();
+
+  /// Runs body(0..n-1) across the pool and waits.  Indices are handed out
+  /// dynamically, so uneven task costs still balance.  Equivalent to a
+  /// plain loop when the pool is inline.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  /// The machine's hardware thread count (>= 1).
+  [[nodiscard]] static std::size_t hardware_workers();
+
+ private:
+  void worker_loop();
+  void record_exception(std::exception_ptr error);
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable all_done_;
+  std::vector<std::function<void()>> queue_;  // FIFO via head index
+  std::size_t queue_head_ = 0;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace wormsched

@@ -1,0 +1,57 @@
+#include "harness/network_sweep.hpp"
+
+#include <optional>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/thread_pool.hpp"
+#include "sim/engine.hpp"
+
+namespace wormsched::harness {
+
+NetworkScenarioResult run_network_scenario(const NetworkScenarioConfig& config,
+                                           std::uint64_t seed) {
+  WS_CHECK_MSG(config.traffic.inject_until < kCycleMax,
+               "network sweep needs a finite injection window");
+  wormhole::Network net(config.network);
+  wormhole::NetworkTrafficSource::Config traffic = config.traffic;
+  traffic.seed = seed;
+  wormhole::NetworkTrafficSource source(net, traffic);
+  sim::Engine engine;
+  engine.add_component(source);
+  engine.add_component(net);
+  engine.run_until(traffic.inject_until);
+  const Cycle end =
+      engine.run_until_idle(traffic.inject_until * config.drain_factor);
+
+  NetworkScenarioResult result;
+  result.end_cycle = end;
+  result.generated_packets = source.generated();
+  result.delivered_packets = net.delivered().size();
+  result.delivered_flits = net.delivered_flits();
+  QuantileEstimator q;
+  for (const auto& p : net.delivered()) {
+    const auto d = static_cast<double>(p.delivered - p.created);
+    result.latency.add(d);
+    q.add(d);
+  }
+  result.p99_latency = q.quantile(0.99);
+  return result;
+}
+
+SweepResult sweep_network(const NetworkScenarioConfig& config,
+                          const SweepOptions& options,
+                          const NetworkMetricExtractor& extract) {
+  WS_CHECK(options.seeds > 0);
+  std::vector<std::optional<NetworkScenarioResult>> per_seed(options.seeds);
+  ThreadPool pool(options.jobs);
+  pool.parallel_for(options.seeds, [&](std::size_t k) {
+    per_seed[k].emplace(
+        run_network_scenario(config, options.base_seed + k));
+  });
+  SweepResult aggregate;
+  for (const auto& result : per_seed) extract(*result, aggregate);
+  return aggregate;
+}
+
+}  // namespace wormsched::harness

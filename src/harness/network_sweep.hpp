@@ -1,0 +1,57 @@
+// Multi-seed sweeps over the wormhole network substrate.
+//
+// The standalone sweep (sweep.hpp) replays traces through one scheduler;
+// this is its analogue for whole-fabric runs: one NetworkScenarioConfig
+// describes a (topology, router, traffic) point, run_network_scenario
+// executes it for one seed, and sweep_network fans seeds across workers
+// with the same index-ordered fold — and therefore the same determinism
+// contract — as sweep_scenario.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "harness/sweep.hpp"
+#include "wormhole/network.hpp"
+#include "wormhole/patterns.hpp"
+
+namespace wormsched::harness {
+
+struct NetworkScenarioConfig {
+  wormhole::NetworkConfig network;
+  /// Traffic for the run; `traffic.seed` is overridden per seed and
+  /// `traffic.inject_until` must be finite (it bounds the run).
+  wormhole::NetworkTrafficSource::Config traffic;
+  /// Drain cap: after injection the run continues until the fabric is
+  /// idle or `inject_until * drain_factor` cycles have elapsed.
+  Cycle drain_factor = 50;
+};
+
+/// Everything the network benches read out of one finished run.
+struct NetworkScenarioResult {
+  Cycle end_cycle = 0;
+  std::uint64_t generated_packets = 0;
+  std::uint64_t delivered_packets = 0;
+  std::uint64_t delivered_flits = 0;
+  RunningStat latency;        // per delivered packet, inject-to-tail
+  double p99_latency = 0.0;
+};
+
+/// Runs one network scenario with `seed` driving the traffic source.
+[[nodiscard]] NetworkScenarioResult run_network_scenario(
+    const NetworkScenarioConfig& config, std::uint64_t seed);
+
+using NetworkMetricExtractor =
+    std::function<void(const NetworkScenarioResult&, SweepResult&)>;
+
+/// Runs `options.seeds` independent instances of `config` (seed k drives
+/// the traffic with base_seed + k) across `options.jobs` workers and
+/// folds the extracted metrics in seed order — byte-identical for every
+/// jobs value.
+[[nodiscard]] SweepResult sweep_network(const NetworkScenarioConfig& config,
+                                        const SweepOptions& options,
+                                        const NetworkMetricExtractor& extract);
+
+}  // namespace wormsched::harness

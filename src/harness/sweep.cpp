@@ -1,9 +1,12 @@
 #include "harness/sweep.hpp"
 
+#include <optional>
 #include <sstream>
+#include <vector>
 
 #include "common/assert.hpp"
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 
 namespace wormsched::harness {
 
@@ -23,21 +26,37 @@ std::vector<std::string> SweepResult::metrics() const {
 }
 
 SweepResult sweep_scenario(std::string_view scheduler_name,
+                           const ScenarioConfig& config,
+                           const traffic::WorkloadSpec& workload,
+                           const SweepOptions& options,
+                           const MetricExtractor& extract) {
+  WS_CHECK(options.seeds > 0);
+  // Each seed is an independent deterministic simulation; the buffer is
+  // folded in seed order below, so the aggregate cannot depend on worker
+  // scheduling.
+  std::vector<std::optional<ScenarioResult>> per_seed(options.seeds);
+  ThreadPool pool(options.jobs);
+  pool.parallel_for(options.seeds, [&](std::size_t k) {
+    ScenarioConfig seed_config = config;
+    seed_config.seed = options.base_seed + k;
+    const traffic::Trace trace = traffic::generate_trace(
+        workload, seed_config.horizon, seed_config.seed);
+    per_seed[k].emplace(run_scenario(scheduler_name, seed_config, trace));
+  });
+  SweepResult aggregate;
+  for (const auto& result : per_seed) extract(*result, aggregate);
+  return aggregate;
+}
+
+SweepResult sweep_scenario(std::string_view scheduler_name,
                            ScenarioConfig config,
                            const traffic::WorkloadSpec& workload,
                            std::uint64_t base_seed, std::size_t seeds,
                            const MetricExtractor& extract) {
-  WS_CHECK(seeds > 0);
-  SweepResult aggregate;
-  for (std::size_t k = 0; k < seeds; ++k) {
-    config.seed = base_seed + k;
-    const traffic::Trace trace =
-        traffic::generate_trace(workload, config.horizon, config.seed);
-    const ScenarioResult result =
-        run_scenario(scheduler_name, config, trace);
-    extract(result, aggregate);
-  }
-  return aggregate;
+  SweepOptions options;
+  options.base_seed = base_seed;
+  options.seeds = seeds;
+  return sweep_scenario(scheduler_name, config, workload, options, extract);
 }
 
 }  // namespace wormsched::harness

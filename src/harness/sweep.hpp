@@ -51,11 +51,29 @@ class SweepResult {
 using MetricExtractor =
     std::function<void(const ScenarioResult&, SweepResult&)>;
 
-/// Runs `scheduler_name` over `seeds` independently generated instances of
-/// `workload` (seed k uses base_seed + k) and aggregates the extracted
-/// metrics.  The per-seed trace generation matches run_scenario's
-/// convention, so two sweeps with the same base seed see identical
-/// traffic.
+/// How a multi-seed sweep runs.  Seeds are independent simulations, so
+/// they fan out across `jobs` workers; the per-seed results are collected
+/// into an index-ordered buffer and folded serially, which makes the
+/// aggregate byte-identical for every jobs value (the determinism
+/// contract docs/PERFORMANCE.md spells out).
+struct SweepOptions {
+  std::uint64_t base_seed = 1;
+  std::size_t seeds = 1;
+  std::size_t jobs = 1;  // worker threads; 0 = one per hardware thread
+};
+
+/// Runs `scheduler_name` over `options.seeds` independently generated
+/// instances of `workload` (seed k uses base_seed + k) and aggregates the
+/// extracted metrics.  The per-seed trace generation matches
+/// run_scenario's convention, so two sweeps with the same base seed see
+/// identical traffic.
+[[nodiscard]] SweepResult sweep_scenario(std::string_view scheduler_name,
+                                         const ScenarioConfig& config,
+                                         const traffic::WorkloadSpec& workload,
+                                         const SweepOptions& options,
+                                         const MetricExtractor& extract);
+
+/// Serial convenience overload (jobs = 1), kept for the existing callers.
 [[nodiscard]] SweepResult sweep_scenario(std::string_view scheduler_name,
                                          ScenarioConfig config,
                                          const traffic::WorkloadSpec& workload,

@@ -40,7 +40,6 @@ void Engine::run_until(Cycle end) {
 
 Cycle Engine::run_until_idle(Cycle max_cycle) {
   while (now_ < max_cycle) {
-    const bool events_pending = !calendar_.empty();
     bool all_idle = true;
     for (const Component* c : components_) {
       if (!c->idle()) {
@@ -48,7 +47,19 @@ Cycle Engine::run_until_idle(Cycle max_cycle) {
         break;
       }
     }
-    if (!events_pending && all_idle) break;
+    if (all_idle) {
+      if (calendar_.empty()) break;
+      // Idle skip: nothing dense can make progress, so jump straight to
+      // the next calendar event instead of ticking idle components cycle
+      // by cycle.  idle() is a contract here — a component reporting idle
+      // while its tick still has side effects would miss cycles.
+      const Cycle next = calendar_.top().when;
+      if (next >= max_cycle) {
+        now_ = max_cycle;
+        break;
+      }
+      now_ = next;  // the step below fires the event at its exact cycle
+    }
     step();
   }
   return now_;

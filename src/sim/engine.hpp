@@ -31,7 +31,9 @@ class Component {
   virtual void tick(Cycle now) = 0;
 
   /// True when the component has no pending work.  run_until_idle() stops
-  /// once every component is idle and the calendar is empty.
+  /// once every component is idle and the calendar is empty, and *skips*
+  /// whole idle stretches to the next calendar event — so a component
+  /// whose tick() still has side effects must not report idle.
   [[nodiscard]] virtual bool idle() const { return true; }
 };
 
@@ -58,6 +60,9 @@ class Engine {
 
   /// Runs until the calendar is empty and all components are idle, or
   /// until `max_cycle`.  Returns the cycle at which the run stopped.
+  /// While every component is idle the clock jumps directly to the next
+  /// calendar event (or to `max_cycle`) instead of stepping cycle by
+  /// cycle; events still fire at their exact scheduled cycles.
   Cycle run_until_idle(Cycle max_cycle = kCycleMax);
 
   [[nodiscard]] std::size_t pending_events() const { return calendar_.size(); }

@@ -17,15 +17,30 @@ Network::Network(const NetworkConfig& config)
   for (std::uint32_t n = 0; n < topo_.num_nodes(); ++n)
     routers_.emplace_back(NodeId(n), config.router);
   nics_.resize(topo_.num_nodes());
+  router_live_.resize(topo_.num_nodes(), 0);
 }
 
 void Network::inject(Cycle, const PacketDescriptor& packet) {
   WS_CHECK(packet.length > 0);
   WS_CHECK(packet.source.value() < topo_.num_nodes());
   WS_CHECK(packet.dest.value() < topo_.num_nodes());
-  nics_[packet.source.index()].queue.push_back(packet);
+  Nic& nic = nics_[packet.source.index()];
+  if (nic.queue.empty()) ++nonempty_nics_;
+  nic.queue.push_back(packet);
   nic_backlog_flits_ += packet.length;
   ++injected_;
+}
+
+void Network::mark_live(std::size_t index) {
+  if (router_live_[index]) return;
+  router_live_[index] = 1;
+  ++live_routers_;
+}
+
+void Network::set_live(std::size_t index, bool live) {
+  if (static_cast<bool>(router_live_[index]) == live) return;
+  router_live_[index] = live ? 1 : 0;
+  live ? ++live_routers_ : --live_routers_;
 }
 
 Direction Network::opposite(Direction d) {
@@ -82,57 +97,85 @@ std::vector<RouteDecision> Network::route_candidates(NodeId node,
 void Network::tick(Cycle now) {
   now_ = now;
 
-  // 1. Wire delivery (constant latency -> FIFO order).
+  // 1. Wire delivery (constant latency -> FIFO order).  An arriving flit
+  // or credit enrolls its destination router in the active set.
   while (!flit_wire_.empty() && flit_wire_.front().arrive <= now) {
     const WireFlit wf = flit_wire_.pop_front();
     routers_[wf.to.index()].accept_flit(wf.in, wf.cls, wf.flit);
+    mark_live(wf.to.index());
   }
   while (!credit_wire_.empty() && credit_wire_.front().arrive <= now) {
     const WireCredit wc = credit_wire_.pop_front();
     routers_[wc.to.index()].accept_credit(wc.out, wc.cls);
+    mark_live(wc.to.index());
   }
 
   // 2. NIC injection: one flit per node per cycle into local VC class 0.
-  for (std::uint32_t n = 0; n < nics_.size(); ++n) {
-    Nic& nic = nics_[n];
-    if (nic.queue.empty()) continue;
-    Router& r = routers_[n];
-    if (!r.can_accept_local(0)) continue;
-    const PacketDescriptor& pkt = nic.queue.front();
-    Flit flit;
-    flit.packet = pkt.id;
-    flit.flow = pkt.flow;
-    flit.source = pkt.source;
-    flit.dest = pkt.dest;
-    flit.vc_class = VcId(0);
-    flit.index = nic.sent_of_current;
-    flit.created = pkt.created;
-    const bool head = nic.sent_of_current == 0;
-    const bool tail = nic.sent_of_current + 1 == pkt.length;
-    flit.type = head && tail  ? FlitType::kHeadTail
-                : head        ? FlitType::kHead
-                : tail        ? FlitType::kTail
-                              : FlitType::kBody;
-    r.accept_flit(Direction::kLocal, 0, flit);
-    --nic_backlog_flits_;
-    if (tail) {
-      (void)nic.queue.pop_front();
-      nic.sent_of_current = 0;
-    } else {
-      ++nic.sent_of_current;
+  // Only NICs holding backlog are visited; `remaining` cuts the scan off
+  // once every nonempty NIC has been seen.
+  if (nic_backlog_flits_ != 0) {
+    std::uint32_t remaining = nonempty_nics_;
+    for (std::uint32_t n = 0; remaining != 0 && n < nics_.size(); ++n) {
+      Nic& nic = nics_[n];
+      if (nic.queue.empty()) continue;
+      --remaining;
+      Router& r = routers_[n];
+      if (!r.can_accept_local(0)) continue;
+      const PacketDescriptor& pkt = nic.queue.front();
+      Flit flit;
+      flit.packet = pkt.id;
+      flit.flow = pkt.flow;
+      flit.source = pkt.source;
+      flit.dest = pkt.dest;
+      flit.vc_class = VcId(0);
+      flit.index = nic.sent_of_current;
+      flit.created = pkt.created;
+      const bool head = nic.sent_of_current == 0;
+      const bool tail = nic.sent_of_current + 1 == pkt.length;
+      flit.type = head && tail  ? FlitType::kHeadTail
+                  : head        ? FlitType::kHead
+                  : tail        ? FlitType::kTail
+                                : FlitType::kBody;
+      r.accept_flit(Direction::kLocal, 0, flit);
+      mark_live(n);
+      --nic_backlog_flits_;
+      if (tail) {
+        (void)nic.queue.pop_front();
+        nic.sent_of_current = 0;
+        if (nic.queue.empty()) --nonempty_nics_;
+      } else {
+        ++nic.sent_of_current;
+      }
     }
   }
 
-  // 3. Router pipelines.
-  for (Router& r : routers_) r.tick(now, *this);
+  // 3. Router pipelines.  A drained router's tick is a no-op (nothing to
+  // route, grant, charge or forward), so only active routers tick; the
+  // ascending scan keeps side-effect order — and therefore every figure —
+  // identical to the legacy full-fabric loop.  New work can only arrive
+  // through the wires (link latency >= 1), never mid-scan.
+  if (config_.dense_tick) {
+    for (std::uint32_t n = 0; n < routers_.size(); ++n) {
+      routers_[n].tick(now, *this);
+      set_live(n, !routers_[n].drained());
+    }
+  } else if (live_routers_ != 0) {
+    // Router ticks never enroll *other* routers mid-scan (new work only
+    // travels via the wires), so the live count at loop entry bounds the
+    // number of routers left to visit.
+    std::uint32_t remaining = live_routers_;
+    for (std::uint32_t n = 0; remaining != 0 && n < routers_.size(); ++n) {
+      if (!router_live_[n]) continue;
+      --remaining;
+      routers_[n].tick(now, *this);
+      if (routers_[n].drained()) set_live(n, false);
+    }
+  }
 }
 
 bool Network::idle() const {
-  if (nic_backlog_flits_ != 0) return false;
-  if (!flit_wire_.empty() || !credit_wire_.empty()) return false;
-  for (const Router& r : routers_)
-    if (!r.drained()) return false;
-  return true;
+  return nic_backlog_flits_ == 0 && live_routers_ == 0 &&
+         flit_wire_.empty() && credit_wire_.empty();
 }
 
 RunningStat Network::latency_by_source(NodeId source) const {

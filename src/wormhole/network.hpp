@@ -30,6 +30,11 @@ struct NetworkConfig {
   RouterConfig router;
   std::uint32_t link_latency = 1;  // cycles; >= 1
   Routing routing = Routing::kDor;
+  /// Legacy full-fabric ticking: every router ticks every cycle even when
+  /// drained.  Results are bit-identical to the default active-set
+  /// scheduling (a drained router's tick is a no-op by construction);
+  /// kept as the perf baseline bench_perf_kernel measures against.
+  bool dense_tick = false;
 };
 
 struct DeliveredPacket {
@@ -52,8 +57,13 @@ class Network final : public sim::Component, private RouterEnv {
   void inject(Cycle now, const PacketDescriptor& packet);
 
   /// One network cycle: deliver in-flight flits/credits, inject from NICs
-  /// (one flit per node per cycle), then tick every router.
+  /// (one flit per node per cycle), then tick the active routers.  A
+  /// router is active while it holds flits or owns an output; it enrolls
+  /// when a flit or credit reaches it and retires once drained, so an
+  /// idle fabric costs nothing per cycle.
   void tick(Cycle now) override;
+  /// O(1): counters track NIC backlog and live routers; the wires are
+  /// FIFOs with O(1) emptiness checks.
   [[nodiscard]] bool idle() const override;
 
   [[nodiscard]] const Topology& topology() const { return topo_; }
@@ -104,6 +114,11 @@ class Network final : public sim::Component, private RouterEnv {
     Flits sent_of_current = 0;
   };
 
+  /// Enrolls router `index` in the active set (idempotent).
+  void mark_live(std::size_t index);
+  /// Sets router `index`'s active flag outright (dense-mode bookkeeping).
+  void set_live(std::size_t index, bool live);
+
   NetworkConfig config_;
   Topology topo_;
   std::vector<Router> routers_;
@@ -116,6 +131,12 @@ class Network final : public sim::Component, private RouterEnv {
   std::uint64_t delivered_flits_ = 0;
   Flits nic_backlog_flits_ = 0;
   Cycle now_ = 0;  // cached for send_flit latency stamping
+  // Active-set bookkeeping.  router_live_[n] means router n must tick
+  // this cycle (it holds work or just received a flit/credit); the
+  // counters make idle() O(1).  Maintained identically in dense mode.
+  std::vector<std::uint8_t> router_live_;
+  std::uint32_t live_routers_ = 0;
+  std::uint32_t nonempty_nics_ = 0;
 };
 
 }  // namespace wormsched::wormhole

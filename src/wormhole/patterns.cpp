@@ -64,6 +64,7 @@ NetworkTrafficSource::NetworkTrafficSource(Network& network,
     : network_(network), config_(config), rng_(config.seed) {}
 
 void NetworkTrafficSource::tick(Cycle now) {
+  next_cycle_ = now + 1;
   if (now >= config_.inject_until) return;
   const Topology& topo = network_.topology();
   for (std::uint32_t n = 0; n < topo.num_nodes(); ++n) {

@@ -49,7 +49,14 @@ class NetworkTrafficSource final : public sim::Component {
   NetworkTrafficSource(Network& network, const Config& config);
 
   void tick(Cycle now) override;
-  [[nodiscard]] bool idle() const override { return true; }
+  /// Idle once every injection cycle has been ticked through.  Honest
+  /// idling is what lets Engine::run_until_idle skip drained stretches
+  /// without losing Bernoulli draws; a source with `inject_until` left at
+  /// kCycleMax never reports idle, so bound such runs with run_until()
+  /// or run_until_idle's max_cycle.
+  [[nodiscard]] bool idle() const override {
+    return next_cycle_ >= config_.inject_until;
+  }
 
   [[nodiscard]] std::uint64_t generated() const { return generated_; }
 
@@ -59,6 +66,7 @@ class NetworkTrafficSource final : public sim::Component {
   Rng rng_;
   PacketId::rep_type next_id_ = 0;
   std::uint64_t generated_ = 0;
+  Cycle next_cycle_ = 0;  // first cycle this source has not yet ticked
 };
 
 }  // namespace wormsched::wormhole

@@ -33,6 +33,7 @@ void Router::accept_flit(Direction in, std::uint32_t cls, Flit flit) {
   WS_CHECK_MSG(iv.buffer.size() < config_.buffer_depth,
                "credit protocol violated: input buffer overflow");
   iv.buffer.push_back(flit);
+  ++buffered_flits_;
 }
 
 void Router::accept_credit(Direction out, std::uint32_t cls) {
@@ -90,6 +91,7 @@ void Router::tick(Cycle now, RouterEnv& env) {
     if (!chosen) continue;
     ov.bound = true;
     ov.owner = static_cast<std::uint32_t>(chosen->value());
+    ++bound_outputs_;
     ++port_stats_[static_cast<std::size_t>(unit_direction(i))].grants;
   }
 
@@ -114,6 +116,7 @@ void Router::tick(Cycle now, RouterEnv& env) {
       if (iv.buffer.empty()) continue;  // worm bubble: flits still upstream
 
       Flit flit = iv.buffer.pop_front();
+      --buffered_flits_;
       flit.vc_class = VcId(cls);
       --ov.credits;
       ov.arbiter->charge_flit();
@@ -132,6 +135,7 @@ void Router::tick(Cycle now, RouterEnv& env) {
       if (is_tail(flit.type)) {
         iv.routed = false;
         ov.bound = false;
+        --bound_outputs_;
         // If the next packet's head is already buffered, route it and
         // raise its request *before* releasing: the arbiter then sees the
         // input VC as still backlogged, which is what lets ERR apply its
@@ -162,14 +166,6 @@ void Router::tick(Cycle now, RouterEnv& env) {
     }
     if (port_moved) ++stats.flits;
   }
-}
-
-bool Router::drained() const {
-  for (const InputVc& iv : inputs_)
-    if (!iv.buffer.empty()) return false;
-  for (const OutputVc& ov : outputs_)
-    if (ov.bound) return false;
-  return true;
 }
 
 }  // namespace wormsched::wormhole

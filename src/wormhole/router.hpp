@@ -79,8 +79,12 @@ class Router {
   /// One router cycle: RC, VA, occupancy charging, SA/ST.
   void tick(Cycle now, RouterEnv& env);
 
-  /// True when no flits are buffered and no output is owned.
-  [[nodiscard]] bool drained() const;
+  /// True when no flits are buffered and no output is owned.  O(1): both
+  /// quantities are counted as flits and bindings come and go, because
+  /// the network's active-set scheduler queries this after every tick.
+  [[nodiscard]] bool drained() const {
+    return buffered_flits_ == 0 && bound_outputs_ == 0;
+  }
 
   [[nodiscard]] std::uint64_t forwarded_flits() const { return forwarded_; }
 
@@ -135,6 +139,8 @@ class Router {
   std::vector<PortStats> port_stats_ =
       std::vector<PortStats>(kNumDirections);
   std::uint64_t forwarded_ = 0;
+  std::uint32_t buffered_flits_ = 0;  // across all input VCs
+  std::uint32_t bound_outputs_ = 0;   // output VCs currently owned
 };
 
 }  // namespace wormsched::wormhole

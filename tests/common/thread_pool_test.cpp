@@ -1,0 +1,98 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace wormsched {
+namespace {
+
+TEST(ThreadPool, InlinePoolSpawnsNoThreads) {
+  ThreadPool serial(1);
+  EXPECT_EQ(serial.worker_count(), 0u);
+  ThreadPool also_serial(0);
+  // workers == 0 means "all cores"; a 1-core machine still gets an inline
+  // pool, anything larger gets real threads.
+  if (ThreadPool::hardware_workers() <= 1) {
+    EXPECT_EQ(also_serial.worker_count(), 0u);
+  } else {
+    EXPECT_EQ(also_serial.worker_count(), ThreadPool::hardware_workers());
+  }
+}
+
+TEST(ThreadPool, InlineSubmitRunsBeforeReturning) {
+  ThreadPool pool(1);
+  int ran = 0;
+  pool.submit([&] { ran = 1; });
+  EXPECT_EQ(ran, 1);  // no wait_idle needed on the inline path
+  pool.wait_idle();
+}
+
+TEST(ThreadPool, SubmitAndWaitRunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    ThreadPool pool(workers);
+    std::vector<std::atomic<int>> hits(257);
+    pool.parallel_for(hits.size(),
+                      [&](std::size_t i) { ++hits[i]; });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ParallelForZeroIsANoOp) {
+  ThreadPool pool(4);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "body ran for n = 0"; });
+}
+
+TEST(ThreadPool, WaitIdleRethrowsFirstTaskError) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The pool stays usable after an error has been consumed.
+  std::atomic<int> ran{0};
+  pool.submit([&] { ++ran; });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesBodyError) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.parallel_for(8,
+                                 [](std::size_t i) {
+                                   if (i == 3)
+                                     throw std::runtime_error("index 3");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, DestructorJoinsOutstandingWork) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 24; ++i)
+      pool.submit([&] {
+        std::this_thread::yield();
+        ++count;
+      });
+    pool.wait_idle();
+  }
+  EXPECT_EQ(count.load(), 24);
+}
+
+TEST(ThreadPool, HardwareWorkersIsPositive) {
+  EXPECT_GE(ThreadPool::hardware_workers(), 1u);
+}
+
+}  // namespace
+}  // namespace wormsched

@@ -124,5 +124,82 @@ TEST(Engine, RunUntilIdleRespectsCap) {
   EXPECT_EQ(e.run_until_idle(50), 50u);
 }
 
+// --- idle-skip behaviour -------------------------------------------------
+// When every component reports idle, run_until_idle jumps the clock to the
+// next calendar event instead of ticking empty cycles.
+
+TEST(Engine, IdleSkipJumpsToNextEvent) {
+  Engine e;
+  Counter c;  // quota 0: idle from the start, but still ticks when stepped
+  e.add_component(c);
+  Cycle fired = 0;
+  e.schedule_at(1000, [&](Cycle t) { fired = t; });
+  const Cycle end = e.run_until_idle(2000);
+  EXPECT_EQ(fired, 1000u);
+  EXPECT_EQ(end, 1001u);  // the firing cycle completes
+  // The skip is the point: one stepped cycle, not a thousand.
+  EXPECT_EQ(c.ticks, 1);
+}
+
+TEST(Engine, IdleSkipStopsAtMaxCycleMidSkip) {
+  Engine e;
+  Counter c;
+  e.add_component(c);
+  bool fired = false;
+  e.schedule_at(100, [&](Cycle) { fired = true; });
+  // The cap lands inside the skip window: clock parks at the cap and the
+  // event stays in the calendar, exactly as if we had stepped there.
+  EXPECT_EQ(e.run_until_idle(50), 50u);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(c.ticks, 0);
+  // A later run picks the event back up.
+  EXPECT_EQ(e.run_until_idle(2000), 101u);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Engine, IdleSkipEventExactlyAtCapDoesNotFire) {
+  Engine e;
+  Counter c;
+  e.add_component(c);
+  bool fired = false;
+  e.schedule_at(50, [&](Cycle) { fired = true; });
+  // run_until_idle(50) executes cycles [0, 50); an event at exactly the
+  // cap belongs to the next window, matching run_until's convention.
+  EXPECT_EQ(e.run_until_idle(50), 50u);
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, IdleSkipFiresEventsAtTheirExactCycles) {
+  Engine e;
+  Counter c;
+  e.add_component(c);
+  std::vector<Cycle> fired;
+  e.schedule_at(10, [&](Cycle t) { fired.push_back(t); });
+  e.schedule_at(500, [&](Cycle t) { fired.push_back(t); });
+  const Cycle end = e.run_until_idle(1000);
+  EXPECT_EQ(fired, (std::vector<Cycle>{10, 500}));
+  EXPECT_EQ(end, 501u);
+  EXPECT_EQ(c.ticks, 2);  // one stepped cycle per event
+}
+
+TEST(Engine, RunUntilIdleAllIdleEmptyCalendarReturnsImmediately) {
+  Engine e;
+  Counter c;
+  e.add_component(c);
+  EXPECT_EQ(e.run_until_idle(1000), 0u);
+  EXPECT_EQ(c.ticks, 0);
+}
+
+TEST(Engine, IdleSkipAfterBusyPhase) {
+  Engine e;
+  Counter c;
+  c.quota = 8;  // busy for 8 cycles, then idle
+  e.add_component(c);
+  e.schedule_at(1000, [](Cycle) {});
+  const Cycle end = e.run_until_idle(5000);
+  EXPECT_EQ(end, 1001u);
+  EXPECT_EQ(c.ticks, 9);  // 8 busy cycles + the event's cycle
+}
+
 }  // namespace
 }  // namespace wormsched::sim

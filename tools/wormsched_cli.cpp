@@ -18,7 +18,10 @@
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "harness/network_sweep.hpp"
 #include "harness/scenario.hpp"
+#include "harness/sweep.hpp"
 #include "harness/workload_parse.hpp"
 #include "metrics/fairness.hpp"
 #include "sim/engine.hpp"
@@ -81,19 +84,16 @@ int cmd_compare(int argc, const char* const* argv) {
   cli.add_option("workload", "workload spec (see workload_parse.hpp)",
                  "bern:0.01:u1-64*4");
   cli.add_option("cycles", "simulated cycles", "200000");
-  cli.add_option("seed", "trace seed", "1");
+  cli.add_option("seed", "trace seed (base seed when sweeping)", "1");
+  cli.add_option("seeds", "seeds to average over (1 = single trace)", "1");
   cli.add_option("schedulers", "comma-separated list (default: all)", "all");
   cli.add_flag("drain", "serve out all queues after the horizon");
+  add_jobs_option(cli);
   if (!cli.parse(argc, argv)) return 1;
 
   const auto workload = parse_or_die(cli.get("workload"));
   const Cycle cycles = cli.get_uint("cycles");
-  const auto trace =
-      traffic::generate_trace(workload.spec, cycles, cli.get_uint("seed"));
-  std::printf("workload: %zu flows, offered load %.3f flits/cycle, %zu "
-              "packets generated\n\n",
-              workload.spec.flows.size(), workload.spec.offered_load(),
-              trace.entries.size());
+  const std::size_t seeds = cli.get_uint("seeds");
 
   std::vector<std::string> names;
   if (cli.get("schedulers") == "all") {
@@ -102,22 +102,62 @@ int cmd_compare(int argc, const char* const* argv) {
     names = split_names(cli.get("schedulers"));
   }
 
-  AsciiTable table("scheduler comparison, identical trace");
+  harness::ScenarioConfig config;
+  config.horizon = cycles;
+  config.drain = cli.get_flag("drain");
+  config.weights = workload.weights;
+  config.sched.drr_quantum = workload.spec.max_packet_length();
+
+  if (seeds <= 1) {
+    const auto trace =
+        traffic::generate_trace(workload.spec, cycles, cli.get_uint("seed"));
+    std::printf("workload: %zu flows, offered load %.3f flits/cycle, %zu "
+                "packets generated\n\n",
+                workload.spec.flows.size(), workload.spec.offered_load(),
+                trace.entries.size());
+
+    AsciiTable table("scheduler comparison, identical trace");
+    table.set_header({"scheduler", "served flits", "mean delay", "p95 delay",
+                      "FM[10%,end) flits"});
+    for (const auto& name : names) {
+      const auto result = harness::run_scenario(name, config, trace);
+      const Flits fm = metrics::fairness_measure(
+          result.service_log, result.activity, cycles / 10, cycles);
+      table.add_row(result.scheduler_name,
+                    static_cast<long long>(result.service_log.grand_total()),
+                    fixed(result.delays.overall().mean(), 1),
+                    fixed(result.delays.quantile(0.95), 1), fm);
+    }
+    table.print(std::cout);
+    return 0;
+  }
+
+  harness::SweepOptions sweep;
+  sweep.base_seed = cli.get_uint("seed");
+  sweep.seeds = seeds;
+  sweep.jobs = resolve_jobs(cli);
+  std::printf("workload: %zu flows, offered load %.3f flits/cycle, "
+              "%zu seeds x %llu cycles, %zu worker(s)\n\n",
+              workload.spec.flows.size(), workload.spec.offered_load(),
+              seeds, static_cast<unsigned long long>(cycles),
+              sweep.jobs == 0 ? ThreadPool::hardware_workers() : sweep.jobs);
+  AsciiTable table("scheduler comparison, mean +/- stddev over seeds");
   table.set_header({"scheduler", "served flits", "mean delay", "p95 delay",
                     "FM[10%,end) flits"});
   for (const auto& name : names) {
-    harness::ScenarioConfig config;
-    config.horizon = cycles;
-    config.drain = cli.get_flag("drain");
-    config.weights = workload.weights;
-    config.sched.drr_quantum = workload.spec.max_packet_length();
-    const auto result = harness::run_scenario(name, config, trace);
-    const Flits fm = metrics::fairness_measure(
-        result.service_log, result.activity, cycles / 10, cycles);
-    table.add_row(result.scheduler_name,
-                  static_cast<long long>(result.service_log.grand_total()),
-                  fixed(result.delays.overall().mean(), 1),
-                  fixed(result.delays.quantile(0.95), 1), fm);
+    const auto result = harness::sweep_scenario(
+        name, config, workload.spec, sweep,
+        [cycles](const harness::ScenarioResult& r, harness::SweepResult& out) {
+          out.add("served",
+                  static_cast<double>(r.service_log.grand_total()));
+          out.add("mean_delay", r.delays.overall().mean());
+          out.add("p95_delay", r.delays.quantile(0.95));
+          out.add("fm", static_cast<double>(metrics::fairness_measure(
+                            r.service_log, r.activity, cycles / 10, cycles)));
+        });
+    table.add_row(name, result.summary("served", 0),
+                  result.summary("mean_delay", 1),
+                  result.summary("p95_delay", 1), result.summary("fm", 0));
   }
   table.print(std::cout);
   return 0;
@@ -195,6 +235,9 @@ int cmd_network(int argc, const char* const* argv) {
   cli.add_option("cycles", "injection cycles", "50000");
   cli.add_option("vcs", "virtual channel classes", "2");
   cli.add_option("buffers", "flit slots per input VC", "8");
+  cli.add_option("seed", "traffic seed (base seed when sweeping)", "99");
+  cli.add_option("seeds", "seeds to average over (1 = single run)", "1");
+  add_jobs_option(cli);
   if (!cli.parse(argc, argv)) return 1;
 
   const std::string topo_text = cli.get("topo");
@@ -221,7 +264,6 @@ int cmd_network(int argc, const char* const* argv) {
   config.router.num_vcs = static_cast<std::uint32_t>(cli.get_uint("vcs"));
   config.router.buffer_depth =
       static_cast<std::uint32_t>(cli.get_uint("buffers"));
-  wormhole::Network net(config);
 
   wormhole::NetworkTrafficSource::Config traffic_config;
   traffic_config.packets_per_node_per_cycle = cli.get_double("rate");
@@ -233,23 +275,49 @@ int cmd_network(int argc, const char* const* argv) {
                                 : pattern == "hotspot"  ? Kind::kHotspot
                                 : pattern == "neighbor" ? Kind::kNeighbor
                                                         : Kind::kUniform;
-  wormhole::NetworkTrafficSource source(net, traffic_config);
+  harness::NetworkScenarioConfig point;
+  point.network = config;
+  point.traffic = traffic_config;
 
-  sim::Engine engine;
-  engine.add_component(source);
-  engine.add_component(net);
-  engine.run_until(cli.get_uint("cycles"));
-  const Cycle end = engine.run_until_idle(cli.get_uint("cycles") * 50);
+  const std::size_t seeds = cli.get_uint("seeds");
+  if (seeds <= 1) {
+    const auto result =
+        harness::run_network_scenario(point, cli.get_uint("seed"));
+    std::printf("%s, %s, %s: injected %llu packets, delivered %zu, drained "
+                "at cycle %llu\n",
+                config.topo.describe().c_str(), cli.get("arbiter").c_str(),
+                traffic_config.pattern.describe().c_str(),
+                static_cast<unsigned long long>(result.generated_packets),
+                static_cast<std::size_t>(result.delivered_packets),
+                static_cast<unsigned long long>(result.end_cycle));
+    std::printf("latency cycles: mean %.1f  min %.0f  max %.0f\n",
+                result.latency.mean(), result.latency.min(),
+                result.latency.max());
+    return 0;
+  }
 
-  const auto latency = net.latency_overall();
-  std::printf("%s, %s, %s: injected %llu packets, delivered %zu, drained at "
-              "cycle %llu\n",
+  harness::SweepOptions sweep;
+  sweep.base_seed = cli.get_uint("seed");
+  sweep.seeds = seeds;
+  sweep.jobs = resolve_jobs(cli);
+  const auto r = harness::sweep_network(
+      point, sweep,
+      [](const harness::NetworkScenarioResult& run,
+         harness::SweepResult& out) {
+        out.add("delivered", static_cast<double>(run.delivered_packets));
+        out.add("drain_cycle", static_cast<double>(run.end_cycle));
+        out.add("mean_latency", run.latency.mean());
+        out.add("p99_latency", run.p99_latency);
+      });
+  std::printf("%s, %s, %s: %zu seeds, %zu worker(s)\n",
               config.topo.describe().c_str(), cli.get("arbiter").c_str(),
-              traffic_config.pattern.describe().c_str(),
-              static_cast<unsigned long long>(net.injected_packets()),
-              net.delivered().size(), static_cast<unsigned long long>(end));
-  std::printf("latency cycles: mean %.1f  min %.0f  max %.0f\n",
-              latency.mean(), latency.min(), latency.max());
+              traffic_config.pattern.describe().c_str(), seeds,
+              sweep.jobs == 0 ? ThreadPool::hardware_workers() : sweep.jobs);
+  std::printf("delivered packets: %s\n", r.summary("delivered", 0).c_str());
+  std::printf("drain cycle:       %s\n", r.summary("drain_cycle", 0).c_str());
+  std::printf("latency cycles:    mean %s  p99 %s\n",
+              r.summary("mean_latency", 1).c_str(),
+              r.summary("p99_latency", 0).c_str());
   return 0;
 }
 
