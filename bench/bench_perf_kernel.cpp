@@ -14,9 +14,12 @@
 //      --jobs workers (the parallel-sweep speedup claim; bounded by the
 //      machine's core count).
 // Prints an ASCII table and writes the machine-readable BENCH_perf.json
-// (schema wormsched-perf-v1) that reproduce.sh copies to the repo root.
+// (schema wormsched-perf-v2) that reproduce.sh copies to the repo root.
+// v2 adds a provenance block — jobs, compiler, build type, git SHA — so a
+// baseline can be traced to the build that produced it.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
@@ -107,6 +110,28 @@ double per_sec(double quantity, double secs) {
   return secs > 0.0 ? quantity / secs : 0.0;
 }
 
+// Set per-target from CMAKE_BUILD_TYPE; "unknown" outside CMake.
+#ifndef WORMSCHED_BUILD_TYPE
+#define WORMSCHED_BUILD_TYPE "unknown"
+#endif
+
+std::string compiler_id() {
+#if defined(__clang__)
+  return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+// reproduce.sh exports the checkout's SHA; a perf number without the
+// commit it measured is unreviewable.
+std::string git_sha() {
+  const char* sha = std::getenv("WORMSCHED_GIT_SHA");
+  return sha != nullptr && *sha != '\0' ? sha : "unknown";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -193,9 +218,14 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::fprintf(out, "{\n");
-  std::fprintf(out, "  \"schema\": \"wormsched-perf-v1\",\n");
+  std::fprintf(out, "  \"schema\": \"wormsched-perf-v2\",\n");
   std::fprintf(out, "  \"hardware_threads\": %zu,\n",
                ThreadPool::hardware_workers());
+  std::fprintf(out,
+               "  \"provenance\": {\"jobs\": %zu, \"compiler\": \"%s\", "
+               "\"build_type\": \"%s\", \"git_sha\": \"%s\"},\n",
+               jobs, compiler_id().c_str(), WORMSCHED_BUILD_TYPE,
+               git_sha().c_str());
   std::fprintf(out, "  \"scenarios\": {\n");
   std::fprintf(out,
                "    \"fig4_standalone\": {\"wall_seconds\": %.6f, "

@@ -20,6 +20,11 @@ cmake --build build -j "$(nproc)"
 
 ctest --test-dir build 2>&1 | tee test_output.txt
 
+# Provenance for the perf baseline: bench_perf_kernel records this SHA in
+# BENCH_perf.json so the numbers are traceable to a commit.
+WORMSCHED_GIT_SHA=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+export WORMSCHED_GIT_SHA
+
 mkdir -p results
 cd results
 : > ../bench_output.txt

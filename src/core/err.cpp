@@ -50,6 +50,7 @@ FlowId ErrPolicy::begin_opportunity() {
   current_ = state.id;
   allowance_ = state.weight * (1.0 + previous_max_sc_) - state.sc;
   sent_ = 0.0;
+  max_charge_ = 0.0;
   WS_CHECK_MSG(allowance_ > 0.0, "ERR allowance must be positive (Lemma 1)");
   return state.id;
 }
@@ -58,6 +59,7 @@ void ErrPolicy::charge(double units) {
   WS_CHECK(in_opportunity_);
   WS_CHECK(units > 0.0);
   sent_ += units;
+  if (units > max_charge_) max_charge_ = units;
 }
 
 void ErrPolicy::end_opportunity(bool still_backlogged) {
@@ -73,10 +75,13 @@ void ErrPolicy::end_opportunity(bool still_backlogged) {
   ErrOpportunity record{
       .round = round_,
       .flow = current_,
+      .weight = state.weight,
       .allowance = allowance_,
       .sent = sent_,
       .surplus_count = state.sc,
       .max_sc_so_far = max_sc_,
+      .previous_max_sc = previous_max_sc_,
+      .max_charge = max_charge_,
   };
 
   if (still_backlogged) {
@@ -88,6 +93,7 @@ void ErrPolicy::end_opportunity(bool still_backlogged) {
     WS_CHECK(active_count_ > 0);
     --active_count_;
   }
+  record.active_after = active_count_;
   WS_CHECK(round_robin_visit_count_ > 0);
   --round_robin_visit_count_;
   in_opportunity_ = false;

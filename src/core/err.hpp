@@ -40,15 +40,21 @@ struct ErrConfig {
   bool reset_on_idle = false;
 };
 
-/// One completed service opportunity, for tracing and golden tests
-/// (reproduces the quantities annotated in the paper's Fig. 3).
+/// One completed service opportunity, for tracing, golden tests
+/// (reproduces the quantities annotated in the paper's Fig. 3) and the
+/// runtime invariant auditor (src/validate), which needs enough context to
+/// re-derive the allowance arithmetic and the paper's bounds externally.
 struct ErrOpportunity {
   std::size_t round = 0;  // 1-based
   FlowId flow;
+  double weight = 1.0;          // the flow's weight when it was served
   double allowance = 0.0;
   double sent = 0.0;
   double surplus_count = 0.0;   // after the reset-to-0-if-idle rule
   double max_sc_so_far = 0.0;   // running MaxSC of the round
+  double previous_max_sc = 0.0; // MaxSC snapshot the allowance used
+  double max_charge = 0.0;      // largest single charge() this opportunity
+  std::size_t active_after = 0; // active flows once this opportunity ended
   bool deactivated = false;     // flow drained and left the ActiveList
 };
 
@@ -93,6 +99,9 @@ class ErrPolicy {
   [[nodiscard]] double surplus_count(FlowId flow) const {
     return flows_[flow.index()].sc;
   }
+  [[nodiscard]] double weight(FlowId flow) const {
+    return flows_[flow.index()].weight;
+  }
   [[nodiscard]] double max_sc() const { return max_sc_; }
   [[nodiscard]] double previous_max_sc() const { return previous_max_sc_; }
   [[nodiscard]] std::size_t round() const { return round_; }
@@ -127,6 +136,7 @@ class ErrPolicy {
   FlowId current_;
   double allowance_ = 0.0;
   double sent_ = 0.0;
+  double max_charge_ = 0.0;  // largest single charge() of the opportunity
 
   std::function<void(const ErrOpportunity&)> listener_;
 };

@@ -1,11 +1,15 @@
 #include "harness/network_sweep.hpp"
 
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "common/assert.hpp"
 #include "common/thread_pool.hpp"
 #include "sim/engine.hpp"
+#include "validate/err_auditor.hpp"
+#include "validate/network_auditor.hpp"
+#include "wormhole/arbiter.hpp"
 
 namespace wormsched::harness {
 
@@ -13,10 +17,50 @@ NetworkScenarioResult run_network_scenario(const NetworkScenarioConfig& config,
                                            std::uint64_t seed) {
   WS_CHECK_MSG(config.traffic.inject_until < kCycleMax,
                "network sweep needs a finite injection window");
-  wormhole::Network net(config.network);
+  wormhole::NetworkConfig net_config = config.network;
+  std::optional<validate::ScheduledFaults> faults;
+  if (config.faults.enabled) {
+    validate::FaultSpec spec = config.faults;
+    spec.seed += seed;  // an independent fault schedule per run seed
+    spec.num_nodes = net_config.topo.width * net_config.topo.height;
+    faults.emplace(spec);
+    net_config.faults = &*faults;
+  }
+  wormhole::Network net(net_config);
   wormhole::NetworkTrafficSource::Config traffic = config.traffic;
   traffic.seed = seed;
+  traffic.faults = net_config.faults;
   wormhole::NetworkTrafficSource source(net, traffic);
+
+  // Auditors live on this frame: the fabric auditor sees every cycle,
+  // and each ERR output arbiter streams its opportunities into its own
+  // paper-bounds auditor; all of them share one violation log.
+  validate::AuditLog audit_log;
+  std::optional<validate::NetworkAuditor> net_auditor;
+  std::vector<std::unique_ptr<validate::ErrAuditor>> err_auditors;
+  if (config.audit) {
+    net_auditor.emplace(validate::NetworkAuditorConfig{}, audit_log);
+    net.set_observer(&*net_auditor);
+    const std::uint32_t nodes = net.topology().num_nodes();
+    const std::uint32_t vcs = net_config.router.num_vcs;
+    const std::size_t requesters =
+        static_cast<std::size_t>(wormhole::kNumDirections) * vcs;
+    for (std::uint32_t n = 0; n < nodes; ++n) {
+      for (std::uint32_t d = 0; d < wormhole::kNumDirections; ++d) {
+        for (std::uint32_t cls = 0; cls < vcs; ++cls) {
+          auto* err = dynamic_cast<wormhole::ErrArbiter*>(
+              &net.router(NodeId(n)).arbiter(
+                  static_cast<wormhole::Direction>(d), cls));
+          if (err == nullptr) continue;
+          auto auditor = std::make_unique<validate::ErrAuditor>(
+              requesters, validate::ErrAuditorConfig{}, audit_log);
+          auditor->attach(err->policy());
+          err_auditors.push_back(std::move(auditor));
+        }
+      }
+    }
+  }
+
   sim::Engine engine;
   engine.add_component(source);
   engine.add_component(net);
@@ -36,6 +80,13 @@ NetworkScenarioResult run_network_scenario(const NetworkScenarioConfig& config,
     q.add(d);
   }
   result.p99_latency = q.quantile(0.99);
+  if (config.audit) {
+    result.audit_checks = net_auditor->checks_run();
+    result.audit_violations = audit_log.count();
+    for (const auto& auditor : err_auditors)
+      result.audit_opportunities += auditor->opportunities();
+    net.set_observer(nullptr);
+  }
   return result;
 }
 
@@ -43,14 +94,22 @@ SweepResult sweep_network(const NetworkScenarioConfig& config,
                           const SweepOptions& options,
                           const NetworkMetricExtractor& extract) {
   WS_CHECK(options.seeds > 0);
+  NetworkScenarioConfig effective = config;
+  if (options.faults.enabled) effective.faults = options.faults;
+  effective.audit = effective.audit || options.audit;
   std::vector<std::optional<NetworkScenarioResult>> per_seed(options.seeds);
   ThreadPool pool(options.jobs);
   pool.parallel_for(options.seeds, [&](std::size_t k) {
     per_seed[k].emplace(
-        run_network_scenario(config, options.base_seed + k));
+        run_network_scenario(effective, options.base_seed + k));
   });
   SweepResult aggregate;
-  for (const auto& result : per_seed) extract(*result, aggregate);
+  for (const auto& result : per_seed) {
+    extract(*result, aggregate);
+    if (effective.audit)
+      aggregate.add("audit_violations",
+                    static_cast<double>(result->audit_violations));
+  }
   return aggregate;
 }
 

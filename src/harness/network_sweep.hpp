@@ -14,6 +14,7 @@
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "harness/sweep.hpp"
+#include "validate/faults.hpp"
 #include "wormhole/network.hpp"
 #include "wormhole/patterns.hpp"
 
@@ -27,6 +28,14 @@ struct NetworkScenarioConfig {
   /// Drain cap: after injection the run continues until the fabric is
   /// idle or `inject_until * drain_factor` cycles have elapsed.
   Cycle drain_factor = 50;
+  /// Fault injection: a ScheduledFaults model (seeded with faults.seed +
+  /// run seed, sized to the topology) is plugged into the network and the
+  /// traffic source for the run's duration.
+  validate::FaultSpec faults;
+  /// Attach the runtime auditors: the NetworkAuditor observes every
+  /// cycle (conservation + active-set), and an ErrAuditor subscribes to
+  /// every ERR output arbiter in the fabric (paper bounds per port).
+  bool audit = false;
 };
 
 /// Everything the network benches read out of one finished run.
@@ -37,6 +46,10 @@ struct NetworkScenarioResult {
   std::uint64_t delivered_flits = 0;
   RunningStat latency;        // per delivered packet, inject-to-tail
   double p99_latency = 0.0;
+  /// Filled when NetworkScenarioConfig::audit ran.
+  std::uint64_t audit_checks = 0;
+  std::uint64_t audit_violations = 0;
+  std::uint64_t audit_opportunities = 0;
 };
 
 /// Runs one network scenario with `seed` driving the traffic source.

@@ -1,9 +1,12 @@
 #include "harness/scenario.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/assert.hpp"
+#include "core/err.hpp"
 #include "core/packet.hpp"
+#include "validate/err_auditor.hpp"
 
 namespace wormsched::harness {
 
@@ -51,6 +54,23 @@ ScenarioResult run_scenario(std::string_view scheduler_name,
 
   ScenarioResult result(trace.num_flows, config.flit_bytes);
   result.scheduler_name = std::string(scheduler->name());
+
+  // Runtime invariant auditing: ERR schedulers publish their opportunity
+  // stream, which the auditor re-checks against the paper's bounds live.
+  std::optional<validate::AuditLog> local_log;
+  std::optional<validate::ErrAuditor> auditor;
+  if (config.audit) {
+    auto* err = dynamic_cast<core::ErrScheduler*>(scheduler.get());
+    if (err != nullptr) {
+      validate::AuditLog* log = config.audit_log;
+      if (log == nullptr) log = &local_log.emplace();
+      validate::ErrAuditorConfig audit_config;
+      audit_config.reset_on_idle = config.sched.err_reset_on_idle;
+      auditor.emplace(trace.num_flows, audit_config, *log);
+      auditor->attach(err->policy());
+    }
+  }
+
   RunProbe probe(result);
   metrics::ObserverChain chain;
   chain.add(result.service_log);
@@ -91,6 +111,12 @@ ScenarioResult run_scenario(std::string_view scheduler_name,
   result.end_cycle = t;
   result.activity.finish(t);
   result.residual_backlog = scheduler->backlog_flits();
+  if (auditor.has_value()) {
+    result.audit_opportunities = auditor->opportunities();
+    validate::AuditLog* log =
+        config.audit_log != nullptr ? config.audit_log : &*local_log;
+    result.audit_violations = log->count();
+  }
   scheduler->set_observer(nullptr);
   return result;
 }

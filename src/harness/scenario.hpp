@@ -19,6 +19,7 @@
 #include "metrics/delay.hpp"
 #include "metrics/service_log.hpp"
 #include "traffic/workload.hpp"
+#include "validate/violation.hpp"
 
 namespace wormsched::harness {
 
@@ -35,6 +36,14 @@ struct ScenarioConfig {
   core::SchedulerParams sched;  // num_flows is filled in by the runner
   /// Per-flow weights (empty = all 1).
   std::vector<double> weights;
+  /// Attach the runtime invariant auditor (src/validate) to the run.
+  /// Effective for ERR schedulers (the auditor subscribes to ErrPolicy's
+  /// opportunity stream); a no-op for other disciplines.
+  bool audit = false;
+  /// Optional external violation sink.  When null and audit is set, the
+  /// runner uses a private log and only the counts survive in the result
+  /// (Debug builds abort on the first violation either way).
+  validate::AuditLog* audit_log = nullptr;
 };
 
 /// Everything measured during one run.
@@ -55,6 +64,10 @@ struct ScenarioResult {
   /// Flits left unserved at the end (nonzero in overloaded, non-drained
   /// runs).
   Flits residual_backlog = 0;
+  /// Filled when ScenarioConfig::audit ran: opportunities audited and
+  /// invariant violations found (0 on a clean run).
+  std::uint64_t audit_opportunities = 0;
+  std::uint64_t audit_violations = 0;
 
   [[nodiscard]] std::size_t num_flows() const {
     return service_log.num_flows();

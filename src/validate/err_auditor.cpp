@@ -1,0 +1,273 @@
+#include "validate/err_auditor.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace wormsched::validate {
+
+namespace {
+
+/// Full record context for violation reports — everything needed to
+/// reproduce and localize a broken bound.
+[[nodiscard]] std::string context(const core::ErrOpportunity& rec) {
+  std::ostringstream os;
+  os << "round=" << rec.round << " flow=" << rec.flow.value()
+     << " w=" << rec.weight << " A=" << rec.allowance << " sent=" << rec.sent
+     << " sc=" << rec.surplus_count << " max_sc=" << rec.max_sc_so_far
+     << " prev_max=" << rec.previous_max_sc
+     << " max_charge=" << rec.max_charge
+     << " active_after=" << rec.active_after
+     << (rec.deactivated ? " deactivated" : "");
+  return os.str();
+}
+
+[[nodiscard]] std::string with(const core::ErrOpportunity& rec,
+                               const std::string& extra) {
+  return extra + " | " + context(rec);
+}
+
+}  // namespace
+
+ErrAuditor::ErrAuditor(std::size_t num_flows, const ErrAuditorConfig& config,
+                       AuditLog& log)
+    : config_(config), log_(log), flows_(num_flows) {
+  WS_CHECK(num_flows > 0);
+  WS_CHECK(config.fm_bound_factor > 0.0);
+}
+
+void ErrAuditor::attach(core::ErrPolicy& policy) {
+  policy.set_opportunity_listener(
+      [this](const core::ErrOpportunity& rec) { on_opportunity(rec); });
+}
+
+void ErrAuditor::on_opportunity(const core::ErrOpportunity& rec) {
+  ++seen_;
+  const auto f = static_cast<std::uint32_t>(rec.flow.value());
+  if (f >= flows_.size()) {
+    std::ostringstream os;
+    os << "flow id " << f << " out of range (num_flows=" << flows_.size()
+       << ")";
+    log_.report("err.record.flow", with(rec, os.str()));
+    return;
+  }
+  FlowTrack& track = flows_[f];
+
+  // m (Def. 2) grows with every served charge, including this one.
+  if (rec.max_charge > m_) m_ = rec.max_charge;
+
+  // Reconstruct the policy's inputs from the record: the allowance
+  // equation inverted gives the SC the policy used.
+  const double sc_before =
+      rec.weight * (1.0 + rec.previous_max_sc) - rec.allowance;
+  const double sc_pre_reset = rec.sent - rec.allowance;
+
+  check_round_bookkeeping(rec, sc_pre_reset);
+  check_lemma1(rec, sc_before, sc_pre_reset);
+
+  // A flow active across consecutive rounds is served exactly once per
+  // round; a round gap means it left and re-entered the active list.
+  const bool continues =
+      track.streak_live && rec.round == track.last_round + 1;
+  if (!continues) {
+    drop_pairs_of(f);  // backlog continuity broke before this visit
+    track.streak_len = 0;
+    track.streak_sent = 0.0;
+    track.streak_prev_max = 0.0;
+    track.sc_before_first = sc_before;
+  }
+  track.streak_live = true;
+  track.last_round = rec.round;
+  ++track.streak_len;
+  track.streak_sent += rec.sent;
+  track.streak_prev_max += rec.previous_max_sc;
+
+  check_theorem2(rec, track, sc_pre_reset);
+  if (flows_.size() <= config_.fm_pair_limit) check_theorem3(rec, track);
+
+  // Post-record state the next visit is checked against.
+  track.sc_known = true;
+  track.sc = rec.surplus_count;  // post-reset (0 when deactivated)
+  if (rec.deactivated) {
+    drop_pairs_of(f);
+    track.streak_live = false;
+  }
+  idle_reset_pending_ = rec.active_after == 0;
+  if (sc_pre_reset > max_sc_seen_) max_sc_seen_ = sc_pre_reset;
+}
+
+void ErrAuditor::check_round_bookkeeping(const core::ErrOpportunity& rec,
+                                         double sc_pre_reset) {
+  const double eps = config_.epsilon;
+  if (cur_round_ == 0) {
+    // First record: adopt the stream mid-flight (the auditor may attach
+    // after the run started); replay becomes exact from the next round.
+    first_seen_round_ = rec.round;
+    cur_round_ = rec.round;
+    round_prev_snapshot_ = rec.previous_max_sc;
+    round_max_sc_ = rec.max_sc_so_far;  // earlier folds of this round
+  } else if (rec.round != cur_round_) {
+    if (rec.round != cur_round_ + 1) {
+      std::ostringstream os;
+      os << "round jumped from " << cur_round_;
+      log_.report("err.round.skip", with(rec, os.str()));
+    }
+    const bool idle_reset = config_.reset_on_idle && idle_reset_pending_;
+    const double expected_prev = idle_reset ? 0.0 : round_max_sc_;
+    if (std::abs(rec.previous_max_sc - expected_prev) > eps) {
+      std::ostringstream os;
+      os << "MaxSC snapshot expected " << expected_prev;
+      log_.report("err.maxsc.snapshot", with(rec, os.str()));
+    }
+    cur_round_ = rec.round;
+    round_prev_snapshot_ = rec.previous_max_sc;
+    round_max_sc_ = 0.0;
+  } else if (std::abs(rec.previous_max_sc - round_prev_snapshot_) > eps) {
+    std::ostringstream os;
+    os << "PreviousMaxSC drifted within round (was " << round_prev_snapshot_
+       << ")";
+    log_.report("err.maxsc.snapshot-drift", with(rec, os.str()));
+  }
+
+  // Replay the fold: MaxSC is the running max over the round's pre-reset
+  // surplus counts, from 0.
+  if (sc_pre_reset > round_max_sc_) round_max_sc_ = sc_pre_reset;
+  const bool partial_round = rec.round == first_seen_round_;
+  const double fold_gap = rec.max_sc_so_far - round_max_sc_;
+  if (std::abs(fold_gap) > eps && !(partial_round && fold_gap > 0.0)) {
+    std::ostringstream os;
+    os << "MaxSC fold replay expected " << round_max_sc_;
+    log_.report("err.maxsc.fold", with(rec, os.str()));
+  }
+}
+
+void ErrAuditor::check_lemma1(const core::ErrOpportunity& rec,
+                              double sc_before, double sc_pre_reset) {
+  const double eps = config_.epsilon;
+  const auto f = static_cast<std::uint32_t>(rec.flow.value());
+  const FlowTrack& track = flows_[f];
+
+  // Lemma 1 lower half: surplus counts never go negative...
+  if (sc_before < -eps)
+    log_.report("err.lemma1.lower", with(rec, "SC(r-1) negative"));
+  // ...and a flow's SC never exceeds the previous round's MaxSC, which is
+  // what keeps every allowance at least w_i (> 0, Lemma 1's statement).
+  if (sc_before > rec.previous_max_sc + eps)
+    log_.report("err.lemma1.sc-vs-maxsc",
+                with(rec, "SC(r-1) above MaxSC(r-1)"));
+  if (rec.allowance <= 0.0)
+    log_.report("err.lemma1.allowance-positive",
+                with(rec, "allowance not positive"));
+  if (rec.allowance < rec.weight - eps)
+    log_.report("err.lemma1.allowance-floor",
+                with(rec, "allowance below the flow's weight"));
+
+  // Cross-check the policy's SC arithmetic against the auditor's own
+  // tracked value from this flow's previous visit.
+  if (track.sc_known && std::abs(sc_before - track.sc) > eps) {
+    std::ostringstream os;
+    os << "allowance implies SC(r-1)=" << sc_before << " but auditor tracked "
+       << track.sc;
+    log_.report("err.allowance.mismatch", with(rec, os.str()));
+  }
+
+  if (rec.deactivated) {
+    if (rec.surplus_count != 0.0)
+      log_.report("err.record.reset",
+                  with(rec, "deactivated flow's SC not reset to 0"));
+  } else {
+    // Service only stops once Sent >= Allowance (Fig. 1's do/while).
+    if (sc_pre_reset < -eps)
+      log_.report("err.lemma1.residual",
+                  with(rec, "opportunity ended early with Sent < A"));
+    if (std::abs(rec.surplus_count - sc_pre_reset) > eps)
+      log_.report("err.record.sc",
+                  with(rec, "recorded SC != Sent - A"));
+  }
+
+  // Lemma 1 / Corollary 1 upper half, weighted-general form: the
+  // overshoot is always smaller than the final charge that caused it,
+  // hence SC_i < m.  (Unit-flit packets: SC_i <= m - 1.)
+  if (sc_pre_reset > 0.0 && rec.max_charge > 0.0 &&
+      sc_pre_reset >= rec.max_charge + eps) {
+    std::ostringstream os;
+    os << "overshoot " << sc_pre_reset << " >= largest charge "
+       << rec.max_charge;
+    log_.report("err.lemma1.upper", with(rec, os.str()));
+  }
+}
+
+void ErrAuditor::check_theorem2(const core::ErrOpportunity& rec,
+                                FlowTrack& track, double sc_pre_reset) {
+  const double n = static_cast<double>(track.streak_len);
+  const double eps = config_.epsilon * (n + 1.0);
+  const double base = rec.weight * (n + track.streak_prev_max);
+
+  // Exact telescoped identity over the active streak:
+  //   sum Sent = w(n + sum MaxSC(r-1)) + SC(end, pre-reset) - SC(start-1).
+  const double expect = base + sc_pre_reset - track.sc_before_first;
+  if (std::abs(track.streak_sent - expect) > eps) {
+    std::ostringstream os;
+    os << "window of " << track.streak_len << " rounds served "
+       << track.streak_sent << ", telescoping says " << expect;
+    log_.report("err.theorem2.telescope", with(rec, os.str()));
+  }
+
+  // The paper's Theorem 2 bound: both SC terms lie in [0, m), so the
+  // window's service deviates from w(n + sum MaxSC) by less than m.  That
+  // holds only while the flow stays backlogged: a deactivating end quits
+  // at queue-empty with Sent < A, undershooting by up to the whole
+  // allowance (and the streak resets right after), so skip the bound
+  // there — the telescoped identity above still pins the arithmetic.
+  const double dev = track.streak_sent - base;
+  if (!rec.deactivated && m_ > 0.0 && (dev >= m_ + eps || dev <= -(m_ + eps))) {
+    std::ostringstream os;
+    os << "window of " << track.streak_len << " rounds deviates by " << dev
+       << " (bound m=" << m_ << ")";
+    log_.report("err.theorem2.bound", with(rec, os.str()));
+  }
+}
+
+void ErrAuditor::check_theorem3(const core::ErrOpportunity& rec,
+                                FlowTrack& track) {
+  track.ncum += rec.sent / rec.weight;
+  const auto f = static_cast<std::uint32_t>(rec.flow.value());
+  for (std::uint32_t g = 0; g < flows_.size(); ++g) {
+    if (g == f || !flows_[g].streak_live) continue;
+    const std::uint32_t lo = f < g ? f : g;
+    const std::uint32_t hi = f < g ? g : f;
+    const double delta = flows_[lo].ncum - flows_[hi].ncum;
+    auto [it, inserted] = pairs_.try_emplace(pair_key(f, g));
+    PairTrack& pair = it->second;
+    if (inserted) {
+      // The pair window opens now: both flows are backlogged from this
+      // instant (conservative — never wider than the paper's interval).
+      pair.base = delta;
+      pair.dmin = 0.0;
+      pair.dmax = 0.0;
+      continue;
+    }
+    const double d = delta - pair.base;
+    if (d < pair.dmin) pair.dmin = d;
+    if (d > pair.dmax) pair.dmax = d;
+    const double fm = pair.dmax - pair.dmin;
+    if (fm > max_fm_) max_fm_ = fm;
+    if (m_ > 0.0 && fm >= config_.fm_bound_factor * m_ + config_.epsilon) {
+      std::ostringstream os;
+      os << "FM(" << lo << "," << hi << ")=" << fm << " >= "
+         << config_.fm_bound_factor << "*m (m=" << m_ << ")";
+      log_.report("err.theorem3.fm", with(rec, os.str()));
+    }
+  }
+}
+
+void ErrAuditor::drop_pairs_of(std::uint32_t flow) {
+  for (auto it = pairs_.begin(); it != pairs_.end();) {
+    const auto a = static_cast<std::uint32_t>(it->first >> 32);
+    const auto b = static_cast<std::uint32_t>(it->first & 0xffffffffu);
+    it = (a == flow || b == flow) ? pairs_.erase(it) : ++it;
+  }
+}
+
+}  // namespace wormsched::validate

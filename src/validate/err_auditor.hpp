@@ -1,0 +1,127 @@
+// Runtime auditor for the paper's ERR invariants.
+//
+// Subscribes to ErrPolicy's opportunity stream (one ErrOpportunity record
+// per completed service opportunity) and re-derives, outside the policy's
+// own arithmetic, every bound the paper proves:
+//
+//   * Allowance arithmetic — A_i(r) = w_i(1 + MaxSC(r-1)) - SC_i(r-1)
+//     cross-checked against the auditor's independently tracked SC, and
+//     the MaxSC round snapshots replayed (monotone within a round, carried
+//     exactly across rounds, reset after idle when configured).
+//   * Lemma 1 / Corollary 1 — 0 <= SC_i and, in the weighted-general
+//     form, SC_i < m where m is the largest single charge actually served
+//     so far (for unit-flit packets this is the paper's SC_i <= m - 1);
+//     allowances stay >= w_i (> 0, the lemma's statement).
+//   * Theorem 2 — over every window of n consecutive rounds a flow stays
+//     active, its service telescopes to
+//     w_i(n + sum MaxSC) + SC(end) - SC(start-1); the auditor checks both
+//     the exact telescoped identity and the paper's +/- m bound.
+//   * Theorem 3 — a running fairness-measure accumulator: for each pair
+//     of concurrently-backlogged flows it tracks min/max of the
+//     weight-normalized cumulative-service difference; the spread (the
+//     paper's FM) must stay < fm_bound_factor * m.  Pair windows start at
+//     the later flow's first audited opportunity (conservative: never
+//     wider than the paper's continuously-backlogged interval).
+//
+// Violations go to an AuditLog with full context (round, flow, values):
+// abort-on-first in Debug, counted in Release.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/err.hpp"
+#include "validate/violation.hpp"
+
+namespace wormsched::validate {
+
+struct ErrAuditorConfig {
+  /// Mirrors ErrConfig::reset_on_idle: after the active set empties the
+  /// next round's MaxSC snapshot is expected to be 0 instead of carried.
+  bool reset_on_idle = false;
+  /// Theorem 3 bound: FM < fm_bound_factor * m (the paper proves 3m).
+  double fm_bound_factor = 3.0;
+  /// Pairwise FM tracking is O(flows) per opportunity; above this many
+  /// flows the Theorem 3 accumulator is skipped (everything else runs).
+  std::size_t fm_pair_limit = 128;
+  /// Floating-point slack for the exact identities.
+  double epsilon = 1e-6;
+};
+
+class ErrAuditor {
+ public:
+  ErrAuditor(std::size_t num_flows, const ErrAuditorConfig& config,
+             AuditLog& log);
+
+  /// Installs this auditor as `policy`'s opportunity listener.
+  void attach(core::ErrPolicy& policy);
+
+  /// Feed one opportunity record (use directly when the listener slot is
+  /// shared or records come from a replay).
+  void on_opportunity(const core::ErrOpportunity& record);
+
+  /// --- Summary ---------------------------------------------------------
+  [[nodiscard]] std::uint64_t opportunities() const { return seen_; }
+  /// Largest single charge observed — the paper's m (Def. 2, served).
+  [[nodiscard]] double m() const { return m_; }
+  [[nodiscard]] double max_surplus_seen() const { return max_sc_seen_; }
+  /// Largest pairwise fairness measure observed (0 until two flows have
+  /// overlapped).  Theorem 3 says this stays < fm_bound_factor * m.
+  [[nodiscard]] double max_fairness_measure() const { return max_fm_; }
+
+ private:
+  struct FlowTrack {
+    bool sc_known = false;   // auditor has a trusted SC for this flow
+    double sc = 0.0;         // that SC (post-reset value of the last record)
+    bool streak_live = false;
+    std::size_t last_round = 0;
+    // Theorem 2 window accumulators over the live streak.
+    std::size_t streak_len = 0;
+    double streak_sent = 0.0;
+    double streak_prev_max = 0.0;
+    double sc_before_first = 0.0;
+    // Weight-normalized cumulative service (Theorem 3 coordinate).
+    double ncum = 0.0;
+  };
+  struct PairTrack {
+    double base = 0.0;  // normalized-difference origin at window start
+    double dmin = 0.0;
+    double dmax = 0.0;
+  };
+
+  void check_round_bookkeeping(const core::ErrOpportunity& rec,
+                               double sc_pre_reset);
+  void check_lemma1(const core::ErrOpportunity& rec, double sc_before,
+                    double sc_pre_reset);
+  void check_theorem2(const core::ErrOpportunity& rec, FlowTrack& track,
+                      double sc_pre_reset);
+  void check_theorem3(const core::ErrOpportunity& rec, FlowTrack& track);
+  void drop_pairs_of(std::uint32_t flow);
+
+  [[nodiscard]] static std::uint64_t pair_key(std::uint32_t a,
+                                              std::uint32_t b) {
+    return a < b ? (static_cast<std::uint64_t>(a) << 32) | b
+                 : (static_cast<std::uint64_t>(b) << 32) | a;
+  }
+
+  ErrAuditorConfig config_;
+  AuditLog& log_;
+  std::vector<FlowTrack> flows_;
+  std::map<std::uint64_t, PairTrack> pairs_;
+
+  // Round replay state.
+  std::size_t cur_round_ = 0;
+  std::size_t first_seen_round_ = 0;  // possibly joined mid-round
+  double round_max_sc_ = 0.0;  // running max of pre-reset SC this round
+  double round_prev_snapshot_ = 0.0;  // PreviousMaxSC fixed for the round
+  bool idle_reset_pending_ = false;
+
+  // Summary.
+  std::uint64_t seen_ = 0;
+  double m_ = 0.0;
+  double max_sc_seen_ = 0.0;
+  double max_fm_ = 0.0;
+};
+
+}  // namespace wormsched::validate

@@ -1,0 +1,147 @@
+#include "validate/network_auditor.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace wormsched::validate {
+
+namespace {
+
+using wormhole::Direction;
+using wormhole::kNumDirections;
+using wormhole::Network;
+
+[[nodiscard]] Direction opposite(Direction d) {
+  switch (d) {
+    case Direction::kEast: return Direction::kWest;
+    case Direction::kWest: return Direction::kEast;
+    case Direction::kNorth: return Direction::kSouth;
+    case Direction::kSouth: return Direction::kNorth;
+    case Direction::kLocal: return Direction::kLocal;
+  }
+  return Direction::kLocal;
+}
+
+}  // namespace
+
+NetworkAuditor::NetworkAuditor(const NetworkAuditorConfig& config,
+                               AuditLog& log)
+    : config_(config), log_(log) {
+  WS_CHECK(config.check_every >= 1);
+}
+
+void NetworkAuditor::on_cycle_end(Cycle now, const Network& network) {
+  if (now % config_.check_every != 0) return;
+  ++checks_;
+  check_flit_conservation(now, network);
+  check_credit_conservation(now, network);
+  check_active_set(now, network);
+}
+
+void NetworkAuditor::check_flit_conservation(Cycle now, const Network& net) {
+  const std::uint32_t nodes = net.topology().num_nodes();
+  Flits buffered = 0;
+  for (std::uint32_t n = 0; n < nodes; ++n)
+    buffered += net.router(NodeId(n)).buffered_flits();
+  const Flits in_flight = static_cast<Flits>(net.flit_wire().size());
+  const Flits accounted = net.nic_backlog_flits() + buffered + in_flight +
+                          static_cast<Flits>(net.delivered_flits());
+  if (accounted != net.injected_flits()) {
+    std::ostringstream os;
+    os << "cycle=" << now << " injected=" << net.injected_flits()
+       << " != nic=" << net.nic_backlog_flits() << " + buffered=" << buffered
+       << " + wire=" << in_flight << " + delivered=" << net.delivered_flits();
+    log_.report("net.conservation.flits", os.str());
+  }
+}
+
+void NetworkAuditor::check_credit_conservation(Cycle now,
+                                               const Network& net) {
+  const auto& topo = net.topology();
+  const std::uint32_t nodes = topo.num_nodes();
+  const std::uint32_t vcs = net.config().router.num_vcs;
+  const std::uint32_t depth = net.config().router.buffer_depth;
+  const auto key = [vcs](NodeId node, Direction d, std::uint32_t cls) {
+    return (static_cast<std::size_t>(node.value()) * kNumDirections +
+            static_cast<std::size_t>(d)) *
+               vcs +
+           cls;
+  };
+
+  // One pass over each wire, binned by (destination, port, class): a flit
+  // heading to (to, in, cls) came from exactly one upstream output, and a
+  // credit heading to (to, out, cls) replenishes exactly one output VC.
+  std::vector<std::uint32_t> wire_flits(
+      static_cast<std::size_t>(nodes) * kNumDirections * vcs, 0);
+  std::vector<std::uint32_t> wire_credits(wire_flits.size(), 0);
+  const auto& fw = net.flit_wire();
+  for (std::size_t i = 0; i < fw.size(); ++i) {
+    const Network::WireFlit& wf = fw[i];
+    ++wire_flits[key(wf.to, wf.in, wf.cls)];
+  }
+  const auto& cw = net.credit_wire();
+  for (std::size_t i = 0; i < cw.size(); ++i) {
+    const Network::WireCredit& wc = cw[i];
+    ++wire_credits[key(wc.to, wc.out, wc.cls)];
+  }
+  const auto& cq = net.credit_quarantine();
+  for (std::size_t i = 0; i < cq.size(); ++i) {
+    const Network::WireCredit& wc = cq[i];
+    ++wire_credits[key(wc.to, wc.out, wc.cls)];
+  }
+
+  for (std::uint32_t n = 0; n < nodes; ++n) {
+    const NodeId node(n);
+    const auto& router = net.router(node);
+    for (std::uint32_t d = 1; d < kNumDirections; ++d) {  // skip kLocal sink
+      const auto out = static_cast<Direction>(d);
+      const NodeId neighbor = topo.neighbor(node, out);
+      if (!neighbor.is_valid()) continue;  // mesh edge: port unused
+      const Direction far_in = opposite(out);
+      for (std::uint32_t cls = 0; cls < vcs; ++cls) {
+        const std::uint32_t total =
+            router.output_credits(out, cls) +
+            wire_flits[key(neighbor, far_in, cls)] +
+            static_cast<std::uint32_t>(
+                net.router(neighbor).input_buffer_size(far_in, cls)) +
+            wire_credits[key(node, out, cls)];
+        if (total != depth) {
+          std::ostringstream os;
+          os << "cycle=" << now << " router=" << n << " out=" << d
+             << " cls=" << cls << ": credits="
+             << router.output_credits(out, cls) << " + wire_flits="
+             << wire_flits[key(neighbor, far_in, cls)] << " + downstream_buf="
+             << net.router(neighbor).input_buffer_size(far_in, cls)
+             << " + wire_credits=" << wire_credits[key(node, out, cls)]
+             << " != depth=" << depth;
+          log_.report("net.conservation.credits", os.str());
+        }
+      }
+    }
+  }
+}
+
+void NetworkAuditor::check_active_set(Cycle now, const Network& net) {
+  const std::uint32_t nodes = net.topology().num_nodes();
+  std::uint32_t live = 0;
+  for (std::uint32_t n = 0; n < nodes; ++n) {
+    const NodeId node(n);
+    if (net.router_live(node)) ++live;
+    if (!net.router(node).drained() && !net.router_live(node)) {
+      std::ostringstream os;
+      os << "cycle=" << now << " router=" << n
+         << " holds work but is not in the active set";
+      log_.report("net.active_set.lost", os.str());
+    }
+  }
+  if (live != net.live_router_count()) {
+    std::ostringstream os;
+    os << "cycle=" << now << " live flags=" << live
+       << " but counter=" << net.live_router_count();
+    log_.report("net.active_set.count", os.str());
+  }
+}
+
+}  // namespace wormsched::validate

@@ -1,0 +1,54 @@
+// Runtime conservation auditor for the wormhole network.
+//
+// Hooks Network's cycle-end observer and checks, every check_every
+// cycles, that nothing the fabric carries is created or destroyed:
+//
+//   * Flit conservation — every flit ever injected is exactly one of:
+//     still queued at its source NIC, buffered in a router input VC, in
+//     flight on a link, or delivered.
+//   * Credit conservation — for every (router, non-local output, VC
+//     class): held credits + flits on the outgoing wire + flits in the
+//     downstream input buffer + credits on the return wire (including
+//     any a fault quarantined) always sum to exactly buffer_depth.
+//   * Active-set consistency — a router holding work is enrolled in the
+//     live set, and the live counter matches the flags (the O(1) idle()
+//     fast path depends on both).
+//
+// The checks hold with fault injection enabled — faults delay flits and
+// credits but never drop them — so fault runs stress the invariants, not
+// the checker.  Violations go to the shared AuditLog with cycle, router
+// and port context.
+#pragma once
+
+#include <cstdint>
+
+#include "validate/violation.hpp"
+#include "wormhole/network.hpp"
+
+namespace wormsched::validate {
+
+struct NetworkAuditorConfig {
+  /// Conservation is O(routers + wire occupancy) per check; raise this to
+  /// sample on longer runs.  The cycle-end hook still fires every cycle.
+  Cycle check_every = 1;
+};
+
+class NetworkAuditor final : public wormhole::NetworkObserver {
+ public:
+  NetworkAuditor(const NetworkAuditorConfig& config, AuditLog& log);
+
+  void on_cycle_end(Cycle now, const wormhole::Network& network) override;
+
+  [[nodiscard]] std::uint64_t checks_run() const { return checks_; }
+
+ private:
+  void check_flit_conservation(Cycle now, const wormhole::Network& net);
+  void check_credit_conservation(Cycle now, const wormhole::Network& net);
+  void check_active_set(Cycle now, const wormhole::Network& net);
+
+  NetworkAuditorConfig config_;
+  AuditLog& log_;
+  std::uint64_t checks_ = 0;
+};
+
+}  // namespace wormsched::validate

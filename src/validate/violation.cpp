@@ -1,0 +1,22 @@
+#include "validate/violation.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace wormsched::validate {
+
+void AuditLog::report(std::string check, std::string detail) {
+#ifndef NDEBUG
+  if (mode_ == Mode::kDefault) {
+    std::fprintf(stderr, "AUDIT VIOLATION [%s]: %s\n", check.c_str(),
+                 detail.c_str());
+    std::fflush(stderr);
+    std::abort();
+  }
+#endif
+  ++total_;
+  if (kept_.size() < kKeepLimit)
+    kept_.push_back(Violation{std::move(check), std::move(detail)});
+}
+
+}  // namespace wormsched::validate

@@ -1,0 +1,54 @@
+// Violation sink shared by every runtime auditor.
+//
+// Auditors (err_auditor, network_auditor) report invariant violations
+// here instead of asserting directly, so one policy decides what a
+// violation does: in Debug builds (!NDEBUG) the default mode prints the
+// full context and aborts — a fuzz run dies on the first broken bound
+// with everything needed to reproduce it — while Release builds count
+// violations and keep the first few, letting long sweeps finish and
+// report totals.  Tests that *inject* violations on purpose construct
+// the log in kCount mode so the auditor's detection itself is testable
+// in every build type.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wormsched::validate {
+
+struct Violation {
+  std::string check;   // dotted id, e.g. "err.lemma1.upper"
+  std::string detail;  // full context: round, flow, cycle, values
+};
+
+class AuditLog {
+ public:
+  enum class Mode {
+    kDefault,  // abort in Debug (!NDEBUG), count in Release
+    kCount,    // always count (for tests that inject violations)
+  };
+
+  explicit AuditLog(Mode mode = Mode::kDefault) : mode_(mode) {}
+
+  /// Records one violation.  May not return (see Mode).
+  void report(std::string check, std::string detail);
+
+  [[nodiscard]] std::uint64_t count() const { return total_; }
+  [[nodiscard]] bool clean() const { return total_ == 0; }
+  /// The first kKeepLimit violations, verbatim.
+  [[nodiscard]] const std::vector<Violation>& kept() const { return kept_; }
+  void clear() {
+    total_ = 0;
+    kept_.clear();
+  }
+
+  static constexpr std::size_t kKeepLimit = 32;
+
+ private:
+  Mode mode_;
+  std::uint64_t total_ = 0;
+  std::vector<Violation> kept_;
+};
+
+}  // namespace wormsched::validate

@@ -28,6 +28,7 @@ void Network::inject(Cycle, const PacketDescriptor& packet) {
   if (nic.queue.empty()) ++nonempty_nics_;
   nic.queue.push_back(packet);
   nic_backlog_flits_ += packet.length;
+  injected_flits_ += packet.length;
   ++injected_;
 }
 
@@ -96,16 +97,37 @@ std::vector<RouteDecision> Network::route_candidates(NodeId node,
 
 void Network::tick(Cycle now) {
   now_ = now;
+  const FaultModel* faults = config_.faults;
+
+  // 0. Credits whose starvation window has elapsed re-enter the protocol.
+  while (!credit_quarantine_.empty() &&
+         credit_quarantine_.front().arrive <= now) {
+    const WireCredit wc = credit_quarantine_.pop_front();
+    routers_[wc.to.index()].accept_credit(wc.out, wc.cls);
+    mark_live(wc.to.index());
+  }
 
   // 1. Wire delivery (constant latency -> FIFO order).  An arriving flit
-  // or credit enrolls its destination router in the active set.
-  while (!flit_wire_.empty() && flit_wire_.front().arrive <= now) {
-    const WireFlit wf = flit_wire_.pop_front();
-    routers_[wf.to.index()].accept_flit(wf.in, wf.cls, wf.flit);
-    mark_live(wf.to.index());
+  // or credit enrolls its destination router in the active set.  A link
+  // stall pauses flit delivery for the cycle — the flits stay queued, in
+  // order, and arrive late; nothing is ever dropped.
+  if (!(faults != nullptr && faults->link_stalled(now))) {
+    while (!flit_wire_.empty() && flit_wire_.front().arrive <= now) {
+      const WireFlit wf = flit_wire_.pop_front();
+      routers_[wf.to.index()].accept_flit(wf.in, wf.cls, wf.flit);
+      mark_live(wf.to.index());
+    }
   }
   while (!credit_wire_.empty() && credit_wire_.front().arrive <= now) {
     const WireCredit wc = credit_wire_.pop_front();
+    const Cycle hold =
+        faults != nullptr ? faults->credit_hold_cycles(now, wc.to) : 0;
+    if (hold > 0) {
+      WireCredit held = wc;
+      held.arrive = now + hold;
+      credit_quarantine_.push_back(held);
+      continue;
+    }
     routers_[wc.to.index()].accept_credit(wc.out, wc.cls);
     mark_live(wc.to.index());
   }
@@ -171,11 +193,16 @@ void Network::tick(Cycle now) {
       if (routers_[n].drained()) set_live(n, false);
     }
   }
+
+  // 4. The auditor (if any) sees the settled post-cycle state — identical
+  // in the active-set and dense paths by construction.
+  if (observer_ != nullptr) observer_->on_cycle_end(now, *this);
 }
 
 bool Network::idle() const {
   return nic_backlog_flits_ == 0 && live_routers_ == 0 &&
-         flit_wire_.empty() && credit_wire_.empty();
+         flit_wire_.empty() && credit_wire_.empty() &&
+         credit_quarantine_.empty();
 }
 
 RunningStat Network::latency_by_source(NodeId source) const {

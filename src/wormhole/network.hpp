@@ -14,11 +14,24 @@
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "sim/engine.hpp"
+#include "wormhole/fault_hooks.hpp"
 #include "wormhole/flit.hpp"
 #include "wormhole/router.hpp"
 #include "wormhole/topology.hpp"
 
 namespace wormsched::wormhole {
+
+class Network;
+
+/// Observes the network after every completed cycle.  The runtime
+/// invariant auditor (src/validate) implements this to check flit/credit
+/// conservation and active-set consistency while a run is in flight; the
+/// read-only audit accessors on Network/Router exist for it.
+class NetworkObserver {
+ public:
+  virtual ~NetworkObserver() = default;
+  virtual void on_cycle_end(Cycle now, const Network& network) = 0;
+};
 
 struct NetworkConfig {
   enum class Routing {
@@ -35,6 +48,11 @@ struct NetworkConfig {
   /// scheduling (a drained router's tick is a no-op by construction);
   /// kept as the perf baseline bench_perf_kernel measures against.
   bool dense_tick = false;
+  /// Optional fault injector (not owned; must outlive the network).
+  /// nullptr = fault-free.  Faults perturb *timing* (stalled wires,
+  /// quarantined credits), never drop flits or credits, so every
+  /// conservation invariant holds with faults enabled.
+  const FaultModel* faults = nullptr;
 };
 
 struct DeliveredPacket {
@@ -49,6 +67,22 @@ struct DeliveredPacket {
 
 class Network final : public sim::Component, private RouterEnv {
  public:
+  /// One flit in flight on a link (public for the audit accessors).
+  struct WireFlit {
+    Cycle arrive;
+    NodeId to;
+    Direction in;  // input port at the destination router
+    std::uint32_t cls;
+    Flit flit;
+  };
+  /// One credit in flight back to `to`'s output (`out`, `cls`).
+  struct WireCredit {
+    Cycle arrive;
+    NodeId to;
+    Direction out;  // output port credited at the destination router
+    std::uint32_t cls;
+  };
+
   explicit Network(const NetworkConfig& config);
 
   /// Queues a packet at its source NIC.  Unbounded NIC queue — sources are
@@ -83,6 +117,38 @@ class Network final : public sim::Component, private RouterEnv {
   [[nodiscard]] std::vector<Flits> delivered_flits_by_flow(
       std::size_t num_flows) const;
 
+  /// At most one observer (not owned); notified after every tick in both
+  /// the active-set and dense paths.  Pass nullptr to detach.
+  void set_observer(NetworkObserver* observer) { observer_ = observer; }
+
+  /// --- Audit accessors (read-only views for src/validate) -------------
+  [[nodiscard]] const NetworkConfig& config() const { return config_; }
+  [[nodiscard]] const Router& router(NodeId node) const {
+    return routers_[node.index()];
+  }
+  /// Total flits of every packet ever passed to inject().
+  [[nodiscard]] Flits injected_flits() const { return injected_flits_; }
+  /// Flits still queued at source NICs (not yet entered the fabric).
+  [[nodiscard]] Flits nic_backlog_flits() const { return nic_backlog_flits_; }
+  [[nodiscard]] const RingBuffer<WireFlit>& flit_wire() const {
+    return flit_wire_;
+  }
+  [[nodiscard]] const RingBuffer<WireCredit>& credit_wire() const {
+    return credit_wire_;
+  }
+  /// Credits withheld by a fault's starvation window (empty when
+  /// fault-free).
+  [[nodiscard]] const RingBuffer<WireCredit>& credit_quarantine() const {
+    return credit_quarantine_;
+  }
+  /// Whether router `node` is enrolled in the active set this cycle.
+  [[nodiscard]] bool router_live(NodeId node) const {
+    return router_live_[node.index()] != 0;
+  }
+  [[nodiscard]] std::uint32_t live_router_count() const {
+    return live_routers_;
+  }
+
  private:
   // RouterEnv:
   void send_flit(NodeId from, Direction out, const Flit& flit) override;
@@ -96,19 +162,6 @@ class Network final : public sim::Component, private RouterEnv {
 
   [[nodiscard]] static Direction opposite(Direction d);
 
-  struct WireFlit {
-    Cycle arrive;
-    NodeId to;
-    Direction in;  // input port at the destination router
-    std::uint32_t cls;
-    Flit flit;
-  };
-  struct WireCredit {
-    Cycle arrive;
-    NodeId to;
-    Direction out;  // output port credited at the destination router
-    std::uint32_t cls;
-  };
   struct Nic {
     RingBuffer<PacketDescriptor> queue;
     Flits sent_of_current = 0;
@@ -126,10 +179,15 @@ class Network final : public sim::Component, private RouterEnv {
   // Constant latency means launch order == arrival order: plain FIFOs.
   RingBuffer<WireFlit> flit_wire_;
   RingBuffer<WireCredit> credit_wire_;
+  // Credits held back by a fault's starvation window; release cycles are
+  // non-decreasing (FaultModel contract), so this too is a FIFO.
+  RingBuffer<WireCredit> credit_quarantine_;
   std::vector<DeliveredPacket> delivered_;
   std::uint64_t injected_ = 0;
   std::uint64_t delivered_flits_ = 0;
+  Flits injected_flits_ = 0;
   Flits nic_backlog_flits_ = 0;
+  NetworkObserver* observer_ = nullptr;
   Cycle now_ = 0;  // cached for send_flit latency stamping
   // Active-set bookkeeping.  router_live_[n] means router n must tick
   // this cycle (it holds work or just received a flit/credit); the

@@ -67,14 +67,27 @@ void NetworkTrafficSource::tick(Cycle now) {
   next_cycle_ = now + 1;
   if (now >= config_.inject_until) return;
   const Topology& topo = network_.topology();
+  const FaultModel* faults = config_.faults;
   for (std::uint32_t n = 0; n < topo.num_nodes(); ++n) {
-    if (!rng_.bernoulli(config_.packets_per_node_per_cycle)) continue;
     const NodeId src(n);
+    double rate = config_.packets_per_node_per_cycle;
+    if (faults != nullptr) {
+      rate *= faults->injection_multiplier(now, src);
+      if (rate > 1.0) rate = 1.0;
+    }
+    if (!rng_.bernoulli(rate)) continue;
     PacketDescriptor pkt;
     pkt.id = PacketId(next_id_++);
     pkt.flow = FlowId(n);  // fairness accounted per source node
     pkt.source = src;
     pkt.dest = pick_destination(topo, config_.pattern, src, rng_);
+    if (faults != nullptr) {
+      const std::optional<NodeId> burst = faults->burst_destination(now, src);
+      if (burst.has_value() && *burst != src &&
+          burst->value() < topo.num_nodes()) {
+        pkt.dest = *burst;
+      }
+    }
     pkt.length = sample_length(rng_, config_.lengths);
     pkt.created = now;
     network_.inject(now, pkt);

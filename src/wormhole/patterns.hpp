@@ -44,6 +44,11 @@ class NetworkTrafficSource final : public sim::Component {
     PatternSpec pattern;
     Cycle inject_until = kCycleMax;
     std::uint64_t seed = 99;
+    /// Optional fault injector (not owned): scales the per-node Bernoulli
+    /// rate (churn/burst) and can redirect packets to a hotspot.  The RNG
+    /// draw schedule is unchanged — one draw per node per cycle — so runs
+    /// differing only in faults stay draw-for-draw comparable.
+    const FaultModel* faults = nullptr;
   };
 
   NetworkTrafficSource(Network& network, const Config& config);

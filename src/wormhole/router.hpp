@@ -100,6 +100,30 @@ class Router {
     return port_stats_[static_cast<std::size_t>(port)];
   }
 
+  /// --- Audit accessors (read-only views for src/validate) -------------
+  /// Flits buffered across all input VCs.
+  [[nodiscard]] std::uint32_t buffered_flits() const {
+    return buffered_flits_;
+  }
+  /// Flits buffered in input VC (`in`, `cls`).
+  [[nodiscard]] std::size_t input_buffer_size(Direction in,
+                                              std::uint32_t cls) const {
+    return inputs_[unit(in, cls)].buffer.size();
+  }
+  /// Credits currently held for output VC (`out`, `cls`).
+  [[nodiscard]] std::uint32_t output_credits(Direction out,
+                                             std::uint32_t cls) const {
+    return outputs_[unit(out, cls)].credits;
+  }
+  /// Whether output VC (`out`, `cls`) is owned by a packet in flight.
+  [[nodiscard]] bool output_bound(Direction out, std::uint32_t cls) const {
+    return outputs_[unit(out, cls)].bound;
+  }
+  /// The arbiter governing output port `out`, class `cls` (never null).
+  [[nodiscard]] PortArbiter& arbiter(Direction out, std::uint32_t cls) {
+    return *outputs_[unit(out, cls)].arbiter;
+  }
+
  private:
   struct InputVc {
     RingBuffer<Flit> buffer;

@@ -12,6 +12,7 @@
 
 #include "core/err.hpp"
 #include "traffic/workload.hpp"
+#include "validate/faults.hpp"
 
 namespace wormsched::core {
 namespace {
@@ -24,7 +25,10 @@ struct ServiceRecord {
 };
 
 /// Direct transcription of Initialize/Enqueue/Dequeue from the paper.
-std::vector<ServiceRecord> oracle_schedule(const traffic::Trace& trace) {
+/// `weights` empty = the unweighted pseudo-code; otherwise the weighted
+/// allowance A_i = w_i(1 + MaxSC) - SC_i.
+std::vector<ServiceRecord> oracle_schedule(
+    const traffic::Trace& trace, const std::vector<double>& weights = {}) {
   const std::size_t n = trace.num_flows;
   std::vector<std::deque<Flits>> queues(n);
   std::vector<double> sc(n, 0.0);
@@ -67,7 +71,8 @@ std::vector<ServiceRecord> oracle_schedule(const traffic::Trace& trace) {
     }
     const std::size_t f = active_list.front();
     active_list.pop_front();
-    const double allowance = 1.0 + prev_max_sc - sc[f];
+    const double w = weights.empty() ? 1.0 : weights[f];
+    const double allowance = w * (1.0 + prev_max_sc) - sc[f];
     double sent = 0.0;
     // do { transmit } while (Sent < A and the queue holds more) — with
     // arrivals up to the tail-emission cycle visible to the emptiness
@@ -96,8 +101,12 @@ std::vector<ServiceRecord> oracle_schedule(const traffic::Trace& trace) {
 
 /// Runs the library's ErrScheduler over the trace and records the same
 /// schedule through head-flit observations.
-std::vector<ServiceRecord> library_schedule(const traffic::Trace& trace) {
+std::vector<ServiceRecord> library_schedule(
+    const traffic::Trace& trace, const std::vector<double>& weights = {}) {
   ErrScheduler scheduler(ErrConfig{trace.num_flows});
+  for (std::size_t i = 0; i < weights.size(); ++i)
+    scheduler.set_weight(FlowId(static_cast<FlowId::rep_type>(i)),
+                         weights[i]);
   struct Probe final : SchedulerObserver {
     void on_flit(Cycle now, const FlitEvent& flit) override {
       if (flit.is_head)
@@ -166,6 +175,80 @@ TEST_P(ErrOracleTest, SchedulesMatchExactly) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ErrOracleTest,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+/// Shared random-workload generator for the differential extensions.
+traffic::WorkloadSpec random_workload(Rng& rng) {
+  traffic::WorkloadSpec spec;
+  const std::size_t flows = 2 + rng.uniform_u64(5);
+  for (std::size_t i = 0; i < flows; ++i) {
+    traffic::FlowSpec f;
+    if (i % 2 == 0) {
+      f.arrival = traffic::ArrivalSpec::on_off(0.2, 60, 200);
+    } else {
+      f.arrival =
+          traffic::ArrivalSpec::bernoulli(rng.uniform_real(0.005, 0.05));
+    }
+    f.length = traffic::LengthSpec::uniform(1, rng.uniform_int(2, 40));
+    spec.flows.push_back(f);
+  }
+  return spec;
+}
+
+/// Weighted differential: the oracle's weighted allowance against the
+/// library's set_weight path, over random integer weights >= 1.
+class WeightedErrOracleTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WeightedErrOracleTest, SchedulesMatchExactly) {
+  Rng rng(GetParam() * 7717);
+  const traffic::WorkloadSpec spec = random_workload(rng);
+  std::vector<double> weights;
+  for (std::size_t i = 0; i < spec.flows.size(); ++i)
+    weights.push_back(static_cast<double>(rng.uniform_int(1, 4)));
+  const traffic::Trace trace =
+      traffic::generate_trace(spec, 8000, GetParam());
+  ASSERT_FALSE(trace.entries.empty());
+
+  const auto expected = oracle_schedule(trace, weights);
+  const auto actual = library_schedule(trace, weights);
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(actual[i], expected[i])
+        << "divergence at service #" << i << " (weighted, seed "
+        << GetParam() << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WeightedErrOracleTest,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+/// Fault-perturbed differential: the same oracle/library agreement must
+/// hold on traces mangled by the deterministic fault injector (jitter,
+/// drops, duplicate bursts) — any trace is a valid scheduler input.
+class FaultedErrOracleTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FaultedErrOracleTest, SchedulesMatchUnderTraceFaults) {
+  Rng rng(GetParam() * 40503);
+  const traffic::WorkloadSpec spec = random_workload(rng);
+  const traffic::Trace clean =
+      traffic::generate_trace(spec, 8000, GetParam());
+  const traffic::Trace trace = validate::apply_trace_faults(
+      validate::FaultSpec::chaos(GetParam()), clean);
+  ASSERT_FALSE(trace.entries.empty());
+
+  const auto expected = oracle_schedule(trace);
+  const auto actual = library_schedule(trace);
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(actual[i], expected[i])
+        << "divergence at service #" << i << " (faulted, seed "
+        << GetParam() << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultedErrOracleTest,
                          ::testing::Range<std::uint64_t>(1, 13));
 
 }  // namespace

@@ -1,0 +1,273 @@
+// Unit tests for the ERR invariant auditor: hand-built opportunity
+// streams that satisfy the paper's bounds must audit clean, and a stream
+// corrupted in each specific way must trip the matching check.  The
+// corruption tests construct the AuditLog in kCount mode so detection is
+// testable in Debug builds too (kDefault would abort on the first hit).
+#include <gtest/gtest.h>
+
+#include <string_view>
+
+#include "harness/scenario.hpp"
+#include "traffic/workload.hpp"
+#include "validate/err_auditor.hpp"
+#include "validate/violation.hpp"
+
+namespace wormsched::validate {
+namespace {
+
+using core::ErrOpportunity;
+
+bool has_check(const AuditLog& log, std::string_view check) {
+  for (const auto& v : log.kept())
+    if (v.check == check) return true;
+  return false;
+}
+
+std::string digest(const AuditLog& log) {
+  std::string out;
+  for (const auto& v : log.kept()) out += "[" + v.check + "] " + v.detail + "\n";
+  return out;
+}
+
+/// Record builder: the positional arguments mirror the allowance equation
+/// A = w(1 + prev_max) - SC(r-1); sent/sc/max_sc/mc are the opportunity's
+/// outcome (sc = post-reset surplus, mc = largest single charge).
+ErrOpportunity rec(std::size_t round, std::uint32_t flow, double w,
+                   double prev, double allowance, double sent, double sc,
+                   double max_sc, double mc, std::size_t active_after,
+                   bool deactivated = false) {
+  return ErrOpportunity{.round = round,
+                        .flow = FlowId(flow),
+                        .weight = w,
+                        .allowance = allowance,
+                        .sent = sent,
+                        .surplus_count = sc,
+                        .max_sc_so_far = max_sc,
+                        .previous_max_sc = prev,
+                        .max_charge = mc,
+                        .active_after = active_after,
+                        .deactivated = deactivated};
+}
+
+/// Two flows, two rounds, all bounds tight: flow 0 overshoots by 1 in
+/// round 1 (a 2-flit packet against allowance 1) and repays it in round 2.
+void feed_clean_stream(ErrAuditor& auditor) {
+  auditor.on_opportunity(rec(1, 0, 1.0, 0.0, 1.0, 2.0, 1.0, 1.0, 2.0, 2));
+  auditor.on_opportunity(rec(1, 1, 1.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0, 2));
+  auditor.on_opportunity(rec(2, 0, 1.0, 1.0, 1.0, 1.0, 0.0, 0.0, 1.0, 2));
+  auditor.on_opportunity(rec(2, 1, 1.0, 1.0, 2.0, 2.0, 0.0, 0.0, 1.0, 2));
+}
+
+TEST(ErrAuditorTest, CleanSyntheticStreamAuditsClean) {
+  AuditLog log(AuditLog::Mode::kCount);
+  ErrAuditor auditor(2, ErrAuditorConfig{}, log);
+  feed_clean_stream(auditor);
+  EXPECT_TRUE(log.clean()) << digest(log);
+  EXPECT_EQ(auditor.opportunities(), 4u);
+  EXPECT_DOUBLE_EQ(auditor.m(), 2.0);
+  EXPECT_DOUBLE_EQ(auditor.max_surplus_seen(), 1.0);
+  // Flow 0 ran one normalized unit ahead then flow 1 caught up: spread 2,
+  // comfortably inside the Theorem 3 bound of 3m = 6.
+  EXPECT_DOUBLE_EQ(auditor.max_fairness_measure(), 2.0);
+}
+
+TEST(ErrAuditorTest, CleanDeactivationAndReactivation) {
+  AuditLog log(AuditLog::Mode::kCount);
+  ErrAuditor auditor(2, ErrAuditorConfig{}, log);
+  feed_clean_stream(auditor);
+  // Round 3: flow 1 drains (SC reset to 0), flow 0 carries on alone.
+  auditor.on_opportunity(rec(3, 0, 1.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0, 2));
+  auditor.on_opportunity(
+      rec(3, 1, 1.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0, 1, /*deactivated=*/true));
+  auditor.on_opportunity(rec(4, 0, 1.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0, 1));
+  // Round 5: flow 1 re-enters with SC 0 — a fresh streak, not a gap error.
+  auditor.on_opportunity(rec(5, 0, 1.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0, 2));
+  auditor.on_opportunity(rec(5, 1, 1.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0, 2));
+  EXPECT_TRUE(log.clean()) << digest(log);
+}
+
+TEST(ErrAuditorTest, IdleResetRespectedWhenConfigured) {
+  AuditLog log(AuditLog::Mode::kCount);
+  ErrAuditorConfig config;
+  config.reset_on_idle = true;
+  ErrAuditor auditor(1, config, log);
+  // Flow 0 overshoots to SC 2 and empties the active set...
+  auditor.on_opportunity(
+      rec(1, 0, 1.0, 0.0, 1.0, 3.0, 0.0, 2.0, 3.0, 0, /*deactivated=*/true));
+  // ...so round 2 must start from MaxSC 0, not the carried 2.
+  auditor.on_opportunity(rec(2, 0, 1.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0, 1));
+  EXPECT_TRUE(log.clean()) << digest(log);
+}
+
+TEST(ErrAuditorTest, DetectsMissingIdleReset) {
+  AuditLog log(AuditLog::Mode::kCount);
+  ErrAuditor auditor(1, ErrAuditorConfig{}, log);  // reset_on_idle = false
+  auditor.on_opportunity(
+      rec(1, 0, 1.0, 0.0, 1.0, 3.0, 0.0, 2.0, 3.0, 0, /*deactivated=*/true));
+  // Without the reset rule the snapshot should have carried MaxSC = 2.
+  auditor.on_opportunity(rec(2, 0, 1.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0, 1));
+  EXPECT_TRUE(has_check(log, "err.maxsc.snapshot")) << digest(log);
+}
+
+TEST(ErrAuditorTest, DetectsAllowanceMismatch) {
+  AuditLog log(AuditLog::Mode::kCount);
+  ErrAuditor auditor(1, ErrAuditorConfig{}, log);
+  auditor.on_opportunity(rec(1, 0, 1.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0, 1));
+  // Tracked SC is 0, so allowance 0.7 implies a phantom SC of 0.3.
+  auditor.on_opportunity(rec(2, 0, 1.0, 0.0, 0.7, 0.7, 0.0, 0.0, 1.0, 1));
+  EXPECT_TRUE(has_check(log, "err.allowance.mismatch")) << digest(log);
+}
+
+TEST(ErrAuditorTest, DetectsNegativeSurplus) {
+  AuditLog log(AuditLog::Mode::kCount);
+  ErrAuditor auditor(1, ErrAuditorConfig{}, log);
+  // Allowance above w(1 + MaxSC) means SC(r-1) was negative.
+  auditor.on_opportunity(rec(1, 0, 1.0, 0.0, 1.5, 1.5, 0.0, 0.0, 1.0, 1));
+  EXPECT_TRUE(has_check(log, "err.lemma1.lower")) << digest(log);
+}
+
+TEST(ErrAuditorTest, DetectsSurplusAboveLargestCharge) {
+  AuditLog log(AuditLog::Mode::kCount);
+  ErrAuditor auditor(1, ErrAuditorConfig{}, log);
+  // Overshoot of 4 with largest charge 2: Lemma 1's upper half broken.
+  auditor.on_opportunity(rec(1, 0, 1.0, 0.0, 1.0, 5.0, 4.0, 4.0, 2.0, 1));
+  EXPECT_TRUE(has_check(log, "err.lemma1.upper")) << digest(log);
+}
+
+TEST(ErrAuditorTest, DetectsEarlyTermination) {
+  AuditLog log(AuditLog::Mode::kCount);
+  ErrAuditor auditor(1, ErrAuditorConfig{}, log);
+  // Sent 1 against allowance 2 without deactivating: the do/while quit
+  // early (sc_before = 1(1+1) - 2 = 0, so the allowance itself is fine).
+  auditor.on_opportunity(rec(1, 0, 1.0, 1.0, 2.0, 1.0, -1.0, 0.0, 1.0, 1));
+  EXPECT_TRUE(has_check(log, "err.lemma1.residual")) << digest(log);
+}
+
+TEST(ErrAuditorTest, DetectsMissingResetOnDeactivation) {
+  AuditLog log(AuditLog::Mode::kCount);
+  ErrAuditor auditor(1, ErrAuditorConfig{}, log);
+  auditor.on_opportunity(
+      rec(1, 0, 1.0, 0.0, 1.0, 2.0, 1.0, 1.0, 2.0, 0, /*deactivated=*/true));
+  EXPECT_TRUE(has_check(log, "err.record.reset")) << digest(log);
+}
+
+TEST(ErrAuditorTest, DetectsRecordedSurplusMismatch) {
+  AuditLog log(AuditLog::Mode::kCount);
+  ErrAuditor auditor(1, ErrAuditorConfig{}, log);
+  // Sent - A = 1 but the record claims SC = 0.5.
+  auditor.on_opportunity(rec(1, 0, 1.0, 0.0, 1.0, 2.0, 0.5, 1.0, 2.0, 1));
+  EXPECT_TRUE(has_check(log, "err.record.sc")) << digest(log);
+}
+
+TEST(ErrAuditorTest, DetectsRoundSkip) {
+  AuditLog log(AuditLog::Mode::kCount);
+  ErrAuditor auditor(1, ErrAuditorConfig{}, log);
+  auditor.on_opportunity(rec(1, 0, 1.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0, 1));
+  auditor.on_opportunity(rec(4, 0, 1.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0, 1));
+  EXPECT_TRUE(has_check(log, "err.round.skip")) << digest(log);
+}
+
+TEST(ErrAuditorTest, DetectsMaxScSnapshotMismatch) {
+  AuditLog log(AuditLog::Mode::kCount);
+  ErrAuditor auditor(1, ErrAuditorConfig{}, log);
+  auditor.on_opportunity(rec(1, 0, 1.0, 0.0, 1.0, 2.0, 1.0, 1.0, 2.0, 1));
+  // Round 1 folded MaxSC = 1 but round 2 claims a snapshot of 0.5.
+  auditor.on_opportunity(rec(2, 0, 1.0, 0.5, 0.5, 0.5, 0.0, 0.0, 1.0, 1));
+  EXPECT_TRUE(has_check(log, "err.maxsc.snapshot")) << digest(log);
+}
+
+TEST(ErrAuditorTest, DetectsSnapshotDriftWithinRound) {
+  AuditLog log(AuditLog::Mode::kCount);
+  ErrAuditor auditor(2, ErrAuditorConfig{}, log);
+  auditor.on_opportunity(rec(1, 0, 1.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0, 2));
+  // Same round, different PreviousMaxSC: the snapshot must be fixed for
+  // the whole round.
+  auditor.on_opportunity(rec(1, 1, 1.0, 0.5, 1.5, 1.5, 0.0, 0.0, 1.5, 2));
+  EXPECT_TRUE(has_check(log, "err.maxsc.snapshot-drift")) << digest(log);
+}
+
+TEST(ErrAuditorTest, DetectsMaxScFoldError) {
+  AuditLog log(AuditLog::Mode::kCount);
+  ErrAuditor auditor(1, ErrAuditorConfig{}, log);
+  // This opportunity's overshoot is 1 but the record's running MaxSC says
+  // 0.5 — the fold lost a value.
+  auditor.on_opportunity(rec(1, 0, 1.0, 0.0, 1.0, 2.0, 1.0, 0.5, 2.0, 1));
+  EXPECT_TRUE(has_check(log, "err.maxsc.fold")) << digest(log);
+}
+
+TEST(ErrAuditorTest, DetectsTheorem2BoundViolation) {
+  AuditLog log(AuditLog::Mode::kCount);
+  ErrAuditor auditor(1, ErrAuditorConfig{}, log);
+  // A 1-round window served 10 against w(n + sum MaxSC) = 1: deviation 9
+  // with m = 2 claimed.
+  auditor.on_opportunity(rec(1, 0, 1.0, 0.0, 1.0, 10.0, 9.0, 9.0, 2.0, 1));
+  EXPECT_TRUE(has_check(log, "err.theorem2.bound")) << digest(log);
+}
+
+TEST(ErrAuditorTest, DetectsTheorem3FairnessViolation) {
+  AuditLog log(AuditLog::Mode::kCount);
+  ErrAuditorConfig config;
+  config.fm_bound_factor = 0.1;  // the clean stream's FM of 2 > 0.1 * m
+  ErrAuditor auditor(2, config, log);
+  feed_clean_stream(auditor);
+  EXPECT_TRUE(has_check(log, "err.theorem3.fm")) << digest(log);
+}
+
+TEST(ErrAuditorTest, DetectsOutOfRangeFlow) {
+  AuditLog log(AuditLog::Mode::kCount);
+  ErrAuditor auditor(2, ErrAuditorConfig{}, log);
+  auditor.on_opportunity(rec(1, 5, 1.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0, 1));
+  EXPECT_TRUE(has_check(log, "err.record.flow")) << digest(log);
+}
+
+// --- End-to-end: the auditor attached to real ErrPolicy runs -----------
+
+harness::ScenarioConfig audited_config(AuditLog& log) {
+  harness::ScenarioConfig config;
+  config.horizon = 10'000;
+  config.drain = true;
+  config.audit = true;
+  config.audit_log = &log;
+  return config;
+}
+
+traffic::WorkloadSpec mixed_workload() {
+  traffic::WorkloadSpec spec;
+  for (std::size_t i = 0; i < 4; ++i) {
+    traffic::FlowSpec f;
+    f.arrival = i % 2 == 0 ? traffic::ArrivalSpec::on_off(0.3, 50, 150)
+                           : traffic::ArrivalSpec::bernoulli(0.03);
+    f.length = traffic::LengthSpec::uniform(1, 16);
+    spec.flows.push_back(f);
+  }
+  return spec;
+}
+
+TEST(ErrAuditorScenarioTest, CleanRunHasNoViolations) {
+  AuditLog log(AuditLog::Mode::kCount);
+  const auto result =
+      run_scenario("err", audited_config(log), mixed_workload());
+  EXPECT_GT(result.audit_opportunities, 0u);
+  EXPECT_EQ(result.audit_violations, 0u) << digest(log);
+}
+
+TEST(ErrAuditorScenarioTest, CleanWeightedRun) {
+  AuditLog log(AuditLog::Mode::kCount);
+  harness::ScenarioConfig config = audited_config(log);
+  config.weights = {1.0, 2.0, 3.5, 1.0};
+  const auto result = run_scenario("err", config, mixed_workload());
+  EXPECT_GT(result.audit_opportunities, 0u);
+  EXPECT_EQ(result.audit_violations, 0u) << digest(log);
+}
+
+TEST(ErrAuditorScenarioTest, CleanResetOnIdleRun) {
+  AuditLog log(AuditLog::Mode::kCount);
+  harness::ScenarioConfig config = audited_config(log);
+  config.sched.err_reset_on_idle = true;
+  const auto result = run_scenario("err", config, mixed_workload());
+  EXPECT_GT(result.audit_opportunities, 0u);
+  EXPECT_EQ(result.audit_violations, 0u) << digest(log);
+}
+
+}  // namespace
+}  // namespace wormsched::validate

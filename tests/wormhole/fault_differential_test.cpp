@@ -1,0 +1,132 @@
+// Differential test between the network's two execution paths: legacy
+// dense ticking (every router, every cycle) and active-set scheduling
+// (only live routers tick) must produce bit-identical results — same
+// packets, same delivery cycles, same flit counts — under every fault
+// schedule.  Faults are pure functions of (seed, cycle, node), so the two
+// paths' different query interleavings must still observe the same
+// schedule; this suite is the regression net for that contract.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "validate/faults.hpp"
+#include "validate/network_auditor.hpp"
+#include "validate/violation.hpp"
+#include "wormhole/network.hpp"
+#include "wormhole/patterns.hpp"
+
+namespace wormsched::wormhole {
+namespace {
+
+using validate::AuditLog;
+using validate::FaultSpec;
+
+struct FabricRun {
+  std::vector<DeliveredPacket> delivered;
+  std::uint64_t delivered_flits = 0;
+  std::uint64_t generated = 0;
+  Cycle end_cycle = 0;
+  std::uint64_t audit_violations = 0;
+};
+
+FabricRun run_fabric(bool dense, std::uint64_t seed, FaultSpec spec) {
+  NetworkConfig config;  // 4x4 mesh, ERR arbiters
+  config.dense_tick = dense;
+  std::optional<validate::ScheduledFaults> faults;
+  if (spec.enabled) {
+    spec.seed += seed;
+    spec.num_nodes = 16;
+    faults.emplace(spec);
+    config.faults = &*faults;
+  }
+  Network net(config);
+  AuditLog log(AuditLog::Mode::kCount);
+  validate::NetworkAuditor auditor(validate::NetworkAuditorConfig{}, log);
+  net.set_observer(&auditor);
+
+  NetworkTrafficSource::Config traffic;
+  traffic.packets_per_node_per_cycle = 0.04;
+  traffic.inject_until = 1500;
+  traffic.seed = seed;
+  traffic.faults = config.faults;
+  NetworkTrafficSource source(net, traffic);
+
+  sim::Engine engine;
+  engine.add_component(source);
+  engine.add_component(net);
+  engine.run_until(traffic.inject_until);
+  FabricRun run;
+  run.end_cycle = engine.run_until_idle(200'000);
+  run.delivered = net.delivered();
+  run.delivered_flits = net.delivered_flits();
+  run.generated = source.generated();
+  run.audit_violations = log.count();
+  return run;
+}
+
+void expect_identical(std::uint64_t seed, const FaultSpec& spec) {
+  const FabricRun active = run_fabric(/*dense=*/false, seed, spec);
+  const FabricRun dense = run_fabric(/*dense=*/true, seed, spec);
+
+  EXPECT_GT(active.delivered.size(), 0u);
+  EXPECT_EQ(active.audit_violations, 0u);
+  EXPECT_EQ(dense.audit_violations, 0u);
+  EXPECT_EQ(active.generated, dense.generated);
+  EXPECT_EQ(active.end_cycle, dense.end_cycle);
+  EXPECT_EQ(active.delivered_flits, dense.delivered_flits);
+  ASSERT_EQ(active.delivered.size(), dense.delivered.size());
+  for (std::size_t i = 0; i < active.delivered.size(); ++i) {
+    const DeliveredPacket& a = active.delivered[i];
+    const DeliveredPacket& d = dense.delivered[i];
+    ASSERT_EQ(a.id.value(), d.id.value()) << "packet #" << i;
+    ASSERT_EQ(a.flow.value(), d.flow.value()) << "packet #" << i;
+    ASSERT_EQ(a.source.value(), d.source.value()) << "packet #" << i;
+    ASSERT_EQ(a.dest.value(), d.dest.value()) << "packet #" << i;
+    ASSERT_EQ(a.length, d.length) << "packet #" << i;
+    ASSERT_EQ(a.created, d.created) << "packet #" << i;
+    ASSERT_EQ(a.delivered, d.delivered) << "packet #" << i;
+  }
+}
+
+class FaultDifferentialTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(FaultDifferentialTest, NoFaults) {
+  expect_identical(GetParam(), FaultSpec{});
+}
+
+TEST_P(FaultDifferentialTest, LinkStallsOnly) {
+  FaultSpec spec;
+  spec.enabled = true;
+  spec.link_stall_rate = 0.4;
+  spec.link_stall_cycles = 6;
+  expect_identical(GetParam(), spec);
+}
+
+TEST_P(FaultDifferentialTest, CreditStarvationOnly) {
+  FaultSpec spec;
+  spec.enabled = true;
+  spec.credit_stall_rate = 0.4;
+  spec.credit_stall_cycles = 20;
+  expect_identical(GetParam(), spec);
+}
+
+TEST_P(FaultDifferentialTest, ChurnAndBursts) {
+  FaultSpec spec;
+  spec.enabled = true;
+  spec.churn_rate = 0.25;
+  spec.burst_rate = 0.2;
+  expect_identical(GetParam(), spec);
+}
+
+TEST_P(FaultDifferentialTest, AllFaultClasses) {
+  expect_identical(GetParam(), FaultSpec::chaos(0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultDifferentialTest,
+                         ::testing::Range<std::uint64_t>(1, 6));
+
+}  // namespace
+}  // namespace wormsched::wormhole

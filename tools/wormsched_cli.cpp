@@ -26,6 +26,7 @@
 #include "metrics/fairness.hpp"
 #include "sim/engine.hpp"
 #include "traffic/trace_io.hpp"
+#include "validate/faults.hpp"
 #include "wormhole/network.hpp"
 #include "wormhole/patterns.hpp"
 
@@ -170,6 +171,8 @@ int cmd_run(int argc, const char* const* argv) {
   cli.add_option("cycles", "simulated cycles", "200000");
   cli.add_option("seed", "trace seed", "1");
   cli.add_flag("drain", "serve out all queues after the horizon");
+  cli.add_flag("audit", "run the ERR invariant auditor during the run");
+  validate::add_fault_options(cli);
   if (!cli.parse(argc, argv)) return 1;
 
   const auto workload = parse_or_die(cli.get("workload"));
@@ -179,9 +182,27 @@ int cmd_run(int argc, const char* const* argv) {
   config.drain = cli.get_flag("drain");
   config.weights = workload.weights;
   config.sched.drr_quantum = workload.spec.max_packet_length();
+  config.audit = cli.get_flag("audit");
+  validate::AuditLog audit_log;
+  config.audit_log = &audit_log;
+  traffic::Trace trace =
+      traffic::generate_trace(workload.spec, config.horizon, config.seed);
+  const validate::FaultSpec faults = validate::fault_spec_from_cli(cli);
+  if (faults.enabled) {
+    std::printf("%s\n", faults.describe().c_str());
+    trace = validate::apply_trace_faults(faults, trace);
+  }
   const auto result =
-      harness::run_scenario(cli.get("scheduler"), config, workload.spec);
+      harness::run_scenario(cli.get("scheduler"), config, trace);
   print_flow_detail(result);
+  if (config.audit) {
+    std::printf("audit: %llu opportunities checked, %llu violation(s)\n",
+                static_cast<unsigned long long>(result.audit_opportunities),
+                static_cast<unsigned long long>(result.audit_violations));
+    for (const auto& v : audit_log.kept())
+      std::printf("  [%s] %s\n", v.check.c_str(), v.detail.c_str());
+    if (!audit_log.clean()) return 2;
+  }
   return 0;
 }
 
@@ -237,6 +258,8 @@ int cmd_network(int argc, const char* const* argv) {
   cli.add_option("buffers", "flit slots per input VC", "8");
   cli.add_option("seed", "traffic seed (base seed when sweeping)", "99");
   cli.add_option("seeds", "seeds to average over (1 = single run)", "1");
+  cli.add_flag("audit", "attach the conservation + ERR auditors");
+  validate::add_fault_options(cli);
   add_jobs_option(cli);
   if (!cli.parse(argc, argv)) return 1;
 
@@ -278,6 +301,10 @@ int cmd_network(int argc, const char* const* argv) {
   harness::NetworkScenarioConfig point;
   point.network = config;
   point.traffic = traffic_config;
+  point.faults = validate::fault_spec_from_cli(cli);
+  point.audit = cli.get_flag("audit");
+  if (point.faults.enabled)
+    std::printf("%s\n", point.faults.describe().c_str());
 
   const std::size_t seeds = cli.get_uint("seeds");
   if (seeds <= 1) {
@@ -293,6 +320,14 @@ int cmd_network(int argc, const char* const* argv) {
     std::printf("latency cycles: mean %.1f  min %.0f  max %.0f\n",
                 result.latency.mean(), result.latency.min(),
                 result.latency.max());
+    if (point.audit) {
+      std::printf("audit: %llu cycle checks, %llu ERR opportunities, "
+                  "%llu violation(s)\n",
+                  static_cast<unsigned long long>(result.audit_checks),
+                  static_cast<unsigned long long>(result.audit_opportunities),
+                  static_cast<unsigned long long>(result.audit_violations));
+      if (result.audit_violations != 0) return 2;
+    }
     return 0;
   }
 
@@ -318,6 +353,11 @@ int cmd_network(int argc, const char* const* argv) {
   std::printf("latency cycles:    mean %s  p99 %s\n",
               r.summary("mean_latency", 1).c_str(),
               r.summary("p99_latency", 0).c_str());
+  if (point.audit) {
+    std::printf("audit violations:  %s\n",
+                r.summary("audit_violations", 0).c_str());
+    if (r.mean("audit_violations") != 0.0) return 2;
+  }
   return 0;
 }
 
