@@ -7,16 +7,22 @@
 //   2. mesh8x8-hotspot — the wormhole substrate with the hot ejection
 //      port driven just past saturation (0.5 * rate * 64 nodes * 6.5
 //      mean flits ~ 1.25 flits/cycle at the default --hotspot-rate),
-//      measured with active-set scheduling and with the legacy dense
-//      tick-everything loop (the kernel speedup claim), results checked
-//      bit-identical;
+//      measured three ways: the legacy dense tick-everything loop, the
+//      active set with the dense full-scan router pipeline (the previous
+//      baseline), and the active set with the bitmask-sparse router
+//      pipeline (the production configuration).  All three runs are
+//      checked flit-for-flit identical; a fourth, instrumented run
+//      (never timed against the others) attaches the per-stage perf
+//      counters plus the invariant auditor and yields the stage
+//      breakdown;
 //   3. sweep-50seed — wall time of a 50-seed standalone sweep, serial vs
 //      --jobs workers (the parallel-sweep speedup claim; bounded by the
-//      machine's core count).
+//      machine's core count and skipped on single-thread machines, where
+//      it could only measure scheduling noise).
 // Prints an ASCII table and writes the machine-readable BENCH_perf.json
-// (schema wormsched-perf-v2) that reproduce.sh copies to the repo root.
-// v2 adds a provenance block — jobs, compiler, build type, git SHA — so a
-// baseline can be traced to the build that produced it.
+// (schema wormsched-perf-v3) that reproduce.sh copies to the repo root.
+// v2 added a provenance block — jobs, compiler, build type, git SHA; v3
+// adds the pipeline split, the stage breakdown and the sweep skip flag.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -30,6 +36,7 @@
 #include "harness/paper_workloads.hpp"
 #include "harness/scenario.hpp"
 #include "harness/sweep.hpp"
+#include "metrics/perf_counters.hpp"
 
 using namespace wormsched;
 using namespace wormsched::harness;
@@ -66,16 +73,28 @@ struct NetworkRun {
   Cycle cycles = 0;
   std::uint64_t flits = 0;
   std::uint64_t delivered_packets = 0;
+  std::uint64_t audit_violations = 0;
 };
 
-NetworkRun run_hotspot(Cycle inject_cycles, double rate, bool dense_tick) {
+struct HotspotMode {
+  bool dense_tick = false;
+  bool dense_pipeline = false;
+  metrics::PerfCounters* perf_counters = nullptr;
+  bool audit = false;
+};
+
+NetworkRun run_hotspot(Cycle inject_cycles, double rate,
+                       const HotspotMode& mode) {
   NetworkScenarioConfig config;
   config.network.topo = wormhole::TopologySpec::mesh(8, 8);
-  config.network.dense_tick = dense_tick;
+  config.network.dense_tick = mode.dense_tick;
+  config.network.router.dense_pipeline = mode.dense_pipeline;
   config.traffic.packets_per_node_per_cycle = rate;
   config.traffic.inject_until = inject_cycles;
   config.traffic.lengths = traffic::LengthSpec::uniform(1, 12);
   config.traffic.pattern.kind = wormhole::PatternSpec::Kind::kHotspot;
+  config.perf_counters = mode.perf_counters;
+  config.audit = mode.audit;
   const auto start = std::chrono::steady_clock::now();
   const NetworkScenarioResult result = run_network_scenario(config, 7);
   NetworkRun run;
@@ -83,6 +102,7 @@ NetworkRun run_hotspot(Cycle inject_cycles, double rate, bool dense_tick) {
   run.cycles = result.end_cycle;
   run.flits = result.delivered_flits;
   run.delivered_packets = result.delivered_packets;
+  run.audit_violations = result.audit_violations;
   return run;
 }
 
@@ -151,33 +171,75 @@ int main(int argc, char** argv) {
   const std::size_t sweep_seeds = cli.get_uint("sweep-seeds");
   const Cycle sweep_cycles = cli.get_uint("sweep-cycles");
   const std::size_t jobs = resolve_jobs(cli);
+  const std::size_t hardware_threads = ThreadPool::hardware_workers();
 
   const StandaloneRun fig4 = run_fig4_standalone(fig4_cycles);
 
   const double hotspot_rate = cli.get_double("hotspot-rate");
-  const NetworkRun dense =
-      run_hotspot(hotspot_cycles, hotspot_rate, /*dense_tick=*/true);
-  const NetworkRun active =
-      run_hotspot(hotspot_cycles, hotspot_rate, /*dense_tick=*/false);
-  const bool identical = dense.cycles == active.cycles &&
-                         dense.flits == active.flits &&
-                         dense.delivered_packets == active.delivered_packets;
+  // Timed runs, uninstrumented: the legacy full-fabric/full-scan loop,
+  // the previous baseline (active set over the dense router pipeline),
+  // and the production kernel (active set over the sparse pipeline).
+  const NetworkRun dense = run_hotspot(
+      hotspot_cycles, hotspot_rate,
+      HotspotMode{/*dense_tick=*/true, /*dense_pipeline=*/true});
+  const NetworkRun active_dense_pipeline = run_hotspot(
+      hotspot_cycles, hotspot_rate,
+      HotspotMode{/*dense_tick=*/false, /*dense_pipeline=*/true});
+  const NetworkRun active = run_hotspot(
+      hotspot_cycles, hotspot_rate,
+      HotspotMode{/*dense_tick=*/false, /*dense_pipeline=*/false});
+  const auto same = [](const NetworkRun& a, const NetworkRun& b) {
+    return a.cycles == b.cycles && a.flits == b.flits &&
+           a.delivered_packets == b.delivered_packets;
+  };
+  const bool identical =
+      same(dense, active) && same(active_dense_pipeline, active);
   if (!identical) {
     std::fprintf(stderr,
-                 "FATAL: active-set run diverged from dense baseline "
-                 "(cycles %llu vs %llu, flits %llu vs %llu)\n",
-                 static_cast<unsigned long long>(active.cycles),
+                 "FATAL: hotspot runs diverged (cycles %llu / %llu / %llu, "
+                 "flits %llu / %llu / %llu)\n",
                  static_cast<unsigned long long>(dense.cycles),
-                 static_cast<unsigned long long>(active.flits),
-                 static_cast<unsigned long long>(dense.flits));
+                 static_cast<unsigned long long>(active_dense_pipeline.cycles),
+                 static_cast<unsigned long long>(active.cycles),
+                 static_cast<unsigned long long>(dense.flits),
+                 static_cast<unsigned long long>(active_dense_pipeline.flits),
+                 static_cast<unsigned long long>(active.flits));
     return 1;
   }
   const double kernel_speedup =
       active.wall_seconds > 0.0 ? dense.wall_seconds / active.wall_seconds
                                 : 0.0;
+  const double pipeline_speedup =
+      active.wall_seconds > 0.0
+          ? active_dense_pipeline.wall_seconds / active.wall_seconds
+          : 0.0;
 
+  // Instrumented run: stage counters + invariant auditor.  Never timed
+  // against the runs above; its wall clock pays for both instruments.
+  metrics::PerfCounters counters;
+  const NetworkRun instrumented = run_hotspot(
+      hotspot_cycles, hotspot_rate,
+      HotspotMode{/*dense_tick=*/false, /*dense_pipeline=*/false, &counters,
+                  /*audit=*/true});
+  if (!same(instrumented, active)) {
+    std::fprintf(stderr,
+                 "FATAL: instrumented run diverged from the timed run\n");
+    return 1;
+  }
+  if (instrumented.audit_violations != 0) {
+    std::fprintf(stderr, "FATAL: auditor reported %llu violation(s)\n",
+                 static_cast<unsigned long long>(
+                     instrumented.audit_violations));
+    return 1;
+  }
+
+  // The parallel sweep measurement needs real concurrency; on a single
+  // hardware thread it would only measure scheduler noise, so it is
+  // skipped and marked as such in the JSON.
+  const bool sweep_skipped = hardware_threads < 2;
   const double sweep_serial = run_sweep(sweep_seeds, 1, sweep_cycles);
-  const double sweep_parallel = run_sweep(sweep_seeds, jobs, sweep_cycles);
+  const double sweep_parallel =
+      sweep_skipped ? 0.0 : run_sweep(sweep_seeds, jobs, sweep_cycles);
   const double sweep_speedup =
       sweep_parallel > 0.0 ? sweep_serial / sweep_parallel : 0.0;
 
@@ -195,7 +257,20 @@ int main(int argc, char** argv) {
                 fixed(per_sec(static_cast<double>(dense.flits),
                               dense.wall_seconds), 0),
                 "1.00 (baseline)");
-  table.add_row("8x8 hotspot, active set", fixed(active.wall_seconds, 3),
+  table.add_row("8x8 hotspot, active+dense pipe",
+                fixed(active_dense_pipeline.wall_seconds, 3),
+                fixed(per_sec(static_cast<double>(active_dense_pipeline.cycles),
+                              active_dense_pipeline.wall_seconds), 0),
+                fixed(per_sec(static_cast<double>(active_dense_pipeline.flits),
+                              active_dense_pipeline.wall_seconds), 0),
+                fixed(dense.wall_seconds > 0.0 &&
+                              active_dense_pipeline.wall_seconds > 0.0
+                          ? dense.wall_seconds /
+                                active_dense_pipeline.wall_seconds
+                          : 0.0,
+                      2));
+  table.add_row("8x8 hotspot, active+sparse pipe",
+                fixed(active.wall_seconds, 3),
                 fixed(per_sec(static_cast<double>(active.cycles),
                               active.wall_seconds), 0),
                 fixed(per_sec(static_cast<double>(active.flits),
@@ -203,14 +278,42 @@ int main(int argc, char** argv) {
                 fixed(kernel_speedup, 2));
   table.add_row("sweep " + std::to_string(sweep_seeds) + " seeds, jobs=1",
                 fixed(sweep_serial, 3), "-", "-", "1.00 (baseline)");
-  table.add_row("sweep " + std::to_string(sweep_seeds) +
-                    " seeds, jobs=" + std::to_string(jobs),
-                fixed(sweep_parallel, 3), "-", "-", fixed(sweep_speedup, 2));
+  if (sweep_skipped) {
+    table.add_row("sweep parallel", "skipped", "-", "-",
+                  "needs >= 2 hw threads");
+  } else {
+    table.add_row("sweep " + std::to_string(sweep_seeds) +
+                      " seeds, jobs=" + std::to_string(jobs),
+                  fixed(sweep_parallel, 3), "-", "-",
+                  fixed(sweep_speedup, 2));
+  }
   table.print(std::cout);
-  std::printf("(active-set results verified identical to the dense "
-              "baseline; sweep speedup is bounded\n by the %zu hardware "
-              "thread(s) of this machine)\n",
-              ThreadPool::hardware_workers());
+  std::printf("(all hotspot runs verified flit-for-flit identical; sparse "
+              "vs dense-pipeline speedup %.2f;\n auditor violations in the "
+              "instrumented run: %llu)\n",
+              pipeline_speedup,
+              static_cast<unsigned long long>(instrumented.audit_violations));
+
+  AsciiTable stage_table(
+      "8x8 hotspot stage breakdown (instrumented run, TSC ticks)");
+  stage_table.set_header({"stage", "ticks", "calls", "share %"});
+  const std::uint64_t grand = counters.grand_total_ticks();
+  for (std::size_t s = 0; s < metrics::kNumStages; ++s) {
+    const auto stage = static_cast<metrics::Stage>(s);
+    const auto& total = counters.total(stage);
+    const double share =
+        grand > 0 ? 100.0 * static_cast<double>(total.ticks) /
+                        static_cast<double>(grand)
+                  : 0.0;
+    stage_table.add_row(metrics::stage_name(stage),
+                        std::to_string(total.ticks),
+                        std::to_string(total.calls), fixed(share, 1));
+  }
+  stage_table.print(std::cout);
+  if (!metrics::kPerfCountersCompiled) {
+    std::printf("(perf counters compiled out: stage breakdown is empty; "
+                "configure with -DWORMSCHED_PERF_COUNTERS=ON)\n");
+  }
 
   FILE* out = std::fopen(cli.get("out").c_str(), "w");
   if (out == nullptr) {
@@ -218,9 +321,10 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::fprintf(out, "{\n");
-  std::fprintf(out, "  \"schema\": \"wormsched-perf-v2\",\n");
-  std::fprintf(out, "  \"hardware_threads\": %zu,\n",
-               ThreadPool::hardware_workers());
+  std::fprintf(out, "  \"schema\": \"wormsched-perf-v3\",\n");
+  std::fprintf(out, "  \"hardware_threads\": %zu,\n", hardware_threads);
+  std::fprintf(out, "  \"perf_counters_compiled\": %s,\n",
+               metrics::kPerfCountersCompiled ? "true" : "false");
   std::fprintf(out,
                "  \"provenance\": {\"jobs\": %zu, \"compiler\": \"%s\", "
                "\"build_type\": \"%s\", \"git_sha\": \"%s\"},\n",
@@ -241,23 +345,52 @@ int main(int argc, char** argv) {
                "\"delivered_flits\": %llu, \"results_identical\": %s,\n"
                "      \"dense\": {\"wall_seconds\": %.6f, "
                "\"cycles_per_sec\": %.0f},\n"
+               "      \"active_set_dense_pipeline\": {\"wall_seconds\": %.6f, "
+               "\"cycles_per_sec\": %.0f},\n"
                "      \"active_set\": {\"wall_seconds\": %.6f, "
                "\"cycles_per_sec\": %.0f},\n"
-               "      \"kernel_speedup\": %.3f},\n",
+               "      \"kernel_speedup\": %.3f,\n"
+               "      \"pipeline_speedup\": %.3f,\n"
+               "      \"audit_violations\": %llu,\n",
                static_cast<unsigned long long>(active.cycles),
                static_cast<unsigned long long>(active.flits),
                identical ? "true" : "false", dense.wall_seconds,
                per_sec(static_cast<double>(dense.cycles), dense.wall_seconds),
+               active_dense_pipeline.wall_seconds,
+               per_sec(static_cast<double>(active_dense_pipeline.cycles),
+                       active_dense_pipeline.wall_seconds),
                active.wall_seconds,
                per_sec(static_cast<double>(active.cycles),
                        active.wall_seconds),
-               kernel_speedup);
-  std::fprintf(out,
-               "    \"sweep_50seed\": {\"seeds\": %zu, \"jobs\": %zu, "
-               "\"serial_seconds\": %.6f, \"parallel_seconds\": %.6f, "
-               "\"parallel_speedup\": %.3f}\n",
-               sweep_seeds, jobs, sweep_serial, sweep_parallel,
-               sweep_speedup);
+               kernel_speedup, pipeline_speedup,
+               static_cast<unsigned long long>(
+                   instrumented.audit_violations));
+  std::fprintf(out, "      \"stage_breakdown\": {\"total_ticks\": %llu",
+               static_cast<unsigned long long>(grand));
+  for (std::size_t s = 0; s < metrics::kNumStages; ++s) {
+    const auto stage = static_cast<metrics::Stage>(s);
+    const auto& total = counters.total(stage);
+    std::fprintf(out, ", \"%s\": {\"ticks\": %llu, \"calls\": %llu}",
+                 metrics::stage_name(stage),
+                 static_cast<unsigned long long>(total.ticks),
+                 static_cast<unsigned long long>(total.calls));
+  }
+  std::fprintf(out, "}},\n");
+  if (sweep_skipped) {
+    std::fprintf(out,
+                 "    \"sweep_50seed\": {\"seeds\": %zu, \"jobs\": %zu, "
+                 "\"hardware_threads\": %zu, \"skipped\": true, "
+                 "\"serial_seconds\": %.6f}\n",
+                 sweep_seeds, jobs, hardware_threads, sweep_serial);
+  } else {
+    std::fprintf(out,
+                 "    \"sweep_50seed\": {\"seeds\": %zu, \"jobs\": %zu, "
+                 "\"hardware_threads\": %zu, \"skipped\": false, "
+                 "\"serial_seconds\": %.6f, \"parallel_seconds\": %.6f, "
+                 "\"parallel_speedup\": %.3f}\n",
+                 sweep_seeds, jobs, hardware_threads, sweep_serial,
+                 sweep_parallel, sweep_speedup);
+  }
   std::fprintf(out, "  }\n}\n");
   std::fclose(out);
   std::printf("wrote %s\n", cli.get("out").c_str());

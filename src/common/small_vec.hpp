@@ -1,0 +1,126 @@
+// Fixed-capacity inline vector for allocation-free hot paths.
+//
+// The wormhole router's route-computation stage runs once per head flit
+// per hop; returning candidates in a std::vector put a heap allocation on
+// that path.  SmallVec keeps up to N elements in-place — overflow is a
+// checked invariant, not a reallocation — so filling one is pure stack
+// traffic.  Trivially-copyable element types (RouteDecision and friends)
+// take a memcpy fast path on copy/move and skip the destructor sweep.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace wormsched {
+
+template <typename T, std::size_t N>
+class SmallVec {
+  static_assert(N >= 1, "SmallVec needs a nonzero capacity");
+
+ public:
+  SmallVec() = default;
+
+  SmallVec(const SmallVec& other) { append_from(other); }
+  SmallVec& operator=(const SmallVec& other) {
+    if (this == &other) return *this;
+    clear();
+    append_from(other);
+    return *this;
+  }
+  SmallVec(SmallVec&& other) noexcept { move_from(other); }
+  SmallVec& operator=(SmallVec&& other) noexcept {
+    if (this == &other) return *this;
+    clear();
+    move_from(other);
+    return *this;
+  }
+  ~SmallVec() { clear(); }
+
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] static constexpr std::size_t capacity() { return N; }
+
+  void push_back(const T& value) { emplace_back(value); }
+  void push_back(T&& value) { emplace_back(std::move(value)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    WS_CHECK_MSG(size_ < N, "SmallVec capacity overflow");
+    T* p = ::new (data() + size_) T(std::forward<Args>(args)...);
+    ++size_;
+    return *p;
+  }
+
+  void pop_back() {
+    WS_CHECK(size_ > 0);
+    --size_;
+    if constexpr (!std::is_trivially_destructible_v<T>) {
+      (data() + size_)->~T();
+    }
+  }
+
+  [[nodiscard]] T& operator[](std::size_t i) {
+    WS_CHECK(i < size_);
+    return data()[i];
+  }
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    WS_CHECK(i < size_);
+    return data()[i];
+  }
+  [[nodiscard]] T& front() { return (*this)[0]; }
+  [[nodiscard]] const T& front() const { return (*this)[0]; }
+  [[nodiscard]] T& back() { return (*this)[size_ - 1]; }
+  [[nodiscard]] const T& back() const { return (*this)[size_ - 1]; }
+
+  [[nodiscard]] T* begin() { return data(); }
+  [[nodiscard]] T* end() { return data() + size_; }
+  [[nodiscard]] const T* begin() const { return data(); }
+  [[nodiscard]] const T* end() const { return data() + size_; }
+
+  void clear() {
+    if constexpr (!std::is_trivially_destructible_v<T>) {
+      for (std::size_t i = 0; i < size_; ++i) (data() + i)->~T();
+    }
+    size_ = 0;
+  }
+
+ private:
+  [[nodiscard]] T* data() {
+    return std::launder(reinterpret_cast<T*>(storage_));
+  }
+  [[nodiscard]] const T* data() const {
+    return std::launder(reinterpret_cast<const T*>(storage_));
+  }
+
+  void append_from(const SmallVec& other) {
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      std::memcpy(storage_, other.storage_, other.size_ * sizeof(T));
+      size_ = other.size_;
+    } else {
+      for (std::size_t i = 0; i < other.size_; ++i)
+        emplace_back(other.data()[i]);
+    }
+  }
+
+  void move_from(SmallVec& other) {
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      std::memcpy(storage_, other.storage_, other.size_ * sizeof(T));
+      size_ = other.size_;
+      other.size_ = 0;
+    } else {
+      for (std::size_t i = 0; i < other.size_; ++i)
+        emplace_back(std::move(other.data()[i]));
+      other.clear();
+    }
+  }
+
+  alignas(T) std::byte storage_[N * sizeof(T)];
+  std::size_t size_ = 0;
+};
+
+}  // namespace wormsched

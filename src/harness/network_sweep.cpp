@@ -27,6 +27,8 @@ NetworkScenarioResult run_network_scenario(const NetworkScenarioConfig& config,
     net_config.faults = &*faults;
   }
   wormhole::Network net(net_config);
+  if (config.perf_counters != nullptr)
+    net.set_perf_counters(config.perf_counters);
   wormhole::NetworkTrafficSource::Config traffic = config.traffic;
   traffic.seed = seed;
   traffic.faults = net_config.faults;

@@ -14,6 +14,7 @@
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "harness/sweep.hpp"
+#include "metrics/perf_counters.hpp"
 #include "validate/faults.hpp"
 #include "wormhole/network.hpp"
 #include "wormhole/patterns.hpp"
@@ -36,6 +37,10 @@ struct NetworkScenarioConfig {
   /// cycle (conservation + active-set), and an ErrAuditor subscribes to
   /// every ERR output arbiter in the fabric (paper bounds per port).
   bool audit = false;
+  /// Per-stage perf-counter sink attached to the network for the run's
+  /// duration (not owned; nullptr = uninstrumented).  Only meaningful for
+  /// single-seed runs — sweeps share the sink across workers unsynchronised.
+  metrics::PerfCounters* perf_counters = nullptr;
 };
 
 /// Everything the network benches read out of one finished run.

@@ -38,6 +38,7 @@ void NetworkAuditor::on_cycle_end(Cycle now, const Network& network) {
   check_flit_conservation(now, network);
   check_credit_conservation(now, network);
   check_active_set(now, network);
+  check_router_masks(now, network);
 }
 
 void NetworkAuditor::check_flit_conservation(Cycle now, const Network& net) {
@@ -141,6 +142,43 @@ void NetworkAuditor::check_active_set(Cycle now, const Network& net) {
     os << "cycle=" << now << " live flags=" << live
        << " but counter=" << net.live_router_count();
     log_.report("net.active_set.count", os.str());
+  }
+}
+
+void NetworkAuditor::check_router_masks(Cycle now, const Network& net) {
+  const std::uint32_t nodes = net.topology().num_nodes();
+  const std::uint32_t vcs = net.config().router.num_vcs;
+  for (std::uint32_t n = 0; n < nodes; ++n) {
+    const auto& router = net.router(NodeId(n));
+    std::uint64_t routable = 0;
+    std::uint64_t requesting = 0;
+    std::uint64_t bound = 0;
+    for (std::uint32_t d = 0; d < kNumDirections; ++d) {
+      const auto dir = static_cast<Direction>(d);
+      for (std::uint32_t cls = 0; cls < vcs; ++cls) {
+        const std::uint64_t unit_bit = std::uint64_t{1}
+                                       << router.unit(dir, cls);
+        if (!router.input_routed(dir, cls) &&
+            router.input_buffer_size(dir, cls) > 0) {
+          routable |= unit_bit;
+        }
+        if (router.arbiter(dir, cls).pending_total() > 0)
+          requesting |= unit_bit;
+        if (router.output_bound(dir, cls)) bound |= unit_bit;
+      }
+    }
+    const auto report = [&](const char* which, std::uint64_t expected,
+                            std::uint64_t actual) {
+      if (expected == actual) return;
+      std::ostringstream os;
+      os << "cycle=" << now << " router=" << n << " " << which
+         << " mask=" << std::hex << actual << " but flags imply "
+         << expected;
+      log_.report("net.masks.stale", os.str());
+    };
+    report("routable_inputs", routable, router.routable_inputs_mask());
+    report("requesting_outputs", requesting, router.requesting_outputs_mask());
+    report("bound_outputs", bound, router.bound_outputs_mask());
   }
 }
 

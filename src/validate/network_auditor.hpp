@@ -13,6 +13,9 @@
 //   * Active-set consistency — a router holding work is enrolled in the
 //     live set, and the live counter matches the flags (the O(1) idle()
 //     fast path depends on both).
+//   * Pending-mask consistency — each router's routable/requesting/bound
+//     bitmasks match what the per-unit flags imply (the bitmask-sparse
+//     pipeline trusts the masks to decide which units to visit).
 //
 // The checks hold with fault injection enabled — faults delay flits and
 // credits but never drop them — so fault runs stress the invariants, not
@@ -45,6 +48,7 @@ class NetworkAuditor final : public wormhole::NetworkObserver {
   void check_flit_conservation(Cycle now, const wormhole::Network& net);
   void check_credit_conservation(Cycle now, const wormhole::Network& net);
   void check_active_set(Cycle now, const wormhole::Network& net);
+  void check_router_masks(Cycle now, const wormhole::Network& net);
 
   NetworkAuditorConfig config_;
   AuditLog& log_;

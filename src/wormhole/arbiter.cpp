@@ -8,6 +8,7 @@ namespace wormsched::wormhole {
 
 void PortArbiter::request(FlowId requester) {
   ++pending_[requester.index()];
+  ++pending_total_;
   on_new_request(requester);
 }
 
@@ -17,7 +18,9 @@ std::optional<FlowId> PortArbiter::grant(Cycle now) {
   if (!chosen) return std::nullopt;
   auto& pending = pending_[chosen->index()];
   WS_CHECK_MSG(pending > 0, "arbiter granted a requester with no pending head");
+  WS_CHECK_MSG(pending_total_ > 0, "pending_total out of sync with pending_");
   --pending;
+  --pending_total_;
   owner_ = *chosen;
   return chosen;
 }
@@ -31,17 +34,11 @@ void PortArbiter::release() {
 
 ErrArbiter::ErrArbiter(std::size_t num_requesters, Accounting accounting,
                        bool reset_on_idle)
-    : PortArbiter(num_requesters),
+    : PortArbiter(num_requesters, accounting == Accounting::kCycles
+                                      ? Charging::kCycles
+                                      : Charging::kFlits),
       policy_(core::ErrConfig{num_requesters, reset_on_idle}),
       accounting_(accounting) {}
-
-void ErrArbiter::charge_cycle() {
-  if (accounting_ == Accounting::kCycles) held_ += 1.0;
-}
-
-void ErrArbiter::charge_flit() {
-  if (accounting_ == Accounting::kFlits) held_ += 1.0;
-}
 
 void ErrArbiter::on_new_request(FlowId requester) {
   // A requester with exactly one pending head just went busy — unless the

@@ -28,8 +28,19 @@ namespace wormsched::wormhole {
 
 class PortArbiter {
  public:
-  explicit PortArbiter(std::size_t num_requesters)
-      : pending_(num_requesters, 0) {}
+  /// What the owner is charged for while it holds the output.  Stored in
+  /// the base so charge_cycle()/charge_flit() are non-virtual and inline:
+  /// the router batch-charges every bound output every cycle, and a
+  /// virtual fan-out on that path costs more than the work it does.
+  enum class Charging : std::uint8_t {
+    kNone,    // discipline ignores cost (RR, FCFS)
+    kCycles,  // charge output-occupancy time (the paper's wormhole mode)
+    kFlits,   // charge transmitted flits (the paper's abstract model)
+  };
+
+  explicit PortArbiter(std::size_t num_requesters,
+                       Charging charging = Charging::kNone)
+      : pending_(num_requesters, 0), charging_(charging) {}
   virtual ~PortArbiter() = default;
   PortArbiter(const PortArbiter&) = delete;
   PortArbiter& operator=(const PortArbiter&) = delete;
@@ -45,10 +56,14 @@ class PortArbiter {
 
   /// The current owner occupied the output for one cycle (moving or
   /// stalled).  Call every cycle between grant and release.
-  virtual void charge_cycle() {}
+  void charge_cycle() {
+    if (charging_ == Charging::kCycles) held_ += 1.0;
+  }
 
   /// The current owner forwarded one flit.
-  virtual void charge_flit() {}
+  void charge_flit() {
+    if (charging_ == Charging::kFlits) held_ += 1.0;
+  }
 
   /// The owner's tail flit has left the output.
   void release();
@@ -58,6 +73,11 @@ class PortArbiter {
   [[nodiscard]] std::uint32_t pending(FlowId f) const {
     return pending_[f.index()];
   }
+  /// Heads waiting across all requesters.  O(1); the router skips the
+  /// whole grant path for outputs where this is zero (lazy arbitration),
+  /// which is sound because every discipline's pick() is a no-op with no
+  /// pending heads.
+  [[nodiscard]] std::uint32_t pending_total() const { return pending_total_; }
 
  protected:
   /// Discipline hooks, called with pending_ already updated.
@@ -67,6 +87,12 @@ class PortArbiter {
 
   std::vector<std::uint32_t> pending_;
   FlowId owner_ = FlowId::invalid();
+  /// Cost accumulated by the current owner; consumed by on_release.
+  double held_ = 0.0;
+
+ private:
+  Charging charging_;
+  std::uint32_t pending_total_ = 0;
 };
 
 /// ERR arbitration (the paper's algorithm in its native habitat).
@@ -83,8 +109,6 @@ class ErrArbiter final : public PortArbiter {
   [[nodiscard]] std::string_view name() const override {
     return accounting_ == Accounting::kCycles ? "ERR-cycles" : "ERR-flits";
   }
-  void charge_cycle() override;
-  void charge_flit() override;
 
   [[nodiscard]] core::ErrPolicy& policy() { return policy_; }
 
@@ -96,7 +120,6 @@ class ErrArbiter final : public PortArbiter {
  private:
   core::ErrPolicy policy_;
   Accounting accounting_;
-  double held_ = 0.0;
 };
 
 /// Packet-based round-robin arbitration (what many real switches do).

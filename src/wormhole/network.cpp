@@ -18,6 +18,7 @@ Network::Network(const NetworkConfig& config)
     routers_.emplace_back(NodeId(n), config.router);
   nics_.resize(topo_.num_nodes());
   router_live_.resize(topo_.num_nodes(), 0);
+  latency_by_source_.resize(topo_.num_nodes());
 }
 
 void Network::inject(Cycle, const PacketDescriptor& packet) {
@@ -71,6 +72,9 @@ void Network::eject(NodeId node, const Flit& flit, Cycle now) {
     delivered_.push_back(DeliveredPacket{flit.packet, flit.flow, flit.source,
                                          flit.dest, flit.index + 1,
                                          flit.created, now});
+    const auto latency = static_cast<double>(now - flit.created);
+    latency_by_source_[flit.source.index()].add(latency);
+    latency_overall_.add(latency);
   }
 }
 
@@ -86,56 +90,68 @@ RouteDecision Network::route(NodeId node, const Flit& flit, Direction in_from,
   return topo_.route(node, flit.dest, in_from, in_class);
 }
 
-std::vector<RouteDecision> Network::route_candidates(NodeId node,
-                                                     const Flit& flit,
-                                                     Direction in_from,
-                                                     std::uint32_t in_class) {
-  if (config_.routing == NetworkConfig::Routing::kWestFirst)
-    return topo_.west_first_candidates(node, flit.dest, in_from, in_class);
-  return {route(node, flit, in_from, in_class)};
+void Network::route_candidates(NodeId node, const Flit& flit,
+                               Direction in_from, std::uint32_t in_class,
+                               RouteCandidates& out) {
+  if (config_.routing == NetworkConfig::Routing::kWestFirst) {
+    topo_.west_first_candidates(node, flit.dest, in_from, in_class, out);
+    return;
+  }
+  out.push_back(route(node, flit, in_from, in_class));
+}
+
+void Network::set_perf_counters(metrics::PerfCounters* counters) {
+  perf_ = counters;
+  for (Router& r : routers_) r.set_perf_counters(counters);
 }
 
 void Network::tick(Cycle now) {
   now_ = now;
   const FaultModel* faults = config_.faults;
 
-  // 0. Credits whose starvation window has elapsed re-enter the protocol.
-  while (!credit_quarantine_.empty() &&
-         credit_quarantine_.front().arrive <= now) {
-    const WireCredit wc = credit_quarantine_.pop_front();
-    routers_[wc.to.index()].accept_credit(wc.out, wc.cls);
-    mark_live(wc.to.index());
-  }
+  {
+    metrics::ScopedStageTimer timer(perf_, metrics::Stage::kWireDelivery);
 
-  // 1. Wire delivery (constant latency -> FIFO order).  An arriving flit
-  // or credit enrolls its destination router in the active set.  A link
-  // stall pauses flit delivery for the cycle — the flits stay queued, in
-  // order, and arrive late; nothing is ever dropped.
-  if (!(faults != nullptr && faults->link_stalled(now))) {
-    while (!flit_wire_.empty() && flit_wire_.front().arrive <= now) {
-      const WireFlit wf = flit_wire_.pop_front();
-      routers_[wf.to.index()].accept_flit(wf.in, wf.cls, wf.flit);
-      mark_live(wf.to.index());
+    // 0. Credits whose starvation window has elapsed re-enter the
+    // protocol.
+    while (!credit_quarantine_.empty() &&
+           credit_quarantine_.front().arrive <= now) {
+      const WireCredit wc = credit_quarantine_.pop_front();
+      routers_[wc.to.index()].accept_credit(wc.out, wc.cls);
+      mark_live(wc.to.index());
     }
-  }
-  while (!credit_wire_.empty() && credit_wire_.front().arrive <= now) {
-    const WireCredit wc = credit_wire_.pop_front();
-    const Cycle hold =
-        faults != nullptr ? faults->credit_hold_cycles(now, wc.to) : 0;
-    if (hold > 0) {
-      WireCredit held = wc;
-      held.arrive = now + hold;
-      credit_quarantine_.push_back(held);
-      continue;
+
+    // 1. Wire delivery (constant latency -> FIFO order).  An arriving
+    // flit or credit enrolls its destination router in the active set.  A
+    // link stall pauses flit delivery for the cycle — the flits stay
+    // queued, in order, and arrive late; nothing is ever dropped.
+    if (!(faults != nullptr && faults->link_stalled(now))) {
+      while (!flit_wire_.empty() && flit_wire_.front().arrive <= now) {
+        const WireFlit wf = flit_wire_.pop_front();
+        routers_[wf.to.index()].accept_flit(wf.in, wf.cls, wf.flit);
+        mark_live(wf.to.index());
+      }
     }
-    routers_[wc.to.index()].accept_credit(wc.out, wc.cls);
-    mark_live(wc.to.index());
+    while (!credit_wire_.empty() && credit_wire_.front().arrive <= now) {
+      const WireCredit wc = credit_wire_.pop_front();
+      const Cycle hold =
+          faults != nullptr ? faults->credit_hold_cycles(now, wc.to) : 0;
+      if (hold > 0) {
+        WireCredit held = wc;
+        held.arrive = now + hold;
+        credit_quarantine_.push_back(held);
+        continue;
+      }
+      routers_[wc.to.index()].accept_credit(wc.out, wc.cls);
+      mark_live(wc.to.index());
+    }
   }
 
   // 2. NIC injection: one flit per node per cycle into local VC class 0.
   // Only NICs holding backlog are visited; `remaining` cuts the scan off
   // once every nonempty NIC has been seen.
   if (nic_backlog_flits_ != 0) {
+    metrics::ScopedStageTimer timer(perf_, metrics::Stage::kNicInject);
     std::uint32_t remaining = nonempty_nics_;
     for (std::uint32_t n = 0; remaining != 0 && n < nics_.size(); ++n) {
       Nic& nic = nics_[n];
@@ -196,28 +212,16 @@ void Network::tick(Cycle now) {
 
   // 4. The auditor (if any) sees the settled post-cycle state — identical
   // in the active-set and dense paths by construction.
-  if (observer_ != nullptr) observer_->on_cycle_end(now, *this);
+  if (observer_ != nullptr) {
+    metrics::ScopedStageTimer timer(perf_, metrics::Stage::kObserver);
+    observer_->on_cycle_end(now, *this);
+  }
 }
 
 bool Network::idle() const {
   return nic_backlog_flits_ == 0 && live_routers_ == 0 &&
          flit_wire_.empty() && credit_wire_.empty() &&
          credit_quarantine_.empty();
-}
-
-RunningStat Network::latency_by_source(NodeId source) const {
-  RunningStat stat;
-  for (const DeliveredPacket& p : delivered_)
-    if (p.source == source)
-      stat.add(static_cast<double>(p.delivered - p.created));
-  return stat;
-}
-
-RunningStat Network::latency_overall() const {
-  RunningStat stat;
-  for (const DeliveredPacket& p : delivered_)
-    stat.add(static_cast<double>(p.delivered - p.created));
-  return stat;
 }
 
 std::vector<Flits> Network::delivered_flits_by_flow(

@@ -13,6 +13,7 @@
 #include "common/ring_buffer.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
+#include "metrics/perf_counters.hpp"
 #include "sim/engine.hpp"
 #include "wormhole/fault_hooks.hpp"
 #include "wormhole/flit.hpp"
@@ -111,8 +112,14 @@ class Network final : public sim::Component, private RouterEnv {
     return delivered_flits_;
   }
   /// End-to-end packet latency (inject call to tail ejection) per source.
-  [[nodiscard]] RunningStat latency_by_source(NodeId source) const;
-  [[nodiscard]] RunningStat latency_overall() const;
+  /// O(1): the stats accumulate at ejection time, not by scanning the
+  /// delivered log (which grows with the run).
+  [[nodiscard]] const RunningStat& latency_by_source(NodeId source) const {
+    return latency_by_source_[source.index()];
+  }
+  [[nodiscard]] const RunningStat& latency_overall() const {
+    return latency_overall_;
+  }
   /// Delivered flit counts keyed by flow id (for fairness comparisons).
   [[nodiscard]] std::vector<Flits> delivered_flits_by_flow(
       std::size_t num_flows) const;
@@ -120,6 +127,11 @@ class Network final : public sim::Component, private RouterEnv {
   /// At most one observer (not owned); notified after every tick in both
   /// the active-set and dense paths.  Pass nullptr to detach.
   void set_observer(NetworkObserver* observer) { observer_ = observer; }
+
+  /// Attaches a per-stage perf-counter sink (not owned) to the network
+  /// and every router; nullptr (the default) detaches and keeps the hot
+  /// path uninstrumented.
+  void set_perf_counters(metrics::PerfCounters* counters);
 
   /// --- Audit accessors (read-only views for src/validate) -------------
   [[nodiscard]] const NetworkConfig& config() const { return config_; }
@@ -156,9 +168,9 @@ class Network final : public sim::Component, private RouterEnv {
   void send_credit(NodeId node, Direction in, std::uint32_t cls) override;
   RouteDecision route(NodeId node, const Flit& flit, Direction in_from,
                       std::uint32_t in_class) override;
-  std::vector<RouteDecision> route_candidates(NodeId node, const Flit& flit,
-                                              Direction in_from,
-                                              std::uint32_t in_class) override;
+  void route_candidates(NodeId node, const Flit& flit, Direction in_from,
+                        std::uint32_t in_class,
+                        RouteCandidates& out) override;
 
   [[nodiscard]] static Direction opposite(Direction d);
 
@@ -183,6 +195,8 @@ class Network final : public sim::Component, private RouterEnv {
   // non-decreasing (FaultModel contract), so this too is a FIFO.
   RingBuffer<WireCredit> credit_quarantine_;
   std::vector<DeliveredPacket> delivered_;
+  std::vector<RunningStat> latency_by_source_;  // indexed by source node
+  RunningStat latency_overall_;
   std::uint64_t injected_ = 0;
   std::uint64_t delivered_flits_ = 0;
   Flits injected_flits_ = 0;
@@ -195,6 +209,7 @@ class Network final : public sim::Component, private RouterEnv {
   std::vector<std::uint8_t> router_live_;
   std::uint32_t live_routers_ = 0;
   std::uint32_t nonempty_nics_ = 0;
+  metrics::PerfCounters* perf_ = nullptr;
 };
 
 }  // namespace wormsched::wormhole

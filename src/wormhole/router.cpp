@@ -1,5 +1,7 @@
 #include "wormhole/router.hpp"
 
+#include <bit>
+
 #include "common/assert.hpp"
 
 namespace wormsched::wormhole {
@@ -18,6 +20,8 @@ Router::Router(NodeId id, const RouterConfig& config)
       sa_pointer_(kNumDirections, 0) {
   WS_CHECK(config.num_vcs >= 1);
   WS_CHECK(config.buffer_depth >= 1);
+  WS_CHECK_MSG(kNumDirections * config.num_vcs <= 64,
+               "pending bitmasks hold at most 64 port/VC units");
   const std::size_t requesters = inputs_.size();
   for (std::uint32_t i = 0; i < outputs_.size(); ++i) {
     OutputVc& ov = outputs_[i];
@@ -29,11 +33,15 @@ Router::Router(NodeId id, const RouterConfig& config)
 }
 
 void Router::accept_flit(Direction in, std::uint32_t cls, Flit flit) {
-  InputVc& iv = inputs_[unit(in, cls)];
+  const std::uint32_t g = unit(in, cls);
+  InputVc& iv = inputs_[g];
   WS_CHECK_MSG(iv.buffer.size() < config_.buffer_depth,
                "credit protocol violated: input buffer overflow");
   iv.buffer.push_back(flit);
   ++buffered_flits_;
+  // While the VC holds no route its front is an unrouted packet head
+  // (wormhole ordering: mid-packet flits only arrive while routed).
+  if (!iv.routed) routable_inputs_ |= bit(g);
 }
 
 void Router::accept_credit(Direction out, std::uint32_t cls) {
@@ -50,8 +58,8 @@ bool Router::can_accept_local(std::uint32_t cls) const {
 
 RouteDecision Router::choose_route(RouterEnv& env, const Flit& head,
                                    Direction in_from, std::uint32_t in_class) {
-  const auto candidates =
-      env.route_candidates(id_, head, in_from, in_class);
+  RouteCandidates candidates;
+  env.route_candidates(id_, head, in_from, in_class, candidates);
   WS_CHECK(!candidates.empty());
   const RouteDecision* best = &candidates[0];
   std::int64_t best_score = -1;
@@ -67,104 +75,185 @@ RouteDecision Router::choose_route(RouterEnv& env, const Flit& head,
   return *best;
 }
 
+void Router::route_input(std::uint32_t g, RouterEnv& env) {
+  InputVc& iv = inputs_[g];
+  const Flit& head = iv.buffer.front();
+  WS_CHECK_MSG(is_head(head.type),
+               "input VC front is mid-packet but VC has no route");
+  const RouteDecision d =
+      choose_route(env, head, unit_direction(g), unit_class(g));
+  iv.out = d.out;
+  iv.out_class = d.out_class;
+  iv.routed = true;
+  routable_inputs_ &= ~bit(g);
+  const std::uint32_t o = unit(d.out, d.out_class);
+  outputs_[o].arbiter->request(FlowId(g));
+  requesting_outputs_ |= bit(o);
+}
+
+void Router::try_bind_output(std::uint32_t i, Cycle now) {
+  OutputVc& ov = outputs_[i];
+  const auto chosen = ov.arbiter->grant(now);
+  if (!chosen) return;
+  ov.bound = true;
+  ov.owner = static_cast<std::uint32_t>(chosen->value());
+  ++bound_outputs_;
+  bound_outputs_mask_ |= bit(i);
+  if (ov.arbiter->pending_total() == 0) requesting_outputs_ &= ~bit(i);
+  ++port_stats_[static_cast<std::size_t>(unit_direction(i))].grants;
+}
+
+void Router::charge_bound() {
+  for (std::uint64_t m = bound_outputs_mask_; m != 0; m &= m - 1) {
+    const auto i = static_cast<std::uint32_t>(std::countr_zero(m));
+    outputs_[i].arbiter->charge_cycle();
+  }
+}
+
+void Router::sa_port(std::uint32_t p, bool port_busy, Cycle now,
+                     RouterEnv& env) {
+  const auto port = static_cast<Direction>(p);
+  const std::uint32_t vcs = config_.num_vcs;
+  bool port_moved = false;
+  for (std::uint32_t probe = 0; probe < vcs; ++probe) {
+    const std::uint32_t cls = (sa_pointer_[p] + probe) % vcs;
+    const std::uint32_t o = unit(port, cls);
+    OutputVc& ov = outputs_[o];
+    if (!ov.bound || ov.credits == 0) continue;
+    InputVc& iv = inputs_[ov.owner];
+    if (iv.buffer.empty()) continue;  // worm bubble: flits still upstream
+
+    Flit flit = iv.buffer.pop_front();
+    --buffered_flits_;
+    flit.vc_class = VcId(cls);
+    --ov.credits;
+    ov.arbiter->charge_flit();
+    ++forwarded_;
+
+    const Direction in_dir = unit_direction(ov.owner);
+    if (in_dir != Direction::kLocal)
+      env.send_credit(id_, in_dir, unit_class(ov.owner));
+
+    if (port == Direction::kLocal) {
+      env.eject(id_, flit, now);
+    } else {
+      env.send_flit(id_, port, flit);
+    }
+
+    if (is_tail(flit.type)) {
+      iv.routed = false;
+      ov.bound = false;
+      --bound_outputs_;
+      bound_outputs_mask_ &= ~bit(o);
+      // If the next packet's head is already buffered, route it and
+      // raise its request *before* releasing: the arbiter then sees the
+      // input VC as still backlogged, which is what lets ERR apply its
+      // continuation rule (and carry surplus counts across packets)
+      // instead of treating every packet boundary as an idle gap.
+      if (!iv.buffer.empty()) {
+        route_input(ov.owner, env);
+      }
+      ov.arbiter->release();
+    }
+    sa_pointer_[p] = (cls + 1) % vcs;  // rotate fairness among VCs
+    port_moved = true;
+    break;  // port bandwidth: one flit/cycle
+  }
+  PortStats& stats = port_stats_[p];
+  if (port_busy) {
+    ++stats.busy;
+    if (!port_moved) ++stats.starved;
+  }
+  if (port_moved) ++stats.flits;
+}
+
 void Router::tick(Cycle now, RouterEnv& env) {
+  if (config_.dense_pipeline) {
+    tick_dense(now, env);
+  } else {
+    tick_sparse(now, env);
+  }
+}
+
+// Bitmask-sparse pipeline: each stage walks only the units with work.
+// Visit order within each stage is ascending unit index — the same order
+// the dense scan produces after its skip tests — so every arbiter call,
+// env callback, and stat update happens in the identical sequence.
+void Router::tick_sparse(Cycle now, RouterEnv& env) {
   // --- RC: route fresh head flits and raise arbitration requests. -------
+  // route_input only clears bits, so walking a snapshot of the mask
+  // visits exactly the units the dense scan would route.
+  {
+    metrics::ScopedStageTimer timer(perf_, metrics::Stage::kRouteCompute);
+    for (std::uint64_t m = routable_inputs_; m != 0; m &= m - 1) {
+      route_input(static_cast<std::uint32_t>(std::countr_zero(m)), env);
+    }
+  }
+
+  // --- VA + occupancy. --------------------------------------------------
+  {
+    metrics::ScopedStageTimer timer(perf_, metrics::Stage::kVcAlloc);
+    // Lazy arbitration: only outputs with pending heads (requesting bit)
+    // and no current owner can change state; grant() on any other unit is
+    // a proven no-op, so the walk skips it entirely.  Binding unit i only
+    // touches bit i, so a snapshot walk is exact.
+    for (std::uint64_t m = requesting_outputs_ & ~bound_outputs_mask_; m != 0;
+         m &= m - 1) {
+      try_bind_output(static_cast<std::uint32_t>(std::countr_zero(m)), now);
+    }
+    // Every bound output queue is occupied this cycle: one batched walk
+    // over the bound mask replaces the all-outputs scan.
+    charge_bound();
+  }
+
+  // --- SA/ST: one flit per physical port per cycle. ---------------------
+  {
+    metrics::ScopedStageTimer timer(perf_, metrics::Stage::kSwitchTraversal);
+    // A port with no bound VC cannot move a flit and records no stats;
+    // skip it without touching its VCs.
+    std::uint64_t busy_ports = 0;
+    for (std::uint64_t m = bound_outputs_mask_; m != 0; m &= m - 1) {
+      busy_ports |= std::uint64_t{1}
+                    << (static_cast<std::uint32_t>(std::countr_zero(m)) /
+                        config_.num_vcs);
+    }
+    for (std::uint64_t m = busy_ports; m != 0; m &= m - 1) {
+      sa_port(static_cast<std::uint32_t>(std::countr_zero(m)),
+              /*port_busy=*/true, now, env);
+    }
+  }
+}
+
+// Legacy full-scan pipeline (the PR-1 kernel): every unit is visited every
+// tick, and all work tests read the per-unit flags — never the pending
+// masks — so a dense-vs-sparse differential run flags any divergence
+// between mask state and flag state.
+void Router::tick_dense(Cycle now, RouterEnv& env) {
+  // --- RC ---------------------------------------------------------------
   for (std::uint32_t g = 0; g < inputs_.size(); ++g) {
     InputVc& iv = inputs_[g];
     if (iv.routed || iv.buffer.empty()) continue;
-    const Flit& head = iv.buffer.front();
-    WS_CHECK_MSG(is_head(head.type),
-                 "input VC front is mid-packet but VC has no route");
-    const RouteDecision d =
-        choose_route(env, head, unit_direction(g), unit_class(g));
-    iv.out = d.out;
-    iv.out_class = d.out_class;
-    iv.routed = true;
-    outputs_[unit(d.out, d.out_class)].arbiter->request(FlowId(g));
+    route_input(g, env);
   }
 
-  // --- VA: bind free output queues to winning packets. ------------------
+  // --- VA ---------------------------------------------------------------
   for (std::uint32_t i = 0; i < outputs_.size(); ++i) {
-    OutputVc& ov = outputs_[i];
-    if (ov.bound) continue;
-    const auto chosen = ov.arbiter->grant(now);
-    if (!chosen) continue;
-    ov.bound = true;
-    ov.owner = static_cast<std::uint32_t>(chosen->value());
-    ++bound_outputs_;
-    ++port_stats_[static_cast<std::size_t>(unit_direction(i))].grants;
+    if (outputs_[i].bound) continue;
+    try_bind_output(i, now);
   }
 
-  // --- Occupancy: every bound output queue is occupied this cycle. ------
+  // --- Occupancy --------------------------------------------------------
   for (OutputVc& ov : outputs_) {
     if (ov.bound) ov.arbiter->charge_cycle();
   }
 
-  // --- SA/ST: one flit per physical port per cycle. ---------------------
+  // --- SA/ST ------------------------------------------------------------
   for (std::uint32_t p = 0; p < kNumDirections; ++p) {
-    const auto port = static_cast<Direction>(p);
-    const std::uint32_t vcs = config_.num_vcs;
     bool port_busy = false;
-    bool port_moved = false;
-    for (std::uint32_t cls0 = 0; cls0 < vcs; ++cls0)
-      port_busy |= outputs_[unit(port, cls0)].bound;
-    for (std::uint32_t probe = 0; probe < vcs; ++probe) {
-      const std::uint32_t cls = (sa_pointer_[p] + probe) % vcs;
-      OutputVc& ov = outputs_[unit(port, cls)];
-      if (!ov.bound || ov.credits == 0) continue;
-      InputVc& iv = inputs_[ov.owner];
-      if (iv.buffer.empty()) continue;  // worm bubble: flits still upstream
-
-      Flit flit = iv.buffer.pop_front();
-      --buffered_flits_;
-      flit.vc_class = VcId(cls);
-      --ov.credits;
-      ov.arbiter->charge_flit();
-      ++forwarded_;
-
-      const Direction in_dir = unit_direction(ov.owner);
-      if (in_dir != Direction::kLocal)
-        env.send_credit(id_, in_dir, unit_class(ov.owner));
-
-      if (port == Direction::kLocal) {
-        env.eject(id_, flit, now);
-      } else {
-        env.send_flit(id_, port, flit);
-      }
-
-      if (is_tail(flit.type)) {
-        iv.routed = false;
-        ov.bound = false;
-        --bound_outputs_;
-        // If the next packet's head is already buffered, route it and
-        // raise its request *before* releasing: the arbiter then sees the
-        // input VC as still backlogged, which is what lets ERR apply its
-        // continuation rule (and carry surplus counts across packets)
-        // instead of treating every packet boundary as an idle gap.
-        if (!iv.buffer.empty()) {
-          const Flit& next_head = iv.buffer.front();
-          WS_CHECK(is_head(next_head.type));
-          const RouteDecision d = choose_route(env, next_head,
-                                               unit_direction(ov.owner),
-                                               unit_class(ov.owner));
-          iv.out = d.out;
-          iv.out_class = d.out_class;
-          iv.routed = true;
-          outputs_[unit(d.out, d.out_class)].arbiter->request(
-              FlowId(ov.owner));
-        }
-        ov.arbiter->release();
-      }
-      sa_pointer_[p] = (cls + 1) % vcs;  // rotate fairness among VCs
-      port_moved = true;
-      break;  // port bandwidth: one flit/cycle
-    }
-    PortStats& stats = port_stats_[p];
-    if (port_busy) {
-      ++stats.busy;
-      if (!port_moved) ++stats.starved;
-    }
-    if (port_moved) ++stats.flits;
+    for (std::uint32_t cls = 0; cls < config_.num_vcs; ++cls)
+      port_busy |= outputs_[unit(static_cast<Direction>(p), cls)].bound;
+    if (!port_busy) continue;  // no stats and no movement possible
+    sa_port(p, /*port_busy=*/true, now, env);
   }
 }
 

@@ -14,6 +14,15 @@
 // The VA arbiter never sees packet lengths — it is charged per cycle of
 // output occupancy (or per flit, for the ablation), which is exactly the
 // information a real wormhole switch has.
+//
+// The default pipeline is bitmask-sparse: three uint64_t pending masks
+// (routable inputs, requesting outputs, bound outputs) are walked with
+// std::countr_zero, so a tick costs work proportional to pending units,
+// not kNumDirections x num_vcs.  The legacy full-scan pipeline is kept
+// behind RouterConfig::dense_pipeline; it reads only the per-unit flags,
+// never the masks, so the dense-vs-sparse differential tests catch any
+// mask-bookkeeping bug.  Both paths mutate state through the same
+// helpers and are flit-for-flit identical by construction.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +32,7 @@
 
 #include "common/ring_buffer.hpp"
 #include "common/types.hpp"
+#include "metrics/perf_counters.hpp"
 #include "wormhole/arbiter.hpp"
 #include "wormhole/flit.hpp"
 #include "wormhole/topology.hpp"
@@ -33,6 +43,12 @@ struct RouterConfig {
   std::uint32_t num_vcs = 2;       // VC classes per port (torus needs >= 2)
   std::uint32_t buffer_depth = 8;  // flit slots per input VC
   std::string arbiter = "err-cycles";
+  /// Legacy full-scan pipeline: every input and output unit is visited
+  /// every tick.  Bit-identical to the default bitmask-sparse pipeline
+  /// (same helpers, same visit order); kept as the differential baseline
+  /// the sparse pipeline is verified against, mirroring
+  /// NetworkConfig::dense_tick one level up.
+  bool dense_pipeline = false;
 };
 
 /// Callbacks the router needs from its surrounding network.
@@ -48,14 +64,14 @@ class RouterEnv {
   /// Routing oracle (delegates to the Topology).
   virtual RouteDecision route(NodeId node, const Flit& flit, Direction in_from,
                               std::uint32_t in_class) = 0;
-  /// Adaptive routing oracle: all legal next hops for the packet.  The
+  /// Adaptive routing oracle: appends all legal next hops for the packet
+  /// to `out` (called with `out` empty; must stay allocation-free).  The
   /// router picks the least-congested one at route-computation time.
   /// Default: the single deterministic route.
-  virtual std::vector<RouteDecision> route_candidates(NodeId node,
-                                                      const Flit& flit,
-                                                      Direction in_from,
-                                                      std::uint32_t in_class) {
-    return {route(node, flit, in_from, in_class)};
+  virtual void route_candidates(NodeId node, const Flit& flit,
+                                Direction in_from, std::uint32_t in_class,
+                                RouteCandidates& out) {
+    out.push_back(route(node, flit, in_from, in_class));
   }
 };
 
@@ -88,6 +104,12 @@ class Router {
 
   [[nodiscard]] std::uint64_t forwarded_flits() const { return forwarded_; }
 
+  /// Per-stage wall-tick sink for the instrumented bench run; nullptr
+  /// (the default) keeps the hot path uninstrumented.
+  void set_perf_counters(metrics::PerfCounters* counters) {
+    perf_ = counters;
+  }
+
   /// Per-output-port observability counters.
   struct PortStats {
     std::uint64_t flits = 0;     // flits transmitted through the port
@@ -110,6 +132,10 @@ class Router {
                                               std::uint32_t cls) const {
     return inputs_[unit(in, cls)].buffer.size();
   }
+  /// Whether input VC (`in`, `cls`)'s front packet holds a route.
+  [[nodiscard]] bool input_routed(Direction in, std::uint32_t cls) const {
+    return inputs_[unit(in, cls)].routed;
+  }
   /// Credits currently held for output VC (`out`, `cls`).
   [[nodiscard]] std::uint32_t output_credits(Direction out,
                                              std::uint32_t cls) const {
@@ -122,6 +148,35 @@ class Router {
   /// The arbiter governing output port `out`, class `cls` (never null).
   [[nodiscard]] PortArbiter& arbiter(Direction out, std::uint32_t cls) {
     return *outputs_[unit(out, cls)].arbiter;
+  }
+  [[nodiscard]] const PortArbiter& arbiter(Direction out,
+                                           std::uint32_t cls) const {
+    return *outputs_[unit(out, cls)].arbiter;
+  }
+  /// Pending bitmasks (unit index = direction * num_vcs + class).  The
+  /// sparse pipeline walks these; the auditor re-derives each from the
+  /// per-unit flags and cross-checks.
+  [[nodiscard]] std::uint64_t routable_inputs_mask() const {
+    return routable_inputs_;
+  }
+  [[nodiscard]] std::uint64_t requesting_outputs_mask() const {
+    return requesting_outputs_;
+  }
+  [[nodiscard]] std::uint64_t bound_outputs_mask() const {
+    return bound_outputs_mask_;
+  }
+  [[nodiscard]] std::uint32_t num_units() const {
+    return static_cast<std::uint32_t>(inputs_.size());
+  }
+
+  [[nodiscard]] std::uint32_t unit(Direction d, std::uint32_t cls) const {
+    return static_cast<std::uint32_t>(d) * config_.num_vcs + cls;
+  }
+  [[nodiscard]] Direction unit_direction(std::uint32_t index) const {
+    return static_cast<Direction>(index / config_.num_vcs);
+  }
+  [[nodiscard]] std::uint32_t unit_class(std::uint32_t index) const {
+    return index % config_.num_vcs;
   }
 
  private:
@@ -138,6 +193,10 @@ class Router {
     std::unique_ptr<PortArbiter> arbiter;
   };
 
+  [[nodiscard]] static std::uint64_t bit(std::uint32_t u) {
+    return std::uint64_t{1} << u;
+  }
+
   /// Picks the best candidate route for a head flit: an unbound output VC
   /// with the most credits wins (greedy congestion-aware selection); a
   /// deterministic oracle returns one candidate and this reduces to it.
@@ -145,15 +204,19 @@ class Router {
                                            Direction in_from,
                                            std::uint32_t in_class);
 
-  [[nodiscard]] std::uint32_t unit(Direction d, std::uint32_t cls) const {
-    return static_cast<std::uint32_t>(d) * config_.num_vcs + cls;
-  }
-  [[nodiscard]] Direction unit_direction(std::uint32_t index) const {
-    return static_cast<Direction>(index / config_.num_vcs);
-  }
-  [[nodiscard]] std::uint32_t unit_class(std::uint32_t index) const {
-    return index % config_.num_vcs;
-  }
+  /// RC for one input unit: routes the head at its front, raises the
+  /// arbitration request, maintains the masks.  Shared by both pipelines
+  /// and by the tail-handling re-request in SA.
+  void route_input(std::uint32_t g, RouterEnv& env);
+  /// VA for one free output unit: grant + bind + mask upkeep.
+  void try_bind_output(std::uint32_t i, Cycle now);
+  /// Occupancy: one batched walk charging every bound output queue.
+  void charge_bound();
+  /// SA/ST for one physical port (`port_busy` = any of its VCs bound).
+  void sa_port(std::uint32_t p, bool port_busy, Cycle now, RouterEnv& env);
+
+  void tick_sparse(Cycle now, RouterEnv& env);
+  void tick_dense(Cycle now, RouterEnv& env);
 
   NodeId id_;
   RouterConfig config_;
@@ -165,6 +228,13 @@ class Router {
   std::uint64_t forwarded_ = 0;
   std::uint32_t buffered_flits_ = 0;  // across all input VCs
   std::uint32_t bound_outputs_ = 0;   // output VCs currently owned
+  // Pending bitmasks, one bit per port/VC unit (ctor checks units <= 64).
+  // Maintained by the shared mutation helpers in every mode; only the
+  // sparse pipeline reads them.
+  std::uint64_t routable_inputs_ = 0;    // front is an unrouted head
+  std::uint64_t requesting_outputs_ = 0; // arbiter pending_total() > 0
+  std::uint64_t bound_outputs_mask_ = 0; // mirrors OutputVc::bound
+  metrics::PerfCounters* perf_ = nullptr;
 };
 
 }  // namespace wormsched::wormhole

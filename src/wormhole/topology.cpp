@@ -163,31 +163,27 @@ RouteDecision Topology::route(NodeId current, NodeId dest, Direction in_from,
   return decision;
 }
 
-std::vector<RouteDecision> Topology::west_first_candidates(
-    NodeId current, NodeId dest, Direction, std::uint32_t in_class) const {
+void Topology::west_first_candidates(NodeId current, NodeId dest, Direction,
+                                     std::uint32_t in_class,
+                                     RouteCandidates& out) const {
   WS_CHECK_MSG(spec_.kind == TopologySpec::Kind::kMesh,
                "west-first routing is mesh-only");
-  std::vector<RouteDecision> candidates;
   if (current == dest) {
-    candidates.push_back(RouteDecision{Direction::kLocal, in_class, false});
-    return candidates;
+    out.push_back(RouteDecision{Direction::kLocal, in_class, false});
+    return;
   }
   const Coord c = coord(current);
   const Coord d = coord(dest);
   if (d.x < c.x) {
     // All west hops must come first: deterministic.
-    candidates.push_back(RouteDecision{Direction::kWest, 0, false});
-    return candidates;
+    out.push_back(RouteDecision{Direction::kWest, 0, false});
+    return;
   }
   // Adaptive among the productive non-west directions.
-  if (d.x > c.x)
-    candidates.push_back(RouteDecision{Direction::kEast, 0, false});
-  if (d.y > c.y)
-    candidates.push_back(RouteDecision{Direction::kSouth, 0, false});
-  if (d.y < c.y)
-    candidates.push_back(RouteDecision{Direction::kNorth, 0, false});
-  WS_CHECK(!candidates.empty());
-  return candidates;
+  if (d.x > c.x) out.push_back(RouteDecision{Direction::kEast, 0, false});
+  if (d.y > c.y) out.push_back(RouteDecision{Direction::kSouth, 0, false});
+  if (d.y < c.y) out.push_back(RouteDecision{Direction::kNorth, 0, false});
+  WS_CHECK(!out.empty());
 }
 
 std::uint32_t Topology::hops(NodeId a, NodeId b) const {

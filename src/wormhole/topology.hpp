@@ -11,8 +11,8 @@
 
 #include <cstdint>
 #include <string>
-#include <vector>
 
+#include "common/small_vec.hpp"
 #include "common/types.hpp"
 
 namespace wormsched::wormhole {
@@ -65,6 +65,14 @@ struct RouteDecision {
   bool wraps = false;
 };
 
+/// Candidate routes for one head flit, filled in place by the routing
+/// oracles so route computation never touches the heap.  A candidate
+/// names one (output port, VC class) unit, so the candidate set is
+/// bounded by kNumDirections x num_vcs — and the router's pending
+/// bitmasks already cap that product at 64 units.
+inline constexpr std::size_t kMaxRouteCandidates = 64;
+using RouteCandidates = SmallVec<RouteDecision, kMaxRouteCandidates>;
+
 class Topology {
  public:
   explicit Topology(const TopologySpec& spec);
@@ -95,10 +103,11 @@ class Topology {
   /// legal and the router may pick adaptively.  Deadlock-free on the mesh
   /// with any VC count because the two turns into West are never taken.
   /// Mesh only (wrap links would reintroduce ring cycles); asserts on a
-  /// torus.  Returns 1-3 candidates; kLocal alone when current == dest.
-  [[nodiscard]] std::vector<RouteDecision> west_first_candidates(
-      NodeId current, NodeId dest, Direction in_from,
-      std::uint32_t in_class) const;
+  /// torus.  Appends 1-3 candidates to `out` (allocation-free); kLocal
+  /// alone when current == dest.
+  void west_first_candidates(NodeId current, NodeId dest, Direction in_from,
+                             std::uint32_t in_class,
+                             RouteCandidates& out) const;
 
   /// Minimum hop count between two nodes under this topology's DOR.
   [[nodiscard]] std::uint32_t hops(NodeId a, NodeId b) const;

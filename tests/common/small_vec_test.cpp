@@ -1,0 +1,120 @@
+// SmallVec: fixed-capacity semantics, checked overflow, object lifetime
+// for non-trivial element types, and the trivially-copyable fast path.
+#include "common/small_vec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <type_traits>
+
+namespace wormsched {
+namespace {
+
+TEST(SmallVec, StartsEmptyWithFixedCapacity) {
+  SmallVec<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.capacity(), 4u);
+}
+
+TEST(SmallVec, PushAccessPopRoundTrip) {
+  SmallVec<int, 4> v;
+  v.push_back(10);
+  v.push_back(20);
+  v.emplace_back(30);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 10);
+  EXPECT_EQ(v[1], 20);
+  EXPECT_EQ(v[2], 30);
+  EXPECT_EQ(v.front(), 10);
+  EXPECT_EQ(v.back(), 30);
+  v.pop_back();
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.back(), 20);
+  v.clear();
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(SmallVec, RangeForIteratesInOrder) {
+  SmallVec<int, 8> v;
+  for (int i = 0; i < 5; ++i) v.push_back(i * i);
+  int expected = 0;
+  int count = 0;
+  for (const int x : v) {
+    EXPECT_EQ(x, expected * expected);
+    ++expected;
+    ++count;
+  }
+  EXPECT_EQ(count, 5);
+}
+
+TEST(SmallVec, CopyAndMoveOfTrivialType) {
+  static_assert(std::is_trivially_copyable_v<int>);
+  SmallVec<int, 4> a;
+  a.push_back(1);
+  a.push_back(2);
+  SmallVec<int, 4> b(a);  // memcpy fast path
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_EQ(b[0], 1);
+  EXPECT_EQ(b[1], 2);
+  SmallVec<int, 4> c(std::move(a));
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(a.size(), 0u);  // moved-from is emptied
+  b[0] = 99;
+  EXPECT_EQ(c[0], 1);  // copies are independent storage
+}
+
+TEST(SmallVec, NonTrivialTypeDestroysElements) {
+  // shared_ptr use counts observe construction/destruction exactly.
+  auto tracked = std::make_shared<int>(42);
+  {
+    SmallVec<std::shared_ptr<int>, 4> v;
+    v.push_back(tracked);
+    v.push_back(tracked);
+    EXPECT_EQ(tracked.use_count(), 3);
+    v.pop_back();
+    EXPECT_EQ(tracked.use_count(), 2);
+    SmallVec<std::shared_ptr<int>, 4> copy(v);
+    EXPECT_EQ(tracked.use_count(), 3);
+    SmallVec<std::shared_ptr<int>, 4> moved(std::move(copy));
+    EXPECT_EQ(tracked.use_count(), 3);
+    EXPECT_TRUE(copy.empty());
+  }
+  EXPECT_EQ(tracked.use_count(), 1);  // every element destroyed on scope exit
+}
+
+TEST(SmallVec, CopyAssignReplacesContents) {
+  SmallVec<std::string, 3> a;
+  a.push_back("left");
+  SmallVec<std::string, 3> b;
+  b.push_back("right");
+  b.push_back("tail");
+  a = b;
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a[0], "right");
+  EXPECT_EQ(a[1], "tail");
+  a = a;  // self-assignment is a no-op
+  EXPECT_EQ(a.size(), 2u);
+}
+
+TEST(SmallVecDeath, OverflowIsChecked) {
+  SmallVec<int, 2> v;
+  v.push_back(1);
+  v.push_back(2);
+  EXPECT_DEATH(v.push_back(3), "capacity overflow");
+}
+
+TEST(SmallVecDeath, OutOfRangeIndexIsChecked) {
+  SmallVec<int, 2> v;
+  v.push_back(1);
+  EXPECT_DEATH((void)v[1], "");
+}
+
+TEST(SmallVecDeath, PopFromEmptyIsChecked) {
+  SmallVec<int, 2> v;
+  EXPECT_DEATH(v.pop_back(), "");
+}
+
+}  // namespace
+}  // namespace wormsched

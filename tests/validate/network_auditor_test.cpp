@@ -39,6 +39,18 @@ TEST(NetworkAuditorTest, CleanDenseRun) {
   EXPECT_EQ(result.audit_violations, 0u);
 }
 
+TEST(NetworkAuditorTest, CleanDensePipelineRun) {
+  // The dense router pipeline maintains the pending bitmasks through the
+  // shared helpers but never reads them, so an audited dense-pipeline run
+  // exercises check_router_masks against independently-derived state.
+  harness::NetworkScenarioConfig config = audited_scenario();
+  config.network.router.dense_pipeline = true;
+  const auto result = harness::run_network_scenario(config, 1);
+  EXPECT_GT(result.delivered_packets, 0u);
+  EXPECT_GT(result.audit_checks, 0u);
+  EXPECT_EQ(result.audit_violations, 0u);
+}
+
 TEST(NetworkAuditorTest, CleanFaultedRun) {
   harness::NetworkScenarioConfig config = audited_scenario();
   config.faults = FaultSpec::chaos(5);

@@ -12,7 +12,15 @@
 namespace wormsched::wormhole {
 namespace {
 
-std::vector<Direction> directions_of(const std::vector<RouteDecision>& ds) {
+RouteCandidates candidates_for(const Topology& topo, NodeId current,
+                               NodeId dest, Direction in_from,
+                               std::uint32_t in_class) {
+  RouteCandidates out;
+  topo.west_first_candidates(current, dest, in_from, in_class, out);
+  return out;
+}
+
+std::vector<Direction> directions_of(const RouteCandidates& ds) {
   std::vector<Direction> out;
   for (const auto& d : ds) out.push_back(d.out);
   std::sort(out.begin(), out.end(),
@@ -27,7 +35,7 @@ TEST(WestFirst, WestboundIsDeterministic) {
   // From (3,1)=7 to (0,2)=8: dest is west -> single West candidate, even
   // though a south hop would also be productive.
   const auto c =
-      mesh.west_first_candidates(NodeId(7), NodeId(8), Direction::kLocal, 0);
+      candidates_for(mesh, NodeId(7), NodeId(8), Direction::kLocal, 0);
   ASSERT_EQ(c.size(), 1u);
   EXPECT_EQ(c[0].out, Direction::kWest);
 }
@@ -36,7 +44,7 @@ TEST(WestFirst, EastSouthAdaptive) {
   Topology mesh(TopologySpec::mesh(4, 4));
   // From (0,0)=0 to (2,2)=10: east and south both productive.
   const auto c =
-      mesh.west_first_candidates(NodeId(0), NodeId(10), Direction::kLocal, 0);
+      candidates_for(mesh, NodeId(0), NodeId(10), Direction::kLocal, 0);
   EXPECT_EQ(directions_of(c),
             (std::vector<Direction>{Direction::kEast, Direction::kSouth}));
 }
@@ -44,11 +52,11 @@ TEST(WestFirst, EastSouthAdaptive) {
 TEST(WestFirst, PureVerticalSingleCandidate) {
   Topology mesh(TopologySpec::mesh(4, 4));
   const auto down =
-      mesh.west_first_candidates(NodeId(1), NodeId(13), Direction::kLocal, 0);
+      candidates_for(mesh, NodeId(1), NodeId(13), Direction::kLocal, 0);
   ASSERT_EQ(down.size(), 1u);
   EXPECT_EQ(down[0].out, Direction::kSouth);
   const auto up =
-      mesh.west_first_candidates(NodeId(13), NodeId(1), Direction::kLocal, 0);
+      candidates_for(mesh, NodeId(13), NodeId(1), Direction::kLocal, 0);
   ASSERT_EQ(up.size(), 1u);
   EXPECT_EQ(up[0].out, Direction::kNorth);
 }
@@ -56,7 +64,7 @@ TEST(WestFirst, PureVerticalSingleCandidate) {
 TEST(WestFirst, ArrivedIsLocal) {
   Topology mesh(TopologySpec::mesh(4, 4));
   const auto c =
-      mesh.west_first_candidates(NodeId(5), NodeId(5), Direction::kNorth, 1);
+      candidates_for(mesh, NodeId(5), NodeId(5), Direction::kNorth, 1);
   ASSERT_EQ(c.size(), 1u);
   EXPECT_EQ(c[0].out, Direction::kLocal);
   EXPECT_EQ(c[0].out_class, 1u);
@@ -64,8 +72,8 @@ TEST(WestFirst, ArrivedIsLocal) {
 
 TEST(WestFirstDeath, TorusRejected) {
   Topology torus(TopologySpec::torus(4, 4));
-  EXPECT_DEATH((void)torus.west_first_candidates(NodeId(0), NodeId(5),
-                                                 Direction::kLocal, 0),
+  EXPECT_DEATH((void)candidates_for(torus, NodeId(0), NodeId(5),
+                                    Direction::kLocal, 0),
                "mesh-only");
 }
 

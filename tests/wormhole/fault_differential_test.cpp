@@ -1,10 +1,18 @@
-// Differential test between the network's two execution paths: legacy
-// dense ticking (every router, every cycle) and active-set scheduling
-// (only live routers tick) must produce bit-identical results — same
-// packets, same delivery cycles, same flit counts — under every fault
-// schedule.  Faults are pure functions of (seed, cycle, node), so the two
-// paths' different query interleavings must still observe the same
-// schedule; this suite is the regression net for that contract.
+// Differential test across the network's execution paths.  Two
+// independent switches each promise bit-identical results:
+//
+//  * dense_tick — legacy full-fabric ticking (every router, every cycle)
+//    vs. the default active-set scheduling (only live routers tick);
+//  * router.dense_pipeline — legacy full-scan router stages vs. the
+//    default bitmask-sparse pipeline (RC/VA/SA walk pending bitmasks).
+//
+// All four combinations must produce the same packets, the same delivery
+// cycles, and the same flit counts under every fault schedule.  Faults
+// are pure functions of (seed, cycle, node), so the paths' different
+// query interleavings must still observe the same schedule; this suite
+// is the regression net for that contract, and — because the dense
+// pipeline reads only per-unit flags, never the masks — it also catches
+// any stale-mask divergence the sparse walks could introduce.
 #include <gtest/gtest.h>
 
 #include <optional>
@@ -31,9 +39,16 @@ struct FabricRun {
   std::uint64_t audit_violations = 0;
 };
 
-FabricRun run_fabric(bool dense, std::uint64_t seed, FaultSpec spec) {
+struct FabricMode {
+  bool dense_tick = false;
+  bool dense_pipeline = false;
+};
+
+FabricRun run_fabric(FabricMode mode, std::uint64_t seed, FaultSpec spec,
+                     Cycle inject_until = 1500) {
   NetworkConfig config;  // 4x4 mesh, ERR arbiters
-  config.dense_tick = dense;
+  config.dense_tick = mode.dense_tick;
+  config.router.dense_pipeline = mode.dense_pipeline;
   std::optional<validate::ScheduledFaults> faults;
   if (spec.enabled) {
     spec.seed += seed;
@@ -48,7 +63,7 @@ FabricRun run_fabric(bool dense, std::uint64_t seed, FaultSpec spec) {
 
   NetworkTrafficSource::Config traffic;
   traffic.packets_per_node_per_cycle = 0.04;
-  traffic.inject_until = 1500;
+  traffic.inject_until = inject_until;
   traffic.seed = seed;
   traffic.faults = config.faults;
   NetworkTrafficSource source(net, traffic);
@@ -66,28 +81,39 @@ FabricRun run_fabric(bool dense, std::uint64_t seed, FaultSpec spec) {
   return run;
 }
 
-void expect_identical(std::uint64_t seed, const FaultSpec& spec) {
-  const FabricRun active = run_fabric(/*dense=*/false, seed, spec);
-  const FabricRun dense = run_fabric(/*dense=*/true, seed, spec);
-
-  EXPECT_GT(active.delivered.size(), 0u);
-  EXPECT_EQ(active.audit_violations, 0u);
-  EXPECT_EQ(dense.audit_violations, 0u);
-  EXPECT_EQ(active.generated, dense.generated);
-  EXPECT_EQ(active.end_cycle, dense.end_cycle);
-  EXPECT_EQ(active.delivered_flits, dense.delivered_flits);
-  ASSERT_EQ(active.delivered.size(), dense.delivered.size());
-  for (std::size_t i = 0; i < active.delivered.size(); ++i) {
-    const DeliveredPacket& a = active.delivered[i];
-    const DeliveredPacket& d = dense.delivered[i];
-    ASSERT_EQ(a.id.value(), d.id.value()) << "packet #" << i;
-    ASSERT_EQ(a.flow.value(), d.flow.value()) << "packet #" << i;
-    ASSERT_EQ(a.source.value(), d.source.value()) << "packet #" << i;
-    ASSERT_EQ(a.dest.value(), d.dest.value()) << "packet #" << i;
-    ASSERT_EQ(a.length, d.length) << "packet #" << i;
-    ASSERT_EQ(a.created, d.created) << "packet #" << i;
-    ASSERT_EQ(a.delivered, d.delivered) << "packet #" << i;
+void expect_same_run(const FabricRun& ref, const FabricRun& other,
+                     const char* label) {
+  EXPECT_EQ(other.audit_violations, 0u) << label;
+  EXPECT_EQ(ref.generated, other.generated) << label;
+  EXPECT_EQ(ref.end_cycle, other.end_cycle) << label;
+  EXPECT_EQ(ref.delivered_flits, other.delivered_flits) << label;
+  ASSERT_EQ(ref.delivered.size(), other.delivered.size()) << label;
+  for (std::size_t i = 0; i < ref.delivered.size(); ++i) {
+    const DeliveredPacket& a = ref.delivered[i];
+    const DeliveredPacket& d = other.delivered[i];
+    ASSERT_EQ(a.id.value(), d.id.value()) << label << " packet #" << i;
+    ASSERT_EQ(a.flow.value(), d.flow.value()) << label << " packet #" << i;
+    ASSERT_EQ(a.source.value(), d.source.value()) << label << " packet #" << i;
+    ASSERT_EQ(a.dest.value(), d.dest.value()) << label << " packet #" << i;
+    ASSERT_EQ(a.length, d.length) << label << " packet #" << i;
+    ASSERT_EQ(a.created, d.created) << label << " packet #" << i;
+    ASSERT_EQ(a.delivered, d.delivered) << label << " packet #" << i;
   }
+}
+
+void expect_identical(std::uint64_t seed, const FaultSpec& spec) {
+  // Reference: active-set scheduling over the sparse router pipeline (the
+  // shipping defaults).  The other three mode combinations must match it.
+  const FabricRun ref = run_fabric(FabricMode{false, false}, seed, spec);
+  EXPECT_GT(ref.delivered.size(), 0u);
+  EXPECT_EQ(ref.audit_violations, 0u);
+
+  expect_same_run(ref, run_fabric(FabricMode{true, false}, seed, spec),
+                  "dense_tick+sparse_pipeline");
+  expect_same_run(ref, run_fabric(FabricMode{false, true}, seed, spec),
+                  "active_set+dense_pipeline");
+  expect_same_run(ref, run_fabric(FabricMode{true, true}, seed, spec),
+                  "dense_tick+dense_pipeline");
 }
 
 class FaultDifferentialTest : public ::testing::TestWithParam<std::uint64_t> {
@@ -127,6 +153,56 @@ TEST_P(FaultDifferentialTest, AllFaultClasses) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FaultDifferentialTest,
                          ::testing::Range<std::uint64_t>(1, 6));
+
+// Pipeline fuzz: fresh seeds the 4-way matrix above never sees, rotated
+// through the five fault presets, comparing only the pair that isolates
+// the router-stage rewrite (active-set scheduling in both runs, sparse
+// vs. dense pipeline).  Shorter injection window keeps the block cheap
+// while still driving thousands of arbitration decisions per seed.
+FaultSpec preset_for(std::uint64_t seed) {
+  FaultSpec spec;
+  switch (seed % 5) {
+    case 0:  // fault-free
+      break;
+    case 1:
+      spec.enabled = true;
+      spec.link_stall_rate = 0.4;
+      spec.link_stall_cycles = 6;
+      break;
+    case 2:
+      spec.enabled = true;
+      spec.credit_stall_rate = 0.4;
+      spec.credit_stall_cycles = 20;
+      break;
+    case 3:
+      spec.enabled = true;
+      spec.churn_rate = 0.25;
+      spec.burst_rate = 0.2;
+      break;
+    default:
+      spec = FaultSpec::chaos(0);
+      break;
+  }
+  return spec;
+}
+
+class PipelineFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PipelineFuzzTest, SparseAndDensePipelinesAgree) {
+  const std::uint64_t seed = GetParam();
+  const FaultSpec spec = preset_for(seed);
+  const FabricRun sparse =
+      run_fabric(FabricMode{false, false}, seed, spec, /*inject_until=*/800);
+  EXPECT_GT(sparse.delivered.size(), 0u);
+  EXPECT_EQ(sparse.audit_violations, 0u);
+  expect_same_run(sparse,
+                  run_fabric(FabricMode{false, true}, seed, spec,
+                             /*inject_until=*/800),
+                  "active_set+dense_pipeline");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineFuzzTest,
+                         ::testing::Range<std::uint64_t>(100, 140));
 
 }  // namespace
 }  // namespace wormsched::wormhole

@@ -243,6 +243,144 @@ TEST(Router, StarvationCountsCreditStalls) {
   EXPECT_GE(east.starved, 5u);    // bound but stuck for the rest
 }
 
+TEST(Router, PendingMasksTrackPipelineState) {
+  ScriptedEnv env;
+  Router r(NodeId(0), small_config());
+  EXPECT_EQ(r.routable_inputs_mask(), 0u);
+  EXPECT_EQ(r.requesting_outputs_mask(), 0u);
+  EXPECT_EQ(r.bound_outputs_mask(), 0u);
+
+  // A fresh head makes its input unit routable.
+  r.accept_flit(Direction::kWest, 0, make_flit(70, 0, 2));
+  const std::uint64_t west0 = std::uint64_t{1}
+                              << r.unit(Direction::kWest, 0);
+  const std::uint64_t east0 = std::uint64_t{1}
+                              << r.unit(Direction::kEast, 0);
+  EXPECT_EQ(r.routable_inputs_mask(), west0);
+
+  // RC consumes the routable bit; VA consumes the request and binds the
+  // east output, all within one tick.
+  r.tick(0, env);
+  EXPECT_EQ(r.routable_inputs_mask(), 0u);
+  EXPECT_EQ(r.requesting_outputs_mask(), 0u);
+  EXPECT_EQ(r.bound_outputs_mask(), east0);
+  EXPECT_TRUE(r.output_bound(Direction::kEast, 0));
+
+  // A body flit on a routed VC must NOT re-raise the routable bit.
+  r.accept_flit(Direction::kWest, 0, make_flit(70, 1, 2));
+  EXPECT_EQ(r.routable_inputs_mask(), 0u);
+
+  // Tail leaves: binding dissolves, all masks drain to zero.
+  for (Cycle t = 1; t < 4; ++t) r.tick(t, env);
+  EXPECT_TRUE(r.drained());
+  EXPECT_EQ(r.routable_inputs_mask(), 0u);
+  EXPECT_EQ(r.requesting_outputs_mask(), 0u);
+  EXPECT_EQ(r.bound_outputs_mask(), 0u);
+}
+
+TEST(Router, RequestingMaskStaysSetWhileBacklogged) {
+  // Two packets from different inputs want the same output: after the
+  // first wins VA, the loser's pending head must keep the output's
+  // requesting bit up so the sparse pipeline revisits it on release.
+  ScriptedEnv env;
+  Router r(NodeId(0), small_config());
+  r.accept_flit(Direction::kWest, 0, make_flit(71, 0, 1));
+  r.accept_flit(Direction::kNorth, 0, make_flit(72, 0, 1));
+  const std::uint64_t east0 = std::uint64_t{1}
+                              << r.unit(Direction::kEast, 0);
+  r.tick(0, env);
+  // The winner's single-flit worm moved and released within the tick, so
+  // the binding is gone — but the loser's pending head must keep the
+  // output's requesting bit up.
+  EXPECT_EQ(env.sent.size(), 1u);
+  EXPECT_EQ(r.bound_outputs_mask(), 0u);
+  EXPECT_EQ(r.requesting_outputs_mask(), east0);
+  for (Cycle t = 1; t < 5; ++t) r.tick(t, env);
+  EXPECT_TRUE(r.drained());
+  EXPECT_EQ(r.requesting_outputs_mask(), 0u);
+  EXPECT_EQ(env.sent.size(), 2u);
+}
+
+TEST(Router, SparseAndDensePipelinesAreFlitIdentical) {
+  // Same stimulus, both pipelines, compared event-for-event.  The dense
+  // pipeline reads only the per-unit flags, so a mask-maintenance bug in
+  // the sparse walk shows up as a sequence divergence here.
+  const auto drive = [](bool dense_pipeline) {
+    ScriptedEnv env;
+    env.keep_class = true;
+    RouterConfig config = small_config(4);
+    config.dense_pipeline = dense_pipeline;
+    Router r(NodeId(0), config);
+    std::uint64_t next_packet = 100;
+    Cycle now = 0;
+    // Phased stimulus: competing multi-flit worms on three inputs and two
+    // VC classes, a worm bubble, credit exhaustion and late credits.
+    for (Flits i = 0; i < 4; ++i)
+      r.accept_flit(Direction::kWest, 0, make_flit(next_packet, i, 4));
+    ++next_packet;
+    for (Flits i = 0; i < 4; ++i)
+      r.accept_flit(Direction::kNorth, 0, make_flit(next_packet, i, 4));
+    ++next_packet;
+    for (Flits i = 0; i < 2; ++i)
+      r.accept_flit(Direction::kWest, 1, make_flit(next_packet, i, 2));
+    ++next_packet;
+    for (; now < 6; ++now) r.tick(now, env);
+    r.accept_flit(Direction::kSouth, 0, make_flit(next_packet, 0, 3));
+    for (; now < 9; ++now) r.tick(now, env);
+    r.accept_flit(Direction::kSouth, 0, make_flit(next_packet, 1, 3));
+    r.accept_flit(Direction::kSouth, 0, make_flit(next_packet, 2, 3));
+    ++next_packet;
+    // Late credits, twice: return exactly what the east output consumed
+    // so far (the credit protocol forbids over-returning), drain a while,
+    // then top it up again so the backlogged worms finish.
+    for (std::uint32_t c = r.output_credits(Direction::kEast, 0); c < 4; ++c)
+      r.accept_credit(Direction::kEast, 0);
+    for (; now < 20; ++now) r.tick(now, env);
+    for (std::uint32_t c = r.output_credits(Direction::kEast, 0); c < 4; ++c)
+      r.accept_credit(Direction::kEast, 0);
+    for (; now < 30; ++now) r.tick(now, env);
+    EXPECT_TRUE(r.drained());
+    return env;
+  };
+  const ScriptedEnv sparse = drive(false);
+  const ScriptedEnv dense = drive(true);
+  ASSERT_EQ(sparse.sent.size(), dense.sent.size());
+  for (std::size_t i = 0; i < sparse.sent.size(); ++i) {
+    EXPECT_EQ(sparse.sent[i].out, dense.sent[i].out) << i;
+    EXPECT_EQ(sparse.sent[i].flit.packet, dense.sent[i].flit.packet) << i;
+    EXPECT_EQ(sparse.sent[i].flit.index, dense.sent[i].flit.index) << i;
+    EXPECT_EQ(sparse.sent[i].flit.vc_class, dense.sent[i].flit.vc_class) << i;
+  }
+  ASSERT_EQ(sparse.credits.size(), dense.credits.size());
+  for (std::size_t i = 0; i < sparse.credits.size(); ++i) {
+    EXPECT_EQ(sparse.credits[i].in, dense.credits[i].in) << i;
+    EXPECT_EQ(sparse.credits[i].cls, dense.credits[i].cls) << i;
+  }
+}
+
+TEST(Router, TailHandlingReRequestsNextHeadBeforeRelease) {
+  // Back-to-back packets in one input VC: the continuation re-request
+  // must keep the packets flowing with no idle cycle between them, and
+  // the requesting/bound masks must stay live across the boundary.
+  ScriptedEnv env;
+  Router r(NodeId(0), small_config());
+  for (Flits i = 0; i < 2; ++i)
+    r.accept_flit(Direction::kWest, 0, make_flit(80, i, 2));
+  for (Flits i = 0; i < 2; ++i)
+    r.accept_flit(Direction::kWest, 0, make_flit(81, i, 2));
+  Cycle sent3_at = 0;
+  for (Cycle t = 0; t < 8; ++t) {
+    r.tick(t, env);
+    if (env.sent.size() == 3 && sent3_at == 0) sent3_at = t;
+  }
+  ASSERT_EQ(env.sent.size(), 4u);
+  EXPECT_EQ(env.sent[1].flit.packet, PacketId(80));
+  EXPECT_EQ(env.sent[2].flit.packet, PacketId(81));
+  // Head of packet 81 moves on the cycle right after packet 80's tail:
+  // tick 1 sends the tail (flit 2 of the run), tick 2 the next head.
+  EXPECT_EQ(sent3_at, 2u);
+}
+
 TEST(RouterDeath, BufferOverflowCaught) {
   Router r(NodeId(0), small_config(4));
   for (Flits i = 0; i < 4; ++i)
