@@ -17,6 +17,7 @@
 #include "common/csv.hpp"
 #include "common/table.hpp"
 #include "harness/network_sweep.hpp"
+#include "obs/manifest.hpp"
 
 using namespace wormsched;
 using namespace wormsched::harness;
@@ -100,5 +101,17 @@ int main(int argc, char** argv) {
          "localized jams, shown in the adaptive-routing tests — the "
          "well-known\n determinism-vs-adaptivity trade)\n";
   std::printf("wrote %s\n", cli.get("csv").c_str());
+
+  // Provenance manifest next to the CSV (docs/OBSERVABILITY.md).
+  obs::RunManifest manifest;
+  manifest.tool = "bench_network_sweep";
+  manifest.seed = sweep.base_seed;
+  for (const auto& [name, value] : cli.items())
+    manifest.add_config(name, value);
+  manifest.add_counter("config_cases", static_cast<double>(cases.size()));
+  manifest.add_counter("seeds_per_point", static_cast<double>(sweep.seeds));
+  const std::string manifest_path = cli.get("csv") + ".manifest.json";
+  manifest.write_file(manifest_path);
+  std::printf("wrote %s\n", manifest_path.c_str());
   return 0;
 }

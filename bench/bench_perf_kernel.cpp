@@ -37,6 +37,7 @@
 #include "harness/scenario.hpp"
 #include "harness/sweep.hpp"
 #include "metrics/perf_counters.hpp"
+#include "obs/manifest.hpp"
 
 using namespace wormsched;
 using namespace wormsched::harness;
@@ -143,13 +144,6 @@ std::string compiler_id() {
 #else
   return "unknown";
 #endif
-}
-
-// reproduce.sh exports the checkout's SHA; a perf number without the
-// commit it measured is unreviewable.
-std::string git_sha() {
-  const char* sha = std::getenv("WORMSCHED_GIT_SHA");
-  return sha != nullptr && *sha != '\0' ? sha : "unknown";
 }
 
 }  // namespace
@@ -329,7 +323,7 @@ int main(int argc, char** argv) {
                "  \"provenance\": {\"jobs\": %zu, \"compiler\": \"%s\", "
                "\"build_type\": \"%s\", \"git_sha\": \"%s\"},\n",
                jobs, compiler_id().c_str(), WORMSCHED_BUILD_TYPE,
-               git_sha().c_str());
+               obs::current_git_sha().c_str());
   std::fprintf(out, "  \"scenarios\": {\n");
   std::fprintf(out,
                "    \"fig4_standalone\": {\"wall_seconds\": %.6f, "
@@ -394,5 +388,23 @@ int main(int argc, char** argv) {
   std::fprintf(out, "  }\n}\n");
   std::fclose(out);
   std::printf("wrote %s\n", cli.get("out").c_str());
+
+  // Run manifest next to the JSON: the same provenance record every
+  // traced run writes (docs/OBSERVABILITY.md), so downstream tooling can
+  // treat bench outputs and sweep outputs uniformly.
+  obs::RunManifest manifest;
+  manifest.tool = "bench_perf_kernel";
+  for (const auto& [name, value] : cli.items())
+    manifest.add_config(name, value);
+  manifest.add_counter("kernel_speedup", kernel_speedup);
+  manifest.add_counter("pipeline_speedup", pipeline_speedup);
+  manifest.add_counter("sweep_speedup", sweep_speedup);
+  manifest.add_counter("hotspot_cycles",
+                       static_cast<double>(active.cycles));
+  manifest.add_counter("hotspot_flits", static_cast<double>(active.flits));
+  manifest.violations = instrumented.audit_violations;
+  const std::string manifest_path = cli.get("out") + ".manifest.json";
+  manifest.write_file(manifest_path);
+  std::printf("wrote %s\n", manifest_path.c_str());
   return 0;
 }

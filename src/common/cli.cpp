@@ -1,12 +1,48 @@
 #include "common/cli.hpp"
 
+#include <charconv>
 #include <cstdio>
-#include <stdexcept>
+#include <cstdlib>
+#include <system_error>
 
 #include "common/assert.hpp"
 #include "common/thread_pool.hpp"
 
 namespace wormsched {
+namespace {
+
+// True iff `value` is one of the spellings get_flag understands.  Kept in
+// sync with get_flag so `--audit=on` is rejected at parse time instead of
+// silently reading back as false.
+bool is_flag_value(const std::string& value) {
+  return value == "true" || value == "false" || value == "1" ||
+         value == "0" || value == "yes" || value == "no";
+}
+
+// Parses the FULL string into `out` with std::from_chars.  Returns a
+// static description of the failure ("is not a ...", "overflows ...") or
+// nullptr on success.  Leading '+' and surrounding whitespace are not
+// accepted; neither is trailing junk ("10x").
+template <typename T>
+const char* parse_full(const std::string& text, T* out,
+                       const char* type_name, const char* overflow_name) {
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, *out);
+  if (ec == std::errc::result_out_of_range) return overflow_name;
+  if (ec != std::errc{} || ptr != last || text.empty()) return type_name;
+  return nullptr;
+}
+
+[[noreturn]] void numeric_error(const std::string& name,
+                                const std::string& value,
+                                const char* what) {
+  std::fprintf(stderr, "option --%s: '%s' %s\n", name.c_str(), value.c_str(),
+               what);
+  std::exit(2);
+}
+
+}  // namespace
 
 CliParser::CliParser(std::string program_description)
     : description_(std::move(program_description)) {}
@@ -45,6 +81,13 @@ bool CliParser::parse(int argc, const char* const* argv) {
     }
     Option& opt = it->second;
     if (opt.is_flag) {
+      if (inline_value && !is_flag_value(*inline_value)) {
+        std::fprintf(stderr,
+                     "option --%s: '%s' is not a flag value "
+                     "(use true/false, 1/0, or yes/no)\n",
+                     name.c_str(), inline_value->c_str());
+        return false;
+      }
       opt.value = inline_value.value_or("true");
     } else if (inline_value) {
       opt.value = *inline_value;
@@ -66,20 +109,46 @@ std::string CliParser::get(const std::string& name) const {
 }
 
 std::int64_t CliParser::get_int(const std::string& name) const {
-  return std::stoll(get(name));
+  const std::string value = get(name);
+  std::int64_t out = 0;
+  if (const char* what = parse_full(value, &out, "is not an integer",
+                                    "overflows a signed 64-bit integer"))
+    numeric_error(name, value, what);
+  return out;
 }
 
 std::uint64_t CliParser::get_uint(const std::string& name) const {
-  return std::stoull(get(name));
+  const std::string value = get(name);
+  // from_chars on an unsigned type rejects '-' outright, so "-1" reports
+  // "is not a non-negative integer" rather than wrapping to 2^64-1.
+  std::uint64_t out = 0;
+  if (const char* what =
+          parse_full(value, &out, "is not a non-negative integer",
+                     "overflows an unsigned 64-bit integer"))
+    numeric_error(name, value, what);
+  return out;
 }
 
 double CliParser::get_double(const std::string& name) const {
-  return std::stod(get(name));
+  const std::string value = get(name);
+  double out = 0.0;
+  if (const char* what = parse_full(value, &out, "is not a number",
+                                    "is out of range for a double"))
+    numeric_error(name, value, what);
+  return out;
 }
 
 bool CliParser::get_flag(const std::string& name) const {
   const std::string v = get(name);
   return v == "true" || v == "1" || v == "yes";
+}
+
+std::vector<std::pair<std::string, std::string>> CliParser::items() const {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(options_.size());
+  for (const auto& [name, opt] : options_)
+    out.emplace_back(name, opt.value.value_or(opt.default_value));
+  return out;
 }
 
 void add_jobs_option(CliParser& cli, const std::string& default_value) {

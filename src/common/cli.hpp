@@ -2,13 +2,19 @@
 //
 // Supports `--name value`, `--name=value` and boolean `--name`.  Unknown
 // options are an error (catches typos in sweep scripts); positional
-// arguments are collected in order.
+// arguments are collected in order.  Flag options validate any inline
+// value at parse time (`--audit=yes` works, `--audit=on` is rejected),
+// and the numeric getters validate the full string with std::from_chars —
+// junk (`--cycles=10x`), overflow, and a negative value handed to an
+// unsigned option all fail with a per-option message and exit code 2
+// instead of throwing or silently wrapping.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace wormsched {
@@ -24,10 +30,15 @@ class CliParser {
   void add_flag(const std::string& name, const std::string& help);
 
   /// Parses argv.  Returns false (after printing usage) on error or when
-  /// `--help` is requested.
+  /// `--help` is requested.  Flag options accept inline values from
+  /// {true,false,1,0,yes,no} only; anything else is a parse error.
   [[nodiscard]] bool parse(int argc, const char* const* argv);
 
   [[nodiscard]] std::string get(const std::string& name) const;
+  /// Numeric getters: the whole value must parse (std::from_chars) and
+  /// fit the type; otherwise they print "option --<name>: ..." to stderr
+  /// and exit(2).  In particular a negative value can never reach an
+  /// unsigned option by wrapping.
   [[nodiscard]] std::int64_t get_int(const std::string& name) const;
   [[nodiscard]] std::uint64_t get_uint(const std::string& name) const;
   [[nodiscard]] double get_double(const std::string& name) const;
@@ -36,6 +47,12 @@ class CliParser {
   [[nodiscard]] const std::vector<std::string>& positional() const {
     return positional_;
   }
+
+  /// Every declared option with its effective (parsed-or-default) value,
+  /// in declaration-name order.  Run manifests record this as the
+  /// invocation's full configuration.
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>> items()
+      const;
 
   [[nodiscard]] std::string usage(const std::string& program) const;
 

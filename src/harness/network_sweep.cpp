@@ -6,6 +6,7 @@
 
 #include "common/assert.hpp"
 #include "common/thread_pool.hpp"
+#include "core/err.hpp"
 #include "sim/engine.hpp"
 #include "validate/err_auditor.hpp"
 #include "validate/network_auditor.hpp"
@@ -29,6 +30,15 @@ NetworkScenarioResult run_network_scenario(const NetworkScenarioConfig& config,
   wormhole::Network net(net_config);
   if (config.perf_counters != nullptr)
     net.set_perf_counters(config.perf_counters);
+  std::optional<obs::TraceSink> trace_sink;
+  if (config.trace.enabled()) {
+    obs::TraceSink::Options sink_options;
+    sink_options.capacity = config.trace.capacity;
+    sink_options.mask = config.trace.mask;
+    trace_sink.emplace(sink_options);
+    net.set_trace_sink(&*trace_sink);
+  }
+  obs::TraceSink* sink = trace_sink ? &*trace_sink : nullptr;
   wormhole::NetworkTrafficSource::Config traffic = config.traffic;
   traffic.seed = seed;
   traffic.faults = net_config.faults;
@@ -36,13 +46,19 @@ NetworkScenarioResult run_network_scenario(const NetworkScenarioConfig& config,
 
   // Auditors live on this frame: the fabric auditor sees every cycle,
   // and each ERR output arbiter streams its opportunities into its own
-  // paper-bounds auditor; all of them share one violation log.
+  // paper-bounds auditor; all of them share one violation log.  Tracing
+  // subscribes to the same single-slot opportunity stream, so when both
+  // are on one combined listener per arbiter feeds auditor then sink.
   validate::AuditLog audit_log;
   std::optional<validate::NetworkAuditor> net_auditor;
   std::vector<std::unique_ptr<validate::ErrAuditor>> err_auditors;
-  if (config.audit) {
-    net_auditor.emplace(validate::NetworkAuditorConfig{}, audit_log);
-    net.set_observer(&*net_auditor);
+  const bool trace_opportunities =
+      sink != nullptr && sink->wants(obs::EventKind::kOpportunity);
+  if (config.audit || trace_opportunities) {
+    if (config.audit) {
+      net_auditor.emplace(validate::NetworkAuditorConfig{}, audit_log);
+      net.set_observer(&*net_auditor);
+    }
     const std::uint32_t nodes = net.topology().num_nodes();
     const std::uint32_t vcs = net_config.router.num_vcs;
     const std::size_t requesters =
@@ -54,13 +70,44 @@ NetworkScenarioResult run_network_scenario(const NetworkScenarioConfig& config,
               &net.router(NodeId(n)).arbiter(
                   static_cast<wormhole::Direction>(d), cls));
           if (err == nullptr) continue;
-          auto auditor = std::make_unique<validate::ErrAuditor>(
-              requesters, validate::ErrAuditorConfig{}, audit_log);
-          auditor->attach(err->policy());
-          err_auditors.push_back(std::move(auditor));
+          validate::ErrAuditor* audit_ptr = nullptr;
+          if (config.audit) {
+            auto auditor = std::make_unique<validate::ErrAuditor>(
+                requesters, validate::ErrAuditorConfig{}, audit_log);
+            audit_ptr = auditor.get();
+            err_auditors.push_back(std::move(auditor));
+          }
+          if (trace_opportunities) {
+            const std::uint32_t unit = d * vcs + cls;
+            err->policy().set_opportunity_listener(
+                [sink, audit_ptr, n, unit](const core::ErrOpportunity& op) {
+                  if (audit_ptr != nullptr) audit_ptr->on_opportunity(op);
+                  sink->record(obs::TraceEvent::opportunity(
+                      sink->now(), op.flow.value(), op.round, op.allowance,
+                      op.surplus_count, n, unit));
+                });
+          } else {
+            audit_ptr->attach(err->policy());
+          }
         }
       }
     }
+  }
+
+  // A violation enters the trace ring and — once per run — dumps the
+  // event window around it while the evidence is still in the ring.
+  bool violation_window_dumped = false;
+  if (sink != nullptr) {
+    audit_log.set_on_report([&](const validate::Violation& v) {
+      sink->record(obs::TraceEvent::violation(
+          sink->now(), sink->note(v.check + ": " + v.detail)));
+      if (!violation_window_dumped && !config.trace.chrome_path.empty()) {
+        violation_window_dumped = true;
+        obs::write_chrome_trace_file(config.trace.chrome_path +
+                                         ".violation.json",
+                                     *sink);
+      }
+    });
   }
 
   sim::Engine engine;
@@ -89,6 +136,11 @@ NetworkScenarioResult run_network_scenario(const NetworkScenarioConfig& config,
       result.audit_opportunities += auditor->opportunities();
     net.set_observer(nullptr);
   }
+  if (sink != nullptr) {
+    result.trace_recorded = sink->recorded();
+    result.trace_dropped = sink->dropped();
+    obs::export_trace(config.trace, *sink);
+  }
   return result;
 }
 
@@ -102,8 +154,19 @@ SweepResult sweep_network(const NetworkScenarioConfig& config,
   std::vector<std::optional<NetworkScenarioResult>> per_seed(options.seeds);
   ThreadPool pool(options.jobs);
   pool.parallel_for(options.seeds, [&](std::size_t k) {
+    NetworkScenarioConfig run_config = effective;
+    if (run_config.trace.enabled() && options.seeds > 1) {
+      // One private trace file set per seed: parallel workers must never
+      // share an output path (or a sink).
+      if (!run_config.trace.chrome_path.empty())
+        run_config.trace.chrome_path =
+            obs::with_seed_suffix(run_config.trace.chrome_path, k);
+      if (!run_config.trace.timeline_csv.empty())
+        run_config.trace.timeline_csv =
+            obs::with_seed_suffix(run_config.trace.timeline_csv, k);
+    }
     per_seed[k].emplace(
-        run_network_scenario(effective, options.base_seed + k));
+        run_network_scenario(run_config, options.base_seed + k));
   });
   SweepResult aggregate;
   for (const auto& result : per_seed) {

@@ -15,6 +15,7 @@
 #include "common/types.hpp"
 #include "harness/sweep.hpp"
 #include "metrics/perf_counters.hpp"
+#include "obs/trace_export.hpp"
 #include "validate/faults.hpp"
 #include "wormhole/network.hpp"
 #include "wormhole/patterns.hpp"
@@ -41,6 +42,14 @@ struct NetworkScenarioConfig {
   /// duration (not owned; nullptr = uninstrumented).  Only meaningful for
   /// single-seed runs — sweeps share the sink across workers unsynchronised.
   metrics::PerfCounters* perf_counters = nullptr;
+  /// Structured event tracing for the run (docs/OBSERVABILITY.md).  Each
+  /// run owns a private TraceSink (sweep workers never share one) and
+  /// exports it when the run ends; sweeps rewrite the output paths per
+  /// seed (trace.json -> trace.seedK.json).  When the auditor reports a
+  /// violation the window around it is additionally dumped to
+  /// <chrome_path>.violation.json.  Disabled (the default) the fabric
+  /// hot path pays one null-pointer test per site.
+  obs::TraceRequest trace;
 };
 
 /// Everything the network benches read out of one finished run.
@@ -55,6 +64,9 @@ struct NetworkScenarioResult {
   std::uint64_t audit_checks = 0;
   std::uint64_t audit_violations = 0;
   std::uint64_t audit_opportunities = 0;
+  /// Filled when NetworkScenarioConfig::trace was enabled.
+  std::uint64_t trace_recorded = 0;
+  std::uint64_t trace_dropped = 0;
 };
 
 /// Runs one network scenario with `seed` driving the traffic source.

@@ -30,6 +30,35 @@ class RunProbe final : public core::SchedulerObserver {
   ScenarioResult& result_;
 };
 
+/// Mirrors scheduler decisions into the trace sink.  For ERR schedulers a
+/// dequeue carries the serving flow's allowance and surplus count at the
+/// decision instant (both 0 for other disciplines).
+class TraceObserver final : public core::SchedulerObserver {
+ public:
+  TraceObserver(obs::TraceSink& sink, const core::ErrScheduler* err)
+      : sink_(sink), err_(err) {}
+
+  void on_packet_arrival(Cycle now, const core::Packet& p) override {
+    sink_.record(
+        obs::TraceEvent::packet_enqueue(now, p.flow.value(), p.id.value(),
+                                        p.length));
+  }
+  void on_packet_departure(Cycle now, const core::Packet& p) override {
+    double allowance = 0.0;
+    double surplus = 0.0;
+    if (err_ != nullptr) {
+      allowance = err_->policy().allowance();
+      surplus = err_->policy().surplus_count(p.flow);
+    }
+    sink_.record(obs::TraceEvent::packet_dequeue(
+        now, p.flow.value(), p.id.value(), p.length, allowance, surplus));
+  }
+
+ private:
+  obs::TraceSink& sink_;
+  const core::ErrScheduler* err_;
+};
+
 }  // namespace
 
 ScenarioResult::ScenarioResult(std::size_t num_flows, Bytes flit_bytes)
@@ -57,31 +86,54 @@ ScenarioResult run_scenario(std::string_view scheduler_name,
 
   // Runtime invariant auditing: ERR schedulers publish their opportunity
   // stream, which the auditor re-checks against the paper's bounds live.
+  auto* err = dynamic_cast<core::ErrScheduler*>(scheduler.get());
   std::optional<validate::AuditLog> local_log;
   std::optional<validate::ErrAuditor> auditor;
-  if (config.audit) {
-    auto* err = dynamic_cast<core::ErrScheduler*>(scheduler.get());
-    if (err != nullptr) {
-      validate::AuditLog* log = config.audit_log;
-      if (log == nullptr) log = &local_log.emplace();
-      validate::ErrAuditorConfig audit_config;
-      audit_config.reset_on_idle = config.sched.err_reset_on_idle;
-      auditor.emplace(trace.num_flows, audit_config, *log);
-      auditor->attach(err->policy());
-    }
+  if (config.audit && err != nullptr) {
+    validate::AuditLog* log = config.audit_log;
+    if (log == nullptr) log = &local_log.emplace();
+    validate::ErrAuditorConfig audit_config;
+    audit_config.reset_on_idle = config.sched.err_reset_on_idle;
+    auditor.emplace(trace.num_flows, audit_config, *log);
+    auditor->attach(err->policy());
+  }
+
+  // Tracing shares ErrPolicy's single listener slot with the auditor:
+  // when both are active one combined lambda feeds the auditor first
+  // (attach() above already claimed the slot), then the sink.
+  obs::TraceSink* sink = config.trace;
+  std::size_t trace_round = 0;
+  if (sink != nullptr && err != nullptr) {
+    validate::ErrAuditor* audit_ptr = auditor ? &*auditor : nullptr;
+    err->policy().set_opportunity_listener(
+        [sink, audit_ptr, &trace_round](const core::ErrOpportunity& op) {
+          if (audit_ptr != nullptr) audit_ptr->on_opportunity(op);
+          const Cycle now = sink->now();
+          if (op.round != trace_round) {
+            trace_round = op.round;
+            sink->record(obs::TraceEvent::round_boundary(
+                now, op.round, op.previous_max_sc));
+          }
+          sink->record(obs::TraceEvent::opportunity(
+              now, op.flow.value(), op.round, op.allowance,
+              op.surplus_count));
+        });
   }
 
   RunProbe probe(result);
+  std::optional<TraceObserver> trace_observer;
   metrics::ObserverChain chain;
   chain.add(result.service_log);
   chain.add(result.delays);
   chain.add(probe);
+  if (sink != nullptr) chain.add(trace_observer.emplace(*sink, err));
   scheduler->set_observer(&chain);
 
   std::size_t next_arrival = 0;
   PacketId::rep_type next_packet_id = 0;
   Cycle t = 0;
   for (;;) {
+    if (sink != nullptr) sink->set_now(t);
     // Deliver this cycle's arrivals, then offer one transmission slot —
     // the paper's service model (one flit dequeued per cycle).
     while (next_arrival < trace.entries.size() &&

@@ -18,6 +18,7 @@
 #include "metrics/activity.hpp"
 #include "metrics/delay.hpp"
 #include "metrics/service_log.hpp"
+#include "obs/trace_sink.hpp"
 #include "traffic/workload.hpp"
 #include "validate/violation.hpp"
 
@@ -44,6 +45,11 @@ struct ScenarioConfig {
   /// runner uses a private log and only the counts survive in the result
   /// (Debug builds abort on the first violation either way).
   validate::AuditLog* audit_log = nullptr;
+  /// Optional structured event sink (not owned).  Records packet
+  /// enqueue/dequeue (with the serving flow's ERR allowance/SC at the
+  /// decision instant), every ERR service opportunity, and round
+  /// boundaries.  nullptr (the default) costs one pointer test per site.
+  obs::TraceSink* trace = nullptr;
 };
 
 /// Everything measured during one run.

@@ -1,12 +1,28 @@
 #include "metrics/delay.hpp"
 
+#include <algorithm>
+
 #include "common/assert.hpp"
 
 namespace wormsched::metrics {
 
+namespace {
+
+// Budget ~32 MiB (1<<22 doubles) of reservoir across all flows, but never
+// below 512 samples per flow (quantiles degrade) nor above the historical
+// 1<<18 (small-flow-count runs keep their old accuracy).
+std::size_t per_flow_capacity(std::size_t num_flows) {
+  const std::size_t share = (std::size_t{1} << 22) / std::max<std::size_t>(
+                                                         1, num_flows);
+  return std::clamp<std::size_t>(share, 512, std::size_t{1} << 18);
+}
+
+}  // namespace
+
 DelayStats::DelayStats(std::size_t num_flows)
     : per_flow_(num_flows),
-      per_flow_quantiles_(num_flows, QuantileEstimator(1u << 18)) {}
+      flow_reservoir_capacity_(per_flow_capacity(num_flows)),
+      per_flow_quantiles_(num_flows) {}
 
 void DelayStats::on_packet_departure(Cycle now, const core::Packet& packet) {
   WS_CHECK(now >= packet.arrival);
@@ -14,7 +30,9 @@ void DelayStats::on_packet_departure(Cycle now, const core::Packet& packet) {
   overall_.add(delay);
   per_flow_[packet.flow.index()].add(delay);
   quantiles_.add(delay);
-  per_flow_quantiles_[packet.flow.index()].add(delay);
+  auto& est = per_flow_quantiles_[packet.flow.index()];
+  if (!est) est.emplace(flow_reservoir_capacity_);
+  est->add(delay);
 }
 
 }  // namespace wormsched::metrics

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <vector>
 
 #include "common/stats.hpp"
@@ -26,9 +27,11 @@ class DelayStats final : public core::SchedulerObserver {
   [[nodiscard]] double quantile(double q) const {
     return quantiles_.quantile(q);
   }
-  /// Per-flow delay quantile.
+  /// Per-flow delay quantile (0 for a flow that has seen no departures,
+  /// matching QuantileEstimator's empty behaviour).
   [[nodiscard]] double flow_quantile(FlowId flow, double q) const {
-    return per_flow_quantiles_[flow.index()].quantile(q);
+    const auto& est = per_flow_quantiles_[flow.index()];
+    return est ? est->quantile(q) : 0.0;
   }
   [[nodiscard]] std::size_t packets() const { return overall_.count(); }
 
@@ -36,7 +39,11 @@ class DelayStats final : public core::SchedulerObserver {
   RunningStat overall_;
   std::vector<RunningStat> per_flow_;
   QuantileEstimator quantiles_;
-  std::vector<QuantileEstimator> per_flow_quantiles_;
+  // Constructed on a flow's first departure: a run with 4096 flows must
+  // not pay 4096 eager reservoirs, and the per-flow capacity shrinks as
+  // the flow count grows so the whole set stays bounded (~32 MiB).
+  std::size_t flow_reservoir_capacity_;
+  std::vector<std::optional<QuantileEstimator>> per_flow_quantiles_;
 };
 
 /// Composite observer: fans a scheduler's notifications out to several

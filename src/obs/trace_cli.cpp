@@ -1,0 +1,47 @@
+#include "obs/trace_cli.hpp"
+
+namespace wormsched::obs {
+
+void add_trace_options(CliParser& cli) {
+  cli.add_option("trace",
+                 "write a chrome://tracing JSON of the run to this path",
+                 "");
+  cli.add_option("trace-csv",
+                 "write the per-flow service timeline CSV to this path", "");
+  cli.add_option("trace-events",
+                 "comma list of event groups to record: packet, opportunity, "
+                 "round, flit, stall, fault, violation, all",
+                 "all");
+  cli.add_option("trace-capacity",
+                 "events retained in the trace ring (oldest dropped first)",
+                 "65536");
+  cli.add_option("manifest", "write a run-manifest JSON to this path", "");
+}
+
+std::optional<TraceRequest> trace_request_from_cli(const CliParser& cli,
+                                                   std::string* error) {
+  TraceRequest request;
+  request.chrome_path = cli.get("trace");
+  request.timeline_csv = cli.get("trace-csv");
+  const auto mask = parse_event_mask(cli.get("trace-events"), error);
+  if (!mask) return std::nullopt;
+  request.mask = *mask;
+  request.capacity = static_cast<std::size_t>(cli.get_uint("trace-capacity"));
+  return request;
+}
+
+std::string manifest_path_from_cli(const CliParser& cli) {
+  return cli.get("manifest");
+}
+
+RunManifest manifest_from_cli(const std::string& tool, const CliParser& cli,
+                              std::uint64_t seed) {
+  RunManifest manifest;
+  manifest.tool = tool;
+  manifest.seed = seed;
+  for (const auto& [name, value] : cli.items())
+    manifest.add_config(name, value);
+  return manifest;
+}
+
+}  // namespace wormsched::obs

@@ -1,0 +1,33 @@
+// Shared tracing / manifest CLI surface, mirroring validate's
+// add_fault_options: every front end that can trace declares the flags
+// through these helpers so they read identically everywhere.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/cli.hpp"
+#include "obs/manifest.hpp"
+#include "obs/trace_export.hpp"
+
+namespace wormsched::obs {
+
+/// Declares --trace, --trace-csv, --trace-events, --trace-capacity and
+/// --manifest.
+void add_trace_options(CliParser& cli);
+
+/// Builds a TraceRequest from the parsed options.  Returns nullopt and
+/// fills `error` when --trace-events does not parse.
+[[nodiscard]] std::optional<TraceRequest> trace_request_from_cli(
+    const CliParser& cli, std::string* error);
+
+/// --manifest's path ("" = no manifest requested).
+[[nodiscard]] std::string manifest_path_from_cli(const CliParser& cli);
+
+/// Starts a manifest for one CLI invocation: tool name, seed, and every
+/// declared option's effective value as the config block.
+[[nodiscard]] RunManifest manifest_from_cli(const std::string& tool,
+                                            const CliParser& cli,
+                                            std::uint64_t seed);
+
+}  // namespace wormsched::obs

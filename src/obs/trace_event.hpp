@@ -1,0 +1,140 @@
+// Typed events for the runtime observability layer (docs/OBSERVABILITY.md).
+//
+// One TraceEvent is a fixed-size POD record: the hot paths construct and
+// copy it into a TraceSink ring with no allocation and no formatting.
+// The payload fields are generic (flow / node / aux / id / v0 / v1); the
+// static factories below fix their meaning per kind, and the exporters
+// (trace_export.hpp) render them symbolically.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace wormsched::obs {
+
+enum class EventKind : std::uint8_t {
+  kPacketEnqueue = 0,   // scheduler: packet joined a flow queue
+  kPacketDequeue,       // scheduler: packet fully served
+  kOpportunity,         // one completed ERR service opportunity
+  kRoundBoundary,       // ERR round counter advanced
+  kFlitInject,          // NIC pushed a flit into the fabric
+  kFlitEject,           // router delivered a flit to its local NIC
+  kRouterStall,         // busy output port moved no flit this cycle
+  kFaultLinkStall,      // fault injector stalled the link fabric
+  kFaultCreditHold,     // fault injector quarantined a credit
+  kViolation,           // an auditor reported an invariant violation
+};
+inline constexpr std::size_t kNumEventKinds = 10;
+
+[[nodiscard]] constexpr const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kPacketEnqueue: return "packet_enqueue";
+    case EventKind::kPacketDequeue: return "packet_dequeue";
+    case EventKind::kOpportunity: return "opportunity";
+    case EventKind::kRoundBoundary: return "round";
+    case EventKind::kFlitInject: return "flit_inject";
+    case EventKind::kFlitEject: return "flit_eject";
+    case EventKind::kRouterStall: return "router_stall";
+    case EventKind::kFaultLinkStall: return "fault_link_stall";
+    case EventKind::kFaultCreditHold: return "fault_credit_hold";
+    case EventKind::kViolation: return "violation";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr std::uint32_t event_bit(EventKind kind) {
+  return std::uint32_t{1} << static_cast<std::uint32_t>(kind);
+}
+inline constexpr std::uint32_t kAllEventsMask =
+    (std::uint32_t{1} << kNumEventKinds) - 1;
+
+/// Parses a `--trace-events` list ("packet,flit,fault", "all", ...) into
+/// an event mask.  Group names select related kinds: packet, opportunity,
+/// round, flit, stall, fault, violation.  Returns nullopt and fills
+/// `error` on an unrecognized name.
+[[nodiscard]] std::optional<std::uint32_t> parse_event_mask(
+    const std::string& text, std::string* error);
+
+struct TraceEvent {
+  Cycle cycle = 0;
+  EventKind kind = EventKind::kPacketEnqueue;
+  std::uint32_t flow = 0;  // flow id / ERR requester index
+  std::uint32_t node = 0;  // fabric node, 0 for standalone-scheduler events
+  std::uint32_t aux = 0;   // kind-specific (length, port, unit, note index)
+  std::uint64_t id = 0;    // packet id or round number
+  double v0 = 0.0;         // kind-specific (allowance, flit index, hold)
+  double v1 = 0.0;         // kind-specific (surplus count, latency)
+
+  // --- Factories: the single source of truth for field meanings. -------
+  [[nodiscard]] static TraceEvent packet_enqueue(Cycle now, std::uint32_t flow,
+                                                 std::uint64_t packet,
+                                                 Flits length) {
+    return TraceEvent{now, EventKind::kPacketEnqueue, flow, 0,
+                      static_cast<std::uint32_t>(length), packet, 0.0, 0.0};
+  }
+  /// `allowance`/`surplus` are the serving flow's ERR state at the
+  /// decision instant (0 for non-ERR disciplines).
+  [[nodiscard]] static TraceEvent packet_dequeue(Cycle now, std::uint32_t flow,
+                                                 std::uint64_t packet,
+                                                 Flits length, double allowance,
+                                                 double surplus) {
+    return TraceEvent{now,    EventKind::kPacketDequeue,
+                      flow,   0,
+                      static_cast<std::uint32_t>(length), packet,
+                      allowance, surplus};
+  }
+  /// One completed ERR service opportunity; `unit` is the router
+  /// output-port unit for fabric arbiters (0 standalone).
+  [[nodiscard]] static TraceEvent opportunity(Cycle now, std::uint32_t flow,
+                                              std::uint64_t round,
+                                              double allowance, double surplus,
+                                              std::uint32_t node = 0,
+                                              std::uint32_t unit = 0) {
+    return TraceEvent{now, EventKind::kOpportunity, flow, node, unit,
+                      round, allowance, surplus};
+  }
+  [[nodiscard]] static TraceEvent round_boundary(Cycle now, std::uint64_t round,
+                                                 double previous_max_sc) {
+    return TraceEvent{now, EventKind::kRoundBoundary, 0, 0, 0,
+                      round, previous_max_sc, 0.0};
+  }
+  [[nodiscard]] static TraceEvent flit_inject(Cycle now, std::uint32_t node,
+                                              std::uint32_t flow,
+                                              std::uint64_t packet,
+                                              Flits index) {
+    return TraceEvent{now, EventKind::kFlitInject, flow, node, 0, packet,
+                      static_cast<double>(index), 0.0};
+  }
+  /// `tail` marks the packet-completing flit; its v1 is the end-to-end
+  /// packet latency in cycles (0 for non-tail flits).
+  [[nodiscard]] static TraceEvent flit_eject(Cycle now, std::uint32_t node,
+                                             std::uint32_t flow,
+                                             std::uint64_t packet, Flits index,
+                                             bool tail, double latency) {
+    return TraceEvent{now, EventKind::kFlitEject, flow, node, tail ? 1u : 0u,
+                      packet, static_cast<double>(index), latency};
+  }
+  [[nodiscard]] static TraceEvent router_stall(Cycle now, std::uint32_t node,
+                                               std::uint32_t port) {
+    return TraceEvent{now, EventKind::kRouterStall, 0, node, port, 0, 0.0,
+                      0.0};
+  }
+  [[nodiscard]] static TraceEvent fault_link_stall(Cycle now) {
+    return TraceEvent{now, EventKind::kFaultLinkStall, 0, 0, 0, 0, 0.0, 0.0};
+  }
+  [[nodiscard]] static TraceEvent fault_credit_hold(Cycle now,
+                                                    std::uint32_t node,
+                                                    Cycle hold) {
+    return TraceEvent{now, EventKind::kFaultCreditHold, 0, node, 0, 0,
+                      static_cast<double>(hold), 0.0};
+  }
+  /// `note` indexes a detail string stored in the sink's note table.
+  [[nodiscard]] static TraceEvent violation(Cycle now, std::uint32_t note) {
+    return TraceEvent{now, EventKind::kViolation, 0, 0, note, 0, 0.0, 0.0};
+  }
+};
+
+}  // namespace wormsched::obs

@@ -1,0 +1,221 @@
+#include "obs/trace_export.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace wormsched::obs {
+
+namespace {
+
+/// Whether the event belongs to a scheduler flow track (vs a fabric node
+/// track) in the Chrome rendering.
+bool flow_track(EventKind kind) {
+  switch (kind) {
+    case EventKind::kPacketEnqueue:
+    case EventKind::kPacketDequeue:
+    case EventKind::kOpportunity:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* category(EventKind kind) {
+  switch (kind) {
+    case EventKind::kPacketEnqueue:
+    case EventKind::kPacketDequeue:
+    case EventKind::kOpportunity:
+    case EventKind::kRoundBoundary:
+      return "sched";
+    case EventKind::kFlitInject:
+    case EventKind::kFlitEject:
+    case EventKind::kRouterStall:
+      return "net";
+    case EventKind::kFaultLinkStall:
+    case EventKind::kFaultCreditHold:
+      return "fault";
+    case EventKind::kViolation:
+      return "audit";
+  }
+  return "?";
+}
+
+/// Integral doubles print as integers (lengths, rounds, flit indices);
+/// everything else as %.6g.  Keeps the JSON stable and readable.
+std::string fmt_double(double v) {
+  char buf[64];
+  if (std::nearbyint(v) == v && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+  }
+  return buf;
+}
+
+void write_args(std::ostream& os, const TraceEvent& e, const TraceSink& sink) {
+  switch (e.kind) {
+    case EventKind::kPacketEnqueue:
+      os << "{\"packet\":" << e.id << ",\"length\":" << e.aux << "}";
+      break;
+    case EventKind::kPacketDequeue:
+      os << "{\"packet\":" << e.id << ",\"length\":" << e.aux
+         << ",\"allowance\":" << fmt_double(e.v0)
+         << ",\"surplus\":" << fmt_double(e.v1) << "}";
+      break;
+    case EventKind::kOpportunity:
+      os << "{\"round\":" << e.id << ",\"allowance\":" << fmt_double(e.v0)
+         << ",\"surplus\":" << fmt_double(e.v1) << ",\"node\":" << e.node
+         << ",\"unit\":" << e.aux << "}";
+      break;
+    case EventKind::kRoundBoundary:
+      os << "{\"round\":" << e.id
+         << ",\"prev_max_sc\":" << fmt_double(e.v0) << "}";
+      break;
+    case EventKind::kFlitInject:
+      os << "{\"flow\":" << e.flow << ",\"packet\":" << e.id
+         << ",\"index\":" << fmt_double(e.v0) << "}";
+      break;
+    case EventKind::kFlitEject:
+      os << "{\"flow\":" << e.flow << ",\"packet\":" << e.id
+         << ",\"index\":" << fmt_double(e.v0)
+         << ",\"tail\":" << (e.aux != 0 ? "true" : "false")
+         << ",\"latency\":" << fmt_double(e.v1) << "}";
+      break;
+    case EventKind::kRouterStall:
+      os << "{\"port\":" << e.aux << "}";
+      break;
+    case EventKind::kFaultLinkStall:
+      os << "{}";
+      break;
+    case EventKind::kFaultCreditHold:
+      os << "{\"hold_cycles\":" << fmt_double(e.v0) << "}";
+      break;
+    case EventKind::kViolation:
+      os << "{\"detail\":\""
+         << (e.aux < sink.note_count()
+                 ? json_escape(sink.note_text(e.aux))
+                 : std::string())
+         << "\"}";
+      break;
+  }
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_chrome_trace(std::ostream& os, const TraceSink& sink) {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : sink.snapshot()) {
+    if (!first) os << ",";
+    first = false;
+    const std::uint32_t tid = flow_track(e.kind) ? e.flow : e.node;
+    os << "\n{\"name\":\"" << event_kind_name(e.kind) << "\",\"cat\":\""
+       << category(e.kind) << "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" << e.cycle
+       << ",\"pid\":0,\"tid\":" << tid << ",\"args\":";
+    write_args(os, e, sink);
+    os << "}";
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{"
+     << "\"tool\":\"wormsched\",\"recorded\":" << sink.recorded()
+     << ",\"dropped\":" << sink.dropped()
+     << ",\"filtered\":" << sink.filtered() << "}}\n";
+}
+
+void write_service_timeline_csv(std::ostream& os, const TraceSink& sink) {
+  os << "cycle,event,flow,node,id,units,allowance,surplus\n";
+  for (const TraceEvent& e : sink.snapshot()) {
+    switch (e.kind) {
+      case EventKind::kPacketEnqueue:
+      case EventKind::kPacketDequeue:
+        os << e.cycle << ',' << event_kind_name(e.kind) << ',' << e.flow
+           << ',' << e.node << ',' << e.id << ',' << e.aux << ','
+           << fmt_double(e.v0) << ',' << fmt_double(e.v1) << '\n';
+        break;
+      case EventKind::kOpportunity:
+        os << e.cycle << ',' << event_kind_name(e.kind) << ',' << e.flow
+           << ',' << e.node << ',' << e.id << ',' << fmt_double(0.0) << ','
+           << fmt_double(e.v0) << ',' << fmt_double(e.v1) << '\n';
+        break;
+      case EventKind::kFlitEject:
+        if (e.aux == 0) break;  // tails only: one row per delivered packet
+        os << e.cycle << ',' << event_kind_name(e.kind) << ',' << e.flow
+           << ',' << e.node << ',' << e.id << ",1," << fmt_double(e.v1)
+           << ",0\n";
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+namespace {
+
+template <typename Fn>
+void write_file_or_throw(const std::string& path, Fn&& fn) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  fn(out);
+}
+
+}  // namespace
+
+void write_chrome_trace_file(const std::string& path, const TraceSink& sink) {
+  write_file_or_throw(path,
+                      [&](std::ostream& os) { write_chrome_trace(os, sink); });
+}
+
+void write_service_timeline_csv_file(const std::string& path,
+                                     const TraceSink& sink) {
+  write_file_or_throw(path, [&](std::ostream& os) {
+    write_service_timeline_csv(os, sink);
+  });
+}
+
+void export_trace(const TraceRequest& request, const TraceSink& sink) {
+  if (!request.chrome_path.empty())
+    write_chrome_trace_file(request.chrome_path, sink);
+  if (!request.timeline_csv.empty())
+    write_service_timeline_csv_file(request.timeline_csv, sink);
+}
+
+std::string with_seed_suffix(const std::string& path,
+                             std::uint64_t seed_index) {
+  const std::string suffix = ".seed" + std::to_string(seed_index);
+  const auto slash = path.find_last_of('/');
+  const auto dot = path.find_last_of('.');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return path + suffix;
+  }
+  return path.substr(0, dot) + suffix + path.substr(dot);
+}
+
+}  // namespace wormsched::obs

@@ -1,0 +1,82 @@
+#include "obs/trace_sink.hpp"
+
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace wormsched::obs {
+
+TraceSink::TraceSink() : TraceSink(Options()) {}
+
+TraceSink::TraceSink(const Options& options)
+    : ring_(options.capacity == 0 ? 1 : options.capacity),
+      mask_(options.mask & kAllEventsMask) {}
+
+std::uint32_t TraceSink::note(std::string text) {
+  if (notes_.size() >= kNoteLimit) {
+    notes_.back() = std::move(text);
+    return static_cast<std::uint32_t>(notes_.size() - 1);
+  }
+  notes_.push_back(std::move(text));
+  return static_cast<std::uint32_t>(notes_.size() - 1);
+}
+
+const std::string& TraceSink::note_text(std::uint32_t index) const {
+  WS_CHECK(index < notes_.size());
+  return notes_[index];
+}
+
+std::vector<TraceEvent> TraceSink::snapshot() const {
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  // Oldest event: head_ when the ring has wrapped, slot 0 otherwise.
+  const std::size_t start = size_ == ring_.size() ? head_ : 0;
+  for (std::size_t i = 0; i < size_; ++i)
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  return out;
+}
+
+std::optional<std::uint32_t> parse_event_mask(const std::string& text,
+                                              std::string* error) {
+  std::uint32_t mask = 0;
+  std::stringstream ss(text);
+  std::string name;
+  bool any = false;
+  while (std::getline(ss, name, ',')) {
+    if (name.empty()) continue;
+    any = true;
+    if (name == "all") {
+      mask |= kAllEventsMask;
+    } else if (name == "packet") {
+      mask |= event_bit(EventKind::kPacketEnqueue) |
+              event_bit(EventKind::kPacketDequeue);
+    } else if (name == "opportunity") {
+      mask |= event_bit(EventKind::kOpportunity);
+    } else if (name == "round") {
+      mask |= event_bit(EventKind::kRoundBoundary);
+    } else if (name == "flit") {
+      mask |= event_bit(EventKind::kFlitInject) |
+              event_bit(EventKind::kFlitEject);
+    } else if (name == "stall") {
+      mask |= event_bit(EventKind::kRouterStall);
+    } else if (name == "fault") {
+      mask |= event_bit(EventKind::kFaultLinkStall) |
+              event_bit(EventKind::kFaultCreditHold);
+    } else if (name == "violation") {
+      mask |= event_bit(EventKind::kViolation);
+    } else {
+      if (error != nullptr)
+        *error = "unknown event group '" + name +
+                 "' (use packet, opportunity, round, flit, stall, fault, "
+                 "violation or all)";
+      return std::nullopt;
+    }
+  }
+  if (!any) {
+    if (error != nullptr) *error = "empty event list";
+    return std::nullopt;
+  }
+  return mask;
+}
+
+}  // namespace wormsched::obs

@@ -1,0 +1,105 @@
+// Runtime-toggled structured event recorder (docs/OBSERVABILITY.md).
+//
+// A TraceSink is a fixed-capacity ring of TraceEvents: recording is an
+// allocation-free, lock-free store into pre-sized memory, and once the
+// ring is full the oldest events are overwritten — the sink always holds
+// the most recent window, which is exactly what the violation-dump mode
+// needs.  Cost model, mirroring metrics::PerfCounters:
+//   * no sink attached (the default) — one null-pointer test per site;
+//   * sink attached — one mask test plus a POD copy per event.
+//
+// A sink is single-threaded by design: every simulation run owns its own
+// sink (parallel sweeps therefore get one per worker-run, never shared),
+// so the hot path needs no atomics at all.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "obs/trace_event.hpp"
+
+namespace wormsched::obs {
+
+class TraceSink {
+ public:
+  struct Options {
+    /// Events retained; older ones are overwritten (drop-oldest).
+    std::size_t capacity = std::size_t{1} << 16;
+    /// Which EventKinds to keep (see parse_event_mask).
+    std::uint32_t mask = kAllEventsMask;
+  };
+
+  TraceSink();
+  explicit TraceSink(const Options& options);
+
+  /// Clock for event sites that fire from callbacks without a cycle
+  /// argument (ERR opportunity listeners): the driving loop stamps the
+  /// current cycle here once per tick.
+  void set_now(Cycle now) { now_ = now; }
+  [[nodiscard]] Cycle now() const { return now_; }
+
+  [[nodiscard]] bool wants(EventKind kind) const {
+    return (mask_ & event_bit(kind)) != 0;
+  }
+  [[nodiscard]] std::uint32_t mask() const { return mask_; }
+  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+
+  /// Records one event (a POD copy; never allocates).  Events not
+  /// selected by the mask are counted as filtered and discarded.
+  void record(const TraceEvent& event) {
+    if (!wants(event.kind)) {
+      ++filtered_;
+      return;
+    }
+    ring_[head_] = event;
+    head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+    if (size_ < ring_.size()) {
+      ++size_;
+    } else {
+      ++dropped_;
+    }
+    ++recorded_;
+    ++per_kind_[static_cast<std::size_t>(event.kind)];
+  }
+
+  /// Interns a detail string (violation context) and returns its index
+  /// for TraceEvent::violation.  Bounded: beyond kNoteLimit the last
+  /// slot is reused so a violation storm cannot grow memory.
+  [[nodiscard]] std::uint32_t note(std::string text);
+  [[nodiscard]] const std::string& note_text(std::uint32_t index) const;
+  [[nodiscard]] std::size_t note_count() const { return notes_.size(); }
+
+  /// Events accepted over the sink's lifetime (filtered ones excluded).
+  [[nodiscard]] std::uint64_t recorded() const { return recorded_; }
+  /// Accepted events later overwritten by newer ones.
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  /// Events rejected by the kind mask.
+  [[nodiscard]] std::uint64_t filtered() const { return filtered_; }
+  [[nodiscard]] std::uint64_t count(EventKind kind) const {
+    return per_kind_[static_cast<std::size_t>(kind)];
+  }
+  /// Events currently retained in the ring.
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  /// Retained events, oldest first (copies out of the ring).
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+
+  static constexpr std::size_t kNoteLimit = 64;
+
+ private:
+  std::vector<TraceEvent> ring_;
+  std::size_t head_ = 0;  // next write slot
+  std::size_t size_ = 0;
+  std::uint32_t mask_;
+  Cycle now_ = 0;
+  std::uint64_t recorded_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t filtered_ = 0;
+  std::array<std::uint64_t, kNumEventKinds> per_kind_{};
+  std::vector<std::string> notes_;
+};
+
+}  // namespace wormsched::obs

@@ -16,6 +16,13 @@ constexpr std::string_view kHeader = "cycle,flow,length";
   throw std::runtime_error("trace line " + std::to_string(line) + ": " + why);
 }
 
+// Files written on Windows (or piped through tools that emit CRLF) arrive
+// with a '\r' still attached after getline strips the '\n'; without this
+// the header compare fails with a misleading "missing header" error.
+void strip_cr(std::string& line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+}
+
 template <typename T>
 T parse_field(std::string_view text, std::size_t line, const char* what) {
   T value{};
@@ -43,7 +50,10 @@ void save_trace_file(const std::string& path, const Trace& trace) {
 
 Trace load_trace(std::istream& is) {
   std::string line;
-  if (!std::getline(is, line) || line != kHeader)
+  if (!std::getline(is, line))
+    throw std::runtime_error("trace: missing 'cycle,flow,length' header");
+  strip_cr(line);
+  if (line != kHeader)
     throw std::runtime_error("trace: missing 'cycle,flow,length' header");
   Trace trace;
   std::size_t line_no = 1;
@@ -51,6 +61,7 @@ Trace load_trace(std::istream& is) {
   Cycle prev_cycle = 0;
   while (std::getline(is, line)) {
     ++line_no;
+    strip_cr(line);
     if (line.empty()) continue;
     const std::string_view view(line);
     const auto c1 = view.find(',');
@@ -68,7 +79,11 @@ Trace load_trace(std::istream& is) {
     max_flow = std::max(max_flow, flow);
     trace.entries.push_back(TraceEntry{cycle, FlowId(flow), length});
   }
-  trace.num_flows = trace.entries.empty() ? 0 : max_flow + 1;
+  if (trace.entries.empty())
+    throw std::runtime_error(
+        "trace: no entries after header (a header-only trace would drive a "
+        "zero-flow scheduler)");
+  trace.num_flows = max_flow + 1;
   return trace;
 }
 

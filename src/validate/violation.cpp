@@ -6,6 +6,7 @@
 namespace wormsched::validate {
 
 void AuditLog::report(std::string check, std::string detail) {
+  if (on_report_) on_report_(Violation{check, detail});
 #ifndef NDEBUG
   if (mode_ == Mode::kDefault) {
     std::fprintf(stderr, "AUDIT VIOLATION [%s]: %s\n", check.c_str(),

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -34,6 +35,13 @@ class AuditLog {
   /// Records one violation.  May not return (see Mode).
   void report(std::string check, std::string detail);
 
+  /// Hook invoked on every report *before* any abort — the observability
+  /// layer uses it to record the violation into the trace ring and dump
+  /// the surrounding event window while the evidence still exists.
+  void set_on_report(std::function<void(const Violation&)> hook) {
+    on_report_ = std::move(hook);
+  }
+
   [[nodiscard]] std::uint64_t count() const { return total_; }
   [[nodiscard]] bool clean() const { return total_ == 0; }
   /// The first kKeepLimit violations, verbatim.
@@ -49,6 +57,7 @@ class AuditLog {
   Mode mode_;
   std::uint64_t total_ = 0;
   std::vector<Violation> kept_;
+  std::function<void(const Violation&)> on_report_;
 };
 
 }  // namespace wormsched::validate

@@ -68,14 +68,21 @@ void Network::send_flit(NodeId from, Direction out, const Flit& flit) {
 void Network::eject(NodeId node, const Flit& flit, Cycle now) {
   ++delivered_flits_;
   WS_CHECK_MSG(flit.dest == node, "flit ejected at the wrong node");
-  if (is_tail(flit.type)) {
+  const bool tail = is_tail(flit.type);
+  double latency = 0.0;
+  if (tail) {
     delivered_.push_back(DeliveredPacket{flit.packet, flit.flow, flit.source,
                                          flit.dest, flit.index + 1,
                                          flit.created, now});
-    const auto latency = static_cast<double>(now - flit.created);
+    latency = static_cast<double>(now - flit.created);
     latency_by_source_[flit.source.index()].add(latency);
     latency_overall_.add(latency);
   }
+  if (trace_ != nullptr)
+    trace_->record(obs::TraceEvent::flit_eject(now, node.value(),
+                                               flit.flow.value(),
+                                               flit.packet.value(), flit.index,
+                                               tail, latency));
 }
 
 void Network::send_credit(NodeId node, Direction in, std::uint32_t cls) {
@@ -105,8 +112,14 @@ void Network::set_perf_counters(metrics::PerfCounters* counters) {
   for (Router& r : routers_) r.set_perf_counters(counters);
 }
 
+void Network::set_trace_sink(obs::TraceSink* sink) {
+  trace_ = sink;
+  for (Router& r : routers_) r.set_trace_sink(sink);
+}
+
 void Network::tick(Cycle now) {
   now_ = now;
+  if (trace_ != nullptr) trace_->set_now(now);
   const FaultModel* faults = config_.faults;
 
   {
@@ -131,6 +144,12 @@ void Network::tick(Cycle now) {
         routers_[wf.to.index()].accept_flit(wf.in, wf.cls, wf.flit);
         mark_live(wf.to.index());
       }
+    } else if (trace_ != nullptr && !flit_wire_.empty() &&
+               flit_wire_.front().arrive <= now) {
+      // Only stalls that actually delay a due flit are events; recording
+      // every cycle of an idle-fabric stall window would just flood the
+      // ring.
+      trace_->record(obs::TraceEvent::fault_link_stall(now));
     }
     while (!credit_wire_.empty() && credit_wire_.front().arrive <= now) {
       const WireCredit wc = credit_wire_.pop_front();
@@ -140,6 +159,9 @@ void Network::tick(Cycle now) {
         WireCredit held = wc;
         held.arrive = now + hold;
         credit_quarantine_.push_back(held);
+        if (trace_ != nullptr)
+          trace_->record(
+              obs::TraceEvent::fault_credit_hold(now, wc.to.value(), hold));
         continue;
       }
       routers_[wc.to.index()].accept_credit(wc.out, wc.cls);
@@ -175,6 +197,9 @@ void Network::tick(Cycle now) {
                   : tail        ? FlitType::kTail
                                 : FlitType::kBody;
       r.accept_flit(Direction::kLocal, 0, flit);
+      if (trace_ != nullptr)
+        trace_->record(obs::TraceEvent::flit_inject(
+            now, n, flit.flow.value(), flit.packet.value(), flit.index));
       mark_live(n);
       --nic_backlog_flits_;
       if (tail) {

@@ -133,6 +133,12 @@ class Network final : public sim::Component, private RouterEnv {
   /// path uninstrumented.
   void set_perf_counters(metrics::PerfCounters* counters);
 
+  /// Attaches a structured event sink (not owned) to the network and
+  /// every router; nullptr (the default) detaches.  The network stamps
+  /// the sink's clock each tick and records flit injection/ejection and
+  /// fault-injector actions; routers record output-port stalls.
+  void set_trace_sink(obs::TraceSink* sink);
+
   /// --- Audit accessors (read-only views for src/validate) -------------
   [[nodiscard]] const NetworkConfig& config() const { return config_; }
   [[nodiscard]] const Router& router(NodeId node) const {
@@ -210,6 +216,7 @@ class Network final : public sim::Component, private RouterEnv {
   std::uint32_t live_routers_ = 0;
   std::uint32_t nonempty_nics_ = 0;
   metrics::PerfCounters* perf_ = nullptr;
+  obs::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace wormsched::wormhole

@@ -162,7 +162,11 @@ void Router::sa_port(std::uint32_t p, bool port_busy, Cycle now,
   PortStats& stats = port_stats_[p];
   if (port_busy) {
     ++stats.busy;
-    if (!port_moved) ++stats.starved;
+    if (!port_moved) {
+      ++stats.starved;
+      if (trace_ != nullptr)
+        trace_->record(obs::TraceEvent::router_stall(now, id_.value(), p));
+    }
   }
   if (port_moved) ++stats.flits;
 }

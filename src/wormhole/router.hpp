@@ -33,6 +33,7 @@
 #include "common/ring_buffer.hpp"
 #include "common/types.hpp"
 #include "metrics/perf_counters.hpp"
+#include "obs/trace_sink.hpp"
 #include "wormhole/arbiter.hpp"
 #include "wormhole/flit.hpp"
 #include "wormhole/topology.hpp"
@@ -109,6 +110,11 @@ class Router {
   void set_perf_counters(metrics::PerfCounters* counters) {
     perf_ = counters;
   }
+
+  /// Structured event sink (not owned); nullptr (the default) keeps the
+  /// hot path at one pointer test.  Records kRouterStall on starved busy
+  /// ports.
+  void set_trace_sink(obs::TraceSink* sink) { trace_ = sink; }
 
   /// Per-output-port observability counters.
   struct PortStats {
@@ -235,6 +241,7 @@ class Router {
   std::uint64_t requesting_outputs_ = 0; // arbiter pending_total() > 0
   std::uint64_t bound_outputs_mask_ = 0; // mirrors OutputVc::bound
   metrics::PerfCounters* perf_ = nullptr;
+  obs::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace wormsched::wormhole

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <utility>
 
 #include "common/cli.hpp"
 #include "common/csv.hpp"
@@ -139,6 +140,112 @@ TEST(CliParser, HelpReturnsFalse) {
   CliParser cli("test");
   const char* argv[] = {"prog", "--help"};
   EXPECT_FALSE(cli.parse(2, argv));
+}
+
+// --- Strict numeric parsing (regressions: stoll/stoull/stod accepted
+// trailing junk, silently wrapped negatives into unsigned, and threw
+// uncaught out_of_range on overflow). -----------------------------------
+
+TEST(CliParserStrictDeathTest, TrailingJunkExitsWithMessage) {
+  CliParser cli("test");
+  cli.add_option("cycles", "run length", "1000");
+  const char* argv[] = {"prog", "--cycles=10x"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_EXIT((void)cli.get_uint("cycles"), ::testing::ExitedWithCode(2),
+              "option --cycles: '10x' is not a non-negative integer");
+}
+
+TEST(CliParserStrictDeathTest, NegativeUnsignedDoesNotWrap) {
+  // Pre-fix, std::stoull("-1") wrapped to 2^64-1 and a sweep would try to
+  // run 18 quintillion seeds.
+  CliParser cli("test");
+  cli.add_option("seeds", "seed count", "1");
+  const char* argv[] = {"prog", "--seeds=-1"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_EXIT((void)cli.get_uint("seeds"), ::testing::ExitedWithCode(2),
+              "option --seeds: '-1' is not a non-negative integer");
+}
+
+TEST(CliParserStrictDeathTest, IntegerOverflowExits) {
+  CliParser cli("test");
+  cli.add_option("n", "count", "0");
+  const char* argv[] = {"prog", "--n=99999999999999999999"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_EXIT((void)cli.get_int("n"), ::testing::ExitedWithCode(2),
+              "overflows a signed 64-bit integer");
+}
+
+TEST(CliParserStrictDeathTest, DoubleJunkExits) {
+  CliParser cli("test");
+  cli.add_option("rate", "rate", "0.5");
+  const char* argv[] = {"prog", "--rate", "1.5q"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_EXIT((void)cli.get_double("rate"), ::testing::ExitedWithCode(2),
+              "option --rate: '1.5q' is not a number");
+}
+
+TEST(CliParserStrictDeathTest, EmptyValueExits) {
+  CliParser cli("test");
+  cli.add_option("n", "count", "0");
+  const char* argv[] = {"prog", "--n="};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_EXIT((void)cli.get_int("n"), ::testing::ExitedWithCode(2),
+              "is not an integer");
+}
+
+TEST(CliParserStrict, ValidNumbersStillParse) {
+  CliParser cli("test");
+  cli.add_option("a", "", "0");
+  cli.add_option("b", "", "0");
+  cli.add_option("c", "", "0");
+  const char* argv[] = {"prog", "--a=-7", "--b=18446744073709551615",
+                        "--c=2.5e-3"};
+  ASSERT_TRUE(cli.parse(4, argv));
+  EXPECT_EQ(cli.get_int("a"), -7);
+  EXPECT_EQ(cli.get_uint("b"), 18446744073709551615ull);
+  EXPECT_DOUBLE_EQ(cli.get_double("c"), 2.5e-3);
+}
+
+// --- Flag inline-value validation (regression: --audit=on parsed fine
+// but get_flag read it back as false). ----------------------------------
+
+TEST(CliParserFlags, UnrecognizedInlineValueFailsParse) {
+  CliParser cli("test");
+  cli.add_flag("audit", "auditing");
+  const char* argv[] = {"prog", "--audit=on"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(CliParserFlags, RecognizedInlineValuesParse) {
+  for (const auto& [value, expected] :
+       {std::pair<const char*, bool>{"true", true},
+        {"1", true},
+        {"yes", true},
+        {"false", false},
+        {"0", false},
+        {"no", false}}) {
+    CliParser cli("test");
+    cli.add_flag("audit", "auditing");
+    const std::string arg = std::string("--audit=") + value;
+    const char* argv[] = {"prog", arg.c_str()};
+    ASSERT_TRUE(cli.parse(2, argv)) << arg;
+    EXPECT_EQ(cli.get_flag("audit"), expected) << arg;
+  }
+}
+
+TEST(CliParser, ItemsReturnsEffectiveValues) {
+  CliParser cli("test");
+  cli.add_option("cycles", "run length", "1000");
+  cli.add_option("rate", "rate", "0.5");
+  cli.add_flag("audit", "auditing");
+  const char* argv[] = {"prog", "--cycles", "250", "--audit"};
+  ASSERT_TRUE(cli.parse(4, argv));
+  const auto items = cli.items();
+  ASSERT_EQ(items.size(), 3u);
+  // std::map order: audit, cycles, rate.
+  EXPECT_EQ(items[0], (std::pair<std::string, std::string>{"audit", "true"}));
+  EXPECT_EQ(items[1], (std::pair<std::string, std::string>{"cycles", "250"}));
+  EXPECT_EQ(items[2], (std::pair<std::string, std::string>{"rate", "0.5"}));
 }
 
 TEST(CliParser, UsageListsOptions) {

@@ -1,0 +1,125 @@
+// Allocation audit for DelayStats: per-flow quantile reservoirs must be
+// constructed lazily (on a flow's first departure) and sized by the flow
+// count.  Pre-fix, the constructor eagerly built one estimator per flow
+// with a fixed 1<<18-sample capacity — ~2 MiB of reservoir per flow once
+// warm, and >100 MiB reserved up front at 4096 flows, which OOM-killed
+// large-topology sweeps before the first cycle ran.
+//
+// The hook is a byte-counting override of the global allocation functions
+// (same four shapes as wormhole/router_alloc_test.cpp), so the eager
+// reservation would show up directly in the constructor's byte delta.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "metrics/delay.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_allocated_bytes{0};
+
+void* counted_alloc(std::size_t size, std::size_t alignment) {
+  g_allocated_bytes.fetch_add(size, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, alignment < sizeof(void*) ? sizeof(void*) : alignment,
+                     size == 0 ? 1 : size) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+std::uint64_t allocated_bytes() {
+  return g_allocated_bytes.load(std::memory_order_relaxed);
+}
+}  // namespace
+
+void* operator new(std::size_t size) {
+  return counted_alloc(size, alignof(std::max_align_t));
+}
+void* operator new[](std::size_t size) {
+  return counted_alloc(size, alignof(std::max_align_t));
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_alloc(size, static_cast<std::size_t>(align));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace wormsched::metrics {
+namespace {
+
+core::Packet packet(std::uint32_t flow, Cycle arrival) {
+  core::Packet p;
+  p.id = PacketId(0);
+  p.flow = FlowId(flow);
+  p.length = 1;
+  p.arrival = arrival;
+  return p;
+}
+
+constexpr std::size_t kManyFlows = 4096;
+
+TEST(DelayStatsAlloc, ConstructionReservesNoPerFlowReservoirs) {
+  const std::uint64_t before = allocated_bytes();
+  DelayStats stats(kManyFlows);
+  const std::uint64_t ctor_bytes = allocated_bytes() - before;
+  // Bookkeeping vectors only: a RunningStat and an empty
+  // optional<QuantileEstimator> per flow, well under a megabyte total.
+  // The pre-fix eager reservoirs were >100 MiB at this flow count.
+  EXPECT_LT(ctor_bytes, std::uint64_t{1} << 20) << ctor_bytes;
+  EXPECT_EQ(stats.packets(), 0u);
+}
+
+TEST(DelayStatsAlloc, OnlyDepartedFlowsPayForReservoirs) {
+  DelayStats stats(kManyFlows);
+  const std::uint64_t before = allocated_bytes();
+  for (Cycle d = 1; d <= 100; ++d) {
+    stats.on_packet_departure(d, packet(0, 0));
+    stats.on_packet_departure(2 * d, packet(7, 0));
+  }
+  const std::uint64_t touched_bytes = allocated_bytes() - before;
+  // Two flows saw traffic; at 4096 flows each reservoir is capped near
+  // (1<<22)/4096 = 1024 samples, so the pair costs tens of KiB — not the
+  // ~4 MiB two eager 1<<18-sample reservoirs would.
+  EXPECT_LT(touched_bytes, std::uint64_t{1} << 19) << touched_bytes;
+
+  // Lazily built estimators still answer quantile queries...
+  EXPECT_NEAR(stats.flow_quantile(FlowId(0), 0.5), 50.0, 2.0);
+  EXPECT_NEAR(stats.flow_quantile(FlowId(7), 0.5), 100.0, 4.0);
+  // ...and an untouched flow reads as empty rather than crashing.
+  EXPECT_DOUBLE_EQ(stats.flow_quantile(FlowId(4000), 0.5), 0.0);
+}
+
+TEST(DelayStatsAlloc, ReservoirCapacityScalesWithFlowCount) {
+  // A small-flow-count run keeps the historical deep reservoir: feed one
+  // flow far more samples than the 4096-flow cap and check the estimator
+  // retains enough of them to resolve a fine quantile.
+  DelayStats stats(2);
+  for (Cycle d = 1; d <= 20000; ++d) stats.on_packet_departure(d, packet(0, 0));
+  EXPECT_NEAR(stats.flow_quantile(FlowId(0), 0.999), 19980.0, 200.0);
+}
+
+TEST(DelayStatsAlloc, CounterObservesHeapTraffic) {
+  // Sanity-check the hook itself.
+  const std::uint64_t before = allocated_bytes();
+  auto* p = new double[32];
+  delete[] p;
+  EXPECT_GE(allocated_bytes() - before, 32 * sizeof(double));
+}
+
+}  // namespace
+}  // namespace wormsched::metrics

@@ -1,0 +1,78 @@
+// Tests for the shared tracing/manifest CLI surface: every traced front
+// end (wormsched run / network) declares its flags through these helpers.
+#include "obs/trace_cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wormsched::obs {
+namespace {
+
+TEST(TraceCli, DefaultsAreDisabled) {
+  CliParser cli("test");
+  add_trace_options(cli);
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  std::string error;
+  const auto request = trace_request_from_cli(cli, &error);
+  ASSERT_TRUE(request.has_value()) << error;
+  EXPECT_FALSE(request->enabled());
+  EXPECT_EQ(request->mask, kAllEventsMask);
+  EXPECT_EQ(request->capacity, std::size_t{1} << 16);
+  EXPECT_EQ(manifest_path_from_cli(cli), "");
+}
+
+TEST(TraceCli, FlagsFlowIntoRequest) {
+  CliParser cli("test");
+  add_trace_options(cli);
+  const char* argv[] = {"prog",
+                        "--trace=t.json",
+                        "--trace-csv=t.csv",
+                        "--trace-events=packet,violation",
+                        "--trace-capacity=128",
+                        "--manifest=m.json"};
+  ASSERT_TRUE(cli.parse(6, argv));
+  std::string error;
+  const auto request = trace_request_from_cli(cli, &error);
+  ASSERT_TRUE(request.has_value()) << error;
+  EXPECT_TRUE(request->enabled());
+  EXPECT_EQ(request->chrome_path, "t.json");
+  EXPECT_EQ(request->timeline_csv, "t.csv");
+  EXPECT_EQ(request->capacity, 128u);
+  EXPECT_EQ(request->mask, event_bit(EventKind::kPacketEnqueue) |
+                               event_bit(EventKind::kPacketDequeue) |
+                               event_bit(EventKind::kViolation));
+  EXPECT_EQ(manifest_path_from_cli(cli), "m.json");
+}
+
+TEST(TraceCli, BadEventListReportsError) {
+  CliParser cli("test");
+  add_trace_options(cli);
+  const char* argv[] = {"prog", "--trace-events=nonsense"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  std::string error;
+  EXPECT_FALSE(trace_request_from_cli(cli, &error).has_value());
+  EXPECT_NE(error.find("nonsense"), std::string::npos) << error;
+}
+
+TEST(TraceCli, ManifestFromCliCapturesEffectiveConfig) {
+  CliParser cli("test");
+  cli.add_option("cycles", "run length", "1000");
+  add_trace_options(cli);
+  const char* argv[] = {"prog", "--cycles=50"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  const RunManifest m = manifest_from_cli("wormsched test", cli, 11);
+  EXPECT_EQ(m.tool, "wormsched test");
+  EXPECT_EQ(m.seed, 11u);
+  bool saw_cycles = false;
+  for (const auto& [key, value] : m.config) {
+    if (key == "cycles") {
+      saw_cycles = true;
+      EXPECT_EQ(value, "50");
+    }
+  }
+  EXPECT_TRUE(saw_cycles);
+  EXPECT_FALSE(m.git_sha.empty());
+}
+
+}  // namespace
+}  // namespace wormsched::obs

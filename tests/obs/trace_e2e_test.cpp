@@ -1,0 +1,188 @@
+// End-to-end observability tests: the harness runners drive TraceSinks
+// through the same wiring the CLI uses, and the exports must come out
+// well-formed, deterministic, and free of any effect on the simulation.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "harness/network_sweep.hpp"
+#include "harness/scenario.hpp"
+#include "obs/trace_export.hpp"
+#include "obs/trace_sink.hpp"
+#include "traffic/workload.hpp"
+
+namespace wormsched::harness {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Cheap structural JSON sanity: balanced braces/brackets outside
+/// strings, and the chrome envelope keys present.  (No JSON library in
+/// the toolchain; CI additionally parses the file with python -m
+/// json.tool.)
+void expect_chrome_json_well_formed(const std::string& text) {
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.compare(0, 16, "{\"traceEvents\":["), 0) << text.substr(0, 64);
+  long depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (const char c : text) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (c == '\\') {
+      escaped = true;
+    } else if (c == '"') {
+      in_string = !in_string;
+    } else if (!in_string && (c == '{' || c == '[')) {
+      ++depth;
+    } else if (!in_string && (c == '}' || c == ']')) {
+      --depth;
+      EXPECT_GE(depth, 0);
+    }
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+  EXPECT_NE(text.find("\"otherData\""), std::string::npos);
+}
+
+traffic::WorkloadSpec small_workload() {
+  traffic::WorkloadSpec spec;
+  traffic::FlowSpec f;
+  f.arrival = traffic::ArrivalSpec::bernoulli(0.05);
+  f.length = traffic::LengthSpec::uniform(1, 8);
+  spec.flows = {f, f, f};
+  return spec;
+}
+
+TEST(TraceE2e, StandaloneErrRunRecordsSchedulerEvents) {
+  ScenarioConfig config;
+  config.horizon = 2000;
+  config.drain = true;
+  config.audit = true;  // shares the opportunity listener with the sink
+  obs::TraceSink sink;
+  config.trace = &sink;
+  const ScenarioResult result = run_scenario("err", config, small_workload());
+  EXPECT_GT(result.delays.packets(), 0u);
+  EXPECT_GT(sink.count(obs::EventKind::kPacketEnqueue), 0u);
+  EXPECT_EQ(sink.count(obs::EventKind::kPacketEnqueue),
+            sink.count(obs::EventKind::kPacketDequeue));
+  EXPECT_GT(sink.count(obs::EventKind::kOpportunity), 0u);
+  EXPECT_GT(sink.count(obs::EventKind::kRoundBoundary), 0u);
+  // The audit shared the same listener slot and still ran.
+  EXPECT_GT(result.audit_opportunities, 0u);
+  EXPECT_EQ(result.audit_violations, 0u);
+}
+
+TEST(TraceE2e, TracingDoesNotPerturbStandaloneResults) {
+  ScenarioConfig config;
+  config.horizon = 2000;
+  config.drain = true;
+  const ScenarioResult plain = run_scenario("err", config, small_workload());
+  obs::TraceSink sink;
+  config.trace = &sink;
+  const ScenarioResult traced = run_scenario("err", config, small_workload());
+  EXPECT_EQ(plain.end_cycle, traced.end_cycle);
+  EXPECT_EQ(plain.delays.packets(), traced.delays.packets());
+  EXPECT_DOUBLE_EQ(plain.delays.overall().mean(),
+                   traced.delays.overall().mean());
+}
+
+NetworkScenarioConfig small_network() {
+  NetworkScenarioConfig config;
+  config.network.topo = wormhole::TopologySpec::mesh(4, 4);
+  config.traffic.packets_per_node_per_cycle = 0.02;
+  config.traffic.inject_until = 600;
+  config.traffic.lengths = traffic::LengthSpec::uniform(1, 6);
+  config.traffic.pattern.kind = wormhole::PatternSpec::Kind::kUniform;
+  return config;
+}
+
+TEST(TraceE2e, NetworkRunExportsChromeJsonAndTimeline) {
+  const std::string dir = ::testing::TempDir();
+  NetworkScenarioConfig config = small_network();
+  config.audit = true;
+  config.trace.chrome_path = dir + "/ws_e2e_trace.json";
+  config.trace.timeline_csv = dir + "/ws_e2e_timeline.csv";
+  const NetworkScenarioResult result = run_network_scenario(config, 3);
+  EXPECT_GT(result.delivered_packets, 0u);
+  EXPECT_GT(result.trace_recorded, 0u);
+  EXPECT_EQ(result.audit_violations, 0u);
+
+  expect_chrome_json_well_formed(slurp(config.trace.chrome_path));
+  const std::string csv = slurp(config.trace.timeline_csv);
+  EXPECT_EQ(
+      csv.rfind("cycle,event,flow,node,id,units,allowance,surplus\n", 0), 0u);
+  EXPECT_NE(csv.find("flit_eject"), std::string::npos);
+  std::remove(config.trace.chrome_path.c_str());
+  std::remove(config.trace.timeline_csv.c_str());
+}
+
+TEST(TraceE2e, TracingDoesNotPerturbNetworkResults) {
+  NetworkScenarioConfig config = small_network();
+  const NetworkScenarioResult plain = run_network_scenario(config, 5);
+  const std::string path = ::testing::TempDir() + "/ws_e2e_perturb.json";
+  config.trace.chrome_path = path;
+  const NetworkScenarioResult traced = run_network_scenario(config, 5);
+  EXPECT_EQ(plain.end_cycle, traced.end_cycle);
+  EXPECT_EQ(plain.delivered_packets, traced.delivered_packets);
+  EXPECT_EQ(plain.delivered_flits, traced.delivered_flits);
+  EXPECT_DOUBLE_EQ(plain.latency.mean(), traced.latency.mean());
+  std::remove(path.c_str());
+}
+
+TEST(TraceE2e, EventMaskRestrictsRecordedKinds) {
+  NetworkScenarioConfig config = small_network();
+  config.trace.chrome_path = ::testing::TempDir() + "/ws_e2e_mask.json";
+  config.trace.mask = obs::event_bit(obs::EventKind::kFlitEject);
+  (void)run_network_scenario(config, 3);
+  const std::string json = slurp(config.trace.chrome_path);
+  EXPECT_NE(json.find("flit_eject"), std::string::npos);
+  EXPECT_EQ(json.find("flit_inject"), std::string::npos);
+  EXPECT_EQ(json.find("router_stall"), std::string::npos);
+  std::remove(config.trace.chrome_path.c_str());
+}
+
+TEST(TraceE2e, SweepWritesPerSeedTraceFiles) {
+  const std::string dir = ::testing::TempDir();
+  NetworkScenarioConfig config = small_network();
+  config.trace.chrome_path = dir + "/ws_e2e_sweep.json";
+  SweepOptions sweep;
+  sweep.base_seed = 9;
+  sweep.seeds = 2;
+  sweep.jobs = 2;
+  const SweepResult r = sweep_network(
+      config, sweep, [](const NetworkScenarioResult& run, SweepResult& out) {
+        out.add("delivered", static_cast<double>(run.delivered_packets));
+      });
+  EXPECT_GT(r.mean("delivered"), 0.0);
+  // Parallel workers each own a sink and a per-seed output path.
+  for (const std::uint64_t k : {0ull, 1ull}) {
+    const std::string path = obs::with_seed_suffix(config.trace.chrome_path, k);
+    expect_chrome_json_well_formed(slurp(path));
+    std::remove(path.c_str());
+  }
+}
+
+TEST(TraceE2e, FaultedRunRecordsFaultEvents) {
+  NetworkScenarioConfig config = small_network();
+  config.traffic.packets_per_node_per_cycle = 0.05;
+  config.faults = validate::FaultSpec::chaos(1);
+  config.trace.chrome_path = ::testing::TempDir() + "/ws_e2e_fault.json";
+  const NetworkScenarioResult result = run_network_scenario(config, 7);
+  EXPECT_GT(result.delivered_packets, 0u);
+  const std::string json = slurp(config.trace.chrome_path);
+  EXPECT_NE(json.find("\"cat\":\"fault\""), std::string::npos);
+  std::remove(config.trace.chrome_path.c_str());
+}
+
+}  // namespace
+}  // namespace wormsched::harness

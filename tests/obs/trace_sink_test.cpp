@@ -1,0 +1,141 @@
+// TraceSink unit tests: ring semantics (drop-oldest, snapshot order),
+// kind-mask filtering, note interning bounds, and --trace-events parsing.
+#include "obs/trace_sink.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wormsched::obs {
+namespace {
+
+TraceSink::Options small(std::size_t capacity,
+                         std::uint32_t mask = kAllEventsMask) {
+  TraceSink::Options o;
+  o.capacity = capacity;
+  o.mask = mask;
+  return o;
+}
+
+TEST(TraceSink, RecordsInOrderBelowCapacity) {
+  TraceSink sink(small(8));
+  for (Cycle t = 0; t < 5; ++t)
+    sink.record(TraceEvent::packet_enqueue(t, /*flow=*/2, /*packet=*/t, 3));
+  EXPECT_EQ(sink.size(), 5u);
+  EXPECT_EQ(sink.recorded(), 5u);
+  EXPECT_EQ(sink.dropped(), 0u);
+  const auto events = sink.snapshot();
+  ASSERT_EQ(events.size(), 5u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].cycle, i);
+    EXPECT_EQ(events[i].kind, EventKind::kPacketEnqueue);
+  }
+}
+
+TEST(TraceSink, FullRingDropsOldestAndSnapshotsOldestFirst) {
+  TraceSink sink(small(4));
+  for (Cycle t = 0; t < 10; ++t)
+    sink.record(TraceEvent::round_boundary(t, /*round=*/t, 0.0));
+  EXPECT_EQ(sink.size(), 4u);
+  EXPECT_EQ(sink.recorded(), 10u);
+  EXPECT_EQ(sink.dropped(), 6u);
+  const auto events = sink.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // The retained window is the most recent events, oldest first.
+  for (std::size_t i = 0; i < events.size(); ++i)
+    EXPECT_EQ(events[i].cycle, 6 + i);
+}
+
+TEST(TraceSink, MaskFiltersAndCounts) {
+  TraceSink sink(small(16, event_bit(EventKind::kOpportunity)));
+  sink.record(TraceEvent::opportunity(1, 0, 1, 2.0, 0.0));
+  sink.record(TraceEvent::round_boundary(1, 1, 0.0));
+  sink.record(TraceEvent::router_stall(2, 3, 0));
+  EXPECT_EQ(sink.size(), 1u);
+  EXPECT_EQ(sink.recorded(), 1u);
+  EXPECT_EQ(sink.filtered(), 2u);
+  EXPECT_EQ(sink.count(EventKind::kOpportunity), 1u);
+  EXPECT_EQ(sink.count(EventKind::kRoundBoundary), 0u);
+  EXPECT_TRUE(sink.wants(EventKind::kOpportunity));
+  EXPECT_FALSE(sink.wants(EventKind::kRouterStall));
+}
+
+TEST(TraceSink, PerKindCountersTrackAcceptedEvents) {
+  TraceSink sink(small(4));
+  for (std::uint64_t i = 0; i < 7; ++i)
+    sink.record(TraceEvent::flit_inject(i, 0, 0, i, 0));
+  // Ring overwrites don't decrement the lifetime per-kind counter.
+  EXPECT_EQ(sink.count(EventKind::kFlitInject), 7u);
+}
+
+TEST(TraceSink, ClockIsStampedByDriver) {
+  TraceSink sink;
+  EXPECT_EQ(sink.now(), 0u);
+  sink.set_now(42);
+  EXPECT_EQ(sink.now(), 42u);
+}
+
+TEST(TraceSink, ZeroCapacityClampsToOne) {
+  TraceSink sink(small(0));
+  EXPECT_EQ(sink.capacity(), 1u);
+  sink.record(TraceEvent::fault_link_stall(1));
+  sink.record(TraceEvent::fault_link_stall(2));
+  const auto events = sink.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].cycle, 2u);
+}
+
+TEST(TraceSink, NoteInterningIsBounded) {
+  TraceSink sink;
+  for (std::size_t i = 0; i < TraceSink::kNoteLimit; ++i) {
+    const std::uint32_t idx = sink.note("note " + std::to_string(i));
+    EXPECT_EQ(idx, i);
+  }
+  EXPECT_EQ(sink.note_count(), TraceSink::kNoteLimit);
+  // A violation storm reuses the last slot instead of growing memory.
+  const std::uint32_t overflow_idx = sink.note("storm");
+  EXPECT_EQ(overflow_idx, TraceSink::kNoteLimit - 1);
+  EXPECT_EQ(sink.note_count(), TraceSink::kNoteLimit);
+  EXPECT_EQ(sink.note_text(overflow_idx), "storm");
+  EXPECT_EQ(sink.note_text(0), "note 0");
+}
+
+TEST(ParseEventMask, AllSelectsEverything) {
+  std::string error;
+  const auto mask = parse_event_mask("all", &error);
+  ASSERT_TRUE(mask.has_value()) << error;
+  EXPECT_EQ(*mask, kAllEventsMask);
+}
+
+TEST(ParseEventMask, GroupsCompose) {
+  std::string error;
+  const auto mask = parse_event_mask("packet,fault", &error);
+  ASSERT_TRUE(mask.has_value()) << error;
+  EXPECT_EQ(*mask, event_bit(EventKind::kPacketEnqueue) |
+                       event_bit(EventKind::kPacketDequeue) |
+                       event_bit(EventKind::kFaultLinkStall) |
+                       event_bit(EventKind::kFaultCreditHold));
+}
+
+TEST(ParseEventMask, EveryDocumentedGroupParses) {
+  for (const char* group : {"packet", "opportunity", "round", "flit", "stall",
+                            "fault", "violation", "all"}) {
+    std::string error;
+    EXPECT_TRUE(parse_event_mask(group, &error).has_value())
+        << group << ": " << error;
+  }
+}
+
+TEST(ParseEventMask, UnknownGroupErrors) {
+  std::string error;
+  EXPECT_FALSE(parse_event_mask("packet,bogus", &error).has_value());
+  EXPECT_NE(error.find("bogus"), std::string::npos) << error;
+}
+
+TEST(ParseEventMask, EmptyListErrors) {
+  std::string error;
+  EXPECT_FALSE(parse_event_mask("", &error).has_value());
+  EXPECT_FALSE(parse_event_mask(",,", &error).has_value());
+  EXPECT_EQ(error, "empty event list");
+}
+
+}  // namespace
+}  // namespace wormsched::obs

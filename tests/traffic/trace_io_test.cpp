@@ -57,12 +57,53 @@ TEST(TraceIo, GeneratedTraceRoundTrip) {
   EXPECT_EQ(loaded.max_observed_length(), original.max_observed_length());
 }
 
-TEST(TraceIo, EmptyTrace) {
+TEST(TraceIo, HeaderOnlyTraceThrows) {
+  // Regression: a header-only trace used to load as num_flows == 0 and
+  // drive a zero-flow scheduler downstream.
   std::stringstream buffer;
   save_trace(buffer, Trace{});
+  EXPECT_THROW((void)load_trace(buffer), std::runtime_error);
+}
+
+TEST(TraceIo, HeaderOnlyErrorMentionsEntries) {
+  std::stringstream buffer("cycle,flow,length\n");
+  try {
+    (void)load_trace(buffer);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("no entries"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TraceIo, CrlfLineEndingsAccepted) {
+  // Regression: a CRLF-terminated file failed the header compare with a
+  // misleading "missing header" error.
+  std::stringstream buffer("cycle,flow,length\r\n1,0,2\r\n2,1,3\r\n");
   const Trace loaded = load_trace(buffer);
-  EXPECT_TRUE(loaded.entries.empty());
-  EXPECT_EQ(loaded.num_flows, 0u);
+  ASSERT_EQ(loaded.entries.size(), 2u);
+  EXPECT_EQ(loaded.num_flows, 2u);
+  EXPECT_EQ(loaded.entries[1].cycle, 2u);
+  EXPECT_EQ(loaded.entries[1].length, 3);
+}
+
+TEST(TraceIo, CrlfRoundTripMatchesLf) {
+  const Trace original = sample_trace();
+  std::stringstream lf;
+  save_trace(lf, original);
+  // Re-encode the same bytes with CRLF endings, as a Windows editor or
+  // `git config core.autocrlf` would.
+  std::string text = lf.str();
+  std::string crlf_text;
+  for (const char c : text) {
+    if (c == '\n') crlf_text += '\r';
+    crlf_text += c;
+  }
+  std::stringstream crlf(crlf_text);
+  const Trace loaded = load_trace(crlf);
+  ASSERT_EQ(loaded.entries.size(), original.entries.size());
+  EXPECT_EQ(loaded.num_flows, original.num_flows);
+  EXPECT_EQ(loaded.total_flits(), original.total_flits());
 }
 
 TEST(TraceIo, MissingHeaderThrows) {

@@ -12,7 +12,9 @@
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <optional>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -24,6 +26,10 @@
 #include "harness/sweep.hpp"
 #include "harness/workload_parse.hpp"
 #include "metrics/fairness.hpp"
+#include "obs/manifest.hpp"
+#include "obs/trace_cli.hpp"
+#include "obs/trace_export.hpp"
+#include "obs/trace_sink.hpp"
 #include "sim/engine.hpp"
 #include "traffic/trace_io.hpp"
 #include "validate/faults.hpp"
@@ -173,6 +179,7 @@ int cmd_run(int argc, const char* const* argv) {
   cli.add_flag("drain", "serve out all queues after the horizon");
   cli.add_flag("audit", "run the ERR invariant auditor during the run");
   validate::add_fault_options(cli);
+  obs::add_trace_options(cli);
   if (!cli.parse(argc, argv)) return 1;
 
   const auto workload = parse_or_die(cli.get("workload"));
@@ -185,6 +192,34 @@ int cmd_run(int argc, const char* const* argv) {
   config.audit = cli.get_flag("audit");
   validate::AuditLog audit_log;
   config.audit_log = &audit_log;
+
+  std::string trace_error;
+  const auto trace_request = obs::trace_request_from_cli(cli, &trace_error);
+  if (!trace_request) {
+    std::fprintf(stderr, "%s\n", trace_error.c_str());
+    return 1;
+  }
+  std::optional<obs::TraceSink> sink;
+  bool violation_window_dumped = false;
+  if (trace_request->enabled()) {
+    obs::TraceSink::Options sink_options;
+    sink_options.capacity = trace_request->capacity;
+    sink_options.mask = trace_request->mask;
+    sink.emplace(sink_options);
+    config.trace = &*sink;
+    // Auditor violations land in the trace, and the first one dumps the
+    // event window around it while it is still in the ring.
+    audit_log.set_on_report([&](const validate::Violation& v) {
+      sink->record(obs::TraceEvent::violation(
+          sink->now(), sink->note(v.check + ": " + v.detail)));
+      if (!violation_window_dumped && !trace_request->chrome_path.empty()) {
+        violation_window_dumped = true;
+        obs::write_chrome_trace_file(
+            trace_request->chrome_path + ".violation.json", *sink);
+      }
+    });
+  }
+
   traffic::Trace trace =
       traffic::generate_trace(workload.spec, config.horizon, config.seed);
   const validate::FaultSpec faults = validate::fault_spec_from_cli(cli);
@@ -195,6 +230,29 @@ int cmd_run(int argc, const char* const* argv) {
   const auto result =
       harness::run_scenario(cli.get("scheduler"), config, trace);
   print_flow_detail(result);
+
+  if (sink.has_value()) obs::export_trace(*trace_request, *sink);
+  const std::string manifest_path = obs::manifest_path_from_cli(cli);
+  if (!manifest_path.empty()) {
+    obs::RunManifest manifest =
+        obs::manifest_from_cli("wormsched run", cli, config.seed);
+    manifest.add_counter("end_cycle", static_cast<double>(result.end_cycle));
+    manifest.add_counter(
+        "served_flits",
+        static_cast<double>(result.service_log.grand_total()));
+    manifest.add_counter("mean_delay", result.delays.overall().mean());
+    manifest.add_counter(
+        "audit_opportunities",
+        static_cast<double>(result.audit_opportunities));
+    manifest.violations = result.audit_violations;
+    if (sink.has_value()) {
+      manifest.trace_path = trace_request->chrome_path;
+      manifest.trace_recorded = sink->recorded();
+      manifest.trace_dropped = sink->dropped();
+    }
+    manifest.write_file(manifest_path);
+  }
+
   if (config.audit) {
     std::printf("audit: %llu opportunities checked, %llu violation(s)\n",
                 static_cast<unsigned long long>(result.audit_opportunities),
@@ -231,9 +289,13 @@ int cmd_replay(int argc, const char* const* argv) {
   cli.add_option("scheduler", "scheduler name", "err");
   if (!cli.parse(argc, argv)) return 1;
 
-  const auto trace = traffic::load_trace_file(cli.get("trace"));
-  if (trace.entries.empty()) {
-    std::fprintf(stderr, "trace is empty\n");
+  // load_trace_file rejects malformed, header-only and unreadable traces
+  // with a message naming the offending line.
+  traffic::Trace trace;
+  try {
+    trace = traffic::load_trace_file(cli.get("trace"));
+  } catch (const std::runtime_error& e) {
+    std::fprintf(stderr, "%s\n", e.what());
     return 1;
   }
   harness::ScenarioConfig config;
@@ -260,6 +322,7 @@ int cmd_network(int argc, const char* const* argv) {
   cli.add_option("seeds", "seeds to average over (1 = single run)", "1");
   cli.add_flag("audit", "attach the conservation + ERR auditors");
   validate::add_fault_options(cli);
+  obs::add_trace_options(cli);
   add_jobs_option(cli);
   if (!cli.parse(argc, argv)) return 1;
 
@@ -303,9 +366,17 @@ int cmd_network(int argc, const char* const* argv) {
   point.traffic = traffic_config;
   point.faults = validate::fault_spec_from_cli(cli);
   point.audit = cli.get_flag("audit");
+  std::string trace_error;
+  const auto trace_request = obs::trace_request_from_cli(cli, &trace_error);
+  if (!trace_request) {
+    std::fprintf(stderr, "%s\n", trace_error.c_str());
+    return 1;
+  }
+  point.trace = *trace_request;
   if (point.faults.enabled)
     std::printf("%s\n", point.faults.describe().c_str());
 
+  const std::string manifest_path = obs::manifest_path_from_cli(cli);
   const std::size_t seeds = cli.get_uint("seeds");
   if (seeds <= 1) {
     const auto result =
@@ -320,6 +391,30 @@ int cmd_network(int argc, const char* const* argv) {
     std::printf("latency cycles: mean %.1f  min %.0f  max %.0f\n",
                 result.latency.mean(), result.latency.min(),
                 result.latency.max());
+    if (!manifest_path.empty()) {
+      obs::RunManifest manifest =
+          obs::manifest_from_cli("wormsched network", cli,
+                                 cli.get_uint("seed"));
+      manifest.add_counter("generated_packets",
+                           static_cast<double>(result.generated_packets));
+      manifest.add_counter("delivered_packets",
+                           static_cast<double>(result.delivered_packets));
+      manifest.add_counter("delivered_flits",
+                           static_cast<double>(result.delivered_flits));
+      manifest.add_counter("end_cycle",
+                           static_cast<double>(result.end_cycle));
+      manifest.add_counter("mean_latency", result.latency.mean());
+      manifest.add_counter("p99_latency", result.p99_latency);
+      manifest.add_counter("audit_checks",
+                           static_cast<double>(result.audit_checks));
+      manifest.violations = result.audit_violations;
+      if (point.trace.enabled()) {
+        manifest.trace_path = point.trace.chrome_path;
+        manifest.trace_recorded = result.trace_recorded;
+        manifest.trace_dropped = result.trace_dropped;
+      }
+      manifest.write_file(manifest_path);
+    }
     if (point.audit) {
       std::printf("audit: %llu cycle checks, %llu ERR opportunities, "
                   "%llu violation(s)\n",
@@ -353,6 +448,21 @@ int cmd_network(int argc, const char* const* argv) {
   std::printf("latency cycles:    mean %s  p99 %s\n",
               r.summary("mean_latency", 1).c_str(),
               r.summary("p99_latency", 0).c_str());
+  if (!manifest_path.empty()) {
+    obs::RunManifest manifest =
+        obs::manifest_from_cli("wormsched network", cli, sweep.base_seed);
+    manifest.add_counter("seeds", static_cast<double>(seeds));
+    manifest.add_counter("mean_delivered_packets", r.mean("delivered"));
+    manifest.add_counter("mean_drain_cycle", r.mean("drain_cycle"));
+    manifest.add_counter("mean_latency", r.mean("mean_latency"));
+    manifest.add_counter("mean_p99_latency", r.mean("p99_latency"));
+    if (point.audit)
+      manifest.violations = static_cast<std::uint64_t>(
+          r.mean("audit_violations") * static_cast<double>(seeds));
+    // Per-seed traces land next to the base path (trace.seedK.json).
+    if (point.trace.enabled()) manifest.trace_path = point.trace.chrome_path;
+    manifest.write_file(manifest_path);
+  }
   if (point.audit) {
     std::printf("audit violations:  %s\n",
                 r.summary("audit_violations", 0).c_str());
