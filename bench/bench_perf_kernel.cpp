@@ -10,19 +10,26 @@
 //      measured three ways: the legacy dense tick-everything loop, the
 //      active set with the dense full-scan router pipeline (the previous
 //      baseline), and the active set with the bitmask-sparse router
-//      pipeline (the production configuration).  All three runs are
-//      checked flit-for-flit identical; a fourth, instrumented run
-//      (never timed against the others) attaches the per-stage perf
-//      counters plus the invariant auditor and yields the stage
-//      breakdown;
+//      pipeline (the production configuration), plus two audited legs on
+//      the production configuration — the full-rescan auditor (the
+//      pre-incremental baseline) and the incremental dirty-set auditor —
+//      giving the audited-vs-unaudited overhead and the incremental
+//      speedup.  All runs are checked flit-for-flit identical; a final
+//      instrumented run (never timed against the others) attaches the
+//      per-stage perf counters plus the incremental auditor and yields
+//      the stage breakdown with the observer share;
 //   3. sweep-50seed — wall time of a 50-seed standalone sweep, serial vs
-//      --jobs workers (the parallel-sweep speedup claim; bounded by the
-//      machine's core count and skipped on single-thread machines, where
-//      it could only measure scheduling noise).
+//      --jobs workers.  The serial leg always runs and is always
+//      recorded; only the parallel comparison is skipped on
+//      single-thread machines, where it could only measure scheduling
+//      noise.
 // Prints an ASCII table and writes the machine-readable BENCH_perf.json
-// (schema wormsched-perf-v3) that reproduce.sh copies to the repo root.
+// (schema wormsched-perf-v4) that reproduce.sh copies to the repo root.
 // v2 added a provenance block — jobs, compiler, build type, git SHA; v3
-// adds the pipeline split, the stage breakdown and the sweep skip flag.
+// added the pipeline split, the stage breakdown and the sweep skip flag;
+// v4 adds the audited legs (audited/unaudited cycles_per_sec,
+// audited_speedup, audit_overhead, observer_share) and always records
+// the sweep's serial leg (parallel_skipped replaces skipped).
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -82,6 +89,8 @@ struct HotspotMode {
   bool dense_pipeline = false;
   metrics::PerfCounters* perf_counters = nullptr;
   bool audit = false;
+  validate::AuditMode audit_mode = validate::AuditMode::kIncremental;
+  bool audit_err = true;
 };
 
 NetworkRun run_hotspot(Cycle inject_cycles, double rate,
@@ -96,14 +105,28 @@ NetworkRun run_hotspot(Cycle inject_cycles, double rate,
   config.traffic.pattern.kind = wormhole::PatternSpec::Kind::kHotspot;
   config.perf_counters = mode.perf_counters;
   config.audit = mode.audit;
-  const auto start = std::chrono::steady_clock::now();
-  const NetworkScenarioResult result = run_network_scenario(config, 7);
+  config.audit_config.mode = mode.audit_mode;
+  config.audit_err = mode.audit_err;
+  // Three timed repetitions, keeping the fastest wall clock: the legs
+  // are compared as ratios, so scheduler noise on either side skews the
+  // headline numbers more than any real effect at these run lengths
+  // (the fast legs finish in tens of milliseconds, where a single
+  // scheduler preemption is a double-digit-percent error).  All
+  // repetitions are deterministic replays of the same seed, so the
+  // simulation outputs are identical; the instrumented run keeps one
+  // repetition (its counters must cover exactly one run).
+  const int reps = mode.perf_counters != nullptr ? 1 : 3;
   NetworkRun run;
-  run.wall_seconds = seconds_since(start);
-  run.cycles = result.end_cycle;
-  run.flits = result.delivered_flits;
-  run.delivered_packets = result.delivered_packets;
-  run.audit_violations = result.audit_violations;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    const NetworkScenarioResult result = run_network_scenario(config, 7);
+    const double wall = seconds_since(start);
+    if (rep == 0 || wall < run.wall_seconds) run.wall_seconds = wall;
+    run.cycles = result.end_cycle;
+    run.flits = result.delivered_flits;
+    run.delivered_packets = result.delivered_packets;
+    run.audit_violations = result.audit_violations;
+  }
   return run;
 }
 
@@ -151,7 +174,7 @@ std::string compiler_id() {
 int main(int argc, char** argv) {
   CliParser cli("simulator perf baseline: kernel + sweep throughput");
   cli.add_option("fig4-cycles", "standalone scenario horizon", "400000");
-  cli.add_option("hotspot-cycles", "8x8 hotspot injection cycles", "20000");
+  cli.add_option("hotspot-cycles", "8x8 hotspot injection cycles", "60000");
   cli.add_option("hotspot-rate", "packets/node/cycle into the hotspot run",
                  "0.006");
   cli.add_option("sweep-seeds", "seeds in the sweep scenario", "50");
@@ -208,8 +231,49 @@ int main(int argc, char** argv) {
           ? active_dense_pipeline.wall_seconds / active.wall_seconds
           : 0.0;
 
-  // Instrumented run: stage counters + invariant auditor.  Never timed
-  // against the runs above; its wall clock pays for both instruments.
+  // Audited legs on the production configuration: the every-cycle
+  // full-rescan auditor (the pre-incremental baseline) vs the
+  // incremental dirty-set auditor.  Both are timed uninstrumented; both
+  // must reproduce the unaudited run flit-for-flit with zero violations.
+  const NetworkRun audited_full = run_hotspot(
+      hotspot_cycles, hotspot_rate,
+      HotspotMode{/*dense_tick=*/false, /*dense_pipeline=*/false, nullptr,
+                  /*audit=*/true, validate::AuditMode::kFull,
+                  /*audit_err=*/false});
+  const NetworkRun audited_incremental = run_hotspot(
+      hotspot_cycles, hotspot_rate,
+      HotspotMode{/*dense_tick=*/false, /*dense_pipeline=*/false, nullptr,
+                  /*audit=*/true, validate::AuditMode::kIncremental,
+                  /*audit_err=*/false});
+  if (!same(audited_full, active) || !same(audited_incremental, active)) {
+    std::fprintf(stderr,
+                 "FATAL: audited runs diverged from the unaudited run\n");
+    return 1;
+  }
+  if (audited_full.audit_violations != 0 ||
+      audited_incremental.audit_violations != 0) {
+    std::fprintf(stderr,
+                 "FATAL: auditor violations in audited runs: %llu / %llu\n",
+                 static_cast<unsigned long long>(
+                     audited_full.audit_violations),
+                 static_cast<unsigned long long>(
+                     audited_incremental.audit_violations));
+    return 1;
+  }
+  // Incremental auditing vs the full-rescan baseline, and what auditing
+  // costs at all relative to the unaudited kernel.
+  const double audited_speedup =
+      audited_incremental.wall_seconds > 0.0
+          ? audited_full.wall_seconds / audited_incremental.wall_seconds
+          : 0.0;
+  const double audit_overhead =
+      active.wall_seconds > 0.0
+          ? audited_incremental.wall_seconds / active.wall_seconds
+          : 0.0;
+
+  // Instrumented run: stage counters + incremental invariant auditor.
+  // Never timed against the runs above; its wall clock pays for both
+  // instruments.
   metrics::PerfCounters counters;
   const NetworkRun instrumented = run_hotspot(
       hotspot_cycles, hotspot_rate,
@@ -226,6 +290,13 @@ int main(int argc, char** argv) {
                      instrumented.audit_violations));
     return 1;
   }
+  const std::uint64_t observer_ticks =
+      counters.total(metrics::Stage::kObserver).ticks;
+  const std::uint64_t grand_ticks = counters.grand_total_ticks();
+  const double observer_share =
+      grand_ticks > 0 ? static_cast<double>(observer_ticks) /
+                            static_cast<double>(grand_ticks)
+                      : 0.0;
 
   // The parallel sweep measurement needs real concurrency; on a single
   // hardware thread it would only measure scheduler noise, so it is
@@ -270,6 +341,20 @@ int main(int argc, char** argv) {
                 fixed(per_sec(static_cast<double>(active.flits),
                               active.wall_seconds), 0),
                 fixed(kernel_speedup, 2));
+  table.add_row("8x8 hotspot, audited (full rescan)",
+                fixed(audited_full.wall_seconds, 3),
+                fixed(per_sec(static_cast<double>(audited_full.cycles),
+                              audited_full.wall_seconds), 0),
+                fixed(per_sec(static_cast<double>(audited_full.flits),
+                              audited_full.wall_seconds), 0),
+                "1.00 (audit baseline)");
+  table.add_row("8x8 hotspot, audited (incremental)",
+                fixed(audited_incremental.wall_seconds, 3),
+                fixed(per_sec(static_cast<double>(audited_incremental.cycles),
+                              audited_incremental.wall_seconds), 0),
+                fixed(per_sec(static_cast<double>(audited_incremental.flits),
+                              audited_incremental.wall_seconds), 0),
+                fixed(audited_speedup, 2));
   table.add_row("sweep " + std::to_string(sweep_seeds) + " seeds, jobs=1",
                 fixed(sweep_serial, 3), "-", "-", "1.00 (baseline)");
   if (sweep_skipped) {
@@ -283,9 +368,10 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout);
   std::printf("(all hotspot runs verified flit-for-flit identical; sparse "
-              "vs dense-pipeline speedup %.2f;\n auditor violations in the "
-              "instrumented run: %llu)\n",
-              pipeline_speedup,
+              "vs dense-pipeline speedup %.2f;\n incremental audit "
+              "overhead %.2fx unaudited, observer share %.1f%%; auditor "
+              "violations: %llu)\n",
+              pipeline_speedup, audit_overhead, 100.0 * observer_share,
               static_cast<unsigned long long>(instrumented.audit_violations));
 
   AsciiTable stage_table(
@@ -315,7 +401,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::fprintf(out, "{\n");
-  std::fprintf(out, "  \"schema\": \"wormsched-perf-v3\",\n");
+  std::fprintf(out, "  \"schema\": \"wormsched-perf-v4\",\n");
   std::fprintf(out, "  \"hardware_threads\": %zu,\n", hardware_threads);
   std::fprintf(out, "  \"perf_counters_compiled\": %s,\n",
                metrics::kPerfCountersCompiled ? "true" : "false");
@@ -343,8 +429,15 @@ int main(int argc, char** argv) {
                "\"cycles_per_sec\": %.0f},\n"
                "      \"active_set\": {\"wall_seconds\": %.6f, "
                "\"cycles_per_sec\": %.0f},\n"
+               "      \"audited_full\": {\"wall_seconds\": %.6f, "
+               "\"cycles_per_sec\": %.0f},\n"
+               "      \"audited_incremental\": {\"wall_seconds\": %.6f, "
+               "\"cycles_per_sec\": %.0f},\n"
                "      \"kernel_speedup\": %.3f,\n"
                "      \"pipeline_speedup\": %.3f,\n"
+               "      \"audited_speedup\": %.3f,\n"
+               "      \"audit_overhead\": %.3f,\n"
+               "      \"observer_share\": %.4f,\n"
                "      \"audit_violations\": %llu,\n",
                static_cast<unsigned long long>(active.cycles),
                static_cast<unsigned long long>(active.flits),
@@ -356,7 +449,14 @@ int main(int argc, char** argv) {
                active.wall_seconds,
                per_sec(static_cast<double>(active.cycles),
                        active.wall_seconds),
-               kernel_speedup, pipeline_speedup,
+               audited_full.wall_seconds,
+               per_sec(static_cast<double>(audited_full.cycles),
+                       audited_full.wall_seconds),
+               audited_incremental.wall_seconds,
+               per_sec(static_cast<double>(audited_incremental.cycles),
+                       audited_incremental.wall_seconds),
+               kernel_speedup, pipeline_speedup, audited_speedup,
+               audit_overhead, observer_share,
                static_cast<unsigned long long>(
                    instrumented.audit_violations));
   std::fprintf(out, "      \"stage_breakdown\": {\"total_ticks\": %llu",
@@ -370,17 +470,21 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(total.calls));
   }
   std::fprintf(out, "}},\n");
+  // The serial leg always runs and is always recorded — it is a perf
+  // trajectory point in its own right; only the parallel comparison
+  // depends on real concurrency.
   if (sweep_skipped) {
     std::fprintf(out,
                  "    \"sweep_50seed\": {\"seeds\": %zu, \"jobs\": %zu, "
-                 "\"hardware_threads\": %zu, \"skipped\": true, "
-                 "\"serial_seconds\": %.6f}\n",
+                 "\"hardware_threads\": %zu, \"serial_seconds\": %.6f, "
+                 "\"parallel_skipped\": true}\n",
                  sweep_seeds, jobs, hardware_threads, sweep_serial);
   } else {
     std::fprintf(out,
                  "    \"sweep_50seed\": {\"seeds\": %zu, \"jobs\": %zu, "
-                 "\"hardware_threads\": %zu, \"skipped\": false, "
-                 "\"serial_seconds\": %.6f, \"parallel_seconds\": %.6f, "
+                 "\"hardware_threads\": %zu, \"serial_seconds\": %.6f, "
+                 "\"parallel_skipped\": false, "
+                 "\"parallel_seconds\": %.6f, "
                  "\"parallel_speedup\": %.3f}\n",
                  sweep_seeds, jobs, hardware_threads, sweep_serial,
                  sweep_parallel, sweep_speedup);
@@ -398,6 +502,9 @@ int main(int argc, char** argv) {
     manifest.add_config(name, value);
   manifest.add_counter("kernel_speedup", kernel_speedup);
   manifest.add_counter("pipeline_speedup", pipeline_speedup);
+  manifest.add_counter("audited_speedup", audited_speedup);
+  manifest.add_counter("audit_overhead", audit_overhead);
+  manifest.add_counter("observer_share", observer_share);
   manifest.add_counter("sweep_speedup", sweep_speedup);
   manifest.add_counter("hotspot_cycles",
                        static_cast<double>(active.cycles));

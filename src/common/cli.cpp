@@ -49,11 +49,32 @@ CliParser::CliParser(std::string program_description)
 
 void CliParser::add_option(const std::string& name, const std::string& help,
                            const std::string& default_value) {
-  options_[name] = Option{help, default_value, /*is_flag=*/false, {}};
+  options_[name] = Option{help, default_value, /*is_flag=*/false, {}, {}, {}};
 }
 
 void CliParser::add_flag(const std::string& name, const std::string& help) {
-  options_[name] = Option{help, "false", /*is_flag=*/true, {}};
+  options_[name] = Option{help, "false", /*is_flag=*/true, {}, {}, {}};
+}
+
+void CliParser::add_choice_flag(const std::string& name,
+                                const std::string& help,
+                                std::vector<std::string> choices,
+                                const std::string& bare_value,
+                                const std::string& default_value) {
+  WS_CHECK_MSG(!choices.empty(), "choice flag needs at least one choice");
+  const auto known = [&](const std::string& v) {
+    for (const auto& c : choices)
+      if (c == v) return true;
+    return false;
+  };
+  WS_CHECK_MSG(known(bare_value), "bare value must be a declared choice");
+  WS_CHECK_MSG(known(default_value), "default must be a declared choice");
+  options_[name] = Option{help,
+                          default_value,
+                          /*is_flag=*/false,
+                          {},
+                          std::move(choices),
+                          bare_value};
 }
 
 bool CliParser::parse(int argc, const char* const* argv) {
@@ -89,6 +110,23 @@ bool CliParser::parse(int argc, const char* const* argv) {
         return false;
       }
       opt.value = inline_value.value_or("true");
+    } else if (!opt.choices.empty()) {
+      // Choice flags never consume the next token, so scripts that used
+      // the option as a plain boolean (`--audit run.json`) keep working.
+      const std::string value = inline_value.value_or(opt.bare_value);
+      bool known = false;
+      for (const auto& c : opt.choices) known = known || c == value;
+      if (!known) {
+        std::string expect;
+        for (const auto& c : opt.choices) {
+          if (!expect.empty()) expect += "|";
+          expect += c;
+        }
+        std::fprintf(stderr, "option --%s: '%s' is not one of %s\n",
+                     name.c_str(), value.c_str(), expect.c_str());
+        return false;
+      }
+      opt.value = value;
     } else if (inline_value) {
       opt.value = *inline_value;
     } else {
@@ -166,9 +204,22 @@ std::string CliParser::usage(const std::string& program) const {
   std::string text = description_ + "\n\nusage: " + program + " [options]\n";
   for (const auto& [name, opt] : options_) {
     text += "  --" + name;
-    if (!opt.is_flag) text += " <value>";
+    if (!opt.choices.empty()) {
+      text += "[=";
+      for (std::size_t i = 0; i < opt.choices.size(); ++i) {
+        if (i != 0) text += "|";
+        text += opt.choices[i];
+      }
+      text += "]";
+    } else if (!opt.is_flag) {
+      text += " <value>";
+    }
     text += "\n      " + opt.help;
-    if (!opt.is_flag) text += " (default: " + opt.default_value + ")";
+    if (!opt.choices.empty())
+      text += " (bare: " + opt.bare_value +
+              "; default: " + opt.default_value + ")";
+    else if (!opt.is_flag)
+      text += " (default: " + opt.default_value + ")";
     text += "\n";
   }
   return text;

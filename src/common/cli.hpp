@@ -28,6 +28,16 @@ class CliParser {
   void add_option(const std::string& name, const std::string& help,
                   const std::string& default_value);
   void add_flag(const std::string& name, const std::string& help);
+  /// Declares an enumerated option that behaves like a flag on the
+  /// command line: it never consumes the next token, so `--audit run.json`
+  /// keeps `run.json` positional.  Bare `--name` reads back as
+  /// `bare_value`; `--name=choice` is validated against `choices` at
+  /// parse time; an absent option reads back as `default_value`.  Both
+  /// `bare_value` and `default_value` must themselves be in `choices`.
+  void add_choice_flag(const std::string& name, const std::string& help,
+                       std::vector<std::string> choices,
+                       const std::string& bare_value,
+                       const std::string& default_value);
 
   /// Parses argv.  Returns false (after printing usage) on error or when
   /// `--help` is requested.  Flag options accept inline values from
@@ -62,6 +72,10 @@ class CliParser {
     std::string default_value;
     bool is_flag = false;
     std::optional<std::string> value;
+    // Choice flags: non-empty `choices` marks the option; `bare_value` is
+    // what a value-less `--name` means.
+    std::vector<std::string> choices;
+    std::string bare_value;
   };
 
   std::string description_;

@@ -49,15 +49,17 @@ NetworkScenarioResult run_network_scenario(const NetworkScenarioConfig& config,
   // paper-bounds auditor; all of them share one violation log.  Tracing
   // subscribes to the same single-slot opportunity stream, so when both
   // are on one combined listener per arbiter feeds auditor then sink.
-  validate::AuditLog audit_log;
+  validate::AuditLog private_log;
+  validate::AuditLog& audit_log =
+      config.audit_log != nullptr ? *config.audit_log : private_log;
   std::optional<validate::NetworkAuditor> net_auditor;
   std::vector<std::unique_ptr<validate::ErrAuditor>> err_auditors;
   const bool trace_opportunities =
       sink != nullptr && sink->wants(obs::EventKind::kOpportunity);
   if (config.audit || trace_opportunities) {
     if (config.audit) {
-      net_auditor.emplace(validate::NetworkAuditorConfig{}, audit_log);
-      net.set_observer(&*net_auditor);
+      net_auditor.emplace(config.audit_config, audit_log);
+      net.attach_observer(&*net_auditor);
     }
     const std::uint32_t nodes = net.topology().num_nodes();
     const std::uint32_t vcs = net_config.router.num_vcs;
@@ -71,7 +73,7 @@ NetworkScenarioResult run_network_scenario(const NetworkScenarioConfig& config,
                   static_cast<wormhole::Direction>(d), cls));
           if (err == nullptr) continue;
           validate::ErrAuditor* audit_ptr = nullptr;
-          if (config.audit) {
+          if (config.audit && config.audit_err) {
             auto auditor = std::make_unique<validate::ErrAuditor>(
                 requesters, validate::ErrAuditorConfig{}, audit_log);
             audit_ptr = auditor.get();
@@ -86,7 +88,7 @@ NetworkScenarioResult run_network_scenario(const NetworkScenarioConfig& config,
                       sink->now(), op.flow.value(), op.round, op.allowance,
                       op.surplus_count, n, unit));
                 });
-          } else {
+          } else if (audit_ptr != nullptr) {
             audit_ptr->attach(err->policy());
           }
         }
@@ -130,11 +132,16 @@ NetworkScenarioResult run_network_scenario(const NetworkScenarioConfig& config,
   }
   result.p99_latency = q.quantile(0.99);
   if (config.audit) {
+    // Simulation-end flush: audits the tail window a sampled cadence
+    // never reaches, and cross-checks the incremental ledgers one last
+    // time against the full-scan oracle.
+    net_auditor->finish(end, net);
     result.audit_checks = net_auditor->checks_run();
+    result.audit_full_rescans = net_auditor->full_rescans();
     result.audit_violations = audit_log.count();
     for (const auto& auditor : err_auditors)
       result.audit_opportunities += auditor->opportunities();
-    net.set_observer(nullptr);
+    net.detach_observer(&*net_auditor);
   }
   if (sink != nullptr) {
     result.trace_recorded = sink->recorded();

@@ -17,6 +17,7 @@
 #include "metrics/perf_counters.hpp"
 #include "obs/trace_export.hpp"
 #include "validate/faults.hpp"
+#include "validate/network_auditor.hpp"
 #include "wormhole/network.hpp"
 #include "wormhole/patterns.hpp"
 
@@ -38,6 +39,21 @@ struct NetworkScenarioConfig {
   /// cycle (conservation + active-set), and an ErrAuditor subscribes to
   /// every ERR output arbiter in the fabric (paper bounds per port).
   bool audit = false;
+  /// NetworkAuditor tuning when `audit` is set: mode (incremental ledger
+  /// updates vs full rescans), check cadence, and the incremental mode's
+  /// periodic full-rescan cross-check.
+  validate::NetworkAuditorConfig audit_config;
+  /// When auditing, also subscribe an ErrAuditor to every ERR output
+  /// arbiter (paper bounds per port).  Off isolates the fabric
+  /// conservation auditor — the bench times it that way to attribute
+  /// audit cost to the network observer alone.
+  bool audit_err = true;
+  /// Optional external violation sink.  When null and audit is set, the
+  /// runner uses a private log and only the counts survive in the result
+  /// (Debug builds abort on the first violation either way).  Only
+  /// meaningful for single-seed runs — sweep workers would share it
+  /// unsynchronised.
+  validate::AuditLog* audit_log = nullptr;
   /// Per-stage perf-counter sink attached to the network for the run's
   /// duration (not owned; nullptr = uninstrumented).  Only meaningful for
   /// single-seed runs — sweeps share the sink across workers unsynchronised.
@@ -62,6 +78,7 @@ struct NetworkScenarioResult {
   double p99_latency = 0.0;
   /// Filled when NetworkScenarioConfig::audit ran.
   std::uint64_t audit_checks = 0;
+  std::uint64_t audit_full_rescans = 0;
   std::uint64_t audit_violations = 0;
   std::uint64_t audit_opportunities = 0;
   /// Filled when NetworkScenarioConfig::trace was enabled.

@@ -1,7 +1,6 @@
 #include "validate/network_auditor.hpp"
 
 #include <sstream>
-#include <vector>
 
 #include "common/assert.hpp"
 
@@ -32,13 +31,106 @@ NetworkAuditor::NetworkAuditor(const NetworkAuditorConfig& config,
   WS_CHECK(config.check_every >= 1);
 }
 
-void NetworkAuditor::on_cycle_end(Cycle now, const Network& network) {
-  if (now % config_.check_every != 0) return;
+void NetworkAuditor::on_cycle_end(Cycle now, const Network& network,
+                                  const wormhole::CycleDelta& delta) {
+  if (!initialized_) {
+    nodes_ = network.topology().num_nodes();
+    vcs_ = network.config().router.num_vcs;
+    depth_ = network.config().router.buffer_depth;
+    upn_ = kNumDirections * vcs_;
+    const std::size_t units =
+        static_cast<std::size_t>(nodes_) * kNumDirections * vcs_;
+    led_buffered_.assign(nodes_, 0);
+    led_credits_.assign(units, 0);
+    led_in_buf_.assign(units, 0);
+    led_wire_flits_.assign(units, 0);
+    led_wire_credits_.assign(units, 0);
+    led_live_.assign(nodes_, 0);
+    scratch_wire_flits_.assign(units, 0);
+    scratch_wire_credits_.assign(units, 0);
+    peer_key_.assign(units, SIZE_MAX);
+    const auto& topo = network.topology();
+    for (std::uint32_t n = 0; n < nodes_; ++n) {
+      for (std::uint32_t d = 1; d < kNumDirections; ++d) {  // kLocal: no wire
+        const auto dir = static_cast<Direction>(d);
+        const NodeId nbr = topo.neighbor(NodeId(n), dir);
+        if (!nbr.is_valid()) continue;
+        for (std::uint32_t cls = 0; cls < vcs_; ++cls)
+          peer_key_[unit_key(NodeId(n), dir, cls)] =
+              unit_key(nbr, opposite(dir), cls);
+      }
+    }
+    initialized_ = true;
+    if (config_.mode == AuditMode::kIncremental) {
+      // The first observed cycle's movements are already folded into the
+      // post-cycle state we snapshot, so this cycle's delta is not
+      // applied; the snapshot doubles as the initial oracle pass.
+      snapshot(network);
+      ++checks_;
+      ++full_rescans_;
+      full_scan(now, network);
+      // Seed the cadence counters: the next verify is the first cycle
+      // after this one divisible by check_every, and this pass consumed
+      // one check from the rescan/mask schedules.
+      next_check_ = (now / config_.check_every + 1) * config_.check_every;
+      rescan_countdown_ =
+          config_.full_rescan_every > 0 ? config_.full_rescan_every - 1 : 0;
+      mask_countdown_ =
+          config_.mask_check_every > 0 ? config_.mask_check_every - 1 : 0;
+      return;
+    }
+  }
+
+  if (config_.mode == AuditMode::kFull) {
+    if (now % config_.check_every != 0) return;
+    ++checks_;
+    full_scan(now, network);
+    return;
+  }
+
+  // Incremental: the ledgers must ingest every cycle's movements; only
+  // the verification pass is sampled by check_every.
+  const bool verify = now >= next_check_;
+  if (verify) {
+    next_check_ += config_.check_every;
+    ++checks_;
+  }
+  if (!ingest(now, network, delta, verify)) {
+    escalate(now, network);
+    return;
+  }
+  if (verify && rescan_countdown_ > 0 && --rescan_countdown_ == 0) {
+    rescan_countdown_ = config_.full_rescan_every;
+    full_rescan_crosscheck(now, network);
+  }
+}
+
+void NetworkAuditor::finish(Cycle now, const Network& network) {
+  if (finished_) return;
+  finished_ = true;
+  if (!initialized_) {
+    // Zero-cycle run: nothing ever ticked, but the fabric's constructed
+    // state is still checkable.  Borrow the observer path to initialize
+    // (it snapshots and full-scans in incremental mode).
+    const wormhole::CycleDelta empty;
+    on_cycle_end(now, network, empty);
+    return;
+  }
   ++checks_;
-  check_flit_conservation(now, network);
-  check_credit_conservation(now, network);
-  check_active_set(now, network);
-  check_router_masks(now, network);
+  if (config_.mode == AuditMode::kIncremental) {
+    full_rescan_crosscheck(now, network);
+  } else {
+    full_scan(now, network);
+  }
+}
+
+// --- Full-scan oracle --------------------------------------------------
+
+void NetworkAuditor::full_scan(Cycle now, const Network& net) {
+  check_flit_conservation(now, net);
+  check_credit_conservation(now, net);
+  check_active_set(now, net);
+  check_router_masks(now, net);
 }
 
 void NetworkAuditor::check_flit_conservation(Cycle now, const Network& net) {
@@ -58,42 +150,36 @@ void NetworkAuditor::check_flit_conservation(Cycle now, const Network& net) {
   }
 }
 
-void NetworkAuditor::check_credit_conservation(Cycle now,
-                                               const Network& net) {
-  const auto& topo = net.topology();
-  const std::uint32_t nodes = topo.num_nodes();
-  const std::uint32_t vcs = net.config().router.num_vcs;
-  const std::uint32_t depth = net.config().router.buffer_depth;
-  const auto key = [vcs](NodeId node, Direction d, std::uint32_t cls) {
-    return (static_cast<std::size_t>(node.value()) * kNumDirections +
-            static_cast<std::size_t>(d)) *
-               vcs +
-           cls;
-  };
-
-  // One pass over each wire, binned by (destination, port, class): a flit
-  // heading to (to, in, cls) came from exactly one upstream output, and a
-  // credit heading to (to, out, cls) replenishes exactly one output VC.
-  std::vector<std::uint32_t> wire_flits(
-      static_cast<std::size_t>(nodes) * kNumDirections * vcs, 0);
-  std::vector<std::uint32_t> wire_credits(wire_flits.size(), 0);
+void NetworkAuditor::bin_wires(const Network& net) {
+  scratch_wire_flits_.assign(scratch_wire_flits_.size(), 0);
+  scratch_wire_credits_.assign(scratch_wire_credits_.size(), 0);
   const auto& fw = net.flit_wire();
   for (std::size_t i = 0; i < fw.size(); ++i) {
     const Network::WireFlit& wf = fw[i];
-    ++wire_flits[key(wf.to, wf.in, wf.cls)];
+    ++scratch_wire_flits_[unit_key(wf.to, wf.in, wf.cls)];
   }
   const auto& cw = net.credit_wire();
   for (std::size_t i = 0; i < cw.size(); ++i) {
     const Network::WireCredit& wc = cw[i];
-    ++wire_credits[key(wc.to, wc.out, wc.cls)];
+    ++scratch_wire_credits_[unit_key(wc.to, wc.out, wc.cls)];
   }
   const auto& cq = net.credit_quarantine();
   for (std::size_t i = 0; i < cq.size(); ++i) {
     const Network::WireCredit& wc = cq[i];
-    ++wire_credits[key(wc.to, wc.out, wc.cls)];
+    ++scratch_wire_credits_[unit_key(wc.to, wc.out, wc.cls)];
   }
+}
 
-  for (std::uint32_t n = 0; n < nodes; ++n) {
+void NetworkAuditor::check_credit_conservation(Cycle now,
+                                               const Network& net) {
+  const auto& topo = net.topology();
+
+  // One pass over each wire, binned by (destination, port, class): a flit
+  // heading to (to, in, cls) came from exactly one upstream output, and a
+  // credit heading to (to, out, cls) replenishes exactly one output VC.
+  bin_wires(net);
+
+  for (std::uint32_t n = 0; n < nodes_; ++n) {
     const NodeId node(n);
     const auto& router = net.router(node);
     for (std::uint32_t d = 1; d < kNumDirections; ++d) {  // skip kLocal sink
@@ -101,22 +187,24 @@ void NetworkAuditor::check_credit_conservation(Cycle now,
       const NodeId neighbor = topo.neighbor(node, out);
       if (!neighbor.is_valid()) continue;  // mesh edge: port unused
       const Direction far_in = opposite(out);
-      for (std::uint32_t cls = 0; cls < vcs; ++cls) {
+      for (std::uint32_t cls = 0; cls < vcs_; ++cls) {
         const std::uint32_t total =
             router.output_credits(out, cls) +
-            wire_flits[key(neighbor, far_in, cls)] +
+            scratch_wire_flits_[unit_key(neighbor, far_in, cls)] +
             static_cast<std::uint32_t>(
                 net.router(neighbor).input_buffer_size(far_in, cls)) +
-            wire_credits[key(node, out, cls)];
-        if (total != depth) {
+            scratch_wire_credits_[unit_key(node, out, cls)];
+        if (total != depth_) {
           std::ostringstream os;
           os << "cycle=" << now << " router=" << n << " out=" << d
              << " cls=" << cls << ": credits="
              << router.output_credits(out, cls) << " + wire_flits="
-             << wire_flits[key(neighbor, far_in, cls)] << " + downstream_buf="
+             << scratch_wire_flits_[unit_key(neighbor, far_in, cls)]
+             << " + downstream_buf="
              << net.router(neighbor).input_buffer_size(far_in, cls)
-             << " + wire_credits=" << wire_credits[key(node, out, cls)]
-             << " != depth=" << depth;
+             << " + wire_credits="
+             << scratch_wire_credits_[unit_key(node, out, cls)]
+             << " != depth=" << depth_;
           log_.report("net.conservation.credits", os.str());
         }
       }
@@ -145,41 +233,301 @@ void NetworkAuditor::check_active_set(Cycle now, const Network& net) {
   }
 }
 
+void NetworkAuditor::check_one_router_masks(Cycle now, const Network& net,
+                                            std::uint32_t n) {
+  const auto& router = net.router(NodeId(n));
+  std::uint64_t routable = 0;
+  std::uint64_t requesting = 0;
+  std::uint64_t bound = 0;
+  for (std::uint32_t d = 0; d < kNumDirections; ++d) {
+    const auto dir = static_cast<Direction>(d);
+    for (std::uint32_t cls = 0; cls < vcs_; ++cls) {
+      const std::uint64_t unit_bit = std::uint64_t{1}
+                                     << router.unit(dir, cls);
+      if (!router.input_routed(dir, cls) &&
+          router.input_buffer_size(dir, cls) > 0) {
+        routable |= unit_bit;
+      }
+      if (router.arbiter(dir, cls).pending_total() > 0)
+        requesting |= unit_bit;
+      if (router.output_bound(dir, cls)) bound |= unit_bit;
+    }
+  }
+  const auto report = [&](const char* which, std::uint64_t expected,
+                          std::uint64_t actual) {
+    if (expected == actual) return;
+    std::ostringstream os;
+    os << "cycle=" << now << " router=" << n << " " << which
+       << " mask=" << std::hex << actual << " but flags imply "
+       << expected;
+    log_.report("net.masks.stale", os.str());
+  };
+  report("routable_inputs", routable, router.routable_inputs_mask());
+  report("requesting_outputs", requesting, router.requesting_outputs_mask());
+  report("bound_outputs", bound, router.bound_outputs_mask());
+}
+
 void NetworkAuditor::check_router_masks(Cycle now, const Network& net) {
   const std::uint32_t nodes = net.topology().num_nodes();
-  const std::uint32_t vcs = net.config().router.num_vcs;
-  for (std::uint32_t n = 0; n < nodes; ++n) {
-    const auto& router = net.router(NodeId(n));
-    std::uint64_t routable = 0;
-    std::uint64_t requesting = 0;
-    std::uint64_t bound = 0;
+  for (std::uint32_t n = 0; n < nodes; ++n)
+    check_one_router_masks(now, net, n);
+}
+
+// --- Incremental ledgers -----------------------------------------------
+
+void NetworkAuditor::snapshot(const Network& net) {
+  led_injected_ = net.injected_flits();
+  led_nic_ = net.nic_backlog_flits();
+  led_delivered_ = net.delivered_flits();
+  led_wire_flits_total_ = static_cast<std::int64_t>(net.flit_wire().size());
+  led_buffered_total_ = 0;
+  led_live_count_ = 0;
+  for (std::uint32_t n = 0; n < nodes_; ++n) {
+    const NodeId node(n);
+    const auto& router = net.router(node);
+    led_buffered_[n] = static_cast<std::int32_t>(router.buffered_flits());
+    led_buffered_total_ += static_cast<Flits>(led_buffered_[n]);
+    const bool live = net.router_live(node);
+    led_live_[n] = live ? 1 : 0;
+    if (live) ++led_live_count_;
     for (std::uint32_t d = 0; d < kNumDirections; ++d) {
       const auto dir = static_cast<Direction>(d);
-      for (std::uint32_t cls = 0; cls < vcs; ++cls) {
-        const std::uint64_t unit_bit = std::uint64_t{1}
-                                       << router.unit(dir, cls);
-        if (!router.input_routed(dir, cls) &&
-            router.input_buffer_size(dir, cls) > 0) {
-          routable |= unit_bit;
-        }
-        if (router.arbiter(dir, cls).pending_total() > 0)
-          requesting |= unit_bit;
-        if (router.output_bound(dir, cls)) bound |= unit_bit;
+      for (std::uint32_t cls = 0; cls < vcs_; ++cls) {
+        const std::size_t k = unit_key(node, dir, cls);
+        led_credits_[k] =
+            static_cast<std::int32_t>(router.output_credits(dir, cls));
+        led_in_buf_[k] =
+            static_cast<std::int32_t>(router.input_buffer_size(dir, cls));
       }
     }
-    const auto report = [&](const char* which, std::uint64_t expected,
-                            std::uint64_t actual) {
-      if (expected == actual) return;
-      std::ostringstream os;
-      os << "cycle=" << now << " router=" << n << " " << which
-         << " mask=" << std::hex << actual << " but flags imply "
-         << expected;
-      log_.report("net.masks.stale", os.str());
-    };
-    report("routable_inputs", routable, router.routable_inputs_mask());
-    report("requesting_outputs", requesting, router.requesting_outputs_mask());
-    report("bound_outputs", bound, router.bound_outputs_mask());
   }
+  bin_wires(net);
+  for (std::size_t k = 0; k < led_wire_flits_.size(); ++k) {
+    led_wire_flits_[k] = static_cast<std::int32_t>(scratch_wire_flits_[k]);
+    led_wire_credits_[k] =
+        static_cast<std::int32_t>(scratch_wire_credits_[k]);
+  }
+}
+
+bool NetworkAuditor::ingest(Cycle now, const Network& net,
+                            const wormhole::CycleDelta& delta, bool verify) {
+  // Every event site enrolls its router in the touched set, so an empty
+  // touched set with no NIC enqueues means the whole cycle was a no-op:
+  // no ledger changed, no fabric counter changed, and the previous
+  // verify's verdict still holds.
+  if (delta.touched.empty() && delta.enqueued_flits == 0) return true;
+
+  // --- Ledger updates (every cycle) ---------------------------------
+  led_injected_ += delta.enqueued_flits;
+  led_nic_ += delta.enqueued_flits;
+  for (const std::uint32_t n : delta.injections) {
+    --led_nic_;
+    ++led_buffered_[n];
+    ++led_buffered_total_;
+  }
+  for (const auto& e : delta.flits_from_wire) {
+    --led_wire_flits_[e.unit];
+    --led_wire_flits_total_;
+    ++led_in_buf_[e.unit];
+    ++led_buffered_[e.node];
+    ++led_buffered_total_;
+  }
+  for (const auto& e : delta.flits_to_wire) {
+    --led_credits_[e.unit];
+    ++led_wire_flits_[peer_key_[e.unit]];
+    ++led_wire_flits_total_;
+    --led_buffered_[e.node];
+    --led_buffered_total_;
+  }
+  for (const std::uint32_t n : delta.ejections) {
+    --led_buffered_[n];
+    --led_buffered_total_;
+    ++led_delivered_;
+  }
+  for (const auto& e : delta.credits_to_wire) {
+    --led_in_buf_[e.unit];
+    ++led_wire_credits_[peer_key_[e.unit]];
+  }
+  for (const auto& e : delta.credits_from_wire) {
+    --led_wire_credits_[e.unit];
+    ++led_credits_[e.unit];
+  }
+
+  bool ok = true;
+  const auto mismatch = [&](const char* check, const char* what,
+                            std::int64_t ledger, std::int64_t actual,
+                            std::uint32_t router, int port, int cls) {
+    std::ostringstream os;
+    os << "cycle=" << now << " " << what << " ledger=" << ledger
+       << " != fabric=" << actual;
+    if (router != UINT32_MAX) os << " router=" << router;
+    if (port >= 0) os << " port=" << port;
+    if (cls >= 0) os << " cls=" << cls;
+    log_.report(check, os.str());
+    ok = false;
+  };
+
+  // Touched routers: fold liveness flips into the active-set shadow
+  // (every cycle — the network guarantees every flip is in the touched
+  // set), and on verify cycles compare the per-router ledgers too.
+  bool check_masks = false;
+  if (verify && mask_countdown_ > 0 && --mask_countdown_ == 0) {
+    mask_countdown_ = config_.mask_check_every;
+    check_masks = true;
+  }
+  for (const std::uint32_t n : delta.touched) {
+    const NodeId node(n);
+    const bool live = net.router_live(node);
+    if (live != (led_live_[n] != 0)) {
+      led_live_[n] = live ? 1 : 0;
+      live ? ++led_live_count_ : --led_live_count_;
+    }
+    if (!verify) continue;
+    const auto& router = net.router(node);
+    if (led_buffered_[n] != static_cast<Flits>(router.buffered_flits()))
+      mismatch("net.ledger.buffered", "buffered_flits", led_buffered_[n],
+               router.buffered_flits(), n, -1, -1);
+    if (!router.drained() && !live) {
+      std::ostringstream os;
+      os << "cycle=" << now << " router=" << n
+         << " holds work but is not in the active set";
+      log_.report("net.active_set.lost", os.str());
+    }
+    if (check_masks) check_one_router_masks(now, net, n);
+  }
+  if (!verify) return true;
+
+  // Globals: O(1) compares against the fabric's own counters.
+  if (led_injected_ != net.injected_flits())
+    mismatch("net.ledger.injected", "injected_flits", led_injected_,
+             net.injected_flits(), UINT32_MAX, -1, -1);
+  if (led_nic_ != net.nic_backlog_flits())
+    mismatch("net.ledger.nic", "nic_backlog_flits", led_nic_,
+             net.nic_backlog_flits(), UINT32_MAX, -1, -1);
+  if (led_delivered_ != net.delivered_flits())
+    mismatch("net.ledger.delivered", "delivered_flits",
+             static_cast<std::int64_t>(led_delivered_),
+             static_cast<std::int64_t>(net.delivered_flits()), UINT32_MAX,
+             -1, -1);
+  if (led_wire_flits_total_ !=
+      static_cast<std::int64_t>(net.flit_wire().size()))
+    mismatch("net.ledger.wire", "flit_wire size", led_wire_flits_total_,
+             static_cast<std::int64_t>(net.flit_wire().size()), UINT32_MAX,
+             -1, -1);
+  // Ledger-side conservation identity: the event stream itself must not
+  // create or destroy flits.  Holds by construction of apply_delta unless
+  // the network under-reported a movement.
+  if (led_injected_ != led_nic_ + led_buffered_total_ +
+                           static_cast<Flits>(led_wire_flits_total_) +
+                           static_cast<Flits>(led_delivered_))
+    mismatch("net.ledger.flit_conservation", "injected vs parts",
+             led_injected_,
+             led_nic_ + led_buffered_total_ +
+                 static_cast<Flits>(led_wire_flits_total_) +
+                 static_cast<Flits>(led_delivered_),
+             UINT32_MAX, -1, -1);
+
+  if (led_live_count_ != net.live_router_count()) {
+    std::ostringstream os;
+    os << "cycle=" << now << " live flags=" << led_live_count_
+       << " but counter=" << net.live_router_count();
+    log_.report("net.active_set.count", os.str());
+  }
+
+  // Units this cycle's sends moved: the credit ledger vs the fabric's
+  // counter (credits gate sending, so every send re-checks the unit that
+  // just consumed one), plus the credit conservation sum over the four
+  // ledger terms (each event preserves the sum, so a wrong sum means the
+  // fabric leaked a credit or flit).  Per-unit input-buffer compares are
+  // deliberately absent from this fast path: a fabric input-buffer
+  // corruption shifts the same router's buffered aggregate, which the
+  // touched-router loop above compares every verify; a compensating
+  // intra-router split falls to the periodic full-rescan cross-check.
+  for (const auto& e : delta.flits_to_wire) {
+    const std::uint32_t local = e.unit - e.node * upn_;
+    const std::int64_t actual = static_cast<std::int64_t>(
+        net.router(NodeId(e.node)).output_credits_by_unit(local));
+    if (led_credits_[e.unit] != actual)
+      mismatch("net.ledger.credits", "output_credits", led_credits_[e.unit],
+               actual, e.node, static_cast<int>(local / vcs_),
+               static_cast<int>(local % vcs_));
+    const std::size_t kd = peer_key_[e.unit];
+    const std::int64_t sum = led_credits_[e.unit] + led_wire_flits_[kd] +
+                             led_in_buf_[kd] + led_wire_credits_[e.unit];
+    if (sum != static_cast<std::int64_t>(depth_))
+      mismatch("net.ledger.credit_sum", "credit sum", sum, depth_, e.node,
+               static_cast<int>(local / vcs_),
+               static_cast<int>(local % vcs_));
+  }
+  return ok;
+}
+
+void NetworkAuditor::full_rescan_crosscheck(Cycle now, const Network& net) {
+  ++full_rescans_;
+  full_scan(now, net);  // leaves the wire bins in the scratch arrays
+
+  bool drift = false;
+  const auto report_drift = [&](const std::string& what) {
+    log_.report("net.ledger.drift", "cycle=" + std::to_string(now) + " " +
+                                        what);
+    drift = true;
+  };
+  if (led_injected_ != net.injected_flits()) report_drift("injected");
+  if (led_nic_ != net.nic_backlog_flits()) report_drift("nic_backlog");
+  if (led_delivered_ != net.delivered_flits()) report_drift("delivered");
+  if (led_wire_flits_total_ !=
+      static_cast<std::int64_t>(net.flit_wire().size()))
+    report_drift("wire_flits_total");
+  Flits buffered_total = 0;
+  std::uint32_t live_count = 0;
+  for (std::uint32_t n = 0; n < nodes_; ++n) {
+    const NodeId node(n);
+    const auto& router = net.router(node);
+    buffered_total += router.buffered_flits();
+    if (net.router_live(node)) ++live_count;
+    if (led_buffered_[n] != static_cast<Flits>(router.buffered_flits()))
+      report_drift("buffered router=" + std::to_string(n));
+    if ((led_live_[n] != 0) != net.router_live(node))
+      report_drift("live router=" + std::to_string(n));
+    // Local units carry no credit protocol (and local pops emit no
+    // events), so only non-local units have exact per-unit ledgers.
+    for (std::uint32_t d = 1; d < kNumDirections; ++d) {
+      const auto dir = static_cast<Direction>(d);
+      for (std::uint32_t cls = 0; cls < vcs_; ++cls) {
+        const std::size_t k = unit_key(node, dir, cls);
+        if (led_credits_[k] !=
+            static_cast<std::int64_t>(router.output_credits(dir, cls)))
+          report_drift("credits router=" + std::to_string(n) +
+                       " port=" + std::to_string(d) +
+                       " cls=" + std::to_string(cls));
+        if (led_in_buf_[k] != static_cast<std::int64_t>(
+                                  router.input_buffer_size(dir, cls)))
+          report_drift("in_buf router=" + std::to_string(n) +
+                       " port=" + std::to_string(d) +
+                       " cls=" + std::to_string(cls));
+        if (led_wire_flits_[k] !=
+            static_cast<std::int64_t>(scratch_wire_flits_[k]))
+          report_drift("wire_flits router=" + std::to_string(n) +
+                       " port=" + std::to_string(d) +
+                       " cls=" + std::to_string(cls));
+        if (led_wire_credits_[k] !=
+            static_cast<std::int64_t>(scratch_wire_credits_[k]))
+          report_drift("wire_credits router=" + std::to_string(n) +
+                       " port=" + std::to_string(d) +
+                       " cls=" + std::to_string(cls));
+      }
+    }
+  }
+  if (led_buffered_total_ != buffered_total)
+    report_drift("buffered_total");
+  if (led_live_count_ != live_count) report_drift("live_count");
+  if (drift) snapshot(net);  // resync so one fault does not cascade
+}
+
+void NetworkAuditor::escalate(Cycle now, const Network& net) {
+  ++full_rescans_;
+  full_scan(now, net);
+  snapshot(net);
 }
 
 }  // namespace wormsched::validate

@@ -1,7 +1,7 @@
 // Runtime conservation auditor for the wormhole network.
 //
-// Hooks Network's cycle-end observer and checks, every check_every
-// cycles, that nothing the fabric carries is created or destroyed:
+// Hooks Network's cycle-end observer and checks that nothing the fabric
+// carries is created or destroyed:
 //
 //   * Flit conservation — every flit ever injected is exactly one of:
 //     still queued at its source NIC, buffered in a router input VC, in
@@ -17,42 +17,180 @@
 //     bitmasks match what the per-unit flags imply (the bitmask-sparse
 //     pipeline trusts the masks to decide which units to visit).
 //
+// Two modes.  kFull re-derives everything from scratch each check — an
+// O(fabric) rescan whose cost dominated audited runs (~58% of mesh8x8
+// stage ticks in the v3 baseline).  kIncremental (the default) instead
+// maintains running ledgers mirroring the fabric's counters and updates
+// them in O(touched) from the CycleDelta the network collects; each
+// cycle it compares the ledgers against the actual state of only the
+// units that moved, escalating to the full-scan oracle the moment
+// anything disagrees, and cross-checks the whole ledger set against a
+// full rescan every `full_rescan_every` checks.  The full scan is kept
+// verbatim as the oracle, so both modes report canonical violation ids
+// and payloads when the fabric itself is broken; incremental-only
+// discrepancies (ledger vs fabric drift) use distinct `net.ledger.*`
+// ids.
+//
 // The checks hold with fault injection enabled — faults delay flits and
 // credits but never drop them — so fault runs stress the invariants, not
 // the checker.  Violations go to the shared AuditLog with cycle, router
-// and port context.
+// and port context.  Call finish() when the simulation ends: it flushes
+// the tail window a `check_every > 1` cadence would otherwise leave
+// unaudited and runs one last full-scan cross-check.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "validate/violation.hpp"
 #include "wormhole/network.hpp"
 
 namespace wormsched::validate {
 
+/// How the auditor derives its verdicts.  (An "off" setting is a harness
+/// concern: not attaching the auditor at all.)
+enum class AuditMode {
+  /// O(touched) ledger updates per cycle + periodic full-rescan
+  /// cross-check.  Needs the network's CycleDelta (wants_delta()).
+  kIncremental,
+  /// Full O(fabric) rescan every checked cycle (the oracle).
+  kFull,
+};
+
 struct NetworkAuditorConfig {
-  /// Conservation is O(routers + wire occupancy) per check; raise this to
-  /// sample on longer runs.  The cycle-end hook still fires every cycle.
+  AuditMode mode = AuditMode::kIncremental;
+  /// Verification cadence.  In kFull mode the whole rescan is skipped on
+  /// off cycles; in kIncremental mode ledgers still ingest every cycle's
+  /// delta (they must) and only the compare pass is sampled.  The
+  /// cycle-end hook itself fires every cycle.
   Cycle check_every = 1;
+  /// kIncremental only: every this-many checks, cross-check every ledger
+  /// against a full rescan and run the oracle checks outright.  Bounds
+  /// how long silent ledger drift could hide; 0 disables periodic
+  /// rescans (finish() still runs one).
+  Cycle full_rescan_every = 256;
+  /// kIncremental only: cadence of the per-touched-router pending-mask
+  /// re-derivation, the costliest O(touched) check (~num_units flag
+  /// reads per router).  Sampled checks plus the periodic full rescan
+  /// still bound staleness; 1 restores every-check derivation.
+  Cycle mask_check_every = 16;
 };
 
 class NetworkAuditor final : public wormhole::NetworkObserver {
  public:
   NetworkAuditor(const NetworkAuditorConfig& config, AuditLog& log);
 
-  void on_cycle_end(Cycle now, const wormhole::Network& network) override;
+  void on_cycle_end(Cycle now, const wormhole::Network& network,
+                    const wormhole::CycleDelta& delta) override;
+  [[nodiscard]] bool wants_delta() const override {
+    return config_.mode == AuditMode::kIncremental;
+  }
+
+  /// Simulation-end flush: audits the tail window that a sampled cadence
+  /// (`check_every > 1`) never reaches, and in incremental mode runs a
+  /// final full-rescan cross-check of every ledger.  Idempotent per run;
+  /// the harness calls it after the last tick.
+  void finish(Cycle now, const wormhole::Network& network);
 
   [[nodiscard]] std::uint64_t checks_run() const { return checks_; }
+  /// Full O(fabric) rescans performed (every check in kFull mode; the
+  /// snapshot, periodic cross-checks, escalations, and finish() in
+  /// kIncremental mode).
+  [[nodiscard]] std::uint64_t full_rescans() const { return full_rescans_; }
 
  private:
+  // --- Full-scan oracle (canonical violation ids/payloads) -----------
+  void full_scan(Cycle now, const wormhole::Network& net);
   void check_flit_conservation(Cycle now, const wormhole::Network& net);
   void check_credit_conservation(Cycle now, const wormhole::Network& net);
   void check_active_set(Cycle now, const wormhole::Network& net);
   void check_router_masks(Cycle now, const wormhole::Network& net);
+  void check_one_router_masks(Cycle now, const wormhole::Network& net,
+                              std::uint32_t n);
+  /// Bins both wires + the quarantine into the scratch arrays.
+  void bin_wires(const wormhole::Network& net);
+
+  // --- Incremental ledgers -------------------------------------------
+  [[nodiscard]] std::size_t unit_key(NodeId node, wormhole::Direction d,
+                                     std::uint32_t cls) const {
+    return (static_cast<std::size_t>(node.value()) *
+                wormhole::kNumDirections +
+            static_cast<std::size_t>(d)) *
+               vcs_ +
+           cls;
+  }
+  /// Seeds every ledger from the network's actual state (also the resync
+  /// path after an escalation).
+  void snapshot(const wormhole::Network& net);
+  /// Folds one cycle's movements into the ledgers (every cycle) and, when
+  /// `verify` is set, compares ledger against fabric for everything the
+  /// cycle touched; returns false on any mismatch (caller escalates).
+  /// One function because the touched-router walk serves both duties and
+  /// per-unit compares must run after the whole delta has been applied
+  /// (one unit can appear in several event streams in the same cycle).
+  [[nodiscard]] bool ingest(Cycle now, const wormhole::Network& net,
+                            const wormhole::CycleDelta& delta, bool verify);
+  /// Compares every ledger against a fresh full scan (`net.ledger.drift`
+  /// on mismatch) and runs the oracle checks.
+  void full_rescan_crosscheck(Cycle now, const wormhole::Network& net);
+  /// A ledger/fabric mismatch means either the fabric broke an invariant
+  /// or the delta stream lied: run the oracle for a canonical verdict,
+  /// then resync so one fault does not cascade into a report per cycle.
+  void escalate(Cycle now, const wormhole::Network& net);
 
   NetworkAuditorConfig config_;
   AuditLog& log_;
   std::uint64_t checks_ = 0;
+  std::uint64_t full_rescans_ = 0;
+  bool finished_ = false;
+
+  // Cadence state (kIncremental): the hook runs every cycle, so the
+  // `now % check_every` / `checks_ % N` schedules are tracked with a
+  // next-cycle mark and countdowns instead of three 64-bit divisions per
+  // cycle on the hot path.  Firing cycles are identical to the modulo
+  // forms.
+  Cycle next_check_ = 0;
+  std::uint64_t rescan_countdown_ = 0;
+  std::uint64_t mask_countdown_ = 0;
+
+  // Geometry, cached at first observation.
+  std::uint32_t nodes_ = 0;
+  std::uint32_t vcs_ = 0;
+  std::uint32_t depth_ = 0;
+  std::uint32_t upn_ = 0;  // units per node: kNumDirections * vcs_
+  bool initialized_ = false;
+
+  // Ledger state (kIncremental).  Globals are whole-fabric counters;
+  // per-unit vectors are keyed by unit_key().  Local input units carry no
+  // credit protocol (no returning credit event), so they are tracked only
+  // through the per-router buffered aggregate, never per unit.
+  Flits led_injected_ = 0;
+  Flits led_nic_ = 0;
+  Flits led_buffered_total_ = 0;
+  std::int64_t led_wire_flits_total_ = 0;
+  std::uint64_t led_delivered_ = 0;
+  // Per-router/per-unit ledgers are int32 on purpose: every value is
+  // bounded by buffer_depth or one router's occupancy, and the narrow
+  // type halves the cache footprint the per-event hot loops walk.
+  std::vector<std::int32_t> led_buffered_;    // per router
+  std::vector<std::int32_t> led_credits_;     // per output unit
+  std::vector<std::int32_t> led_in_buf_;      // per non-local input unit
+  std::vector<std::int32_t> led_wire_flits_;  // keyed by (to, in, cls)
+  std::vector<std::int32_t> led_wire_credits_;  // keyed by (to, out, cls)
+  std::vector<std::uint8_t> led_live_;        // active-set shadow
+  std::uint32_t led_live_count_ = 0;
+
+  // peer_key_[unit_key(node, d, cls)] = unit_key(neighbor(node, d),
+  // opposite(d), cls): the downstream wire bin a movement out of (or into)
+  // that port lands in, precomputed so the per-event hot path never calls
+  // into the topology.  SIZE_MAX for local ports and mesh edges — wire
+  // events never occur there.
+  std::vector<std::size_t> peer_key_;
+
+  // Scratch for wire binning, reused by every full scan so a rescan in
+  // steady state allocates nothing.
+  std::vector<std::uint32_t> scratch_wire_flits_;
+  std::vector<std::uint32_t> scratch_wire_credits_;
 };
 
 }  // namespace wormsched::validate

@@ -18,6 +18,7 @@ Network::Network(const NetworkConfig& config)
     routers_.emplace_back(NodeId(n), config.router);
   nics_.resize(topo_.num_nodes());
   router_live_.resize(topo_.num_nodes(), 0);
+  touched_flag_.resize(topo_.num_nodes(), 0);
   latency_by_source_.resize(topo_.num_nodes());
 }
 
@@ -31,6 +32,18 @@ void Network::inject(Cycle, const PacketDescriptor& packet) {
   nic_backlog_flits_ += packet.length;
   injected_flits_ += packet.length;
   ++injected_;
+  // inject() runs between ticks (traffic sources fire before the
+  // network), so the enqueue lands in the delta the next tick publishes.
+  if (collect_delta_) delta_.enqueued_flits += packet.length;
+}
+
+void Network::refresh_delta_collection() {
+  const bool want = observers_.any_wants_delta();
+  if (collect_delta_ && !want) {
+    for (const std::uint32_t n : delta_.touched) touched_flag_[n] = 0;
+    delta_.clear();
+  }
+  collect_delta_ = want;
 }
 
 void Network::mark_live(std::size_t index) {
@@ -63,10 +76,21 @@ void Network::send_flit(NodeId from, Direction out, const Flit& flit) {
                                 opposite(out),
                                 static_cast<std::uint32_t>(flit.vc_class.value()),
                                 flit});
+  if (collect_delta_) {
+    touch(from.index());
+    delta_.flits_to_wire.push_back(CycleDelta::UnitEvent{
+        delta_unit(from, out,
+                   static_cast<std::uint32_t>(flit.vc_class.value())),
+        from.value()});
+  }
 }
 
 void Network::eject(NodeId node, const Flit& flit, Cycle now) {
   ++delivered_flits_;
+  if (collect_delta_) {
+    touch(node.index());
+    delta_.ejections.push_back(node.value());
+  }
   WS_CHECK_MSG(flit.dest == node, "flit ejected at the wrong node");
   const bool tail = is_tail(flit.type);
   double latency = 0.0;
@@ -90,6 +114,11 @@ void Network::send_credit(NodeId node, Direction in, std::uint32_t cls) {
   WS_CHECK(upstream.is_valid());
   credit_wire_.push_back(
       WireCredit{now_ + config_.link_latency, upstream, opposite(in), cls});
+  if (collect_delta_) {
+    touch(node.index());
+    delta_.credits_to_wire.push_back(
+        CycleDelta::UnitEvent{delta_unit(node, in, cls), node.value()});
+  }
 }
 
 RouteDecision Network::route(NodeId node, const Flit& flit, Direction in_from,
@@ -132,6 +161,11 @@ void Network::tick(Cycle now) {
       const WireCredit wc = credit_quarantine_.pop_front();
       routers_[wc.to.index()].accept_credit(wc.out, wc.cls);
       mark_live(wc.to.index());
+      if (collect_delta_) {
+        touch(wc.to.index());
+        delta_.credits_from_wire.push_back(CycleDelta::UnitEvent{
+            delta_unit(wc.to, wc.out, wc.cls), wc.to.value()});
+      }
     }
 
     // 1. Wire delivery (constant latency -> FIFO order).  An arriving
@@ -143,6 +177,11 @@ void Network::tick(Cycle now) {
         const WireFlit wf = flit_wire_.pop_front();
         routers_[wf.to.index()].accept_flit(wf.in, wf.cls, wf.flit);
         mark_live(wf.to.index());
+        if (collect_delta_) {
+          touch(wf.to.index());
+          delta_.flits_from_wire.push_back(CycleDelta::UnitEvent{
+              delta_unit(wf.to, wf.in, wf.cls), wf.to.value()});
+        }
       }
     } else if (trace_ != nullptr && !flit_wire_.empty() &&
                flit_wire_.front().arrive <= now) {
@@ -166,6 +205,11 @@ void Network::tick(Cycle now) {
       }
       routers_[wc.to.index()].accept_credit(wc.out, wc.cls);
       mark_live(wc.to.index());
+      if (collect_delta_) {
+        touch(wc.to.index());
+        delta_.credits_from_wire.push_back(CycleDelta::UnitEvent{
+            delta_unit(wc.to, wc.out, wc.cls), wc.to.value()});
+      }
     }
   }
 
@@ -201,6 +245,10 @@ void Network::tick(Cycle now) {
         trace_->record(obs::TraceEvent::flit_inject(
             now, n, flit.flow.value(), flit.packet.value(), flit.index));
       mark_live(n);
+      if (collect_delta_) {
+        touch(n);
+        delta_.injections.push_back(n);
+      }
       --nic_backlog_flits_;
       if (tail) {
         (void)nic.queue.pop_front();
@@ -220,7 +268,12 @@ void Network::tick(Cycle now) {
   if (config_.dense_tick) {
     for (std::uint32_t n = 0; n < routers_.size(); ++n) {
       routers_[n].tick(now, *this);
-      set_live(n, !routers_[n].drained());
+      const bool live_now = !routers_[n].drained();
+      // Every event site touches its router, so the only liveness change
+      // an event does not already cover is this transition.
+      if (collect_delta_ && static_cast<bool>(router_live_[n]) != live_now)
+        touch(n);
+      set_live(n, live_now);
     }
   } else if (live_routers_ != 0) {
     // Router ticks never enroll *other* routers mid-scan (new work only
@@ -231,15 +284,27 @@ void Network::tick(Cycle now) {
       if (!router_live_[n]) continue;
       --remaining;
       routers_[n].tick(now, *this);
-      if (routers_[n].drained()) set_live(n, false);
+      if (routers_[n].drained()) {
+        set_live(n, false);
+        // The one liveness change with no event of its own: a credit can
+        // wake an already-drained router, whose next tick is a no-op that
+        // idles it again.  The drain itself enrolls it in the touched set.
+        if (collect_delta_) touch(n);
+      }
     }
   }
 
-  // 4. The auditor (if any) sees the settled post-cycle state — identical
-  // in the active-set and dense paths by construction.
-  if (observer_ != nullptr) {
+  // 4. Observers (auditor, probes) see the settled post-cycle state —
+  // identical in the active-set and dense paths by construction — plus
+  // this cycle's delta.  The delta is cleared after dispatch; its vectors
+  // keep their capacity, so steady state allocates nothing.
+  if (!observers_.empty()) {
     metrics::ScopedStageTimer timer(perf_, metrics::Stage::kObserver);
-    observer_->on_cycle_end(now, *this);
+    observers_.on_cycle_end(now, *this, delta_);
+    if (collect_delta_) {
+      for (const std::uint32_t n : delta_.touched) touched_flag_[n] = 0;
+      delta_.clear();
+    }
   }
 }
 

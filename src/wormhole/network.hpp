@@ -17,22 +17,11 @@
 #include "sim/engine.hpp"
 #include "wormhole/fault_hooks.hpp"
 #include "wormhole/flit.hpp"
+#include "wormhole/observer.hpp"
 #include "wormhole/router.hpp"
 #include "wormhole/topology.hpp"
 
 namespace wormsched::wormhole {
-
-class Network;
-
-/// Observes the network after every completed cycle.  The runtime
-/// invariant auditor (src/validate) implements this to check flit/credit
-/// conservation and active-set consistency while a run is in flight; the
-/// read-only audit accessors on Network/Router exist for it.
-class NetworkObserver {
- public:
-  virtual ~NetworkObserver() = default;
-  virtual void on_cycle_end(Cycle now, const Network& network) = 0;
-};
 
 struct NetworkConfig {
   enum class Routing {
@@ -124,9 +113,28 @@ class Network final : public sim::Component, private RouterEnv {
   [[nodiscard]] std::vector<Flits> delivered_flits_by_flow(
       std::size_t num_flows) const;
 
-  /// At most one observer (not owned); notified after every tick in both
-  /// the active-set and dense paths.  Pass nullptr to detach.
-  void set_observer(NetworkObserver* observer) { observer_ = observer; }
+  /// Attaches a cycle-end observer (not owned; must outlive its
+  /// attachment).  Any number may be attached at once — the auditor, a
+  /// trace probe, and ad-hoc test hooks compose — and all are notified in
+  /// attachment order after every tick in both the active-set and dense
+  /// paths.  An observer whose wants_delta() returns true switches on
+  /// CycleDelta collection for the whole fabric; wants_delta() is
+  /// re-sampled only at attach/detach time, so its answer must be stable
+  /// while attached.
+  void attach_observer(NetworkObserver* observer) {
+    observers_.attach(observer);
+    refresh_delta_collection();
+  }
+  /// Detaches `observer`; a no-op if it is not attached.  Delta
+  /// collection stops (and any half-built delta is discarded) once no
+  /// remaining observer wants it.
+  void detach_observer(NetworkObserver* observer) {
+    observers_.detach(observer);
+    refresh_delta_collection();
+  }
+  [[nodiscard]] const ObserverMux& observers() const { return observers_; }
+  /// Whether the network is accumulating a CycleDelta each tick.
+  [[nodiscard]] bool collecting_delta() const { return collect_delta_; }
 
   /// Attaches a per-stage perf-counter sink (not owned) to the network
   /// and every router; nullptr (the default) detaches and keeps the hot
@@ -190,6 +198,26 @@ class Network final : public sim::Component, private RouterEnv {
   /// Sets router `index`'s active flag outright (dense-mode bookkeeping).
   void set_live(std::size_t index, bool live);
 
+  /// Adds router `index` to the cycle's touched set (idempotent; callers
+  /// guard on collect_delta_).
+  void touch(std::size_t index) {
+    if (touched_flag_[index]) return;
+    touched_flag_[index] = 1;
+    delta_.touched.push_back(static_cast<std::uint32_t>(index));
+  }
+  /// Global unit key for CycleDelta events (see UnitEvent in
+  /// observer.hpp); emission sites precompute it so consumers pay no
+  /// per-event arithmetic.
+  [[nodiscard]] std::uint32_t delta_unit(NodeId node, Direction d,
+                                         std::uint32_t cls) const {
+    return (node.value() * kNumDirections + static_cast<std::uint32_t>(d)) *
+               config_.router.num_vcs +
+           cls;
+  }
+  /// Re-derives collect_delta_ from the attached observers; discards any
+  /// half-built delta when collection switches off.
+  void refresh_delta_collection();
+
   NetworkConfig config_;
   Topology topo_;
   std::vector<Router> routers_;
@@ -207,7 +235,14 @@ class Network final : public sim::Component, private RouterEnv {
   std::uint64_t delivered_flits_ = 0;
   Flits injected_flits_ = 0;
   Flits nic_backlog_flits_ = 0;
-  NetworkObserver* observer_ = nullptr;
+  ObserverMux observers_;
+  // Per-cycle movement record handed to observers.  Collection runs only
+  // while some attached observer wants it (collect_delta_); the vectors
+  // are cleared — never shrunk — after dispatch, so steady-state
+  // collection allocates nothing.  touched_flag_ dedups the touched list.
+  CycleDelta delta_;
+  std::vector<std::uint8_t> touched_flag_;
+  bool collect_delta_ = false;
   Cycle now_ = 0;  // cached for send_flit latency stamping
   // Active-set bookkeeping.  router_live_[n] means router n must tick
   // this cycle (it holds work or just received a flit/credit); the

@@ -1,0 +1,144 @@
+// Composable network observation: per-cycle deltas and an observer mux.
+//
+// The wormhole network used to expose a single `NetworkObserver*` slot,
+// which meant the invariant auditor, tracing, and any future cycle-end
+// consumer fought over one attachment point.  ObserverMux lets any number
+// of observers subscribe at once, and the network hands every observer a
+// CycleDelta — the exact set of routers, wire movements, injections and
+// ejections the cycle produced — so an observer can audit in O(touched)
+// instead of rescanning the fabric.
+//
+// Cost contract:
+//   * no observer attached — one emptiness test per cycle, no delta
+//     accumulation, no virtual calls;
+//   * observers attached, none wants the delta — one virtual call per
+//     observer per cycle; delta collection stays off so the hot-path
+//     movement sites pay only a predictable dead branch;
+//   * an observer returns true from wants_delta() — the network records
+//     each movement into reusable vectors (no steady-state allocation)
+//     and clears them after the observers run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+#include "wormhole/topology.hpp"
+
+namespace wormsched::wormhole {
+
+class Network;
+
+/// Everything that moved during one network cycle, at unit granularity.
+/// Event vectors are reused cycle to cycle (cleared, never shrunk), so
+/// steady-state collection is allocation-free once high-water marks are
+/// reached.
+struct CycleDelta {
+  /// One flit or credit crossing a unit boundary.  `unit` is the global
+  /// unit key `(node * kNumDirections + port) * num_vcs + cls`, where
+  /// `port` is the output direction for wire-bound flits and delivered
+  /// credits, and the input direction for delivered flits and launched
+  /// credits; `unit - node * kNumDirections * num_vcs` is the router-local
+  /// unit index (Router::unit_direction / unit_class decode it).  The key
+  /// is precomputed at the emission site — where node, port, and class
+  /// are already in registers — so consumers indexing per-unit state pay
+  /// no arithmetic per event.
+  struct UnitEvent {
+    std::uint32_t unit;
+    std::uint32_t node;
+  };
+
+  /// Routers whose auditable state changed this cycle, deduplicated: an
+  /// event below landed on them, or their active-set liveness flipped.
+  /// (A live router that ticks without moving anything cannot change its
+  /// buffered count, credits, or liveness, so it is NOT listed.)
+  std::vector<std::uint32_t> touched;
+  /// Router `node` pushed a flit onto the link leaving the output unit.
+  std::vector<UnitEvent> flits_to_wire;
+  /// The wire delivered a flit into router `node`'s input unit.
+  std::vector<UnitEvent> flits_from_wire;
+  /// Router `node` popped the input unit's front flit and launched the
+  /// credit upstream (non-local inputs only; local pops return no credit).
+  std::vector<UnitEvent> credits_to_wire;
+  /// A credit reached router `node`'s output unit — either straight off
+  /// the wire or released from a fault's quarantine.
+  std::vector<UnitEvent> credits_from_wire;
+  /// One entry per flit a NIC moved into its router's local input VC.
+  std::vector<std::uint32_t> injections;
+  /// One entry per flit ejected to a NIC sink.
+  std::vector<std::uint32_t> ejections;
+  /// Flits added to NIC backlogs by Network::inject() calls this cycle.
+  Flits enqueued_flits = 0;
+
+  void clear() {
+    touched.clear();
+    flits_to_wire.clear();
+    flits_from_wire.clear();
+    credits_to_wire.clear();
+    credits_from_wire.clear();
+    injections.clear();
+    ejections.clear();
+    enqueued_flits = 0;
+  }
+};
+
+/// Observes the network after every completed cycle.  The runtime
+/// invariant auditor (src/validate) implements this to check flit/credit
+/// conservation and active-set consistency while a run is in flight; the
+/// read-only audit accessors on Network/Router exist for it.
+class NetworkObserver {
+ public:
+  virtual ~NetworkObserver() = default;
+  virtual void on_cycle_end(Cycle now, const Network& network,
+                            const CycleDelta& delta) = 0;
+  /// Return true to make the network collect a CycleDelta.  Collection is
+  /// enabled while *any* attached observer wants it; observers that do
+  /// not will simply see the populated delta.
+  [[nodiscard]] virtual bool wants_delta() const { return false; }
+};
+
+/// Fans one cycle-end notification out to any number of observers, in
+/// attachment order.  Replaces the old single `NetworkObserver*` slot so
+/// the auditor, tracing, and ad-hoc probes can coexist on one network.
+class ObserverMux {
+ public:
+  /// Attaches `observer` (not owned; must outlive its attachment).
+  /// Attaching the same observer twice is a checked error.
+  void attach(NetworkObserver* observer) {
+    WS_CHECK(observer != nullptr);
+    for (const NetworkObserver* existing : observers_)
+      WS_CHECK_MSG(existing != observer, "observer attached twice");
+    observers_.push_back(observer);
+  }
+
+  /// Detaches `observer`; a no-op if it is not attached.
+  void detach(NetworkObserver* observer) {
+    for (std::size_t i = 0; i < observers_.size(); ++i) {
+      if (observers_[i] == observer) {
+        observers_.erase(observers_.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+        return;
+      }
+    }
+  }
+
+  [[nodiscard]] bool empty() const { return observers_.empty(); }
+  [[nodiscard]] std::size_t size() const { return observers_.size(); }
+
+  [[nodiscard]] bool any_wants_delta() const {
+    for (const NetworkObserver* o : observers_)
+      if (o->wants_delta()) return true;
+    return false;
+  }
+
+  void on_cycle_end(Cycle now, const Network& network,
+                    const CycleDelta& delta) {
+    for (NetworkObserver* o : observers_) o->on_cycle_end(now, network, delta);
+  }
+
+ private:
+  std::vector<NetworkObserver*> observers_;
+};
+
+}  // namespace wormsched::wormhole

@@ -147,6 +147,11 @@ class Router {
                                              std::uint32_t cls) const {
     return outputs_[unit(out, cls)].credits;
   }
+  /// Same, by router-local unit index — for observers that carry
+  /// precomputed unit keys (CycleDelta::UnitEvent).
+  [[nodiscard]] std::uint32_t output_credits_by_unit(std::uint32_t u) const {
+    return outputs_[u].credits;
+  }
   /// Whether output VC (`out`, `cls`) is owned by a packet in flight.
   [[nodiscard]] bool output_bound(Direction out, std::uint32_t cls) const {
     return outputs_[unit(out, cls)].bound;

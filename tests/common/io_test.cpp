@@ -248,6 +248,54 @@ TEST(CliParser, ItemsReturnsEffectiveValues) {
   EXPECT_EQ(items[2], (std::pair<std::string, std::string>{"rate", "0.5"}));
 }
 
+TEST(CliParserChoice, BareUsesBareValueAndKeepsNextTokenPositional) {
+  CliParser cli("test");
+  cli.add_choice_flag("audit", "audit mode", {"incremental", "full", "off"},
+                      "incremental", "off");
+  // A choice flag must never eat the following token, so scripts that
+  // treated it as a boolean (`--audit run.json`) keep working.
+  const char* argv[] = {"prog", "--audit", "run.json"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_EQ(cli.get("audit"), "incremental");
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "run.json");
+}
+
+TEST(CliParserChoice, InlineValueValidatedAgainstChoices) {
+  CliParser cli("test");
+  cli.add_choice_flag("audit", "audit mode", {"incremental", "full", "off"},
+                      "incremental", "off");
+  const char* argv[] = {"prog", "--audit=full"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_EQ(cli.get("audit"), "full");
+}
+
+TEST(CliParserChoice, UnknownChoiceFailsParse) {
+  CliParser cli("test");
+  cli.add_choice_flag("audit", "audit mode", {"incremental", "full", "off"},
+                      "incremental", "off");
+  const char* argv[] = {"prog", "--audit=sometimes"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(CliParserChoice, AbsentReadsBackDefault) {
+  CliParser cli("test");
+  cli.add_choice_flag("audit", "audit mode", {"incremental", "full", "off"},
+                      "incremental", "off");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(cli.get("audit"), "off");
+}
+
+TEST(CliParserChoice, UsageListsChoicesAndBareMeaning) {
+  CliParser cli("test");
+  cli.add_choice_flag("audit", "audit mode", {"incremental", "full", "off"},
+                      "incremental", "off");
+  const std::string usage = cli.usage("prog");
+  EXPECT_NE(usage.find("incremental|full|off"), std::string::npos);
+  EXPECT_NE(usage.find("bare: incremental"), std::string::npos);
+}
+
 TEST(CliParser, UsageListsOptions) {
   CliParser cli("my tool");
   cli.add_option("alpha", "the alpha", "1");

@@ -75,7 +75,7 @@ TEST(NetworkAuditorTest, ChecksEveryCycleByDefault) {
   wormhole::Network net(wormhole::NetworkConfig{});
   AuditLog log(AuditLog::Mode::kCount);
   NetworkAuditor auditor(NetworkAuditorConfig{}, log);
-  net.set_observer(&auditor);
+  net.attach_observer(&auditor);
   net.inject(0, wormhole::PacketDescriptor{.id = PacketId(0), .flow = FlowId(0),
                                            .source = NodeId(0),
                                            .dest = NodeId(15), .length = 4});
@@ -89,8 +89,9 @@ TEST(NetworkAuditorTest, ChecksEveryCycleByDefault) {
 TEST(NetworkAuditorTest, SamplingCadenceHonorsCheckEvery) {
   wormhole::Network net(wormhole::NetworkConfig{});
   AuditLog log(AuditLog::Mode::kCount);
-  NetworkAuditor auditor(NetworkAuditorConfig{.check_every = 4}, log);
-  net.set_observer(&auditor);
+  NetworkAuditor auditor(
+      NetworkAuditorConfig{.mode = AuditMode::kFull, .check_every = 4}, log);
+  net.attach_observer(&auditor);
   net.inject(0, wormhole::PacketDescriptor{.id = PacketId(0), .flow = FlowId(0),
                                            .source = NodeId(0),
                                            .dest = NodeId(15), .length = 4});
@@ -100,6 +101,59 @@ TEST(NetworkAuditorTest, SamplingCadenceHonorsCheckEvery) {
   // Cycles 0, 4, ..., 196: the hook fires every cycle, the O(fabric)
   // conservation walk only on the sampled ones.
   EXPECT_EQ(auditor.checks_run(), 50u);
+  EXPECT_TRUE(log.clean());
+}
+
+TEST(NetworkAuditorTest, FinishFlushesTailWindow) {
+  // Regression: with check_every > 1 a violation arising after the last
+  // sampled cycle used to escape the run entirely — nothing ever checked
+  // the tail window.  finish() closes it.
+  wormhole::Network net(wormhole::NetworkConfig{});
+  AuditLog log(AuditLog::Mode::kCount);
+  NetworkAuditor auditor(
+      NetworkAuditorConfig{.mode = AuditMode::kFull, .check_every = 4}, log);
+  net.attach_observer(&auditor);
+  net.inject(0, wormhole::PacketDescriptor{.id = PacketId(0), .flow = FlowId(0),
+                                           .source = NodeId(0),
+                                           .dest = NodeId(15), .length = 4});
+  sim::Engine engine;
+  engine.add_component(net);
+  engine.run_until(97);  // checks at 0, 4, ..., 96
+
+  // Plant a flit that was never injected: flit conservation is broken
+  // from here on, but cycles 97-98 fall between samples.
+  wormhole::Flit phantom;
+  phantom.type = wormhole::FlitType::kHeadTail;
+  phantom.packet = PacketId(1'000'000);
+  phantom.flow = FlowId(0);
+  phantom.source = NodeId(3);
+  phantom.dest = NodeId(3);
+  net.router(NodeId(3)).accept_flit(wormhole::Direction::kLocal, 0, phantom);
+  engine.run_until(99);
+  ASSERT_TRUE(log.clean()) << "tail cycles must not have been sampled yet";
+
+  auditor.finish(99, net);
+  EXPECT_FALSE(log.clean());
+  // Idempotent: a second flush adds nothing.
+  const std::uint64_t after_first = log.count();
+  auditor.finish(99, net);
+  EXPECT_EQ(log.count(), after_first);
+}
+
+TEST(NetworkAuditorTest, IncrementalFinishRunsFinalCrosscheck) {
+  wormhole::Network net(wormhole::NetworkConfig{});
+  AuditLog log(AuditLog::Mode::kCount);
+  NetworkAuditor auditor(NetworkAuditorConfig{.check_every = 8}, log);
+  net.attach_observer(&auditor);
+  net.inject(0, wormhole::PacketDescriptor{.id = PacketId(0), .flow = FlowId(0),
+                                           .source = NodeId(0),
+                                           .dest = NodeId(15), .length = 4});
+  sim::Engine engine;
+  engine.add_component(net);
+  engine.run_until(97);
+  const std::uint64_t rescans_before = auditor.full_rescans();
+  auditor.finish(97, net);
+  EXPECT_GT(auditor.full_rescans(), rescans_before);
   EXPECT_TRUE(log.clean());
 }
 

@@ -59,7 +59,7 @@ FabricRun run_fabric(FabricMode mode, std::uint64_t seed, FaultSpec spec,
   Network net(config);
   AuditLog log(AuditLog::Mode::kCount);
   validate::NetworkAuditor auditor(validate::NetworkAuditorConfig{}, log);
-  net.set_observer(&auditor);
+  net.attach_observer(&auditor);
 
   NetworkTrafficSource::Config traffic;
   traffic.packets_per_node_per_cycle = 0.04;

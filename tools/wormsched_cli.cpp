@@ -177,7 +177,12 @@ int cmd_run(int argc, const char* const* argv) {
   cli.add_option("cycles", "simulated cycles", "200000");
   cli.add_option("seed", "trace seed", "1");
   cli.add_flag("drain", "serve out all queues after the horizon");
-  cli.add_flag("audit", "run the ERR invariant auditor during the run");
+  cli.add_choice_flag("audit",
+                      "run the ERR invariant auditor during the run "
+                      "(the mode spellings match the network subcommand; "
+                      "the scheduler auditor has one implementation, so "
+                      "anything but off enables it)",
+                      {"incremental", "full", "off"}, "incremental", "off");
   validate::add_fault_options(cli);
   obs::add_trace_options(cli);
   if (!cli.parse(argc, argv)) return 1;
@@ -189,7 +194,7 @@ int cmd_run(int argc, const char* const* argv) {
   config.drain = cli.get_flag("drain");
   config.weights = workload.weights;
   config.sched.drr_quantum = workload.spec.max_packet_length();
-  config.audit = cli.get_flag("audit");
+  config.audit = cli.get("audit") != "off";
   validate::AuditLog audit_log;
   config.audit_log = &audit_log;
 
@@ -320,7 +325,11 @@ int cmd_network(int argc, const char* const* argv) {
   cli.add_option("buffers", "flit slots per input VC", "8");
   cli.add_option("seed", "traffic seed (base seed when sweeping)", "99");
   cli.add_option("seeds", "seeds to average over (1 = single run)", "1");
-  cli.add_flag("audit", "attach the conservation + ERR auditors");
+  cli.add_choice_flag("audit",
+                      "attach the conservation + ERR auditors; incremental "
+                      "audits O(touched) per cycle with periodic full-rescan "
+                      "cross-checks, full rescans the fabric every check",
+                      {"incremental", "full", "off"}, "incremental", "off");
   validate::add_fault_options(cli);
   obs::add_trace_options(cli);
   add_jobs_option(cli);
@@ -365,7 +374,13 @@ int cmd_network(int argc, const char* const* argv) {
   point.network = config;
   point.traffic = traffic_config;
   point.faults = validate::fault_spec_from_cli(cli);
-  point.audit = cli.get_flag("audit");
+  {
+    const std::string audit = cli.get("audit");
+    point.audit = audit != "off";
+    point.audit_config.mode = audit == "full"
+                                  ? validate::AuditMode::kFull
+                                  : validate::AuditMode::kIncremental;
+  }
   std::string trace_error;
   const auto trace_request = obs::trace_request_from_cli(cli, &trace_error);
   if (!trace_request) {
