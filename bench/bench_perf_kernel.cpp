@@ -19,17 +19,23 @@
 //      per-stage perf counters plus the incremental auditor and yields
 //      the stage breakdown with the observer share;
 //   3. sweep-50seed — wall time of a 50-seed standalone sweep, serial vs
-//      --jobs workers.  The serial leg always runs and is always
-//      recorded; only the parallel comparison is skipped on
-//      single-thread machines, where it could only measure scheduling
-//      noise.
+//      --jobs workers.  Both legs always run: on a single-hardware-thread
+//      machine the parallel leg is forced to 2 jobs and flagged
+//      parallel_forced (an oversubscription measurement, but the speedup
+//      column must never be absent — CI guards read it unconditionally);
+//   4. threads-scaling — the sharded network tick on mesh16x16 and
+//      mesh32x32 uniform traffic at 1/2/4/8 threads (shards = threads),
+//      every leg checked flit-for-flit identical to the serial run.
 // Prints an ASCII table and writes the machine-readable BENCH_perf.json
-// (schema wormsched-perf-v4) that reproduce.sh copies to the repo root.
+// (schema wormsched-perf-v5) that reproduce.sh copies to the repo root.
 // v2 added a provenance block — jobs, compiler, build type, git SHA; v3
 // added the pipeline split, the stage breakdown and the sweep skip flag;
-// v4 adds the audited legs (audited/unaudited cycles_per_sec,
+// v4 added the audited legs (audited/unaudited cycles_per_sec,
 // audited_speedup, audit_overhead, observer_share) and always records
-// the sweep's serial leg (parallel_skipped replaces skipped).
+// the sweep's serial leg; v5 adds the threads_scaling block and replaces
+// the sweep's parallel_skipped flag with the always-run parallel_forced
+// leg.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -150,6 +156,35 @@ double run_sweep(std::size_t seeds, std::size_t jobs, Cycle horizon) {
   return seconds_since(start);
 }
 
+// One leg of the threads-scaling sweep: a dim x dim mesh under uniform
+// traffic, ticked with `threads` worker threads over `threads` shard
+// domains (threads == 1 is the serial kernel).  Uniform traffic keeps
+// every shard busy, which is what a scaling measurement needs; min-of-2
+// repetitions bounds scheduler noise without doubling the bench cost on
+// the big mesh.
+NetworkRun run_scaling(Cycle inject_cycles, std::uint32_t dim,
+                       std::uint32_t threads) {
+  NetworkScenarioConfig config;
+  config.network.topo = wormhole::TopologySpec::mesh(dim, dim);
+  config.network.threads = threads;
+  config.network.shards = threads;
+  config.traffic.packets_per_node_per_cycle = 0.02;
+  config.traffic.inject_until = inject_cycles;
+  config.traffic.lengths = traffic::LengthSpec::uniform(1, 12);
+  NetworkRun run;
+  for (int rep = 0; rep < 2; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    const NetworkScenarioResult result = run_network_scenario(config, 7);
+    const double wall = seconds_since(start);
+    if (rep == 0 || wall < run.wall_seconds) run.wall_seconds = wall;
+    run.cycles = result.end_cycle;
+    run.flits = result.delivered_flits;
+    run.delivered_packets = result.delivered_packets;
+    run.audit_violations = result.audit_violations;
+  }
+  return run;
+}
+
 double per_sec(double quantity, double secs) {
   return secs > 0.0 ? quantity / secs : 0.0;
 }
@@ -179,6 +214,9 @@ int main(int argc, char** argv) {
                  "0.006");
   cli.add_option("sweep-seeds", "seeds in the sweep scenario", "50");
   cli.add_option("sweep-cycles", "per-seed horizon in the sweep", "20000");
+  cli.add_option("scaling-cycles",
+                 "injection cycles per threads-scaling leg (CI shrinks this)",
+                 "8000");
   cli.add_option("out", "output JSON path", "BENCH_perf.json");
   add_jobs_option(cli, /*default_value=*/"0");
   if (!cli.parse(argc, argv)) return 1;
@@ -187,6 +225,7 @@ int main(int argc, char** argv) {
   const Cycle hotspot_cycles = cli.get_uint("hotspot-cycles");
   const std::size_t sweep_seeds = cli.get_uint("sweep-seeds");
   const Cycle sweep_cycles = cli.get_uint("sweep-cycles");
+  const Cycle scaling_cycles = cli.get_uint("scaling-cycles");
   const std::size_t jobs = resolve_jobs(cli);
   const std::size_t hardware_threads = ThreadPool::hardware_workers();
 
@@ -298,15 +337,40 @@ int main(int argc, char** argv) {
                             static_cast<double>(grand_ticks)
                       : 0.0;
 
-  // The parallel sweep measurement needs real concurrency; on a single
-  // hardware thread it would only measure scheduler noise, so it is
-  // skipped and marked as such in the JSON.
-  const bool sweep_skipped = hardware_threads < 2;
+  // The parallel sweep always runs.  On a single hardware thread a real
+  // speedup is impossible, so the leg is forced to 2 jobs and flagged:
+  // the number then measures oversubscription overhead, which is itself
+  // worth tracking — and the speedup column is never absent, so CI
+  // guards can read it unconditionally.
+  const bool parallel_forced = hardware_threads < 2 || jobs < 2;
+  const std::size_t parallel_jobs = std::max<std::size_t>(jobs, 2);
   const double sweep_serial = run_sweep(sweep_seeds, 1, sweep_cycles);
   const double sweep_parallel =
-      sweep_skipped ? 0.0 : run_sweep(sweep_seeds, jobs, sweep_cycles);
+      run_sweep(sweep_seeds, parallel_jobs, sweep_cycles);
   const double sweep_speedup =
       sweep_parallel > 0.0 ? sweep_serial / sweep_parallel : 0.0;
+
+  // Threads-scaling sweep for the sharded network tick.  The 1-thread
+  // leg is the serial kernel; every sharded leg must reproduce it
+  // flit for flit (the bench double-checks what the 200-seed fuzz suite
+  // already proves, here at mesh16x16/mesh32x32 scale).
+  constexpr std::uint32_t kScalingDims[] = {16, 32};
+  constexpr std::uint32_t kScalingThreads[] = {1, 2, 4, 8};
+  NetworkRun scaling[2][4];
+  bool scaling_identical = true;
+  for (std::size_t d = 0; d < 2; ++d) {
+    for (std::size_t t = 0; t < 4; ++t) {
+      scaling[d][t] =
+          run_scaling(scaling_cycles, kScalingDims[d], kScalingThreads[t]);
+      if (!same(scaling[d][t], scaling[d][0])) scaling_identical = false;
+    }
+  }
+  if (!scaling_identical) {
+    std::fprintf(stderr,
+                 "FATAL: sharded threads-scaling runs diverged from the "
+                 "serial kernel\n");
+    return 1;
+  }
 
   AsciiTable table("simulator perf baseline (wall-clock)");
   table.set_header({"scenario", "wall s", "cycles/s", "flits/s", "speedup"});
@@ -357,14 +421,28 @@ int main(int argc, char** argv) {
                 fixed(audited_speedup, 2));
   table.add_row("sweep " + std::to_string(sweep_seeds) + " seeds, jobs=1",
                 fixed(sweep_serial, 3), "-", "-", "1.00 (baseline)");
-  if (sweep_skipped) {
-    table.add_row("sweep parallel", "skipped", "-", "-",
-                  "needs >= 2 hw threads");
-  } else {
-    table.add_row("sweep " + std::to_string(sweep_seeds) +
-                      " seeds, jobs=" + std::to_string(jobs),
-                  fixed(sweep_parallel, 3), "-", "-",
-                  fixed(sweep_speedup, 2));
+  table.add_row("sweep " + std::to_string(sweep_seeds) +
+                    " seeds, jobs=" + std::to_string(parallel_jobs) +
+                    (parallel_forced ? " (forced)" : ""),
+                fixed(sweep_parallel, 3), "-", "-", fixed(sweep_speedup, 2));
+  for (std::size_t d = 0; d < 2; ++d) {
+    const std::string mesh = "mesh" + std::to_string(kScalingDims[d]) + "x" +
+                             std::to_string(kScalingDims[d]);
+    for (std::size_t t = 0; t < 4; ++t) {
+      const NetworkRun& leg = scaling[d][t];
+      const double speedup = leg.wall_seconds > 0.0
+                                 ? scaling[d][0].wall_seconds / leg.wall_seconds
+                                 : 0.0;
+      table.add_row(mesh + " uniform, threads=" +
+                        std::to_string(kScalingThreads[t]),
+                    fixed(leg.wall_seconds, 3),
+                    fixed(per_sec(static_cast<double>(leg.cycles),
+                                  leg.wall_seconds), 0),
+                    fixed(per_sec(static_cast<double>(leg.flits),
+                                  leg.wall_seconds), 0),
+                    t == 0 ? std::string("1.00 (baseline)")
+                           : fixed(speedup, 2));
+    }
   }
   table.print(std::cout);
   std::printf("(all hotspot runs verified flit-for-flit identical; sparse "
@@ -401,7 +479,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::fprintf(out, "{\n");
-  std::fprintf(out, "  \"schema\": \"wormsched-perf-v4\",\n");
+  std::fprintf(out, "  \"schema\": \"wormsched-perf-v5\",\n");
   std::fprintf(out, "  \"hardware_threads\": %zu,\n", hardware_threads);
   std::fprintf(out, "  \"perf_counters_compiled\": %s,\n",
                metrics::kPerfCountersCompiled ? "true" : "false");
@@ -470,25 +548,45 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(total.calls));
   }
   std::fprintf(out, "}},\n");
-  // The serial leg always runs and is always recorded — it is a perf
-  // trajectory point in its own right; only the parallel comparison
-  // depends on real concurrency.
-  if (sweep_skipped) {
+  // Both sweep legs always run and are always recorded; parallel_forced
+  // marks the oversubscribed single-hardware-thread measurement.
+  std::fprintf(out,
+               "    \"sweep_50seed\": {\"seeds\": %zu, \"jobs\": %zu, "
+               "\"hardware_threads\": %zu, \"serial_seconds\": %.6f, "
+               "\"parallel_forced\": %s, "
+               "\"parallel_seconds\": %.6f, "
+               "\"parallel_speedup\": %.3f},\n",
+               sweep_seeds, parallel_jobs, hardware_threads, sweep_serial,
+               parallel_forced ? "true" : "false", sweep_parallel,
+               sweep_speedup);
+  std::fprintf(out,
+               "    \"threads_scaling\": {\"scaling_cycles\": %llu, "
+               "\"pattern\": \"uniform\", \"hardware_threads\": %zu, "
+               "\"results_identical\": %s",
+               static_cast<unsigned long long>(scaling_cycles),
+               hardware_threads, scaling_identical ? "true" : "false");
+  for (std::size_t d = 0; d < 2; ++d) {
     std::fprintf(out,
-                 "    \"sweep_50seed\": {\"seeds\": %zu, \"jobs\": %zu, "
-                 "\"hardware_threads\": %zu, \"serial_seconds\": %.6f, "
-                 "\"parallel_skipped\": true}\n",
-                 sweep_seeds, jobs, hardware_threads, sweep_serial);
-  } else {
-    std::fprintf(out,
-                 "    \"sweep_50seed\": {\"seeds\": %zu, \"jobs\": %zu, "
-                 "\"hardware_threads\": %zu, \"serial_seconds\": %.6f, "
-                 "\"parallel_skipped\": false, "
-                 "\"parallel_seconds\": %.6f, "
-                 "\"parallel_speedup\": %.3f}\n",
-                 sweep_seeds, jobs, hardware_threads, sweep_serial,
-                 sweep_parallel, sweep_speedup);
+                 ",\n      \"mesh%ux%u\": {\"sim_cycles\": %llu, "
+                 "\"delivered_flits\": %llu",
+                 kScalingDims[d], kScalingDims[d],
+                 static_cast<unsigned long long>(scaling[d][0].cycles),
+                 static_cast<unsigned long long>(scaling[d][0].flits));
+    for (std::size_t t = 0; t < 4; ++t) {
+      const NetworkRun& leg = scaling[d][t];
+      const double speedup = leg.wall_seconds > 0.0
+                                 ? scaling[d][0].wall_seconds / leg.wall_seconds
+                                 : 0.0;
+      std::fprintf(out,
+                   ", \"threads%u\": {\"wall_seconds\": %.6f, "
+                   "\"cycles_per_sec\": %.0f, \"speedup\": %.3f}",
+                   kScalingThreads[t], leg.wall_seconds,
+                   per_sec(static_cast<double>(leg.cycles), leg.wall_seconds),
+                   speedup);
+    }
+    std::fprintf(out, "}");
   }
+  std::fprintf(out, "}\n");
   std::fprintf(out, "  }\n}\n");
   std::fclose(out);
   std::printf("wrote %s\n", cli.get("out").c_str());
@@ -506,6 +604,11 @@ int main(int argc, char** argv) {
   manifest.add_counter("audit_overhead", audit_overhead);
   manifest.add_counter("observer_share", observer_share);
   manifest.add_counter("sweep_speedup", sweep_speedup);
+  manifest.add_counter(
+      "threads8_speedup_mesh32x32",
+      scaling[1][3].wall_seconds > 0.0
+          ? scaling[1][0].wall_seconds / scaling[1][3].wall_seconds
+          : 0.0);
   manifest.add_counter("hotspot_cycles",
                        static_cast<double>(active.cycles));
   manifest.add_counter("hotspot_flits", static_cast<double>(active.flits));

@@ -3,6 +3,7 @@
 #include <charconv>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <system_error>
 
 #include "common/assert.hpp"
@@ -198,6 +199,40 @@ std::size_t resolve_jobs(const CliParser& cli) {
   const std::uint64_t jobs = cli.get_uint("jobs");
   if (jobs == 0) return ThreadPool::hardware_workers();
   return static_cast<std::size_t>(jobs);
+}
+
+void add_network_parallel_options(CliParser& cli) {
+  cli.add_option("threads",
+                 "worker threads for the sharded network tick (>= 1; "
+                 "1 = serial kernel)",
+                 "1");
+  cli.add_option("shards",
+                 "shard domains for the network tick (>= 1; default: one "
+                 "per thread)",
+                 "");
+}
+
+NetworkParallelism resolve_network_parallelism(const CliParser& cli) {
+  NetworkParallelism out;
+  // get_uint already rejects non-numeric, negative, and overflowing
+  // values with exit 2; only the zero case is ours to add — a fabric
+  // cannot tick with zero threads or zero shard domains.
+  const std::uint64_t threads = cli.get_uint("threads");
+  if (threads == 0) numeric_error("threads", "0", "must be >= 1");
+  if (threads > std::numeric_limits<std::uint32_t>::max())
+    numeric_error("threads", cli.get("threads"), "overflows the option");
+  out.threads = static_cast<std::uint32_t>(threads);
+  const std::string shards_text = cli.get("shards");
+  if (shards_text.empty()) {
+    out.shards = out.threads;
+    return out;
+  }
+  const std::uint64_t shards = cli.get_uint("shards");
+  if (shards == 0) numeric_error("shards", "0", "must be >= 1");
+  if (shards > std::numeric_limits<std::uint32_t>::max())
+    numeric_error("shards", shards_text, "overflows the option");
+  out.shards = static_cast<std::uint32_t>(shards);
+  return out;
 }
 
 std::string CliParser::usage(const std::string& program) const {

@@ -92,4 +92,24 @@ void add_jobs_option(CliParser& cli, const std::string& default_value = "1");
 /// hardware thread count, anything else is used as given (minimum 1).
 [[nodiscard]] std::size_t resolve_jobs(const CliParser& cli);
 
+/// Declares the shared `--threads` / `--shards` options for the sharded
+/// network tick.  Unlike `--jobs`, 0 is NOT a wildcard here: a network
+/// always has at least one tick thread and one shard domain, so both
+/// options reject 0 (and non-numeric values) at resolve time with exit
+/// code 2.  `--shards` left unset follows `--threads` (one domain per
+/// thread, the balanced default).
+void add_network_parallel_options(CliParser& cli);
+
+struct NetworkParallelism {
+  std::uint32_t threads = 1;
+  std::uint32_t shards = 1;
+};
+
+/// Resolves `--threads` / `--shards` with strict validation: both must be
+/// numeric and >= 1 (prints "option --<name>: ..." and exits 2 otherwise,
+/// matching the numeric getters).  An unset `--shards` resolves to the
+/// thread count.
+[[nodiscard]] NetworkParallelism resolve_network_parallelism(
+    const CliParser& cli);
+
 }  // namespace wormsched

@@ -96,7 +96,18 @@ void ThreadPool::wait_idle() {
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& body) {
   if (threads_.empty()) {
-    for (std::size_t i = 0; i < n; ++i) body(i);
+    // Same exception contract as the pooled path: every index runs, the
+    // first exception is recorded and rethrown once the loop finishes —
+    // a throwing iteration must not silently skip the remaining work on
+    // an inline pool when it would not have on a threaded one.
+    for (std::size_t i = 0; i < n; ++i) {
+      try {
+        body(i);
+      } catch (...) {
+        record_exception(std::current_exception());
+      }
+    }
+    wait_idle();
     return;
   }
   // One task per index: seeds are coarse enough that per-task queue cost

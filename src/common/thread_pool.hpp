@@ -40,8 +40,9 @@ class ThreadPool {
   void wait_idle();
 
   /// Runs body(0..n-1) across the pool and waits.  Indices are handed out
-  /// dynamically, so uneven task costs still balance.  Equivalent to a
-  /// plain loop when the pool is inline.
+  /// dynamically, so uneven task costs still balance.  Inline pools run
+  /// the same contract as threaded ones: every index executes even if an
+  /// earlier one throws, and the first exception is rethrown at the end.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
 
   /// The machine's hardware thread count (>= 1).

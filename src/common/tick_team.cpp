@@ -1,0 +1,63 @@
+#include "common/tick_team.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace wormsched {
+
+TickTeam::TickTeam(std::uint32_t lanes)
+    : lanes_(lanes == 0 ? 1 : lanes), start_(lanes_), done_(lanes_) {
+  if (lanes_ <= 1) return;
+  workers_.reserve(lanes_ - 1);
+  for (std::uint32_t lane = 1; lane < lanes_; ++lane)
+    workers_.emplace_back([this, lane] { worker_loop(lane); });
+}
+
+TickTeam::~TickTeam() {
+  if (workers_.empty()) return;
+  stopping_ = true;
+  start_.arrive_and_wait();  // releases every parked worker into exit
+  for (std::thread& t : workers_) t.join();
+}
+
+void TickTeam::record_exception() {
+  const std::lock_guard<std::mutex> lock(error_mutex_);
+  if (!first_error_) first_error_ = std::current_exception();
+}
+
+void TickTeam::worker_loop(std::uint32_t lane) {
+  for (;;) {
+    start_.arrive_and_wait();
+    if (stopping_) return;
+    try {
+      job_(ctx_, lane);
+    } catch (...) {
+      record_exception();
+    }
+    done_.arrive_and_wait();
+  }
+}
+
+void TickTeam::run_impl(Trampoline job, void* ctx) {
+  WS_CHECK(job != nullptr);
+  job_ = job;
+  ctx_ = ctx;
+  start_.arrive_and_wait();
+  try {
+    job(ctx, 0);
+  } catch (...) {
+    record_exception();
+  }
+  done_.arrive_and_wait();
+  // All lanes are quiesced past the done barrier; reading the slot needs
+  // no lock for correctness but takes it to keep the invariant simple.
+  std::exception_ptr error;
+  {
+    const std::lock_guard<std::mutex> lock(error_mutex_);
+    error = std::exchange(first_error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace wormsched

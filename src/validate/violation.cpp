@@ -6,6 +6,7 @@
 namespace wormsched::validate {
 
 void AuditLog::report(std::string check, std::string detail) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   if (on_report_) on_report_(Violation{check, detail});
 #ifndef NDEBUG
   if (mode_ == Mode::kDefault) {

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -32,7 +33,11 @@ class AuditLog {
 
   explicit AuditLog(Mode mode = Mode::kDefault) : mode_(mode) {}
 
-  /// Records one violation.  May not return (see Mode).
+  /// Records one violation.  May not return (see Mode).  Thread-safe: the
+  /// sharded network tick runs ERR opportunity listeners on shard worker
+  /// threads, so several auditors sharing one log can report
+  /// concurrently; the counter, the kept list, and the on_report hook are
+  /// serialized under one mutex.
   void report(std::string check, std::string detail);
 
   /// Hook invoked on every report *before* any abort — the observability
@@ -42,11 +47,17 @@ class AuditLog {
     on_report_ = std::move(hook);
   }
 
-  [[nodiscard]] std::uint64_t count() const { return total_; }
-  [[nodiscard]] bool clean() const { return total_ == 0; }
-  /// The first kKeepLimit violations, verbatim.
+  [[nodiscard]] std::uint64_t count() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return total_;
+  }
+  [[nodiscard]] bool clean() const { return count() == 0; }
+  /// The first kKeepLimit violations, verbatim.  Call only from quiesced
+  /// (single-threaded) code — the reference would otherwise race with a
+  /// concurrent report().
   [[nodiscard]] const std::vector<Violation>& kept() const { return kept_; }
   void clear() {
+    const std::lock_guard<std::mutex> lock(mutex_);
     total_ = 0;
     kept_.clear();
   }
@@ -55,6 +66,7 @@ class AuditLog {
 
  private:
   Mode mode_;
+  mutable std::mutex mutex_;
   std::uint64_t total_ = 0;
   std::vector<Violation> kept_;
   std::function<void(const Violation&)> on_report_;

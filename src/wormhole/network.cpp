@@ -1,5 +1,7 @@
 #include "wormhole/network.hpp"
 
+#include <algorithm>
+
 #include "common/assert.hpp"
 
 namespace wormsched::wormhole {
@@ -7,6 +9,8 @@ namespace wormsched::wormhole {
 Network::Network(const NetworkConfig& config)
     : config_(config), topo_(config.topo) {
   WS_CHECK(config.link_latency >= 1);
+  WS_CHECK_MSG(config.shards >= 1, "shards must be >= 1");
+  WS_CHECK_MSG(config.threads >= 1, "threads must be >= 1");
   if (config.topo.kind == TopologySpec::Kind::kTorus) {
     WS_CHECK_MSG(config.router.num_vcs >= 2,
                  "torus requires >= 2 VC classes (dateline rule)");
@@ -20,6 +24,28 @@ Network::Network(const NetworkConfig& config)
   router_live_.resize(topo_.num_nodes(), 0);
   touched_flag_.resize(topo_.num_nodes(), 0);
   latency_by_source_.resize(topo_.num_nodes());
+
+  // Sharding geometry.  One shard (the default, or anything clamped down
+  // to one) keeps the serial kernel; the same per-shard counter arrays
+  // back both paths so the bookkeeping code is shared.
+  shard_ranges_ = make_shard_partition(topo_.num_nodes(), config.shards);
+  const auto num_shards = static_cast<std::uint32_t>(shard_ranges_.size());
+  shard_live_.assign(num_shards, 0);
+  shard_nonempty_nics_.assign(num_shards, 0);
+  shard_nic_backlog_.assign(num_shards, 0);
+  shard_of_.resize(topo_.num_nodes());
+  for (std::uint32_t s = 0; s < num_shards; ++s)
+    for (std::uint32_t n = shard_ranges_[s].begin; n < shard_ranges_[s].end;
+         ++n)
+      shard_of_[n] = s;
+  if (num_shards > 1) {
+    lanes_ = std::vector<ShardLane>(num_shards);
+    for (std::uint32_t s = 0; s < num_shards; ++s) {
+      lanes_[s].net_ = this;
+      lanes_[s].shard_ = s;
+    }
+    team_ = std::make_unique<TickTeam>(std::min(config.threads, num_shards));
+  }
 }
 
 void Network::inject(Cycle, const PacketDescriptor& packet) {
@@ -27,9 +53,10 @@ void Network::inject(Cycle, const PacketDescriptor& packet) {
   WS_CHECK(packet.source.value() < topo_.num_nodes());
   WS_CHECK(packet.dest.value() < topo_.num_nodes());
   Nic& nic = nics_[packet.source.index()];
-  if (nic.queue.empty()) ++nonempty_nics_;
+  const std::uint32_t s = shard_of_[packet.source.index()];
+  if (nic.queue.empty()) ++shard_nonempty_nics_[s];
   nic.queue.push_back(packet);
-  nic_backlog_flits_ += packet.length;
+  shard_nic_backlog_[s] += packet.length;
   injected_flits_ += packet.length;
   ++injected_;
   // inject() runs between ticks (traffic sources fire before the
@@ -49,13 +76,14 @@ void Network::refresh_delta_collection() {
 void Network::mark_live(std::size_t index) {
   if (router_live_[index]) return;
   router_live_[index] = 1;
-  ++live_routers_;
+  ++shard_live_[shard_of_[index]];
 }
 
 void Network::set_live(std::size_t index, bool live) {
   if (static_cast<bool>(router_live_[index]) == live) return;
   router_live_[index] = live ? 1 : 0;
-  live ? ++live_routers_ : --live_routers_;
+  std::uint32_t& count = shard_live_[shard_of_[index]];
+  live ? ++count : --count;
 }
 
 Direction Network::opposite(Direction d) {
@@ -146,7 +174,56 @@ void Network::set_trace_sink(obs::TraceSink* sink) {
   for (Router& r : routers_) r.set_trace_sink(sink);
 }
 
+void Network::nic_inject_one(Cycle now, std::uint32_t n, CycleDelta& delta) {
+  Nic& nic = nics_[n];
+  Router& r = routers_[n];
+  if (!r.can_accept_local(0)) return;
+  const PacketDescriptor& pkt = nic.queue.front();
+  Flit flit;
+  flit.packet = pkt.id;
+  flit.flow = pkt.flow;
+  flit.source = pkt.source;
+  flit.dest = pkt.dest;
+  flit.vc_class = VcId(0);
+  flit.index = nic.sent_of_current;
+  flit.created = pkt.created;
+  const bool head = nic.sent_of_current == 0;
+  const bool tail = nic.sent_of_current + 1 == pkt.length;
+  flit.type = head && tail  ? FlitType::kHeadTail
+              : head        ? FlitType::kHead
+              : tail        ? FlitType::kTail
+                            : FlitType::kBody;
+  r.accept_flit(Direction::kLocal, 0, flit);
+  if (trace_ != nullptr)
+    trace_->record(obs::TraceEvent::flit_inject(
+        now, n, flit.flow.value(), flit.packet.value(), flit.index));
+  mark_live(n);
+  if (collect_delta_) {
+    touch_into(delta, n);
+    delta.injections.push_back(n);
+  }
+  const std::uint32_t s = shard_of_[n];
+  --shard_nic_backlog_[s];
+  if (tail) {
+    (void)nic.queue.pop_front();
+    nic.sent_of_current = 0;
+    if (nic.queue.empty()) --shard_nonempty_nics_[s];
+  } else {
+    ++nic.sent_of_current;
+  }
+}
+
 void Network::tick(Cycle now) {
+  // Trace sinks and perf counters are single-threaded; their attachment
+  // falls back to the serial kernel.  Results are bit-identical either
+  // way, so a traced run still reproduces a sharded one exactly.
+  if (shard_ranges_.size() > 1 && trace_ == nullptr && perf_ == nullptr)
+    tick_sharded(now);
+  else
+    tick_serial(now);
+}
+
+void Network::tick_serial(Cycle now) {
   now_ = now;
   if (trace_ != nullptr) trace_->set_now(now);
   const FaultModel* faults = config_.faults;
@@ -216,47 +293,14 @@ void Network::tick(Cycle now) {
   // 2. NIC injection: one flit per node per cycle into local VC class 0.
   // Only NICs holding backlog are visited; `remaining` cuts the scan off
   // once every nonempty NIC has been seen.
-  if (nic_backlog_flits_ != 0) {
+  if (nic_backlog_flits() != 0) {
     metrics::ScopedStageTimer timer(perf_, metrics::Stage::kNicInject);
-    std::uint32_t remaining = nonempty_nics_;
+    std::uint32_t remaining = 0;
+    for (const std::uint32_t c : shard_nonempty_nics_) remaining += c;
     for (std::uint32_t n = 0; remaining != 0 && n < nics_.size(); ++n) {
-      Nic& nic = nics_[n];
-      if (nic.queue.empty()) continue;
+      if (nics_[n].queue.empty()) continue;
       --remaining;
-      Router& r = routers_[n];
-      if (!r.can_accept_local(0)) continue;
-      const PacketDescriptor& pkt = nic.queue.front();
-      Flit flit;
-      flit.packet = pkt.id;
-      flit.flow = pkt.flow;
-      flit.source = pkt.source;
-      flit.dest = pkt.dest;
-      flit.vc_class = VcId(0);
-      flit.index = nic.sent_of_current;
-      flit.created = pkt.created;
-      const bool head = nic.sent_of_current == 0;
-      const bool tail = nic.sent_of_current + 1 == pkt.length;
-      flit.type = head && tail  ? FlitType::kHeadTail
-                  : head        ? FlitType::kHead
-                  : tail        ? FlitType::kTail
-                                : FlitType::kBody;
-      r.accept_flit(Direction::kLocal, 0, flit);
-      if (trace_ != nullptr)
-        trace_->record(obs::TraceEvent::flit_inject(
-            now, n, flit.flow.value(), flit.packet.value(), flit.index));
-      mark_live(n);
-      if (collect_delta_) {
-        touch(n);
-        delta_.injections.push_back(n);
-      }
-      --nic_backlog_flits_;
-      if (tail) {
-        (void)nic.queue.pop_front();
-        nic.sent_of_current = 0;
-        if (nic.queue.empty()) --nonempty_nics_;
-      } else {
-        ++nic.sent_of_current;
-      }
+      nic_inject_one(now, n, delta_);
     }
   }
 
@@ -275,11 +319,11 @@ void Network::tick(Cycle now) {
         touch(n);
       set_live(n, live_now);
     }
-  } else if (live_routers_ != 0) {
+  } else if (live_router_count() != 0) {
     // Router ticks never enroll *other* routers mid-scan (new work only
     // travels via the wires), so the live count at loop entry bounds the
     // number of routers left to visit.
-    std::uint32_t remaining = live_routers_;
+    std::uint32_t remaining = live_router_count();
     for (std::uint32_t n = 0; remaining != 0 && n < routers_.size(); ++n) {
       if (!router_live_[n]) continue;
       --remaining;
@@ -308,10 +352,179 @@ void Network::tick(Cycle now) {
   }
 }
 
+void Network::tick_sharded(Cycle now) {
+  now_ = now;
+  const FaultModel* faults = config_.faults;
+  const auto num_shards = static_cast<std::uint32_t>(shard_ranges_.size());
+
+  // Phase 0 — classify (serial).  The global wires are popped in exactly
+  // the serial order — every fault-model decision included — and each
+  // arrival lands on the owning shard's delivery list.  The from-wire
+  // delta events are recorded here, straight into the global delta, so
+  // their order matches the serial kernel's event order exactly.  The
+  // global FIFOs stay the single source of truth the audit accessors
+  // expose; between ticks their contents are byte-identical to a serial
+  // run's.
+  while (!credit_quarantine_.empty() &&
+         credit_quarantine_.front().arrive <= now) {
+    const WireCredit wc = credit_quarantine_.pop_front();
+    lanes_[shard_of_[wc.to.index()]].quarantine_due_.push_back(wc);
+    if (collect_delta_) {
+      touch(wc.to.index());
+      delta_.credits_from_wire.push_back(CycleDelta::UnitEvent{
+          delta_unit(wc.to, wc.out, wc.cls), wc.to.value()});
+    }
+  }
+  if (!(faults != nullptr && faults->link_stalled(now))) {
+    while (!flit_wire_.empty() && flit_wire_.front().arrive <= now) {
+      const WireFlit wf = flit_wire_.pop_front();
+      lanes_[shard_of_[wf.to.index()]].flits_due_.push_back(wf);
+      if (collect_delta_) {
+        touch(wf.to.index());
+        delta_.flits_from_wire.push_back(CycleDelta::UnitEvent{
+            delta_unit(wf.to, wf.in, wf.cls), wf.to.value()});
+      }
+    }
+  }
+  while (!credit_wire_.empty() && credit_wire_.front().arrive <= now) {
+    const WireCredit wc = credit_wire_.pop_front();
+    const Cycle hold =
+        faults != nullptr ? faults->credit_hold_cycles(now, wc.to) : 0;
+    if (hold > 0) {
+      WireCredit held = wc;
+      held.arrive = now + hold;
+      credit_quarantine_.push_back(held);
+      continue;
+    }
+    lanes_[shard_of_[wc.to.index()]].credits_due_.push_back(wc);
+    if (collect_delta_) {
+      touch(wc.to.index());
+      delta_.credits_from_wire.push_back(CycleDelta::UnitEvent{
+          delta_unit(wc.to, wc.out, wc.cls), wc.to.value()});
+    }
+  }
+
+  // Phase 1 — compute (parallel).  Lane l handles shards l, l + lanes,
+  // ...  Each shard's work touches only its own routers, NICs, counters,
+  // and staging vectors; the barriers inside run() provide the
+  // happens-before edges around the serial phases.
+  const std::uint32_t nlanes = team_->lanes();
+  team_->run([&](std::uint32_t lane) {
+    for (std::uint32_t s = lane; s < num_shards; s += nlanes)
+      compute_shard(now, s);
+  });
+
+  // Phase 2 — commit (serial).  Appending the staged sends shard-
+  // ascending reproduces the serial FIFO contents byte for byte (see
+  // shard.hpp for the argument).
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    ShardLane& lane = lanes_[s];
+    for (const WireFlit& wf : lane.out_flits_) flit_wire_.push_back(wf);
+    for (const WireCredit& wc : lane.out_credits_) credit_wire_.push_back(wc);
+  }
+  // Ejections replay through the serial eject path in shard-ascending
+  // (= serial router) order: the delivered log, the latency RunningStats
+  // (floating-point summation order included), and the ejection delta
+  // events come out exactly as the serial kernel produces them.
+  for (std::uint32_t s = 0; s < num_shards; ++s)
+    for (const ShardLane::StagedEjection& e : lanes_[s].ejections_)
+      eject(e.node, e.flit, now);
+  // Merge the lane deltas (to-wire events, injections, touched) into the
+  // global delta, shard-ascending — again the serial per-vector order.
+  if (collect_delta_) {
+    for (std::uint32_t s = 0; s < num_shards; ++s) {
+      const CycleDelta& d = lanes_[s].delta_;
+      delta_.flits_to_wire.insert(delta_.flits_to_wire.end(),
+                                  d.flits_to_wire.begin(),
+                                  d.flits_to_wire.end());
+      delta_.credits_to_wire.insert(delta_.credits_to_wire.end(),
+                                    d.credits_to_wire.begin(),
+                                    d.credits_to_wire.end());
+      delta_.injections.insert(delta_.injections.end(), d.injections.begin(),
+                               d.injections.end());
+      delta_.touched.insert(delta_.touched.end(), d.touched.begin(),
+                            d.touched.end());
+    }
+  }
+  for (std::uint32_t s = 0; s < num_shards; ++s) lanes_[s].clear_cycle();
+
+  // Observers run serially, after commit, against the settled state —
+  // the same post-cycle snapshot and (up to benign per-vector grouping of
+  // the touched list) the same delta a serial tick dispatches.
+  if (!observers_.empty()) {
+    observers_.on_cycle_end(now, *this, delta_);
+    if (collect_delta_) {
+      for (const std::uint32_t n : delta_.touched) touched_flag_[n] = 0;
+      delta_.clear();
+    }
+  }
+}
+
+void Network::compute_shard(Cycle now, std::uint32_t s) {
+  ShardLane& lane = lanes_[s];
+  // Deliver this shard's arrivals in the serial sub-order: quarantine
+  // releases first, then flits, then wire credits.  Per-router arrival
+  // order is all that matters for bit-identity (routers only interact
+  // via the wires), and it is preserved exactly.
+  for (const WireCredit& wc : lane.quarantine_due_) {
+    routers_[wc.to.index()].accept_credit(wc.out, wc.cls);
+    mark_live(wc.to.index());
+  }
+  for (const WireFlit& wf : lane.flits_due_) {
+    routers_[wf.to.index()].accept_flit(wf.in, wf.cls, wf.flit);
+    mark_live(wf.to.index());
+  }
+  for (const WireCredit& wc : lane.credits_due_) {
+    routers_[wc.to.index()].accept_credit(wc.out, wc.cls);
+    mark_live(wc.to.index());
+  }
+
+  // NIC injection for this shard's nodes.  Wire flits never land on a
+  // kLocal input, so each node's accept decision depends only on its own
+  // router — the parallel scan makes the same choices as the serial one.
+  const ShardRange range = shard_ranges_[s];
+  if (shard_nic_backlog_[s] != 0) {
+    std::uint32_t remaining = shard_nonempty_nics_[s];
+    for (std::uint32_t n = range.begin; remaining != 0 && n < range.end; ++n) {
+      if (nics_[n].queue.empty()) continue;
+      --remaining;
+      nic_inject_one(now, n, lane.delta_);
+    }
+  }
+
+  // Router pipelines, ticked against the staging lane instead of the
+  // network itself.
+  if (config_.dense_tick) {
+    for (std::uint32_t n = range.begin; n < range.end; ++n) {
+      routers_[n].tick(now, lane);
+      const bool live_now = !routers_[n].drained();
+      if (collect_delta_ && static_cast<bool>(router_live_[n]) != live_now)
+        touch_into(lane.delta_, n);
+      set_live(n, live_now);
+    }
+  } else if (shard_live_[s] != 0) {
+    std::uint32_t remaining = shard_live_[s];
+    for (std::uint32_t n = range.begin; remaining != 0 && n < range.end; ++n) {
+      if (!router_live_[n]) continue;
+      --remaining;
+      routers_[n].tick(now, lane);
+      if (routers_[n].drained()) {
+        set_live(n, false);
+        if (collect_delta_) touch_into(lane.delta_, n);
+      }
+    }
+  }
+}
+
 bool Network::idle() const {
-  return nic_backlog_flits_ == 0 && live_routers_ == 0 &&
-         flit_wire_.empty() && credit_wire_.empty() &&
-         credit_quarantine_.empty();
+  if (!flit_wire_.empty() || !credit_wire_.empty() ||
+      !credit_quarantine_.empty())
+    return false;
+  for (const Flits f : shard_nic_backlog_)
+    if (f != 0) return false;
+  for (const std::uint32_t c : shard_live_)
+    if (c != 0) return false;
+  return true;
 }
 
 std::vector<Flits> Network::delivered_flits_by_flow(

@@ -8,10 +8,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/ring_buffer.hpp"
+#include "common/shard_partition.hpp"
 #include "common/stats.hpp"
+#include "common/tick_team.hpp"
 #include "common/types.hpp"
 #include "metrics/perf_counters.hpp"
 #include "sim/engine.hpp"
@@ -19,6 +22,7 @@
 #include "wormhole/flit.hpp"
 #include "wormhole/observer.hpp"
 #include "wormhole/router.hpp"
+#include "wormhole/shard.hpp"
 #include "wormhole/topology.hpp"
 
 namespace wormsched::wormhole {
@@ -43,6 +47,18 @@ struct NetworkConfig {
   /// quarantined credits), never drop flits or credits, so every
   /// conservation invariant holds with faults enabled.
   const FaultModel* faults = nullptr;
+  /// Shard domains for the multi-threaded tick (>= 1).  1 (the default)
+  /// runs the serial kernel; > 1 partitions routers into contiguous
+  /// domains and runs the three-phase classify/compute/commit tick,
+  /// bit-identical to the serial kernel by construction (see shard.hpp).
+  /// Clamped to the router count (a 1x1 mesh with shards = 8 is serial).
+  std::uint32_t shards = 1;
+  /// Worker lanes ticking the shard domains (>= 1; clamped to `shards`).
+  /// A lane handles shards lane, lane + threads, ... — so threads <
+  /// shards oversubscribes domains onto lanes without changing results.
+  /// 1 with shards > 1 runs the sharded algorithm single-threaded (the
+  /// staging-path differential the tests lean on).
+  std::uint32_t threads = 1;
 };
 
 struct DeliveredPacket {
@@ -57,21 +73,10 @@ struct DeliveredPacket {
 
 class Network final : public sim::Component, private RouterEnv {
  public:
-  /// One flit in flight on a link (public for the audit accessors).
-  struct WireFlit {
-    Cycle arrive;
-    NodeId to;
-    Direction in;  // input port at the destination router
-    std::uint32_t cls;
-    Flit flit;
-  };
-  /// One credit in flight back to `to`'s output (`out`, `cls`).
-  struct WireCredit {
-    Cycle arrive;
-    NodeId to;
-    Direction out;  // output port credited at the destination router
-    std::uint32_t cls;
-  };
+  // Wire records live at namespace scope (shard.hpp) so the shard lanes
+  // can stage them; the nested names remain for the audit accessors.
+  using WireFlit = wormhole::WireFlit;
+  using WireCredit = wormhole::WireCredit;
 
   explicit Network(const NetworkConfig& config);
 
@@ -84,10 +89,15 @@ class Network final : public sim::Component, private RouterEnv {
   /// (one flit per node per cycle), then tick the active routers.  A
   /// router is active while it holds flits or owns an output; it enrolls
   /// when a flit or credit reaches it and retires once drained, so an
-  /// idle fabric costs nothing per cycle.
+  /// idle fabric costs nothing per cycle.  With config.shards > 1 the
+  /// cycle runs as the three-phase sharded tick (see shard.hpp) —
+  /// bit-identical results — unless a trace sink or perf counters are
+  /// attached, which fall back to the serial kernel (neither sink is
+  /// thread-safe; results are identical either way).
   void tick(Cycle now) override;
-  /// O(1): counters track NIC backlog and live routers; the wires are
-  /// FIFOs with O(1) emptiness checks.
+  /// O(shards): counters track NIC backlog and live routers per shard
+  /// (one shard when serial); the wires are FIFOs with O(1) emptiness
+  /// checks.
   [[nodiscard]] bool idle() const override;
 
   [[nodiscard]] const Topology& topology() const { return topo_; }
@@ -155,7 +165,13 @@ class Network final : public sim::Component, private RouterEnv {
   /// Total flits of every packet ever passed to inject().
   [[nodiscard]] Flits injected_flits() const { return injected_flits_; }
   /// Flits still queued at source NICs (not yet entered the fabric).
-  [[nodiscard]] Flits nic_backlog_flits() const { return nic_backlog_flits_; }
+  /// O(shards): the counters are per shard domain so the compute phase
+  /// never writes a shared cache line.
+  [[nodiscard]] Flits nic_backlog_flits() const {
+    Flits total = 0;
+    for (const Flits f : shard_nic_backlog_) total += f;
+    return total;
+  }
   [[nodiscard]] const RingBuffer<WireFlit>& flit_wire() const {
     return flit_wire_;
   }
@@ -172,10 +188,22 @@ class Network final : public sim::Component, private RouterEnv {
     return router_live_[node.index()] != 0;
   }
   [[nodiscard]] std::uint32_t live_router_count() const {
-    return live_routers_;
+    std::uint32_t total = 0;
+    for (const std::uint32_t c : shard_live_) total += c;
+    return total;
+  }
+  /// Effective shard domains (config.shards clamped to the router count).
+  [[nodiscard]] std::uint32_t shard_count() const {
+    return static_cast<std::uint32_t>(shard_ranges_.size());
+  }
+  /// Worker lanes the sharded tick uses (1 when the tick is serial).
+  [[nodiscard]] std::uint32_t tick_lanes() const {
+    return team_ != nullptr ? team_->lanes() : 1;
   }
 
  private:
+  friend class ShardLane;
+
   // RouterEnv:
   void send_flit(NodeId from, Direction out, const Flit& flit) override;
   void eject(NodeId node, const Flit& flit, Cycle now) override;
@@ -198,13 +226,29 @@ class Network final : public sim::Component, private RouterEnv {
   /// Sets router `index`'s active flag outright (dense-mode bookkeeping).
   void set_live(std::size_t index, bool live);
 
-  /// Adds router `index` to the cycle's touched set (idempotent; callers
-  /// guard on collect_delta_).
-  void touch(std::size_t index) {
+  /// The serial kernel (also the fallback when tracing or perf counters
+  /// are attached) and the three-phase sharded tick.  Bit-identical.
+  void tick_serial(Cycle now);
+  void tick_sharded(Cycle now);
+  /// Phase 1 body for one shard: deliver the classified arrivals, inject
+  /// from the shard's NICs, tick the shard's routers against its lane.
+  void compute_shard(Cycle now, std::uint32_t s);
+  /// Moves one flit of NIC `n`'s front packet into the router if the
+  /// local VC has room; delta events go to `delta` (the global delta in
+  /// the serial tick, the owning lane's in a sharded one).
+  void nic_inject_one(Cycle now, std::uint32_t n, CycleDelta& delta);
+
+  /// Adds router `index` to the cycle's touched set, recording it into
+  /// `delta`'s touched list (idempotent across all deltas of the cycle:
+  /// the flag array is global and shard lanes only ever flag their own
+  /// routers).  Callers guard on collect_delta_.
+  void touch_into(CycleDelta& delta, std::size_t index) {
     if (touched_flag_[index]) return;
     touched_flag_[index] = 1;
-    delta_.touched.push_back(static_cast<std::uint32_t>(index));
+    delta.touched.push_back(static_cast<std::uint32_t>(index));
   }
+  /// Serial-path shorthand: touch into the global delta.
+  void touch(std::size_t index) { touch_into(delta_, index); }
   /// Global unit key for CycleDelta events (see UnitEvent in
   /// observer.hpp); emission sites precompute it so consumers pay no
   /// per-event arithmetic.
@@ -234,7 +278,6 @@ class Network final : public sim::Component, private RouterEnv {
   std::uint64_t injected_ = 0;
   std::uint64_t delivered_flits_ = 0;
   Flits injected_flits_ = 0;
-  Flits nic_backlog_flits_ = 0;
   ObserverMux observers_;
   // Per-cycle movement record handed to observers.  Collection runs only
   // while some attached observer wants it (collect_delta_); the vectors
@@ -246,10 +289,22 @@ class Network final : public sim::Component, private RouterEnv {
   Cycle now_ = 0;  // cached for send_flit latency stamping
   // Active-set bookkeeping.  router_live_[n] means router n must tick
   // this cycle (it holds work or just received a flit/credit); the
-  // counters make idle() O(1).  Maintained identically in dense mode.
+  // per-shard counters make idle() O(shards).  Maintained identically in
+  // dense mode.  Counters are split per shard domain so the parallel
+  // compute phase updates them without sharing a cache line; the serial
+  // kernel uses the same arrays (one shard when config.shards == 1).
   std::vector<std::uint8_t> router_live_;
-  std::uint32_t live_routers_ = 0;
-  std::uint32_t nonempty_nics_ = 0;
+  std::vector<std::uint32_t> shard_live_;          // live routers per shard
+  std::vector<std::uint32_t> shard_nonempty_nics_;  // NICs with backlog
+  std::vector<Flits> shard_nic_backlog_;            // queued flits per shard
+  // Sharding geometry: contiguous ascending router ranges plus the
+  // inverse map (node index -> owning shard).
+  std::vector<ShardRange> shard_ranges_;
+  std::vector<std::uint32_t> shard_of_;
+  // Per-shard staging lanes + the persistent worker team, built only when
+  // config.shards > 1.
+  std::vector<ShardLane> lanes_;
+  std::unique_ptr<TickTeam> team_;
   metrics::PerfCounters* perf_ = nullptr;
   obs::TraceSink* trace_ = nullptr;
 };

@@ -1,0 +1,118 @@
+// Shard staging for the multi-threaded network tick.
+//
+// The sharded tick (NetworkConfig::shards > 1) partitions routers into
+// contiguous shard domains and runs each domain's RC/VA/SA/ST pipeline on
+// a worker lane.  Determinism is by construction, not by luck:
+//
+//   Phase 0 (serial, caller thread) — "classify": due entries are popped
+//   off the global wire FIFOs in exactly the serial order (including
+//   every fault-model decision) and routed into the owning shard's
+//   delivery lists.  The global wires stay the single source of truth the
+//   audit accessors expose.
+//
+//   Phase 1 (parallel) — "compute": each lane delivers its shard's
+//   credits and flits, injects from its shard's NICs, and ticks its
+//   shard's routers with THIS object as the RouterEnv.  Sends and
+//   ejections are staged into per-shard queues; nothing global is
+//   written.  Router ticks are mutually independent within a cycle (all
+//   inter-router interaction travels over wires with link_latency >= 1),
+//   so any lane interleaving computes the identical per-router state.
+//
+//   Phase 2 (serial) — "commit": staged sends are appended to the global
+//   wires shard-ascending.  The serial kernel pushes wire entries in
+//   router-ascending order (routers tick ascending, each router's port
+//   walk is ascending, and a (router, port) emits at most one flit and
+//   one credit per cycle), and shards are contiguous ascending router
+//   ranges — so the concatenation reproduces the serial FIFO contents
+//   byte for byte.  Ejections replay in the same order, keeping the
+//   delivered log and the latency RunningStats (floating-point summation
+//   order included) bit-identical to the serial run.
+//
+// Each lane also accumulates its own CycleDelta; the commit phase merges
+// the lane deltas into the global delta handed to ObserverMux, so
+// incremental auditing keeps working under threads (the auditor's ledger
+// updates are commutative integer adds, so the shard-grouped event order
+// yields the same ledgers and the same verdicts).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "wormhole/flit.hpp"
+#include "wormhole/observer.hpp"
+#include "wormhole/router.hpp"
+#include "wormhole/topology.hpp"
+
+namespace wormsched::wormhole {
+
+class Network;
+
+/// One flit in flight on a link (public for the audit accessors).
+struct WireFlit {
+  Cycle arrive;
+  NodeId to;
+  Direction in;  // input port at the destination router
+  std::uint32_t cls;
+  Flit flit;
+};
+/// One credit in flight back to `to`'s output (`out`, `cls`).
+struct WireCredit {
+  Cycle arrive;
+  NodeId to;
+  Direction out;  // output port credited at the destination router
+  std::uint32_t cls;
+};
+
+/// Per-shard staging state + the RouterEnv its routers tick against.
+/// Owned by the Network, one per shard domain; every vector is cleared —
+/// never shrunk — each cycle, so the sharded tick allocates nothing in
+/// steady state.
+class ShardLane final : public RouterEnv {
+ public:
+  ShardLane() = default;
+
+ private:
+  friend class Network;
+
+  struct StagedEjection {
+    NodeId node;
+    Flit flit;
+  };
+
+  // RouterEnv: stage instead of mutating the global fabric.  Only this
+  // lane's thread runs these during the compute phase, and they touch
+  // only this lane's vectors, this lane's routers' touched flags, and
+  // read-only network state.
+  void send_flit(NodeId from, Direction out, const Flit& flit) override;
+  void eject(NodeId node, const Flit& flit, Cycle now) override;
+  void send_credit(NodeId node, Direction in, std::uint32_t cls) override;
+  RouteDecision route(NodeId node, const Flit& flit, Direction in_from,
+                      std::uint32_t in_class) override;
+  void route_candidates(NodeId node, const Flit& flit, Direction in_from,
+                        std::uint32_t in_class, RouteCandidates& out) override;
+
+  /// Clears every per-cycle vector (capacity retained).
+  void clear_cycle();
+
+  Network* net_ = nullptr;
+  std::uint32_t shard_ = 0;
+
+  // Delivery lists, filled by the serial classify phase in global FIFO
+  // pop order and drained by this lane's compute phase in the same
+  // serial sub-order (quarantine releases, then flits, then credits).
+  std::vector<WireCredit> quarantine_due_;
+  std::vector<WireFlit> flits_due_;
+  std::vector<WireCredit> credits_due_;
+
+  // Staged results of the compute phase, committed serially.
+  std::vector<WireFlit> out_flits_;
+  std::vector<WireCredit> out_credits_;
+  std::vector<StagedEjection> ejections_;
+
+  // This shard's slice of the cycle's movement record; merged into the
+  // network's global delta at commit.
+  CycleDelta delta_;
+};
+
+}  // namespace wormsched::wormhole

@@ -193,6 +193,80 @@ TEST(CliParserStrictDeathTest, EmptyValueExits) {
               "is not an integer");
 }
 
+// --- --threads / --shards (sharded network tick) ------------------------
+
+TEST(NetworkParallelismDeathTest, ZeroThreadsExits) {
+  // 0 is NOT an "auto" wildcard here: a fabric cannot tick with zero
+  // worker threads, and silently promoting 0 to 1 would mask typos.
+  CliParser cli("test");
+  add_network_parallel_options(cli);
+  const char* argv[] = {"prog", "--threads=0"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_EXIT((void)resolve_network_parallelism(cli),
+              ::testing::ExitedWithCode(2),
+              "option --threads: '0' must be >= 1");
+}
+
+TEST(NetworkParallelismDeathTest, ZeroShardsExits) {
+  CliParser cli("test");
+  add_network_parallel_options(cli);
+  const char* argv[] = {"prog", "--threads=2", "--shards=0"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_EXIT((void)resolve_network_parallelism(cli),
+              ::testing::ExitedWithCode(2),
+              "option --shards: '0' must be >= 1");
+}
+
+TEST(NetworkParallelismDeathTest, NonNumericThreadsExits) {
+  CliParser cli("test");
+  add_network_parallel_options(cli);
+  const char* argv[] = {"prog", "--threads=four"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_EXIT((void)resolve_network_parallelism(cli),
+              ::testing::ExitedWithCode(2),
+              "option --threads: 'four' is not a non-negative integer");
+}
+
+TEST(NetworkParallelismDeathTest, TrailingJunkShardsExits) {
+  CliParser cli("test");
+  add_network_parallel_options(cli);
+  const char* argv[] = {"prog", "--shards=4x"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_EXIT((void)resolve_network_parallelism(cli),
+              ::testing::ExitedWithCode(2),
+              "option --shards: '4x' is not a non-negative integer");
+}
+
+TEST(NetworkParallelism, DefaultsAreSerial) {
+  CliParser cli("test");
+  add_network_parallel_options(cli);
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  const NetworkParallelism par = resolve_network_parallelism(cli);
+  EXPECT_EQ(par.threads, 1u);
+  EXPECT_EQ(par.shards, 1u);
+}
+
+TEST(NetworkParallelism, UnsetShardsFollowThreads) {
+  CliParser cli("test");
+  add_network_parallel_options(cli);
+  const char* argv[] = {"prog", "--threads=6"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  const NetworkParallelism par = resolve_network_parallelism(cli);
+  EXPECT_EQ(par.threads, 6u);
+  EXPECT_EQ(par.shards, 6u);
+}
+
+TEST(NetworkParallelism, ExplicitShardsOverride) {
+  CliParser cli("test");
+  add_network_parallel_options(cli);
+  const char* argv[] = {"prog", "--threads=2", "--shards=8"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  const NetworkParallelism par = resolve_network_parallelism(cli);
+  EXPECT_EQ(par.threads, 2u);
+  EXPECT_EQ(par.shards, 8u);
+}
+
 TEST(CliParserStrict, ValidNumbersStillParse) {
   CliParser cli("test");
   cli.add_option("a", "", "0");

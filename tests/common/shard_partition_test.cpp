@@ -1,0 +1,80 @@
+#include "common/shard_partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace wormsched {
+namespace {
+
+// Every partition must tile [0, count) contiguously and ascending — the
+// sharded tick's determinism proof rests on it (see shard_partition.hpp).
+void expect_tiles(const std::vector<ShardRange>& ranges, std::uint32_t count) {
+  std::uint32_t at = 0;
+  for (const ShardRange& r : ranges) {
+    EXPECT_EQ(r.begin, at);
+    EXPECT_GT(r.end, r.begin) << "empty shard";
+    at = r.end;
+  }
+  EXPECT_EQ(at, count);
+}
+
+TEST(ShardPartition, SplitsEvenly) {
+  const auto ranges = make_shard_partition(64, 4);
+  ASSERT_EQ(ranges.size(), 4u);
+  for (const ShardRange& r : ranges) EXPECT_EQ(r.size(), 16u);
+  expect_tiles(ranges, 64);
+}
+
+TEST(ShardPartition, RemainderGoesToTheFirstShards) {
+  const auto ranges = make_shard_partition(10, 4);
+  ASSERT_EQ(ranges.size(), 4u);
+  EXPECT_EQ(ranges[0].size(), 3u);
+  EXPECT_EQ(ranges[1].size(), 3u);
+  EXPECT_EQ(ranges[2].size(), 2u);
+  EXPECT_EQ(ranges[3].size(), 2u);
+  expect_tiles(ranges, 10);
+}
+
+TEST(ShardPartition, MoreShardsThanItemsClampsToOnePerItem) {
+  const auto ranges = make_shard_partition(3, 64);
+  ASSERT_EQ(ranges.size(), 3u);
+  for (const ShardRange& r : ranges) EXPECT_EQ(r.size(), 1u);
+  expect_tiles(ranges, 3);
+}
+
+TEST(ShardPartition, SingleItemSingleShard) {
+  const auto ranges = make_shard_partition(1, 8);
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0], (ShardRange{0, 1}));
+}
+
+TEST(ShardPartition, ZeroItemsYieldsNoShards) {
+  EXPECT_TRUE(make_shard_partition(0, 4).empty());
+}
+
+TEST(ShardPartition, ZeroShardsIsTreatedAsOne) {
+  const auto ranges = make_shard_partition(7, 0);
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0], (ShardRange{0, 7}));
+}
+
+TEST(ShardPartition, LargeUnevenSplitTilesExactly) {
+  for (const std::uint32_t count : {17u, 100u, 1023u, 1024u}) {
+    for (const std::uint32_t shards : {1u, 2u, 3u, 7u, 8u, 16u}) {
+      const auto ranges = make_shard_partition(count, shards);
+      ASSERT_LE(ranges.size(), static_cast<std::size_t>(shards));
+      expect_tiles(ranges, count);
+      // Balance: sizes differ by at most one.
+      std::uint32_t lo = ranges[0].size(), hi = ranges[0].size();
+      for (const ShardRange& r : ranges) {
+        lo = std::min(lo, r.size());
+        hi = std::max(hi, r.size());
+      }
+      EXPECT_LE(hi - lo, 1u) << count << " items, " << shards << " shards";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wormsched

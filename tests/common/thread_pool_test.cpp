@@ -94,5 +94,67 @@ TEST(ThreadPool, HardwareWorkersIsPositive) {
   EXPECT_GE(ThreadPool::hardware_workers(), 1u);
 }
 
+TEST(ThreadPool, InlineParallelForRunsEveryIndexDespiteErrors) {
+  // Exception contract parity with the pooled path: every index executes,
+  // the FIRST error is rethrown at the end.  The inline path used to bail
+  // at the throwing index.
+  ThreadPool pool(1);
+  ASSERT_EQ(pool.worker_count(), 0u);
+  std::vector<int> hits(8, 0);
+  try {
+    pool.parallel_for(hits.size(), [&](std::size_t i) {
+      ++hits[i];
+      if (i == 2 || i == 5) throw std::runtime_error("index " + std::to_string(i));
+    });
+    FAIL() << "parallel_for swallowed the error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "index 2") << "not the first error";
+  }
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, WaitIdleWithNothingSubmittedIsANoOp) {
+  ThreadPool pool(3);
+  pool.wait_idle();
+  pool.wait_idle();  // and again, on an already-quiesced pool
+}
+
+TEST(ThreadPool, TaskStormDrainsCompletely) {
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> sum{0};
+  for (int wave = 0; wave < 20; ++wave) {
+    for (int i = 0; i < 500; ++i) pool.submit([&] { sum.fetch_add(1); });
+    pool.wait_idle();
+  }
+  EXPECT_EQ(sum.load(), 20u * 500u);
+}
+
+TEST(ThreadPool, ReentrantSubmitFromATaskCompletes) {
+  // A task that submits follow-up work must not deadlock wait_idle: the
+  // pool counts outstanding tasks, not submission batches.
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 16; ++i)
+    pool.submit([&] {
+      ++count;
+      pool.submit([&] { ++count; });
+    });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPool, ReentrantParallelForNestsInline) {
+  // parallel_for from inside a task must make progress even when every
+  // worker is already busy (the inner loop may run inline on the caller).
+  ThreadPool pool(2);
+  std::atomic<int> inner{0};
+  pool.submit([&] {
+    ThreadPool nested(1);
+    nested.parallel_for(8, [&](std::size_t) { ++inner; });
+  });
+  pool.wait_idle();
+  EXPECT_EQ(inner.load(), 8);
+}
+
 }  // namespace
 }  // namespace wormsched

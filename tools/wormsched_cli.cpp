@@ -333,6 +333,7 @@ int cmd_network(int argc, const char* const* argv) {
   validate::add_fault_options(cli);
   obs::add_trace_options(cli);
   add_jobs_option(cli);
+  add_network_parallel_options(cli);
   if (!cli.parse(argc, argv)) return 1;
 
   const std::string topo_text = cli.get("topo");
@@ -359,6 +360,11 @@ int cmd_network(int argc, const char* const* argv) {
   config.router.num_vcs = static_cast<std::uint32_t>(cli.get_uint("vcs"));
   config.router.buffer_depth =
       static_cast<std::uint32_t>(cli.get_uint("buffers"));
+  {
+    const NetworkParallelism par = resolve_network_parallelism(cli);
+    config.threads = par.threads;
+    config.shards = par.shards;
+  }
 
   wormhole::NetworkTrafficSource::Config traffic_config;
   traffic_config.packets_per_node_per_cycle = cli.get_double("rate");
