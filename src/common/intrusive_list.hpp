@@ -151,6 +151,41 @@ class IntrusiveList {
   [[nodiscard]] iterator begin() { return iterator(sentinel_.next_); }
   [[nodiscard]] iterator end() { return iterator(&sentinel_); }
 
+  /// Const iteration (checkpointing walks the list read-only).
+  class const_iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = const T;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const T*;
+    using reference = const T&;
+
+    const_iterator() = default;
+    explicit const_iterator(const IntrusiveListHook* pos) : pos_(pos) {}
+    reference operator*() const { return *owner(pos_); }
+    pointer operator->() const { return owner(pos_); }
+    const_iterator& operator++() {
+      pos_ = pos_->next_;
+      return *this;
+    }
+    const_iterator operator++(int) {
+      const_iterator copy = *this;
+      ++*this;
+      return copy;
+    }
+    bool operator==(const const_iterator&) const = default;
+
+   private:
+    const IntrusiveListHook* pos_ = nullptr;
+  };
+
+  [[nodiscard]] const_iterator begin() const {
+    return const_iterator(sentinel_.next_);
+  }
+  [[nodiscard]] const_iterator end() const {
+    return const_iterator(&sentinel_);
+  }
+
  private:
   static T* owner(IntrusiveListHook* hook) {
     // Recover the owning object from the embedded hook address.

@@ -57,6 +57,16 @@ class Rng {
   /// stream so adding a flow does not perturb the others' draws.
   Rng split();
 
+  /// Checkpoint/restore access to the raw 256-bit state.  set_state()
+  /// rejects the all-zero state (the one fixed point of xoshiro256**).
+  using State = std::array<std::uint64_t, 4>;
+  [[nodiscard]] const State& state() const { return state_; }
+  void set_state(const State& state) {
+    WS_CHECK_MSG((state[0] | state[1] | state[2] | state[3]) != 0,
+                 "all-zero xoshiro state");
+    state_ = state;
+  }
+
  private:
   std::array<std::uint64_t, 4> state_;
 };

@@ -1,0 +1,213 @@
+// Versioned binary snapshot primitives (checkpoint/restore).
+//
+// A snapshot is a flat byte stream of fixed-width little-endian fields
+// grouped into length-prefixed, tagged sections, wrapped in a file
+// container that carries the format version, the run's
+// wormsched-manifest-v1 provenance JSON, and a CRC32 of the payload.
+// Every value is written at full precision — doubles round-trip via
+// bit_cast, so restored statistics are bit-identical, which is what the
+// restore-equivalence differential tests assert.
+//
+// Error handling contract: every malformed input (bad magic, unsupported
+// version, truncation, CRC mismatch, section-tag mismatch) throws
+// SnapshotError with a message that names the problem.  Nothing is ever
+// read past the declared bounds, so a corrupted snapshot can fail but
+// never invoke undefined behaviour.  CLI front ends catch SnapshotError
+// and exit 2.
+//
+// Compatibility policy (docs/TESTING.md): the payload layout is frozen
+// per format version.  Any layout change bumps kSnapshotFormatVersion;
+// a committed golden file per version pins the promise that old
+// snapshots keep loading (or are rejected with a clear message, never
+// misread).
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/ring_buffer.hpp"
+
+namespace wormsched {
+
+/// Bumped whenever the payload layout changes.  The reader accepts only
+/// its own version; older builds reject newer files with a clear message.
+inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
+
+class SnapshotError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320) over `size` bytes.
+[[nodiscard]] std::uint32_t snapshot_crc32(const std::uint8_t* data,
+                                           std::size_t size);
+
+class SnapshotWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void b(bool v) { u8(v ? 1 : 0); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  /// Exact: the double's bit pattern, not a decimal rendering.
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void str(std::string_view s) {
+    u64(s.size());
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  /// Opens a tagged, length-prefixed section (sections may nest).  The
+  /// length lets a reader skip sections it does not understand.
+  void begin_section(std::uint32_t tag);
+  void end_section();
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const {
+    WS_CHECK_MSG(open_sections_.empty(), "unclosed snapshot section");
+    return buf_;
+  }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::vector<std::size_t> open_sections_;  // offsets of length fields
+};
+
+class SnapshotReader {
+ public:
+  SnapshotReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit SnapshotReader(const std::vector<std::uint8_t>& payload)
+      : SnapshotReader(payload.data(), payload.size()) {}
+
+  [[nodiscard]] std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+  [[nodiscard]] bool b() { return u8() != 0; }
+  [[nodiscard]] std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+  [[nodiscard]] std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+  [[nodiscard]] std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  [[nodiscard]] double f64() { return std::bit_cast<double>(u64()); }
+  [[nodiscard]] std::string str() {
+    const std::uint64_t n = u64();
+    need(n);
+    std::string s(reinterpret_cast<const char*>(data_ + pos_),
+                  static_cast<std::size_t>(n));
+    pos_ += static_cast<std::size_t>(n);
+    return s;
+  }
+
+  /// Tag of the next section without consuming it; 0 when the current
+  /// scope has no bytes left (0 is never a valid tag).
+  [[nodiscard]] std::uint32_t peek_section() const;
+  /// Enters the next section, which must carry `tag`.
+  void enter_section(std::uint32_t tag);
+  /// Leaves the current section, skipping any unread remainder (forward
+  /// compatibility: a reader may ignore trailing fields a newer writer
+  /// appended within a section).
+  void leave_section();
+  /// Skips the next section wholesale.
+  void skip_section();
+
+  [[nodiscard]] bool exhausted() const { return pos_ >= limit(); }
+
+ private:
+  [[nodiscard]] std::size_t limit() const {
+    return section_ends_.empty() ? size_ : section_ends_.back();
+  }
+  void need(std::uint64_t n) const {
+    if (n > limit() - pos_)
+      throw SnapshotError("snapshot truncated (read past end of data)");
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  std::vector<std::size_t> section_ends_;
+};
+
+/// --- Sequence helpers ----------------------------------------------------
+
+template <typename T, typename Fn>
+void save_sequence(SnapshotWriter& w, const RingBuffer<T>& rb, Fn save_elem) {
+  w.u64(rb.size());
+  for (std::size_t i = 0; i < rb.size(); ++i) save_elem(w, rb[i]);
+}
+
+template <typename T, typename Fn>
+void restore_sequence(SnapshotReader& r, RingBuffer<T>& rb, Fn load_elem) {
+  rb.clear();
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) rb.push_back(load_elem(r));
+}
+
+template <typename T, typename Fn>
+void save_sequence(SnapshotWriter& w, const std::vector<T>& v, Fn save_elem) {
+  w.u64(v.size());
+  for (const T& e : v) save_elem(w, e);
+}
+
+template <typename T, typename Fn>
+void restore_sequence(SnapshotReader& r, std::vector<T>& v, Fn load_elem) {
+  v.clear();
+  const std::uint64_t n = r.u64();
+  v.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) v.push_back(load_elem(r));
+}
+
+inline void save_doubles(SnapshotWriter& w, const std::vector<double>& v) {
+  save_sequence(w, v, [](SnapshotWriter& o, double x) { o.f64(x); });
+}
+inline void restore_doubles(SnapshotReader& r, std::vector<double>& v) {
+  restore_sequence(r, v, [](SnapshotReader& i) { return i.f64(); });
+}
+
+/// --- File container ------------------------------------------------------
+///
+/// Layout: magic "WSNPSHOT" | u32 version | u32 flags (0) |
+///         u64 manifest_len + manifest JSON (wormsched-manifest-v1) |
+///         u64 payload_len + payload | u32 crc32(payload).
+/// Checks run in that order, so a wrong-version file is reported as such
+/// even when the rest is unreadable.
+
+struct SnapshotFile {
+  std::uint32_t version = kSnapshotFormatVersion;
+  std::string manifest_json;  // provenance, carried verbatim
+  std::vector<std::uint8_t> payload;
+};
+
+/// Throws std::runtime_error when the path cannot be written.
+void write_snapshot_file(const std::string& path,
+                         const std::string& manifest_json,
+                         const std::vector<std::uint8_t>& payload);
+
+/// Throws SnapshotError on any malformed input (see file comment).
+[[nodiscard]] SnapshotFile read_snapshot_file(const std::string& path);
+
+/// Container parse of an in-memory image (the file reader's core; also
+/// what the corruption tests drive directly).
+[[nodiscard]] SnapshotFile parse_snapshot_bytes(
+    const std::vector<std::uint8_t>& bytes);
+
+}  // namespace wormsched

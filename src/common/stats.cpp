@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/assert.hpp"
+#include "common/snapshot.hpp"
 
 namespace wormsched {
 
@@ -41,6 +42,24 @@ void RunningStat::merge(const RunningStat& other) {
   sum_ += other.sum_;
   min_ = std::min(min_, other.min_);
   max_ = std::max(max_, other.max_);
+}
+
+void RunningStat::save(SnapshotWriter& w) const {
+  w.u64(count_);
+  w.f64(mean_);
+  w.f64(m2_);
+  w.f64(sum_);
+  w.f64(min_);
+  w.f64(max_);
+}
+
+void RunningStat::restore(SnapshotReader& r) {
+  count_ = static_cast<std::size_t>(r.u64());
+  mean_ = r.f64();
+  m2_ = r.f64();
+  sum_ = r.f64();
+  min_ = r.f64();
+  max_ = r.f64();
 }
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)
@@ -114,6 +133,26 @@ void QuantileEstimator::add(double x) {
     samples_[static_cast<std::size_t>(slot)] = x;
     sorted_ = false;
   }
+}
+
+void QuantileEstimator::save(SnapshotWriter& w) const {
+  w.u64(capacity_);
+  w.u64(seen_);
+  w.u64(rng_state_);
+  // The reservoir is saved in its current array order (with the lazy-sort
+  // flag): future Algorithm R replacements address samples by slot, so
+  // the order itself is state.
+  w.b(sorted_);
+  save_doubles(w, samples_);
+}
+
+void QuantileEstimator::restore(SnapshotReader& r) {
+  capacity_ = static_cast<std::size_t>(r.u64());
+  WS_CHECK(capacity_ > 0);
+  seen_ = r.u64();
+  rng_state_ = r.u64();
+  sorted_ = r.b();
+  restore_doubles(r, samples_);
 }
 
 double QuantileEstimator::quantile(double q) const {

@@ -9,6 +9,9 @@
 
 namespace wormsched {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /// Streaming mean/variance/min/max (Welford's algorithm): O(1) memory,
 /// numerically stable over the multi-million-sample runs of Fig. 5.
 class RunningStat {
@@ -28,6 +31,12 @@ class RunningStat {
   void merge(const RunningStat& other);
 
   void reset() { *this = RunningStat{}; }
+
+  /// Checkpoint/restore: doubles round-trip bit-exactly (mean, M2 and sum
+  /// are serialized as raw bit patterns), so a restored accumulator
+  /// continues producing the identical floating-point stream.
+  void save(SnapshotWriter& w) const;
+  void restore(SnapshotReader& r);
 
  private:
   std::size_t count_ = 0;
@@ -82,6 +91,12 @@ class QuantileEstimator {
 
   /// q in [0,1]; 0.5 is the median.  Returns 0 for an empty estimator.
   [[nodiscard]] double quantile(double q) const;
+
+  /// Checkpoint/restore: reservoir contents, the replacement RNG state
+  /// and the seen count all round-trip, so a restored estimator makes the
+  /// identical future replacement decisions.
+  void save(SnapshotWriter& w) const;
+  void restore(SnapshotReader& r);
 
  private:
   std::size_t capacity_;

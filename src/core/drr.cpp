@@ -1,6 +1,7 @@
 #include "core/drr.hpp"
 
 #include "common/assert.hpp"
+#include "common/snapshot.hpp"
 
 namespace wormsched::core {
 
@@ -57,6 +58,47 @@ void DrrPolicy::end_opportunity(bool still_backlogged) {
   in_opportunity_ = false;
 }
 
+void DrrPolicy::save(SnapshotWriter& w) const {
+  w.u64(flows_.size());
+  for (const FlowState& f : flows_) {
+    w.f64(f.deficit);
+    w.f64(f.quantum);
+  }
+  w.u64(active_list_.size());
+  for (const FlowState& f : active_list_) w.u32(f.id.value());
+  w.i64(base_quantum_);
+  w.b(in_opportunity_);
+  w.u32(current_.value());
+}
+
+void DrrPolicy::restore(SnapshotReader& r) {
+  const std::uint64_t n = r.u64();
+  if (n != flows_.size())
+    throw SnapshotError("DRR snapshot has " + std::to_string(n) +
+                        " flows, this policy has " +
+                        std::to_string(flows_.size()));
+  for (FlowState& f : flows_) {
+    f.deficit = r.f64();
+    f.quantum = r.f64();
+  }
+  active_list_.clear();
+  const std::uint64_t linked = r.u64();
+  if (linked > flows_.size())
+    throw SnapshotError("DRR ActiveList longer than the flow table");
+  for (std::uint64_t i = 0; i < linked; ++i) {
+    const FlowId id{r.u32()};
+    if (id.index() >= flows_.size())
+      throw SnapshotError("DRR ActiveList names an out-of-range flow");
+    FlowState& f = flows_[id.index()];
+    if (decltype(active_list_)::is_linked(f))
+      throw SnapshotError("DRR ActiveList names a flow twice");
+    active_list_.push_back(f);
+  }
+  base_quantum_ = r.i64();
+  in_opportunity_ = r.b();
+  current_ = FlowId{r.u32()};
+}
+
 DrrScheduler::DrrScheduler(const DrrConfig& config)
     : Scheduler(config.num_flows), policy_(config) {}
 
@@ -92,6 +134,14 @@ void DrrScheduler::on_packet_complete(FlowId flow, Flits observed_length,
   } else if (!policy_.may_serve(head_packet_length(flow))) {
     policy_.end_opportunity(/*still_backlogged=*/true);
   }
+}
+
+void DrrScheduler::save_discipline(SnapshotWriter& w) const {
+  policy_.save(w);
+}
+
+void DrrScheduler::restore_discipline(SnapshotReader& r) {
+  policy_.restore(r);
 }
 
 }  // namespace wormsched::core

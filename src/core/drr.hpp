@@ -61,6 +61,11 @@ class DrrPolicy {
     return flows_[flow.index()].deficit;
   }
 
+  /// Checkpoint/restore: per-flow deficit/quantum, ActiveList order, and
+  /// the in-opportunity latch.
+  void save(SnapshotWriter& w) const;
+  void restore(SnapshotReader& r);
+
  private:
   struct FlowState {
     FlowId id;
@@ -91,6 +96,8 @@ class DrrScheduler final : public Scheduler {
   FlowId select_next_flow(Cycle now) override;
   void on_packet_complete(FlowId flow, Flits observed_length,
                           bool queue_now_empty) override;
+  void save_discipline(SnapshotWriter& w) const override;
+  void restore_discipline(SnapshotReader& r) override;
 
  private:
   DrrPolicy policy_;

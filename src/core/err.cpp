@@ -1,6 +1,7 @@
 #include "core/err.hpp"
 
 #include "common/assert.hpp"
+#include "common/snapshot.hpp"
 
 namespace wormsched::core {
 
@@ -107,6 +108,63 @@ void ErrPolicy::end_opportunity(bool still_backlogged) {
   if (listener_) listener_(record);
 }
 
+void ErrPolicy::save(SnapshotWriter& w) const {
+  w.u64(flows_.size());
+  for (const FlowState& f : flows_) {
+    w.f64(f.sc);
+    w.f64(f.weight);
+  }
+  w.u64(active_list_.size());
+  for (const FlowState& f : active_list_) w.u32(f.id.value());
+  w.u64(active_count_);
+  w.u64(round_robin_visit_count_);
+  w.f64(max_sc_);
+  w.f64(previous_max_sc_);
+  w.u64(round_);
+  w.b(reset_on_idle_);
+  w.b(in_opportunity_);
+  w.u32(current_.value());
+  w.f64(allowance_);
+  w.f64(sent_);
+  w.f64(max_charge_);
+}
+
+void ErrPolicy::restore(SnapshotReader& r) {
+  const std::uint64_t n = r.u64();
+  if (n != flows_.size())
+    throw SnapshotError("ERR snapshot has " + std::to_string(n) +
+                        " flows, this policy has " +
+                        std::to_string(flows_.size()));
+  for (FlowState& f : flows_) {
+    f.sc = r.f64();
+    f.weight = r.f64();
+  }
+  active_list_.clear();
+  const std::uint64_t linked = r.u64();
+  if (linked > flows_.size())
+    throw SnapshotError("ERR ActiveList longer than the flow table");
+  for (std::uint64_t i = 0; i < linked; ++i) {
+    const FlowId id{r.u32()};
+    if (id.index() >= flows_.size())
+      throw SnapshotError("ERR ActiveList names an out-of-range flow");
+    FlowState& f = flows_[id.index()];
+    if (decltype(active_list_)::is_linked(f))
+      throw SnapshotError("ERR ActiveList names a flow twice");
+    active_list_.push_back(f);
+  }
+  active_count_ = r.u64();
+  round_robin_visit_count_ = r.u64();
+  max_sc_ = r.f64();
+  previous_max_sc_ = r.f64();
+  round_ = r.u64();
+  reset_on_idle_ = r.b();
+  in_opportunity_ = r.b();
+  current_ = FlowId{r.u32()};
+  allowance_ = r.f64();
+  sent_ = r.f64();
+  max_charge_ = r.f64();
+}
+
 ErrScheduler::ErrScheduler(const ErrConfig& config)
     : Scheduler(config.num_flows), policy_(config) {}
 
@@ -138,6 +196,14 @@ void ErrScheduler::on_packet_complete(FlowId flow, Flits observed_length,
   policy_.charge(static_cast<double>(observed_length));
   if (queue_now_empty || !policy_.may_continue())
     policy_.end_opportunity(!queue_now_empty);
+}
+
+void ErrScheduler::save_discipline(SnapshotWriter& w) const {
+  policy_.save(w);
+}
+
+void ErrScheduler::restore_discipline(SnapshotReader& r) {
+  policy_.restore(r);
 }
 
 }  // namespace wormsched::core

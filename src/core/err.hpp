@@ -115,6 +115,14 @@ class ErrPolicy {
     listener_ = std::move(fn);
   }
 
+  /// Checkpoint/restore.  Serializes every flow's SC and weight, the
+  /// ActiveList as a flow-id sequence (rebuilt on restore), the round
+  /// bookkeeping, and — because wormhole opportunities span many cycles —
+  /// the mid-opportunity fields (current flow, allowance, sent).  The
+  /// listener is runtime wiring and is not part of the snapshot.
+  void save(SnapshotWriter& w) const;
+  void restore(SnapshotReader& r);
+
  private:
   struct FlowState {
     FlowId id;
@@ -157,6 +165,8 @@ class ErrScheduler final : public Scheduler {
   FlowId select_next_flow(Cycle now) override;
   void on_packet_complete(FlowId flow, Flits observed_length,
                           bool queue_now_empty) override;
+  void save_discipline(SnapshotWriter& w) const override;
+  void restore_discipline(SnapshotReader& r) override;
 
  private:
   ErrPolicy policy_;

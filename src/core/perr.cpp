@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "common/snapshot.hpp"
 
 namespace wormsched::core {
 
@@ -60,6 +61,29 @@ void PerrScheduler::on_packet_complete(FlowId flow, Flits observed_length,
   policy.charge(static_cast<double>(observed_length));
   if (queue_now_empty || !policy.may_continue())
     policy.end_opportunity(!queue_now_empty);
+}
+
+void PerrScheduler::save_discipline(SnapshotWriter& w) const {
+  w.u64(priority_of_.size());
+  for (const std::uint32_t p : priority_of_) w.u32(p);
+  w.u64(classes_.size());
+  for (const PriorityClass& cls : classes_) cls.policy->save(w);
+}
+
+void PerrScheduler::restore_discipline(SnapshotReader& r) {
+  const std::uint64_t n = r.u64();
+  if (n != priority_of_.size())
+    throw SnapshotError("PERR snapshot priority map size mismatch");
+  for (std::uint32_t& p : priority_of_) p = r.u32();
+  for (const std::uint32_t p : priority_of_)
+    if (p >= classes_.size())
+      throw SnapshotError("PERR snapshot priority map exceeds class count");
+  const std::uint64_t classes = r.u64();
+  if (classes != classes_.size())
+    throw SnapshotError("PERR snapshot has " + std::to_string(classes) +
+                        " classes, this scheduler has " +
+                        std::to_string(classes_.size()));
+  for (PriorityClass& cls : classes_) cls.policy->restore(r);
 }
 
 }  // namespace wormsched::core

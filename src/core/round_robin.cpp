@@ -1,6 +1,7 @@
 #include "core/round_robin.hpp"
 
 #include "common/assert.hpp"
+#include "common/snapshot.hpp"
 
 namespace wormsched::core {
 
@@ -25,6 +26,27 @@ bool ActiveFlowRing::contains(FlowId flow) const {
   return decltype(list_)::is_linked(flows_[flow.index()]);
 }
 
+void ActiveFlowRing::save(SnapshotWriter& w) const {
+  w.u64(list_.size());
+  for (const FlowState& f : list_) w.u32(f.id.value());
+}
+
+void ActiveFlowRing::restore(SnapshotReader& r) {
+  list_.clear();
+  const std::uint64_t linked = r.u64();
+  if (linked > flows_.size())
+    throw SnapshotError("round-robin ring longer than the flow table");
+  for (std::uint64_t i = 0; i < linked; ++i) {
+    const FlowId id{r.u32()};
+    if (id.index() >= flows_.size())
+      throw SnapshotError("round-robin ring names an out-of-range flow");
+    FlowState& f = flows_[id.index()];
+    if (decltype(list_)::is_linked(f))
+      throw SnapshotError("round-robin ring names a flow twice");
+    list_.push_back(f);
+  }
+}
+
 PbrrScheduler::PbrrScheduler(std::size_t num_flows)
     : Scheduler(num_flows), ring_(num_flows) {}
 
@@ -44,6 +66,16 @@ void PbrrScheduler::on_packet_complete(FlowId flow, Flits, //
   WS_CHECK(flow == serving_);
   if (!queue_now_empty) ring_.activate(flow);
   serving_ = FlowId::invalid();
+}
+
+void PbrrScheduler::save_discipline(SnapshotWriter& w) const {
+  ring_.save(w);
+  w.u32(serving_.value());
+}
+
+void PbrrScheduler::restore_discipline(SnapshotReader& r) {
+  ring_.restore(r);
+  serving_ = FlowId{r.u32()};
 }
 
 FbrrScheduler::FbrrScheduler(std::size_t num_flows)
@@ -68,5 +100,9 @@ FlowId FbrrScheduler::select_next_flow(Cycle) {
 void FbrrScheduler::on_packet_complete(FlowId, Flits, bool) {
   WS_CHECK_MSG(false, "FBRR overrides pull_flit_impl");
 }
+
+void FbrrScheduler::save_discipline(SnapshotWriter& w) const { ring_.save(w); }
+
+void FbrrScheduler::restore_discipline(SnapshotReader& r) { ring_.restore(r); }
 
 }  // namespace wormsched::core

@@ -34,6 +34,10 @@ class ActiveFlowRing {
   FlowId take_next();
   [[nodiscard]] bool contains(FlowId flow) const;
 
+  /// Checkpoint/restore: the ring is serialized as its flow-id order.
+  void save(SnapshotWriter& w) const;
+  void restore(SnapshotReader& r);
+
  private:
   struct FlowState {
     FlowId id;
@@ -54,6 +58,8 @@ class PbrrScheduler final : public Scheduler {
   FlowId select_next_flow(Cycle now) override;
   void on_packet_complete(FlowId flow, Flits observed_length,
                           bool queue_now_empty) override;
+  void save_discipline(SnapshotWriter& w) const override;
+  void restore_discipline(SnapshotReader& r) override;
 
  private:
   ActiveFlowRing ring_;
@@ -73,6 +79,8 @@ class FbrrScheduler final : public Scheduler {
   FlowId select_next_flow(Cycle now) override;
   void on_packet_complete(FlowId flow, Flits observed_length,
                           bool queue_now_empty) override;
+  void save_discipline(SnapshotWriter& w) const override;
+  void restore_discipline(SnapshotReader& r) override;
 
  private:
   ActiveFlowRing ring_;

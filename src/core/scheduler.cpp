@@ -1,8 +1,78 @@
 #include "core/scheduler.hpp"
 
 #include "common/assert.hpp"
+#include "common/snapshot.hpp"
 
 namespace wormsched::core {
+
+namespace {
+
+// Section tags inside a scheduler snapshot.
+constexpr std::uint32_t kSchedBaseTag = 0x53424153;   // "SABS"
+constexpr std::uint32_t kSchedDiscTag = 0x53444953;   // "SIDS"
+
+void save_packet(SnapshotWriter& w, const Packet& p) {
+  w.u64(p.id.value());
+  w.u32(p.flow.value());
+  w.i64(p.length);
+  w.u64(p.arrival);
+  w.u64(p.first_service);
+  w.u64(p.departure);
+}
+
+Packet load_packet(SnapshotReader& r) {
+  Packet p;
+  p.id = PacketId(r.u64());
+  p.flow = FlowId(r.u32());
+  p.length = r.i64();
+  p.arrival = r.u64();
+  p.first_service = r.u64();
+  p.departure = r.u64();
+  return p;
+}
+
+}  // namespace
+
+void Scheduler::save_state(SnapshotWriter& w) const {
+  w.begin_section(kSchedBaseTag);
+  w.u64(queues_.size());
+  for (const auto& q : queues_) save_sequence(w, q, save_packet);
+  save_doubles(w, weights_);
+  save_sequence(w, flits_sent_of_head_,
+                [](SnapshotWriter& o, Flits f) { o.i64(f); });
+  w.b(latched_flow_.has_value());
+  w.u32(latched_flow_ ? latched_flow_->value() : 0);
+  w.i64(backlog_flits_);
+  w.end_section();
+  w.begin_section(kSchedDiscTag);
+  save_discipline(w);
+  w.end_section();
+}
+
+void Scheduler::restore_state(SnapshotReader& r) {
+  r.enter_section(kSchedBaseTag);
+  const std::uint64_t n = r.u64();
+  if (n != queues_.size())
+    throw SnapshotError("scheduler snapshot has " + std::to_string(n) +
+                        " flows, this scheduler has " +
+                        std::to_string(queues_.size()));
+  for (auto& q : queues_) restore_sequence(r, q, load_packet);
+  restore_doubles(r, weights_);
+  restore_sequence(r, flits_sent_of_head_,
+                   [](SnapshotReader& i) { return i.i64(); });
+  if (weights_.size() != queues_.size() ||
+      flits_sent_of_head_.size() != queues_.size())
+    throw SnapshotError("scheduler snapshot per-flow arrays disagree");
+  const bool latched = r.b();
+  const std::uint32_t latched_value = r.u32();
+  latched_flow_ =
+      latched ? std::optional<FlowId>(FlowId(latched_value)) : std::nullopt;
+  backlog_flits_ = r.i64();
+  r.leave_section();
+  r.enter_section(kSchedDiscTag);
+  restore_discipline(r);
+  r.leave_section();
+}
 
 Scheduler::Scheduler(std::size_t num_flows)
     : queues_(num_flows),

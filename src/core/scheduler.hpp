@@ -25,6 +25,11 @@
 #include "common/types.hpp"
 #include "core/packet.hpp"
 
+namespace wormsched {
+class SnapshotReader;
+class SnapshotWriter;
+}  // namespace wormsched
+
 namespace wormsched::core {
 
 /// Receives notifications about scheduler activity; implemented by the
@@ -82,7 +87,22 @@ class Scheduler {
   /// At most one observer; not owned.  Pass nullptr to detach.
   void set_observer(SchedulerObserver* observer) { observer_ = observer; }
 
+  /// Checkpoint/restore.  Serializes the queues, per-flow weights and
+  /// in-flight latch, then the discipline's private state through the
+  /// save_discipline/restore_discipline hooks.  restore_state() must be
+  /// called on a freshly constructed scheduler of the same discipline and
+  /// flow count (checked); the observer wiring is runtime state and is
+  /// not part of the snapshot.
+  void save_state(SnapshotWriter& w) const;
+  void restore_state(SnapshotReader& r);
+
  protected:
+  /// Discipline-private checkpoint state.  The default saves nothing —
+  /// correct only for genuinely stateless disciplines; every stateful
+  /// discipline overrides both.
+  virtual void save_discipline(SnapshotWriter& w) const { (void)w; }
+  virtual void restore_discipline(SnapshotReader& r) { (void)r; }
+
   /// --- Discipline interface -------------------------------------------
   /// Called when a packet arrival makes flow `flow` go from idle to
   /// backlogged (its queue was empty and nothing of it was in flight).

@@ -1,6 +1,7 @@
 #include "core/srr.hpp"
 
 #include "common/assert.hpp"
+#include "common/snapshot.hpp"
 
 namespace wormsched::core {
 
@@ -64,6 +65,47 @@ void SrrScheduler::on_packet_complete(FlowId flow, Flits observed_length,
     }
     in_opportunity_ = false;
   }
+}
+
+void SrrScheduler::save_discipline(SnapshotWriter& w) const {
+  w.u64(flows_.size());
+  for (const FlowState& f : flows_) {
+    w.f64(f.credit);
+    w.f64(f.quantum);
+  }
+  w.u64(active_list_.size());
+  for (const FlowState& f : active_list_) w.u32(f.id.value());
+  w.f64(base_quantum_);
+  w.b(in_opportunity_);
+  w.u32(current_.value());
+}
+
+void SrrScheduler::restore_discipline(SnapshotReader& r) {
+  const std::uint64_t n = r.u64();
+  if (n != flows_.size())
+    throw SnapshotError("SRR snapshot has " + std::to_string(n) +
+                        " flows, this scheduler has " +
+                        std::to_string(flows_.size()));
+  for (FlowState& f : flows_) {
+    f.credit = r.f64();
+    f.quantum = r.f64();
+  }
+  active_list_.clear();
+  const std::uint64_t linked = r.u64();
+  if (linked > flows_.size())
+    throw SnapshotError("SRR ActiveList longer than the flow table");
+  for (std::uint64_t i = 0; i < linked; ++i) {
+    const FlowId id{r.u32()};
+    if (id.index() >= flows_.size())
+      throw SnapshotError("SRR ActiveList names an out-of-range flow");
+    FlowState& f = flows_[id.index()];
+    if (decltype(active_list_)::is_linked(f))
+      throw SnapshotError("SRR ActiveList names a flow twice");
+    active_list_.push_back(f);
+  }
+  base_quantum_ = r.f64();
+  in_opportunity_ = r.b();
+  current_ = FlowId{r.u32()};
 }
 
 }  // namespace wormsched::core

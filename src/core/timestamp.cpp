@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "common/snapshot.hpp"
 
 namespace wormsched::core {
 
@@ -55,6 +56,52 @@ void TimestampScheduler::on_packet_complete(FlowId flow, Flits,
   }
 }
 
+void TimestampScheduler::save_discipline(SnapshotWriter& w) const {
+  w.u64(stamps_.size());
+  for (const auto& flow_stamps : stamps_)
+    save_sequence(w, flow_stamps, [](SnapshotWriter& o, double x) { o.f64(x); });
+  for (const bool b : in_heap_) w.b(b);
+  auto drain = heap_;  // copy; pops in (tag, sequence) order
+  w.u64(drain.size());
+  while (!drain.empty()) {
+    const HeapEntry& e = drain.top();
+    w.f64(e.tag);
+    w.u64(e.sequence);
+    w.u32(e.flow.value());
+    drain.pop();
+  }
+  w.u64(next_sequence_);
+  w.u64(backlogged_flows_);
+  w.u32(serving_.value());
+  save_stamping(w);
+}
+
+void TimestampScheduler::restore_discipline(SnapshotReader& r) {
+  const std::uint64_t n = r.u64();
+  if (n != stamps_.size())
+    throw SnapshotError("timestamp snapshot per-flow array size mismatch");
+  for (auto& flow_stamps : stamps_)
+    restore_sequence(r, flow_stamps, [](SnapshotReader& i) { return i.f64(); });
+  for (std::size_t i = 0; i < in_heap_.size(); ++i) in_heap_[i] = r.b();
+  heap_ = {};
+  const std::uint64_t entries = r.u64();
+  if (entries > stamps_.size())
+    throw SnapshotError("timestamp snapshot heap larger than the flow table");
+  for (std::uint64_t i = 0; i < entries; ++i) {
+    HeapEntry e;
+    e.tag = r.f64();
+    e.sequence = r.u64();
+    e.flow = FlowId{r.u32()};
+    if (e.flow.index() >= stamps_.size())
+      throw SnapshotError("timestamp snapshot heap names an invalid flow");
+    heap_.push(e);
+  }
+  next_sequence_ = r.u64();
+  backlogged_flows_ = r.u64();
+  serving_ = FlowId{r.u32()};
+  restore_stamping(r);
+}
+
 ScfqScheduler::ScfqScheduler(std::size_t num_flows)
     : TimestampScheduler(num_flows), last_finish_(num_flows, 0.0) {}
 
@@ -75,6 +122,18 @@ void ScfqScheduler::on_all_idle() {
   // flow histories restart from zero.
   virtual_time_ = 0.0;
   for (auto& f : last_finish_) f = 0.0;
+}
+
+void ScfqScheduler::save_stamping(SnapshotWriter& w) const {
+  w.f64(virtual_time_);
+  save_doubles(w, last_finish_);
+}
+
+void ScfqScheduler::restore_stamping(SnapshotReader& r) {
+  virtual_time_ = r.f64();
+  restore_doubles(r, last_finish_);
+  if (last_finish_.size() != num_flows())
+    throw SnapshotError("SCFQ snapshot per-flow array size mismatch");
 }
 
 StfqScheduler::StfqScheduler(std::size_t num_flows)
@@ -98,6 +157,18 @@ void StfqScheduler::on_all_idle() {
   for (auto& f : last_finish_) f = 0.0;
 }
 
+void StfqScheduler::save_stamping(SnapshotWriter& w) const {
+  w.f64(virtual_time_);
+  save_doubles(w, last_finish_);
+}
+
+void StfqScheduler::restore_stamping(SnapshotReader& r) {
+  virtual_time_ = r.f64();
+  restore_doubles(r, last_finish_);
+  if (last_finish_.size() != num_flows())
+    throw SnapshotError("STFQ snapshot per-flow array size mismatch");
+}
+
 VirtualClockScheduler::VirtualClockScheduler(std::size_t num_flows)
     : TimestampScheduler(num_flows),
       aux_vc_(num_flows, 0.0),
@@ -119,6 +190,18 @@ double VirtualClockScheduler::stamp(Cycle now, FlowId flow, Flits length) {
   aux = std::max(static_cast<double>(now), aux) +
         static_cast<double>(length) / rate(flow);
   return aux;
+}
+
+void VirtualClockScheduler::save_stamping(SnapshotWriter& w) const {
+  save_doubles(w, aux_vc_);
+  w.f64(total_weight_);
+}
+
+void VirtualClockScheduler::restore_stamping(SnapshotReader& r) {
+  restore_doubles(r, aux_vc_);
+  if (aux_vc_.size() != num_flows())
+    throw SnapshotError("VC snapshot per-flow array size mismatch");
+  total_weight_ = r.f64();
 }
 
 }  // namespace wormsched::core

@@ -53,6 +53,18 @@ class TimestampScheduler : public Scheduler {
   void on_packet_complete(FlowId flow, Flits observed_length,
                           bool queue_now_empty) final;
 
+  /// Checkpoint of the shared machinery (stamp queues, candidate heap,
+  /// sequence counter), then the stamping rule's own state through the
+  /// save_stamping/restore_stamping hooks.  The heap is serialized by
+  /// draining a copy in (tag, sequence) order; restoring by pushing in
+  /// that order rebuilds an equivalent heap because the comparator is a
+  /// strict total order (the sequence tie-break), so pop order — the only
+  /// observable — is preserved exactly.
+  void save_discipline(SnapshotWriter& w) const final;
+  void restore_discipline(SnapshotReader& r) final;
+  virtual void save_stamping(SnapshotWriter& w) const { (void)w; }
+  virtual void restore_stamping(SnapshotReader& r) { (void)r; }
+
  private:
   struct HeapEntry {
     double tag;
@@ -90,6 +102,8 @@ class ScfqScheduler final : public TimestampScheduler {
   double stamp(Cycle now, FlowId flow, Flits length) override;
   void on_service_start(FlowId flow, double tag) override;
   void on_all_idle() override;
+  void save_stamping(SnapshotWriter& w) const override;
+  void restore_stamping(SnapshotReader& r) override;
 
  private:
   double virtual_time_ = 0.0;
@@ -110,6 +124,8 @@ class StfqScheduler final : public TimestampScheduler {
   double stamp(Cycle now, FlowId flow, Flits length) override;
   void on_service_start(FlowId flow, double tag) override;
   void on_all_idle() override;
+  void save_stamping(SnapshotWriter& w) const override;
+  void restore_stamping(SnapshotReader& r) override;
 
  private:
   double virtual_time_ = 0.0;
@@ -128,6 +144,8 @@ class VirtualClockScheduler final : public TimestampScheduler {
 
  protected:
   double stamp(Cycle now, FlowId flow, Flits length) override;
+  void save_stamping(SnapshotWriter& w) const override;
+  void restore_stamping(SnapshotReader& r) override;
 
  private:
   /// Reserved rate of `flow` in flits/cycle: weight_i / sum of weights

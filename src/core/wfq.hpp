@@ -32,6 +32,8 @@ class WfqScheduler final : public TimestampScheduler {
 
  protected:
   double stamp(Cycle now, FlowId flow, Flits length) override;
+  void save_stamping(SnapshotWriter& w) const override;
+  void restore_stamping(SnapshotReader& r) override;
 
  private:
   struct GpsDeparture {

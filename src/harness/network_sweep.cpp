@@ -1,154 +1,22 @@
 #include "harness/network_sweep.hpp"
 
-#include <memory>
 #include <optional>
 #include <vector>
 
 #include "common/assert.hpp"
 #include "common/thread_pool.hpp"
-#include "core/err.hpp"
-#include "sim/engine.hpp"
-#include "validate/err_auditor.hpp"
-#include "validate/network_auditor.hpp"
-#include "wormhole/arbiter.hpp"
+#include "harness/checkpoint.hpp"
 
 namespace wormsched::harness {
 
 NetworkScenarioResult run_network_scenario(const NetworkScenarioConfig& config,
                                            std::uint64_t seed) {
-  WS_CHECK_MSG(config.traffic.inject_until < kCycleMax,
-               "network sweep needs a finite injection window");
-  wormhole::NetworkConfig net_config = config.network;
-  std::optional<validate::ScheduledFaults> faults;
-  if (config.faults.enabled) {
-    validate::FaultSpec spec = config.faults;
-    spec.seed += seed;  // an independent fault schedule per run seed
-    spec.num_nodes = net_config.topo.width * net_config.topo.height;
-    faults.emplace(spec);
-    net_config.faults = &*faults;
-  }
-  wormhole::Network net(net_config);
-  if (config.perf_counters != nullptr)
-    net.set_perf_counters(config.perf_counters);
-  std::optional<obs::TraceSink> trace_sink;
-  if (config.trace.enabled()) {
-    obs::TraceSink::Options sink_options;
-    sink_options.capacity = config.trace.capacity;
-    sink_options.mask = config.trace.mask;
-    trace_sink.emplace(sink_options);
-    net.set_trace_sink(&*trace_sink);
-  }
-  obs::TraceSink* sink = trace_sink ? &*trace_sink : nullptr;
-  wormhole::NetworkTrafficSource::Config traffic = config.traffic;
-  traffic.seed = seed;
-  traffic.faults = net_config.faults;
-  wormhole::NetworkTrafficSource source(net, traffic);
-
-  // Auditors live on this frame: the fabric auditor sees every cycle,
-  // and each ERR output arbiter streams its opportunities into its own
-  // paper-bounds auditor; all of them share one violation log.  Tracing
-  // subscribes to the same single-slot opportunity stream, so when both
-  // are on one combined listener per arbiter feeds auditor then sink.
-  validate::AuditLog private_log;
-  validate::AuditLog& audit_log =
-      config.audit_log != nullptr ? *config.audit_log : private_log;
-  std::optional<validate::NetworkAuditor> net_auditor;
-  std::vector<std::unique_ptr<validate::ErrAuditor>> err_auditors;
-  const bool trace_opportunities =
-      sink != nullptr && sink->wants(obs::EventKind::kOpportunity);
-  if (config.audit || trace_opportunities) {
-    if (config.audit) {
-      net_auditor.emplace(config.audit_config, audit_log);
-      net.attach_observer(&*net_auditor);
-    }
-    const std::uint32_t nodes = net.topology().num_nodes();
-    const std::uint32_t vcs = net_config.router.num_vcs;
-    const std::size_t requesters =
-        static_cast<std::size_t>(wormhole::kNumDirections) * vcs;
-    for (std::uint32_t n = 0; n < nodes; ++n) {
-      for (std::uint32_t d = 0; d < wormhole::kNumDirections; ++d) {
-        for (std::uint32_t cls = 0; cls < vcs; ++cls) {
-          auto* err = dynamic_cast<wormhole::ErrArbiter*>(
-              &net.router(NodeId(n)).arbiter(
-                  static_cast<wormhole::Direction>(d), cls));
-          if (err == nullptr) continue;
-          validate::ErrAuditor* audit_ptr = nullptr;
-          if (config.audit && config.audit_err) {
-            auto auditor = std::make_unique<validate::ErrAuditor>(
-                requesters, validate::ErrAuditorConfig{}, audit_log);
-            audit_ptr = auditor.get();
-            err_auditors.push_back(std::move(auditor));
-          }
-          if (trace_opportunities) {
-            const std::uint32_t unit = d * vcs + cls;
-            err->policy().set_opportunity_listener(
-                [sink, audit_ptr, n, unit](const core::ErrOpportunity& op) {
-                  if (audit_ptr != nullptr) audit_ptr->on_opportunity(op);
-                  sink->record(obs::TraceEvent::opportunity(
-                      sink->now(), op.flow.value(), op.round, op.allowance,
-                      op.surplus_count, n, unit));
-                });
-          } else if (audit_ptr != nullptr) {
-            audit_ptr->attach(err->policy());
-          }
-        }
-      }
-    }
-  }
-
-  // A violation enters the trace ring and — once per run — dumps the
-  // event window around it while the evidence is still in the ring.
-  bool violation_window_dumped = false;
-  if (sink != nullptr) {
-    audit_log.set_on_report([&](const validate::Violation& v) {
-      sink->record(obs::TraceEvent::violation(
-          sink->now(), sink->note(v.check + ": " + v.detail)));
-      if (!violation_window_dumped && !config.trace.chrome_path.empty()) {
-        violation_window_dumped = true;
-        obs::write_chrome_trace_file(config.trace.chrome_path +
-                                         ".violation.json",
-                                     *sink);
-      }
-    });
-  }
-
-  sim::Engine engine;
-  engine.add_component(source);
-  engine.add_component(net);
-  engine.run_until(traffic.inject_until);
-  const Cycle end =
-      engine.run_until_idle(traffic.inject_until * config.drain_factor);
-
-  NetworkScenarioResult result;
-  result.end_cycle = end;
-  result.generated_packets = source.generated();
-  result.delivered_packets = net.delivered().size();
-  result.delivered_flits = net.delivered_flits();
-  QuantileEstimator q;
-  for (const auto& p : net.delivered()) {
-    const auto d = static_cast<double>(p.delivered - p.created);
-    result.latency.add(d);
-    q.add(d);
-  }
-  result.p99_latency = q.quantile(0.99);
-  if (config.audit) {
-    // Simulation-end flush: audits the tail window a sampled cadence
-    // never reaches, and cross-checks the incremental ledgers one last
-    // time against the full-scan oracle.
-    net_auditor->finish(end, net);
-    result.audit_checks = net_auditor->checks_run();
-    result.audit_full_rescans = net_auditor->full_rescans();
-    result.audit_violations = audit_log.count();
-    for (const auto& auditor : err_auditors)
-      result.audit_opportunities += auditor->opportunities();
-    net.detach_observer(&*net_auditor);
-  }
-  if (sink != nullptr) {
-    result.trace_recorded = sink->recorded();
-    result.trace_dropped = sink->dropped();
-    obs::export_trace(config.trace, *sink);
-  }
-  return result;
+  // The single-segment special case of the resumable runner: straight
+  // runs and checkpoint/restore chains execute the same code, so the
+  // restore-equivalence differential holds by construction.
+  NetworkRun run(config, seed);
+  run.run_to_completion();
+  return run.finish();
 }
 
 SweepResult sweep_network(const NetworkScenarioConfig& config,

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "common/snapshot.hpp"
 
 namespace wormsched::metrics {
 
@@ -45,6 +46,33 @@ bool ActivityTracker::active_throughout(FlowId flow, Cycle t1, Cycle t2) const {
   if (it == windows.begin()) return false;
   const Window& w = *(it - 1);
   return w.start <= t1 && t2 <= w.end;
+}
+
+void ActivityTracker::save(SnapshotWriter& w) const {
+  w.u64(windows_.size());
+  for (const auto& windows : windows_)
+    save_sequence(w, windows, [](SnapshotWriter& o, const Window& win) {
+      o.u64(win.start);
+      o.u64(win.end);
+    });
+  for (const bool b : currently_active_) w.b(b);
+  w.b(finished_);
+}
+
+void ActivityTracker::restore(SnapshotReader& r) {
+  const std::uint64_t n = r.u64();
+  if (n != windows_.size())
+    throw SnapshotError("activity tracker snapshot flow count mismatch");
+  for (auto& windows : windows_)
+    restore_sequence(r, windows, [](SnapshotReader& i) {
+      Window win;
+      win.start = i.u64();
+      win.end = i.u64();
+      return win;
+    });
+  for (std::size_t i = 0; i < currently_active_.size(); ++i)
+    currently_active_[i] = r.b();
+  finished_ = r.b();
 }
 
 }  // namespace wormsched::metrics

@@ -13,6 +13,11 @@
 
 #include "common/types.hpp"
 
+namespace wormsched {
+class SnapshotReader;
+class SnapshotWriter;
+}  // namespace wormsched
+
 namespace wormsched::metrics {
 
 class ActivityTracker {
@@ -30,6 +35,10 @@ class ActivityTracker {
   [[nodiscard]] bool active_throughout(FlowId flow, Cycle t1, Cycle t2) const;
 
   [[nodiscard]] std::size_t num_flows() const { return windows_.size(); }
+
+  /// Checkpoint/restore (flow count must match; checked).
+  void save(SnapshotWriter& w) const;
+  void restore(SnapshotReader& r);
 
  private:
   struct Window {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "common/snapshot.hpp"
 
 namespace wormsched::metrics {
 
@@ -33,6 +34,36 @@ void DelayStats::on_packet_departure(Cycle now, const core::Packet& packet) {
   auto& est = per_flow_quantiles_[packet.flow.index()];
   if (!est) est.emplace(flow_reservoir_capacity_);
   est->add(delay);
+}
+
+void DelayStats::save(SnapshotWriter& w) const {
+  overall_.save(w);
+  w.u64(per_flow_.size());
+  for (const RunningStat& s : per_flow_) s.save(w);
+  quantiles_.save(w);
+  w.u64(flow_reservoir_capacity_);
+  for (const auto& est : per_flow_quantiles_) {
+    w.b(est.has_value());
+    if (est) est->save(w);
+  }
+}
+
+void DelayStats::restore(SnapshotReader& r) {
+  overall_.restore(r);
+  const std::uint64_t n = r.u64();
+  if (n != per_flow_.size())
+    throw SnapshotError("delay stats snapshot flow count mismatch");
+  for (RunningStat& s : per_flow_) s.restore(r);
+  quantiles_.restore(r);
+  flow_reservoir_capacity_ = r.u64();
+  for (auto& est : per_flow_quantiles_) {
+    if (r.b()) {
+      if (!est) est.emplace(flow_reservoir_capacity_);
+      est->restore(r);
+    } else {
+      est.reset();
+    }
+  }
 }
 
 }  // namespace wormsched::metrics

@@ -35,6 +35,11 @@ class DelayStats final : public core::SchedulerObserver {
   }
   [[nodiscard]] std::size_t packets() const { return overall_.count(); }
 
+  /// Checkpoint/restore (flow count must match; checked).  Reservoirs
+  /// round-trip their RNG state, so a restored run samples identically.
+  void save(SnapshotWriter& w) const;
+  void restore(SnapshotReader& r);
+
  private:
   RunningStat overall_;
   std::vector<RunningStat> per_flow_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "common/snapshot.hpp"
 
 namespace wormsched::metrics {
 
@@ -36,6 +37,22 @@ Flits ServiceLog::grand_total() const {
   for (const auto& cycles : flit_cycles_)
     total += static_cast<Flits>(cycles.size());
   return total;
+}
+
+void ServiceLog::save(SnapshotWriter& w) const {
+  w.u64(flit_cycles_.size());
+  for (const auto& cycles : flit_cycles_)
+    save_sequence(w, cycles, [](SnapshotWriter& o, Cycle c) { o.u64(c); });
+  w.u64(flit_bytes_);
+}
+
+void ServiceLog::restore(SnapshotReader& r) {
+  const std::uint64_t n = r.u64();
+  if (n != flit_cycles_.size())
+    throw SnapshotError("service log snapshot flow count mismatch");
+  for (auto& cycles : flit_cycles_)
+    restore_sequence(r, cycles, [](SnapshotReader& i) { return i.u64(); });
+  flit_bytes_ = static_cast<Bytes>(r.u64());
 }
 
 }  // namespace wormsched::metrics

@@ -13,6 +13,11 @@
 #include "common/types.hpp"
 #include "core/scheduler.hpp"
 
+namespace wormsched {
+class SnapshotReader;
+class SnapshotWriter;
+}  // namespace wormsched
+
 namespace wormsched::metrics {
 
 class ServiceLog final : public core::SchedulerObserver {
@@ -36,6 +41,10 @@ class ServiceLog final : public core::SchedulerObserver {
     return static_cast<Bytes>(total(flow)) * flit_bytes_;
   }
   [[nodiscard]] Flits grand_total() const;
+
+  /// Checkpoint/restore (flow count must match; checked).
+  void save(SnapshotWriter& w) const;
+  void restore(SnapshotReader& r);
 
  private:
   std::vector<std::vector<Cycle>> flit_cycles_;

@@ -1,0 +1,126 @@
+#include "metrics/windowed.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/snapshot.hpp"
+
+namespace wormsched::metrics {
+
+SteadyStateTracker::SteadyStateTracker(const WindowedConfig& config)
+    : window_(config.window),
+      stable_windows_(config.stable_windows),
+      rel_tol_(config.rel_tol),
+      next_boundary_(config.window) {
+  WS_CHECK_MSG(config.window > 0, "window width must be positive");
+  WS_CHECK_MSG(config.stable_windows > 0, "need at least one stable window");
+  WS_CHECK_MSG(config.rel_tol >= 0.0, "tolerance must be non-negative");
+}
+
+void SteadyStateTracker::observe(Cycle now, const RunningStat& cumulative,
+                                 std::uint64_t delivered_flits) {
+  while (now >= next_boundary_) {
+    close_window(next_boundary_, cumulative, delivered_flits);
+    next_boundary_ += window_;
+  }
+}
+
+void SteadyStateTracker::close_window(Cycle boundary,
+                                      const RunningStat& cumulative,
+                                      std::uint64_t delivered_flits) {
+  // Window aggregates as deltas of the cumulative totals: O(1) memory and
+  // exact (sums of doubles subtract bit-deterministically).
+  const std::uint64_t count = cumulative.count() - count_at_boundary_;
+  const double sum = cumulative.sum() - sum_at_boundary_;
+  const std::uint64_t flits = delivered_flits - flits_at_boundary_;
+  count_at_boundary_ = cumulative.count();
+  sum_at_boundary_ = cumulative.sum();
+  flits_at_boundary_ = delivered_flits;
+  ++windows_closed_;
+
+  const double mean = count > 0 ? sum / static_cast<double>(count) : 0.0;
+
+  if (!warmed_up_) {
+    if (count > 0 && have_prev_window_) {
+      const double tol = rel_tol_ * std::abs(prev_window_mean_);
+      if (std::abs(mean - prev_window_mean_) <= tol) {
+        if (++stable_run_ >= stable_windows_) {
+          warmed_up_ = true;
+          warmup_end_ = boundary;
+        }
+      } else {
+        stable_run_ = 0;
+      }
+    } else if (count == 0) {
+      stable_run_ = 0;  // an empty window is not evidence of steady state
+    }
+    if (count > 0) {
+      prev_window_mean_ = mean;
+      have_prev_window_ = true;
+    }
+    return;
+  }
+
+  steady_count_ += count;
+  steady_sum_ += sum;
+  steady_flits_ += flits;
+  steady_cycles_ += window_;
+  if (count > 0) window_means_.add(mean);
+}
+
+double SteadyStateTracker::steady_mean_delay() const {
+  return steady_count_ > 0 ? steady_sum_ / static_cast<double>(steady_count_)
+                           : 0.0;
+}
+
+double SteadyStateTracker::steady_throughput() const {
+  return steady_cycles_ > 0 ? static_cast<double>(steady_flits_) /
+                                  static_cast<double>(steady_cycles_)
+                            : 0.0;
+}
+
+void SteadyStateTracker::save(SnapshotWriter& w) const {
+  w.u64(window_);
+  w.u64(stable_windows_);
+  w.f64(rel_tol_);
+  w.u64(next_boundary_);
+  w.u64(windows_closed_);
+  w.u64(count_at_boundary_);
+  w.f64(sum_at_boundary_);
+  w.u64(flits_at_boundary_);
+  w.f64(prev_window_mean_);
+  w.b(have_prev_window_);
+  w.u64(stable_run_);
+  w.b(warmed_up_);
+  w.u64(warmup_end_);
+  w.u64(steady_count_);
+  w.f64(steady_sum_);
+  w.u64(steady_flits_);
+  w.u64(steady_cycles_);
+  window_means_.save(w);
+}
+
+void SteadyStateTracker::restore(SnapshotReader& r) {
+  window_ = r.u64();
+  if (window_ == 0)
+    throw SnapshotError("steady-state tracker snapshot has zero window");
+  stable_windows_ = r.u64();
+  rel_tol_ = r.f64();
+  next_boundary_ = r.u64();
+  windows_closed_ = r.u64();
+  count_at_boundary_ = r.u64();
+  sum_at_boundary_ = r.f64();
+  flits_at_boundary_ = r.u64();
+  prev_window_mean_ = r.f64();
+  have_prev_window_ = r.b();
+  stable_run_ = r.u64();
+  warmed_up_ = r.b();
+  warmup_end_ = r.u64();
+  steady_count_ = r.u64();
+  steady_sum_ = r.f64();
+  steady_flits_ = r.u64();
+  steady_cycles_ = r.u64();
+  window_means_.restore(r);
+}
+
+}  // namespace wormsched::metrics

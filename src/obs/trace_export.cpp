@@ -130,7 +130,8 @@ std::string json_escape(const std::string& text) {
   return out;
 }
 
-void write_chrome_trace(std::ostream& os, const TraceSink& sink) {
+void write_chrome_trace(std::ostream& os, const TraceSink& sink,
+                        const TraceProvenance* provenance) {
   os << "{\"traceEvents\":[";
   bool first = true;
   for (const TraceEvent& e : sink.snapshot()) {
@@ -146,7 +147,14 @@ void write_chrome_trace(std::ostream& os, const TraceSink& sink) {
   os << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{"
      << "\"tool\":\"wormsched\",\"recorded\":" << sink.recorded()
      << ",\"dropped\":" << sink.dropped()
-     << ",\"filtered\":" << sink.filtered() << "}}\n";
+     << ",\"filtered\":" << sink.filtered();
+  if (provenance != nullptr && provenance->restored) {
+    os << ",\"restored\":true,\"restored_from_sha\":\""
+       << json_escape(provenance->restored_from_sha)
+       << "\",\"original_seed\":" << provenance->original_seed
+       << ",\"restore_cycle\":" << provenance->restore_cycle;
+  }
+  os << "}}\n";
 }
 
 void write_service_timeline_csv(std::ostream& os, const TraceSink& sink) {
@@ -187,9 +195,11 @@ void write_file_or_throw(const std::string& path, Fn&& fn) {
 
 }  // namespace
 
-void write_chrome_trace_file(const std::string& path, const TraceSink& sink) {
-  write_file_or_throw(path,
-                      [&](std::ostream& os) { write_chrome_trace(os, sink); });
+void write_chrome_trace_file(const std::string& path, const TraceSink& sink,
+                             const TraceProvenance* provenance) {
+  write_file_or_throw(path, [&](std::ostream& os) {
+    write_chrome_trace(os, sink, provenance);
+  });
 }
 
 void write_service_timeline_csv_file(const std::string& path,

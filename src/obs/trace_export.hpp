@@ -33,9 +33,23 @@ struct TraceRequest {
   }
 };
 
+/// Provenance of a trace window recorded by a run restored from a
+/// checkpoint.  Exported into the Chrome JSON's otherData block so a
+/// violation-window dump names the snapshot it continued from (the saving
+/// build's git SHA, the run's original seed, the restore cycle) — the
+/// evidence a post-mortem needs to regenerate the exact run.
+struct TraceProvenance {
+  bool restored = false;
+  std::string restored_from_sha;
+  std::uint64_t original_seed = 0;
+  std::uint64_t restore_cycle = 0;
+};
+
 /// Writes the sink's retained window as Chrome trace JSON (object form,
 /// {"traceEvents": [...]}).  Deterministic for a given event sequence.
-void write_chrome_trace(std::ostream& os, const TraceSink& sink);
+/// `provenance` (optional) lands in otherData.
+void write_chrome_trace(std::ostream& os, const TraceSink& sink,
+                        const TraceProvenance* provenance = nullptr);
 
 /// Writes the service-relevant events (packet enqueue/dequeue, ERR
 /// opportunities, tail-flit ejections) as a per-flow timeline CSV with
@@ -43,7 +57,8 @@ void write_chrome_trace(std::ostream& os, const TraceSink& sink);
 void write_service_timeline_csv(std::ostream& os, const TraceSink& sink);
 
 /// File wrappers; throw std::runtime_error when the path cannot open.
-void write_chrome_trace_file(const std::string& path, const TraceSink& sink);
+void write_chrome_trace_file(const std::string& path, const TraceSink& sink,
+                             const TraceProvenance* provenance = nullptr);
 void write_service_timeline_csv_file(const std::string& path,
                                      const TraceSink& sink);
 

@@ -41,6 +41,13 @@ class Engine {
  public:
   using EventFn = std::function<void(Cycle)>;
 
+  Engine() = default;
+  /// Starts the clock at `start_cycle` instead of 0 — the restore path:
+  /// an engine resuming a checkpointed run continues from the snapshot's
+  /// cycle, so schedule_at/run_until arguments keep their absolute
+  /// meaning across the restore.
+  explicit Engine(Cycle start_cycle) : now_(start_cycle) {}
+
   [[nodiscard]] Cycle now() const { return now_; }
 
   /// Schedules `fn` to run at cycle `when` (>= now).  Events scheduled for

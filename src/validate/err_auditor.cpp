@@ -63,6 +63,20 @@ void ErrAuditor::on_opportunity(const core::ErrOpportunity& rec) {
       rec.weight * (1.0 + rec.previous_max_sc) - rec.allowance;
   const double sc_pre_reset = rec.sent - rec.allowance;
 
+  // Mid-flight adoption of m: an auditor attached after the run started
+  // (a late attach, or a checkpoint restore — run-local wiring is rebuilt
+  // fresh) never saw the charges that produced the surplus state it
+  // inherits.  Lemma 1 bounds every SC by m, so the surplus a flow walks
+  // in with and the previous round's MaxSC are evidence of an earlier
+  // charge at least that large; fold them in before bounding against m_,
+  // or Theorem 2/3 misfire on pre-attach history.  Only state that
+  // predates this record's own service qualifies — its own overshoot
+  // stays checked by err.lemma1.upper and the m-relative bounds below.
+  // Attached-from-the-start this is a no-op: m_ already dominates every
+  // surplus the stream has emitted.
+  if (sc_before > m_) m_ = sc_before;
+  if (rec.previous_max_sc > m_) m_ = rec.previous_max_sc;
+
   check_round_bookkeeping(rec, sc_pre_reset);
   check_lemma1(rec, sc_before, sc_pre_reset);
 

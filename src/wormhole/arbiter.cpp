@@ -3,6 +3,7 @@
 #include <string>
 
 #include "common/assert.hpp"
+#include "common/snapshot.hpp"
 
 namespace wormsched::wormhole {
 
@@ -30,6 +31,28 @@ void PortArbiter::release() {
   const FlowId owner = owner_;
   owner_ = FlowId::invalid();
   on_release(owner);
+}
+
+void PortArbiter::save_state(SnapshotWriter& w) const {
+  w.u64(pending_.size());
+  for (const std::uint32_t p : pending_) w.u32(p);
+  w.u32(owner_.value());
+  w.f64(held_);
+  save_discipline(w);
+}
+
+void PortArbiter::restore_state(SnapshotReader& r) {
+  const std::uint64_t n = r.u64();
+  if (n != pending_.size())
+    throw SnapshotError("arbiter snapshot requester count mismatch");
+  pending_total_ = 0;
+  for (std::uint32_t& p : pending_) {
+    p = r.u32();
+    pending_total_ += p;
+  }
+  owner_ = FlowId{r.u32()};
+  held_ = r.f64();
+  restore_discipline(r);
 }
 
 ErrArbiter::ErrArbiter(std::size_t num_requesters, Accounting accounting,
@@ -72,6 +95,10 @@ void ErrArbiter::on_release(FlowId owner) {
     policy_.end_opportunity(/*still_backlogged=*/more);
 }
 
+void ErrArbiter::save_discipline(SnapshotWriter& w) const { policy_.save(w); }
+
+void ErrArbiter::restore_discipline(SnapshotReader& r) { policy_.restore(r); }
+
 RrArbiter::RrArbiter(std::size_t num_requesters)
     : PortArbiter(num_requesters), ring_(num_requesters) {}
 
@@ -91,6 +118,10 @@ void RrArbiter::on_release(FlowId owner) {
   if (pending_[owner.index()] > 0) ring_.activate(owner);
 }
 
+void RrArbiter::save_discipline(SnapshotWriter& w) const { ring_.save(w); }
+
+void RrArbiter::restore_discipline(SnapshotReader& r) { ring_.restore(r); }
+
 FcfsArbiter::FcfsArbiter(std::size_t num_requesters)
     : PortArbiter(num_requesters) {}
 
@@ -104,6 +135,16 @@ std::optional<FlowId> FcfsArbiter::pick(Cycle) {
 }
 
 void FcfsArbiter::on_release(FlowId) {}
+
+void FcfsArbiter::save_discipline(SnapshotWriter& w) const {
+  save_sequence(w, order_,
+                [](SnapshotWriter& o, FlowId f) { o.u32(f.value()); });
+}
+
+void FcfsArbiter::restore_discipline(SnapshotReader& r) {
+  restore_sequence(r, order_,
+                   [](SnapshotReader& i) { return FlowId{i.u32()}; });
+}
 
 std::unique_ptr<PortArbiter> make_arbiter(std::string_view name,
                                           std::size_t num_requesters) {

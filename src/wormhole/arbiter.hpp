@@ -79,7 +79,18 @@ class PortArbiter {
   /// pending heads.
   [[nodiscard]] std::uint32_t pending_total() const { return pending_total_; }
 
+  /// Checkpoint/restore: pending counts, the current owner and its
+  /// accumulated cost, then the discipline's state via the
+  /// save_discipline/restore_discipline hooks.  pending_total_ is
+  /// recomputed from the restored counts.  Must be called on a freshly
+  /// constructed arbiter of the same discipline and requester count.
+  void save_state(SnapshotWriter& w) const;
+  void restore_state(SnapshotReader& r);
+
  protected:
+  virtual void save_discipline(SnapshotWriter& w) const { (void)w; }
+  virtual void restore_discipline(SnapshotReader& r) { (void)r; }
+
   /// Discipline hooks, called with pending_ already updated.
   virtual void on_new_request(FlowId requester) = 0;
   virtual std::optional<FlowId> pick(Cycle now) = 0;
@@ -116,6 +127,8 @@ class ErrArbiter final : public PortArbiter {
   void on_new_request(FlowId requester) override;
   std::optional<FlowId> pick(Cycle now) override;
   void on_release(FlowId owner) override;
+  void save_discipline(SnapshotWriter& w) const override;
+  void restore_discipline(SnapshotReader& r) override;
 
  private:
   core::ErrPolicy policy_;
@@ -133,6 +146,8 @@ class RrArbiter final : public PortArbiter {
   void on_new_request(FlowId requester) override;
   std::optional<FlowId> pick(Cycle now) override;
   void on_release(FlowId owner) override;
+  void save_discipline(SnapshotWriter& w) const override;
+  void restore_discipline(SnapshotReader& r) override;
 
  private:
   core::ActiveFlowRing ring_;
@@ -149,6 +164,8 @@ class FcfsArbiter final : public PortArbiter {
   void on_new_request(FlowId requester) override;
   std::optional<FlowId> pick(Cycle now) override;
   void on_release(FlowId owner) override;
+  void save_discipline(SnapshotWriter& w) const override;
+  void restore_discipline(SnapshotReader& r) override;
 
  private:
   RingBuffer<FlowId> order_;

@@ -1,0 +1,58 @@
+// Flit/packet-descriptor serialization shared by the router and network
+// checkpoints.
+#pragma once
+
+#include "common/snapshot.hpp"
+#include "wormhole/flit.hpp"
+
+namespace wormsched::wormhole {
+
+inline void save_flit(SnapshotWriter& w, const Flit& f) {
+  w.u8(static_cast<std::uint8_t>(f.type));
+  w.u64(f.packet.value());
+  w.u32(f.flow.value());
+  w.u32(f.source.value());
+  w.u32(f.dest.value());
+  w.u32(f.vc_class.value());
+  w.i64(f.index);
+  w.u64(f.created);
+}
+
+inline Flit load_flit(SnapshotReader& r) {
+  Flit f;
+  const std::uint8_t type = r.u8();
+  if (type > static_cast<std::uint8_t>(FlitType::kHeadTail))
+    throw SnapshotError("snapshot contains an invalid flit type");
+  f.type = static_cast<FlitType>(type);
+  f.packet = PacketId(r.u64());
+  f.flow = FlowId(r.u32());
+  f.source = NodeId(r.u32());
+  f.dest = NodeId(r.u32());
+  f.vc_class = VcId(r.u32());
+  f.index = r.i64();
+  f.created = r.u64();
+  return f;
+}
+
+inline void save_packet_descriptor(SnapshotWriter& w,
+                                   const PacketDescriptor& p) {
+  w.u64(p.id.value());
+  w.u32(p.flow.value());
+  w.u32(p.source.value());
+  w.u32(p.dest.value());
+  w.i64(p.length);
+  w.u64(p.created);
+}
+
+inline PacketDescriptor load_packet_descriptor(SnapshotReader& r) {
+  PacketDescriptor p;
+  p.id = PacketId(r.u64());
+  p.flow = FlowId(r.u32());
+  p.source = NodeId(r.u32());
+  p.dest = NodeId(r.u32());
+  p.length = r.i64();
+  p.created = r.u64();
+  return p;
+}
+
+}  // namespace wormsched::wormhole

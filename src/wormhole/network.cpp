@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "common/snapshot.hpp"
+#include "wormhole/flit_snapshot.hpp"
 
 namespace wormsched::wormhole {
 
@@ -123,12 +125,15 @@ void Network::eject(NodeId node, const Flit& flit, Cycle now) {
   const bool tail = is_tail(flit.type);
   double latency = 0.0;
   if (tail) {
-    delivered_.push_back(DeliveredPacket{flit.packet, flit.flow, flit.source,
-                                         flit.dest, flit.index + 1,
-                                         flit.created, now});
+    if (config_.record_delivered)
+      delivered_.push_back(DeliveredPacket{flit.packet, flit.flow, flit.source,
+                                           flit.dest, flit.index + 1,
+                                           flit.created, now});
+    ++delivered_packets_;
     latency = static_cast<double>(now - flit.created);
     latency_by_source_[flit.source.index()].add(latency);
     latency_overall_.add(latency);
+    latency_quantiles_.add(latency);
   }
   if (trace_ != nullptr)
     trace_->record(obs::TraceEvent::flit_eject(now, node.value(),
@@ -525,6 +530,182 @@ bool Network::idle() const {
   for (const std::uint32_t c : shard_live_)
     if (c != 0) return false;
   return true;
+}
+
+namespace {
+
+void save_wire_flit(SnapshotWriter& w, const WireFlit& wf) {
+  w.u64(wf.arrive);
+  w.u32(wf.to.value());
+  w.u8(static_cast<std::uint8_t>(wf.in));
+  w.u32(wf.cls);
+  save_flit(w, wf.flit);
+}
+
+WireFlit load_wire_flit(SnapshotReader& r, std::uint32_t num_nodes,
+                        std::uint32_t num_vcs) {
+  WireFlit wf;
+  wf.arrive = r.u64();
+  wf.to = NodeId(r.u32());
+  const std::uint8_t in = r.u8();
+  if (wf.to.value() >= num_nodes || in >= kNumDirections)
+    throw SnapshotError("wire flit addresses a node or port off the fabric");
+  wf.in = static_cast<Direction>(in);
+  wf.cls = r.u32();
+  if (wf.cls >= num_vcs)
+    throw SnapshotError("wire flit names a VC class the fabric lacks");
+  wf.flit = load_flit(r);
+  return wf;
+}
+
+void save_wire_credit(SnapshotWriter& w, const WireCredit& wc) {
+  w.u64(wc.arrive);
+  w.u32(wc.to.value());
+  w.u8(static_cast<std::uint8_t>(wc.out));
+  w.u32(wc.cls);
+}
+
+WireCredit load_wire_credit(SnapshotReader& r, std::uint32_t num_nodes,
+                            std::uint32_t num_vcs) {
+  WireCredit wc;
+  wc.arrive = r.u64();
+  wc.to = NodeId(r.u32());
+  const std::uint8_t out = r.u8();
+  if (wc.to.value() >= num_nodes || out >= kNumDirections)
+    throw SnapshotError("wire credit addresses a node or port off the fabric");
+  wc.out = static_cast<Direction>(out);
+  wc.cls = r.u32();
+  if (wc.cls >= num_vcs)
+    throw SnapshotError("wire credit names a VC class the fabric lacks");
+  return wc;
+}
+
+}  // namespace
+
+void Network::save_state(SnapshotWriter& w) const {
+  // Geometry fingerprint, checked on restore.  Sharding (shards/threads)
+  // is deliberately absent: it never changes results, so a snapshot is
+  // free to restore under a different thread count.
+  w.u8(static_cast<std::uint8_t>(config_.topo.kind));
+  w.u32(config_.topo.width);
+  w.u32(config_.topo.height);
+  w.u32(config_.router.num_vcs);
+  w.u32(config_.router.buffer_depth);
+  w.str(config_.router.arbiter);
+  w.u64(config_.link_latency);
+  w.u8(static_cast<std::uint8_t>(config_.routing));
+
+  w.u64(now_);
+  w.u64(injected_);
+  w.u64(delivered_packets_);
+  w.u64(delivered_flits_);
+  w.i64(injected_flits_);
+
+  w.u64(nics_.size());
+  for (const Nic& nic : nics_) {
+    save_sequence(w, nic.queue, [](SnapshotWriter& o,
+                                   const PacketDescriptor& p) {
+      save_packet_descriptor(o, p);
+    });
+    w.i64(nic.sent_of_current);
+  }
+
+  save_sequence(w, flit_wire_, save_wire_flit);
+  save_sequence(w, credit_wire_, save_wire_credit);
+  save_sequence(w, credit_quarantine_, save_wire_credit);
+
+  w.u64(latency_by_source_.size());
+  for (const RunningStat& s : latency_by_source_) s.save(w);
+  latency_overall_.save(w);
+  latency_quantiles_.save(w);
+
+  w.u64(router_live_.size());
+  for (const std::uint8_t live : router_live_) w.b(live != 0);
+  for (const Router& router : routers_) router.save_state(w);
+}
+
+void Network::restore_state(SnapshotReader& r) {
+  const auto kind = static_cast<TopologySpec::Kind>(r.u8());
+  const std::uint32_t width = r.u32();
+  const std::uint32_t height = r.u32();
+  const std::uint32_t num_vcs = r.u32();
+  const std::uint32_t buffer_depth = r.u32();
+  const std::string arbiter = r.str();
+  const Cycle link_latency = r.u64();
+  const auto routing = static_cast<NetworkConfig::Routing>(r.u8());
+  if (kind != config_.topo.kind || width != config_.topo.width ||
+      height != config_.topo.height)
+    throw SnapshotError("snapshot topology does not match this network");
+  if (num_vcs != config_.router.num_vcs ||
+      buffer_depth != config_.router.buffer_depth ||
+      arbiter != config_.router.arbiter)
+    throw SnapshotError("snapshot router config does not match this network");
+  if (link_latency != config_.link_latency || routing != config_.routing)
+    throw SnapshotError("snapshot link/routing config does not match this "
+                        "network");
+
+  now_ = r.u64();
+  injected_ = r.u64();
+  delivered_packets_ = r.u64();
+  delivered_flits_ = r.u64();
+  injected_flits_ = r.i64();
+
+  if (r.u64() != nics_.size())
+    throw SnapshotError("snapshot NIC count does not match this network");
+  const auto num_shards = static_cast<std::uint32_t>(shard_ranges_.size());
+  shard_nonempty_nics_.assign(num_shards, 0);
+  shard_nic_backlog_.assign(num_shards, 0);
+  for (std::size_t n = 0; n < nics_.size(); ++n) {
+    Nic& nic = nics_[n];
+    restore_sequence(r, nic.queue, [](SnapshotReader& i) {
+      return load_packet_descriptor(i);
+    });
+    nic.sent_of_current = r.i64();
+    if (!nic.queue.empty() &&
+        (nic.sent_of_current < 0 ||
+         nic.sent_of_current >= nic.queue.front().length))
+      throw SnapshotError("NIC mid-packet cursor is outside its packet");
+    // Per-shard injection bookkeeping is derived state: recompute it so
+    // the shard geometry of the restoring network (which may differ from
+    // the saving one) gets consistent counters.
+    const std::uint32_t s = shard_of_[n];
+    if (!nic.queue.empty()) ++shard_nonempty_nics_[s];
+    Flits backlog = -nic.sent_of_current;
+    for (std::size_t i = 0; i < nic.queue.size(); ++i) {
+      const PacketDescriptor& p = nic.queue[i];
+      if (p.length <= 0) throw SnapshotError("queued packet has no flits");
+      backlog += p.length;
+    }
+    shard_nic_backlog_[s] += backlog;
+  }
+
+  const std::uint32_t nodes = topo_.num_nodes();
+  const std::uint32_t vcs = config_.router.num_vcs;
+  restore_sequence(r, flit_wire_, [nodes, vcs](SnapshotReader& i) {
+    return load_wire_flit(i, nodes, vcs);
+  });
+  restore_sequence(r, credit_wire_, [nodes, vcs](SnapshotReader& i) {
+    return load_wire_credit(i, nodes, vcs);
+  });
+  restore_sequence(r, credit_quarantine_, [nodes, vcs](SnapshotReader& i) {
+    return load_wire_credit(i, nodes, vcs);
+  });
+
+  if (r.u64() != latency_by_source_.size())
+    throw SnapshotError("snapshot source count does not match this network");
+  for (RunningStat& s : latency_by_source_) s.restore(r);
+  latency_overall_.restore(r);
+  latency_quantiles_.restore(r);
+
+  if (r.u64() != router_live_.size())
+    throw SnapshotError("snapshot router count does not match this network");
+  shard_live_.assign(num_shards, 0);
+  for (std::size_t n = 0; n < router_live_.size(); ++n) {
+    const bool live = r.b();
+    router_live_[n] = live ? 1 : 0;
+    if (live) ++shard_live_[shard_of_[n]];
+  }
+  for (Router& router : routers_) router.restore_state(r);
 }
 
 std::vector<Flits> Network::delivered_flits_by_flow(

@@ -59,6 +59,11 @@ struct NetworkConfig {
   /// 1 with shards > 1 runs the sharded algorithm single-threaded (the
   /// staging-path differential the tests lean on).
   std::uint32_t threads = 1;
+  /// Keep the per-packet delivered log.  The log grows with the run, so
+  /// soak mode turns it off and reads the O(1) accumulators instead
+  /// (delivered_packets(), latency_overall(), latency_quantiles()); every
+  /// counter and statistic is maintained identically either way.
+  bool record_delivered = true;
 };
 
 struct DeliveredPacket {
@@ -107,6 +112,11 @@ class Network final : public sim::Component, private RouterEnv {
     return delivered_;
   }
   [[nodiscard]] std::uint64_t injected_packets() const { return injected_; }
+  /// Packets fully delivered (tail ejected).  O(1); counted even when
+  /// config.record_delivered is off.
+  [[nodiscard]] std::uint64_t delivered_packets() const {
+    return delivered_packets_;
+  }
   [[nodiscard]] std::uint64_t delivered_flits() const {
     return delivered_flits_;
   }
@@ -118,6 +128,13 @@ class Network final : public sim::Component, private RouterEnv {
   }
   [[nodiscard]] const RunningStat& latency_overall() const {
     return latency_overall_;
+  }
+  /// Reservoir-sampled packet-latency quantiles, fed at tail ejection in
+  /// delivery order — the same samples, in the same order, a post-run
+  /// scan of the delivered log would feed, so consumers get identical
+  /// p99s without the log.
+  [[nodiscard]] const QuantileEstimator& latency_quantiles() const {
+    return latency_quantiles_;
   }
   /// Delivered flit counts keyed by flow id (for fairness comparisons).
   [[nodiscard]] std::vector<Flits> delivered_flits_by_flow(
@@ -201,6 +218,20 @@ class Network final : public sim::Component, private RouterEnv {
     return team_ != nullptr ? team_->lanes() : 1;
   }
 
+  /// Checkpoint/restore of the full fabric: NIC queues, in-flight wire
+  /// flits and credits (quarantine included), every router pipeline and
+  /// arbiter, the latency accumulators and counters, and the clock.
+  /// Geometry (topology, VC/buffer/latency/routing/arbiter config) is
+  /// embedded and checked on restore — a snapshot only restores into a
+  /// freshly constructed network with matching config.  Sharding
+  /// (config.shards/threads) is NOT part of the snapshot: the per-shard
+  /// counters are recomputed, so a serial checkpoint restores into a
+  /// sharded network and vice versa, bit-identically.  The delivered log
+  /// is not serialized (it is derived output, unbounded under soak);
+  /// restored runs continue the log from empty.
+  void save_state(SnapshotWriter& w) const;
+  void restore_state(SnapshotReader& r);
+
  private:
   friend class ShardLane;
 
@@ -275,7 +306,9 @@ class Network final : public sim::Component, private RouterEnv {
   std::vector<DeliveredPacket> delivered_;
   std::vector<RunningStat> latency_by_source_;  // indexed by source node
   RunningStat latency_overall_;
+  QuantileEstimator latency_quantiles_;
   std::uint64_t injected_ = 0;
+  std::uint64_t delivered_packets_ = 0;
   std::uint64_t delivered_flits_ = 0;
   Flits injected_flits_ = 0;
   ObserverMux observers_;

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/assert.hpp"
+#include "common/snapshot.hpp"
 
 namespace wormsched::wormhole {
 
@@ -93,6 +94,24 @@ void NetworkTrafficSource::tick(Cycle now) {
     network_.inject(now, pkt);
     ++generated_;
   }
+}
+
+void NetworkTrafficSource::save_state(SnapshotWriter& w) const {
+  for (const std::uint64_t word : rng_.state()) w.u64(word);
+  w.u64(next_id_);
+  w.u64(generated_);
+  w.u64(next_cycle_);
+}
+
+void NetworkTrafficSource::restore_state(SnapshotReader& r) {
+  Rng::State state;
+  for (std::uint64_t& word : state) word = r.u64();
+  if ((state[0] | state[1] | state[2] | state[3]) == 0)
+    throw SnapshotError("traffic source RNG state is all zero");
+  rng_.set_state(state);
+  next_id_ = r.u64();
+  generated_ = r.u64();
+  next_cycle_ = r.u64();
 }
 
 }  // namespace wormsched::wormhole

@@ -65,6 +65,14 @@ class NetworkTrafficSource final : public sim::Component {
 
   [[nodiscard]] std::uint64_t generated() const { return generated_; }
 
+  /// Checkpoint/restore: the RNG state, packet-id cursor, generated count
+  /// and the next un-ticked cycle.  Restore on a source built with the
+  /// same Config (the config itself travels in the checkpoint container,
+  /// not here) — the restored source continues the identical draw
+  /// sequence.
+  void save_state(SnapshotWriter& w) const;
+  void restore_state(SnapshotReader& r);
+
  private:
   Network& network_;
   Config config_;

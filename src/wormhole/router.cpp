@@ -3,6 +3,8 @@
 #include <bit>
 
 #include "common/assert.hpp"
+#include "common/snapshot.hpp"
+#include "wormhole/flit_snapshot.hpp"
 
 namespace wormsched::wormhole {
 
@@ -30,6 +32,80 @@ Router::Router(NodeId id, const RouterConfig& config)
     ov.arbiter = make_arbiter(config.arbiter, requesters);
     WS_CHECK_MSG(ov.arbiter != nullptr, "unknown router arbiter");
   }
+}
+
+void Router::save_state(SnapshotWriter& w) const {
+  w.u64(inputs_.size());
+  w.str(config_.arbiter);
+  for (const InputVc& iv : inputs_) {
+    save_sequence(w, iv.buffer, save_flit);
+    w.b(iv.routed);
+    w.u32(static_cast<std::uint32_t>(iv.out));
+    w.u32(iv.out_class);
+  }
+  for (const OutputVc& ov : outputs_) {
+    w.u32(ov.credits);
+    w.b(ov.bound);
+    w.u32(ov.owner);
+    ov.arbiter->save_state(w);
+  }
+  for (const std::uint32_t p : sa_pointer_) w.u32(p);
+  for (const PortStats& ps : port_stats_) {
+    w.u64(ps.flits);
+    w.u64(ps.grants);
+    w.u64(ps.busy);
+    w.u64(ps.starved);
+  }
+  w.u64(forwarded_);
+  w.u32(buffered_flits_);
+  w.u32(bound_outputs_);
+  w.u64(routable_inputs_);
+  w.u64(requesting_outputs_);
+  w.u64(bound_outputs_mask_);
+}
+
+void Router::restore_state(SnapshotReader& r) {
+  const std::uint64_t units = r.u64();
+  if (units != inputs_.size())
+    throw SnapshotError("router snapshot unit count mismatch");
+  const std::string arb = r.str();
+  if (arb != config_.arbiter)
+    throw SnapshotError("router snapshot was taken with arbiter '" + arb +
+                        "', this router runs '" + config_.arbiter + "'");
+  for (InputVc& iv : inputs_) {
+    restore_sequence(r, iv.buffer, load_flit);
+    if (iv.buffer.size() > config_.buffer_depth)
+      throw SnapshotError("router snapshot overflows an input buffer");
+    iv.routed = r.b();
+    const std::uint32_t out = r.u32();
+    if (out >= kNumDirections)
+      throw SnapshotError("router snapshot names an invalid direction");
+    iv.out = static_cast<Direction>(out);
+    iv.out_class = r.u32();
+    if (iv.out_class >= config_.num_vcs)
+      throw SnapshotError("router snapshot names an invalid VC class");
+  }
+  for (OutputVc& ov : outputs_) {
+    ov.credits = r.u32();
+    ov.bound = r.b();
+    ov.owner = r.u32();
+    if (ov.owner >= inputs_.size())
+      throw SnapshotError("router snapshot names an invalid owner unit");
+    ov.arbiter->restore_state(r);
+  }
+  for (std::uint32_t& p : sa_pointer_) p = r.u32();
+  for (PortStats& ps : port_stats_) {
+    ps.flits = r.u64();
+    ps.grants = r.u64();
+    ps.busy = r.u64();
+    ps.starved = r.u64();
+  }
+  forwarded_ = r.u64();
+  buffered_flits_ = r.u32();
+  bound_outputs_ = r.u32();
+  routable_inputs_ = r.u64();
+  requesting_outputs_ = r.u64();
+  bound_outputs_mask_ = r.u64();
 }
 
 void Router::accept_flit(Direction in, std::uint32_t cls, Flit flit) {

@@ -105,6 +105,14 @@ class Router {
 
   [[nodiscard]] std::uint64_t forwarded_flits() const { return forwarded_; }
 
+  /// Checkpoint/restore: input buffers (flit-for-flit), output bindings
+  /// and credits, per-port SA pointers and stats, counters, pending
+  /// bitmasks, and each output arbiter's discipline state.  Restore on a
+  /// freshly constructed router with the same config (unit count and
+  /// arbiter name are checked).
+  void save_state(SnapshotWriter& w) const;
+  void restore_state(SnapshotReader& r);
+
   /// Per-stage wall-tick sink for the instrumented bench run; nullptr
   /// (the default) keeps the hot path uninstrumented.
   void set_perf_counters(metrics::PerfCounters* counters) {

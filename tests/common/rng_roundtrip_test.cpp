@@ -1,0 +1,104 @@
+// RNG checkpoint/restore round-trip (docs/TESTING.md).
+//
+// The restore-equivalence contract bottoms out here: a generator whose
+// 256-bit state is captured mid-stream and restored into a fresh instance
+// must produce the identical draw sequence — for every draw kind the
+// simulator uses, not just next_u64 — or nothing downstream can be
+// bit-identical.  The 10k-draw horizon is deliberate overkill: xoshiro
+// state divergence shows up within a couple of draws, so a pass here
+// means the state really is the whole story.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/snapshot.hpp"
+
+namespace wormsched {
+namespace {
+
+/// Serializes the state the way the simulator's components do.
+Rng::State round_trip_through_snapshot(const Rng::State& state) {
+  SnapshotWriter w;
+  for (const std::uint64_t word : state) w.u64(word);
+  SnapshotReader r(w.bytes());
+  Rng::State out;
+  for (std::uint64_t& word : out) word = r.u64();
+  return out;
+}
+
+TEST(RngRoundTrip, MidStreamStateResumesIdentically) {
+  Rng original(12345);
+  for (int i = 0; i < 1234; ++i) (void)original.next_u64();  // mid-stream
+
+  Rng restored(999);  // deliberately different seed; state must win
+  restored.set_state(round_trip_through_snapshot(original.state()));
+
+  for (int i = 0; i < 10'000; ++i)
+    ASSERT_EQ(original.next_u64(), restored.next_u64()) << "draw " << i;
+}
+
+TEST(RngRoundTrip, EveryDrawKindMatchesAfterRestore) {
+  Rng original(77);
+  for (int i = 0; i < 500; ++i) (void)original.uniform_real();
+
+  Rng restored;
+  restored.set_state(original.state());
+
+  for (int i = 0; i < 2'000; ++i) {
+    ASSERT_EQ(original.next_u64(), restored.next_u64());
+    ASSERT_EQ(original.uniform_u64(97), restored.uniform_u64(97));
+    ASSERT_EQ(original.uniform_int(-5, 40), restored.uniform_int(-5, 40));
+    ASSERT_EQ(original.uniform_real(), restored.uniform_real());  // bit-exact
+    ASSERT_EQ(original.bernoulli(0.3), restored.bernoulli(0.3));
+    ASSERT_EQ(original.exponential(0.2), restored.exponential(0.2));
+    ASSERT_EQ(original.truncated_exponential_int(0.2, 1, 64),
+              restored.truncated_exponential_int(0.2, 1, 64));
+    ASSERT_EQ(original.poisson(3.5), restored.poisson(3.5));
+  }
+}
+
+TEST(RngRoundTrip, SplitChildrenRestoreIndependently) {
+  // Per-flow child streams (split()) checkpoint independently: restoring
+  // one child must not depend on the parent's position.
+  Rng parent(31);
+  Rng child_a = parent.split();
+  Rng child_b = parent.split();
+  for (int i = 0; i < 100; ++i) {
+    (void)child_a.next_u64();
+    (void)child_b.next_u64();
+  }
+
+  Rng restored_b;
+  restored_b.set_state(child_b.state());
+  (void)parent.next_u64();    // perturb the parent
+  (void)child_a.next_u64();   // and the sibling
+  for (int i = 0; i < 10'000; ++i)
+    ASSERT_EQ(child_b.next_u64(), restored_b.next_u64()) << "draw " << i;
+}
+
+TEST(RngRoundTrip, RestoredStreamsStayDistinct) {
+  // Restoring two different mid-stream states must reproduce two
+  // *different* streams (guards against a restore that ignores state).
+  Rng a(1);
+  Rng b(2);
+  Rng ra;
+  Rng rb;
+  ra.set_state(a.state());
+  rb.set_state(b.state());
+  bool diverged = false;
+  for (int i = 0; i < 16 && !diverged; ++i)
+    diverged = ra.next_u64() != rb.next_u64();
+  EXPECT_TRUE(diverged);
+}
+
+TEST(RngRoundTripDeathTest, AllZeroStateRejected) {
+  // The all-zero state is xoshiro's fixed point (the stream would be all
+  // zeros forever); a corrupted snapshot must not install it.
+  Rng rng(5);
+  EXPECT_DEATH(rng.set_state(Rng::State{0, 0, 0, 0}), "all-zero");
+}
+
+}  // namespace
+}  // namespace wormsched

@@ -1,0 +1,155 @@
+// Regression tests: observability wiring must survive a checkpoint
+// restore (docs/OBSERVABILITY.md).
+//
+// Two past-tense bugs pinned here: (1) the AuditLog violation-window
+// dump — a violation reported after a restore must still produce
+// `<trace>.violation.json`, now carrying the snapshot provenance
+// (restored-from SHA, original seed, restore cycle) so a post-mortem can
+// regenerate the exact run; (2) TraceSink kind masks are run-local
+// wiring that must be re-applied on restore, not silently reset to
+// all-events.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "harness/checkpoint.hpp"
+#include "harness/network_sweep.hpp"
+#include "obs/trace_event.hpp"
+#include "validate/violation.hpp"
+#include "wormhole/network.hpp"
+
+namespace wormsched::harness {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "provenance_test_" + name + ".json";
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+NetworkScenarioConfig traced_config(const std::string& chrome_path) {
+  NetworkScenarioConfig config;
+  config.network.topo = wormhole::TopologySpec::mesh(3, 3);
+  config.traffic.packets_per_node_per_cycle = 0.03;
+  config.traffic.inject_until = 2'000;
+  config.trace.chrome_path = chrome_path;
+  return config;
+}
+
+TEST(RestoreProvenance, ViolationAfterRestoreDumpsWindowWithProvenance) {
+  const std::string chrome = temp_path("violation_run");
+  const std::string dump = chrome + ".violation.json";
+  std::remove(dump.c_str());
+
+  NetworkScenarioConfig config = traced_config(chrome);
+  validate::AuditLog log(validate::AuditLog::Mode::kCount);
+  config.audit_log = &log;
+
+  SnapshotFile file;
+  {
+    NetworkRun run(config, 77);
+    run.advance_to(600);
+    file = run.make_snapshot_file();
+  }
+
+  NetworkRun resumed(config, file);
+  resumed.advance_to(900);
+  // Plant a violation (as an auditor would report one) after the
+  // restore: the window dump must fire from the restored run's wiring.
+  resumed.audit_log().report("test.planted", "violation injected by test");
+  (void)resumed.finish();
+
+  const std::string dumped = slurp(dump);
+  ASSERT_FALSE(dumped.empty()) << "no violation-window dump at " << dump;
+  // The dump names the snapshot it continued from.
+  EXPECT_NE(dumped.find("\"restored\":true"), std::string::npos);
+  EXPECT_NE(dumped.find("\"restored_from_sha\":"), std::string::npos);
+  EXPECT_NE(dumped.find("\"original_seed\":77"), std::string::npos);
+  EXPECT_NE(dumped.find("\"restore_cycle\":600"), std::string::npos);
+  // And contains the violation event itself.
+  EXPECT_NE(dumped.find("violation"), std::string::npos);
+
+  // The main trace export carries the same provenance block.
+  const std::string main_trace = slurp(chrome);
+  ASSERT_FALSE(main_trace.empty());
+  EXPECT_NE(main_trace.find("\"restored\":true"), std::string::npos);
+  EXPECT_NE(main_trace.find("\"original_seed\":77"), std::string::npos);
+
+  std::remove(dump.c_str());
+  std::remove(chrome.c_str());
+}
+
+TEST(RestoreProvenance, FreshRunTraceCarriesNoProvenanceBlock) {
+  const std::string chrome = temp_path("fresh_run");
+  NetworkScenarioConfig config = traced_config(chrome);
+  NetworkRun run(config, 5);
+  run.run_to_completion();
+  (void)run.finish();
+  const std::string trace = slurp(chrome);
+  ASSERT_FALSE(trace.empty());
+  EXPECT_EQ(trace.find("\"restored\""), std::string::npos);
+  std::remove(chrome.c_str());
+}
+
+TEST(RestoreProvenance, TraceKindMaskSurvivesRestore) {
+  // Request only fault + violation events: a restored run must keep
+  // filtering flit traffic out, not fall back to the all-events mask.
+  const std::string chrome = temp_path("masked_run");
+  NetworkScenarioConfig config = traced_config(chrome);
+  config.trace.mask = obs::event_bit(obs::EventKind::kViolation) |
+                      obs::event_bit(obs::EventKind::kFaultLinkStall) |
+                      obs::event_bit(obs::EventKind::kFaultCreditHold);
+
+  SnapshotFile file;
+  {
+    NetworkRun run(config, 13);
+    run.advance_to(500);
+    file = run.make_snapshot_file();
+  }
+  NetworkRun resumed(config, file);
+  resumed.run_to_completion();
+  const NetworkScenarioResult result = resumed.finish();
+
+  // Plenty of flit traffic happened, none of it recorded: a fault-free
+  // run under this mask records nothing at all.
+  EXPECT_GT(result.delivered_flits, 0u);
+  EXPECT_EQ(result.trace_recorded, 0u);
+
+  const std::string trace = slurp(chrome);
+  EXPECT_EQ(trace.find("flit_inject"), std::string::npos);
+  EXPECT_EQ(trace.find("flit_eject"), std::string::npos);
+  std::remove(chrome.c_str());
+}
+
+TEST(RestoreProvenance, RestoreCountSurvivesManifestRoundTrip) {
+  // The checkpoint's own manifest (wormsched-manifest-v1) records the
+  // chain depth; each restore increments it.
+  NetworkScenarioConfig config;
+  config.network.topo = wormhole::TopologySpec::mesh(3, 3);
+  config.traffic.inject_until = 1'000;
+
+  NetworkRun first(config, 9);
+  first.advance_to(200);
+  const SnapshotFile a = first.make_snapshot_file();
+  EXPECT_NE(a.manifest_json.find("\"restore_count\": \"0\""),
+            std::string::npos)
+      << a.manifest_json;
+
+  NetworkRun second(config, a);
+  second.advance_to(400);
+  const SnapshotFile b = second.make_snapshot_file();
+  EXPECT_NE(b.manifest_json.find("\"restore_count\": \"1\""),
+            std::string::npos)
+      << b.manifest_json;
+}
+
+}  // namespace
+}  // namespace wormsched::harness

@@ -204,6 +204,24 @@ TEST(ErrAuditorTest, DetectsTheorem2BoundViolation) {
   EXPECT_TRUE(has_check(log, "err.theorem2.bound")) << digest(log);
 }
 
+TEST(ErrAuditorTest, MidStreamAttachAdoptsInheritedSurplusAsMFloor) {
+  // Regression: an auditor attached mid-run — the checkpoint-restore path
+  // rebuilds all run-local wiring fresh — inherits surplus state whose
+  // charges it never saw.  Here the stream joins at round 238 where a
+  // flow walks in with SC = 13 (A = 1*(1+13) - 13 = 1) yet every charge
+  // the auditor observes is small (mc = 4).  Before the m-floor adoption
+  // this fired err.theorem2.bound with dev = -10 against m = 4; the
+  // inherited SC proves an earlier charge >= 13, so the stream is clean.
+  AuditLog log(AuditLog::Mode::kCount);
+  ErrAuditor auditor(2, ErrAuditorConfig{}, log);
+  auditor.on_opportunity(rec(238, 0, 1.0, 13.0, 1.0, 4.0, 3.0, 3.0, 4.0, 2));
+  auditor.on_opportunity(rec(238, 1, 1.0, 13.0, 12.0, 12.0, 0.0, 3.0, 4.0, 2));
+  auditor.on_opportunity(rec(239, 0, 1.0, 3.0, 1.0, 1.0, 0.0, 0.0, 1.0, 2));
+  auditor.on_opportunity(rec(239, 1, 1.0, 3.0, 4.0, 4.0, 0.0, 0.0, 2.0, 2));
+  EXPECT_TRUE(log.clean()) << digest(log);
+  EXPECT_GE(auditor.m(), 13.0);  // adopted from the inherited surplus
+}
+
 TEST(ErrAuditorTest, DetectsTheorem3FairnessViolation) {
   AuditLog log(AuditLog::Mode::kCount);
   ErrAuditorConfig config;

@@ -5,6 +5,12 @@
 //   wormsched gen-trace --workload <spec> --out trace.csv [--cycles N]
 //   wormsched replay   --trace trace.csv --scheduler err
 //   wormsched network  --topo mesh4x4 --arbiter err-cycles [--rate R]
+//   wormsched soak     --topo mesh8x8 --cycles 5000000 --checkpoint s.wsnp
+//
+// `run`, `network` and `soak` accept --checkpoint <file> (write a snapshot
+// at the end of the run), --checkpoint-every N (also write one every N
+// cycles) and --restore <file> (continue a checkpointed run; a malformed
+// or mismatched snapshot exits 2).
 //
 // Workload specs use the grammar of harness/workload_parse.hpp, e.g. the
 // paper's Fig. 4 traffic is
@@ -19,10 +25,13 @@
 #include <vector>
 
 #include "common/cli.hpp"
+#include "common/snapshot.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
+#include "harness/checkpoint.hpp"
 #include "harness/network_sweep.hpp"
 #include "harness/scenario.hpp"
+#include "harness/soak.hpp"
 #include "harness/sweep.hpp"
 #include "harness/workload_parse.hpp"
 #include "metrics/fairness.hpp"
@@ -49,6 +58,8 @@ constexpr const char* kUsage =
     "  gen-trace  expand a workload spec into a trace CSV\n"
     "  replay     replay a trace CSV through one scheduler\n"
     "  network    drive a wormhole mesh/torus with synthetic traffic\n"
+    "  soak       long-horizon network run with windowed steady-state\n"
+    "             metrics and checkpointed segments\n"
     "\n"
     "run 'wormsched <command> --help' for per-command options\n";
 
@@ -60,6 +71,31 @@ harness::WorkloadParse parse_or_die(const std::string& text) {
     std::exit(1);
   }
   return std::move(*parsed);
+}
+
+void add_checkpoint_options(CliParser& cli) {
+  cli.add_option("checkpoint", "write a snapshot here when the run ends", "");
+  cli.add_option("checkpoint-every",
+                 "also write the snapshot every N cycles (0 = only at end)",
+                 "0");
+  cli.add_option("restore",
+                 "continue from a snapshot written by --checkpoint", "");
+}
+
+/// Drives a resumable run to completion.  With --checkpoint-every the run
+/// advances in N-cycle segments and rewrites the snapshot after each; the
+/// final write always reflects the finished state.
+template <typename Run>
+void drive_with_checkpoints(Run& run, const std::string& path, Cycle every) {
+  if (!path.empty() && every > 0) {
+    while (!run.done()) {
+      run.advance_to((run.now() / every + 1) * every);
+      run.save_checkpoint(path);
+    }
+  } else {
+    run.run_to_completion();
+    if (!path.empty()) run.save_checkpoint(path);
+  }
 }
 
 std::vector<std::string> split_names(const std::string& csv) {
@@ -185,6 +221,7 @@ int cmd_run(int argc, const char* const* argv) {
                       {"incremental", "full", "off"}, "incremental", "off");
   validate::add_fault_options(cli);
   obs::add_trace_options(cli);
+  add_checkpoint_options(cli);
   if (!cli.parse(argc, argv)) return 1;
 
   const auto workload = parse_or_die(cli.get("workload"));
@@ -206,6 +243,7 @@ int cmd_run(int argc, const char* const* argv) {
   }
   std::optional<obs::TraceSink> sink;
   bool violation_window_dumped = false;
+  obs::TraceProvenance provenance;  // filled in when the run is restored
   if (trace_request->enabled()) {
     obs::TraceSink::Options sink_options;
     sink_options.capacity = trace_request->capacity;
@@ -213,27 +251,52 @@ int cmd_run(int argc, const char* const* argv) {
     sink.emplace(sink_options);
     config.trace = &*sink;
     // Auditor violations land in the trace, and the first one dumps the
-    // event window around it while it is still in the ring.
+    // event window around it while it is still in the ring (with the
+    // snapshot provenance when the run was restored).
     audit_log.set_on_report([&](const validate::Violation& v) {
       sink->record(obs::TraceEvent::violation(
           sink->now(), sink->note(v.check + ": " + v.detail)));
       if (!violation_window_dumped && !trace_request->chrome_path.empty()) {
         violation_window_dumped = true;
         obs::write_chrome_trace_file(
-            trace_request->chrome_path + ".violation.json", *sink);
+            trace_request->chrome_path + ".violation.json", *sink,
+            provenance.restored ? &provenance : nullptr);
       }
     });
   }
 
-  traffic::Trace trace =
-      traffic::generate_trace(workload.spec, config.horizon, config.seed);
-  const validate::FaultSpec faults = validate::fault_spec_from_cli(cli);
-  if (faults.enabled) {
-    std::printf("%s\n", faults.describe().c_str());
-    trace = validate::apply_trace_faults(faults, trace);
+  harness::ScenarioSpec spec;
+  spec.scheduler = cli.get("scheduler");
+  spec.workload_text = cli.get("workload");
+  spec.config = config;
+  spec.faults = validate::fault_spec_from_cli(cli);
+
+  const std::string restore_path = cli.get("restore");
+  std::optional<harness::ScenarioRun> run;
+  try {
+    if (!restore_path.empty()) {
+      const SnapshotFile file = harness::load_checkpoint_or_exit(restore_path);
+      run.emplace(spec, file);
+    } else {
+      if (spec.faults.enabled)
+        std::printf("%s\n", spec.faults.describe().c_str());
+      run.emplace(spec);
+    }
+  } catch (const SnapshotError& e) {
+    std::fprintf(stderr, "wormsched: %s: %s\n", restore_path.c_str(),
+                 e.what());
+    return 2;
   }
-  const auto result =
-      harness::run_scenario(cli.get("scheduler"), config, trace);
+  if (run->restored()) {
+    provenance = run->trace_provenance();
+    std::printf("restored from %s at cycle %llu (original seed %llu)\n",
+                restore_path.c_str(),
+                static_cast<unsigned long long>(provenance.restore_cycle),
+                static_cast<unsigned long long>(provenance.original_seed));
+  }
+  drive_with_checkpoints(*run, cli.get("checkpoint"),
+                         cli.get_uint("checkpoint-every"));
+  const auto result = run->finish();
   print_flow_detail(result);
 
   if (sink.has_value()) obs::export_trace(*trace_request, *sink);
@@ -241,6 +304,10 @@ int cmd_run(int argc, const char* const* argv) {
   if (!manifest_path.empty()) {
     obs::RunManifest manifest =
         obs::manifest_from_cli("wormsched run", cli, config.seed);
+    if (run->restored()) {
+      manifest.add_config("restored_from", restore_path);
+      manifest.add_config("restored_from_sha", provenance.restored_from_sha);
+    }
     manifest.add_counter("end_cycle", static_cast<double>(result.end_cycle));
     manifest.add_counter(
         "served_flits",
@@ -313,6 +380,37 @@ int cmd_replay(int argc, const char* const* argv) {
   return 0;
 }
 
+/// "mesh4x4" / "torus8x8" -> TopologySpec; complains and returns false on
+/// malformed input.
+bool parse_topo(const std::string& text, wormhole::TopologySpec* out) {
+  const bool torus = text.rfind("torus", 0) == 0;
+  const bool mesh = text.rfind("mesh", 0) == 0;
+  if (!torus && !mesh) {
+    std::fprintf(stderr, "bad --topo '%s'\n", text.c_str());
+    return false;
+  }
+  const std::string dims = text.substr(torus ? 5 : 4);
+  const auto x = dims.find('x');
+  if (x == std::string::npos) {
+    std::fprintf(stderr, "bad --topo '%s'\n", text.c_str());
+    return false;
+  }
+  const auto w = static_cast<std::uint32_t>(std::stoul(dims.substr(0, x)));
+  const auto h = static_cast<std::uint32_t>(std::stoul(dims.substr(x + 1)));
+  *out = torus ? wormhole::TopologySpec::torus(w, h)
+               : wormhole::TopologySpec::mesh(w, h);
+  return true;
+}
+
+wormhole::PatternSpec::Kind pattern_kind(const std::string& name) {
+  using Kind = wormhole::PatternSpec::Kind;
+  return name == "transpose"  ? Kind::kTranspose
+         : name == "bitcomp"  ? Kind::kBitComplement
+         : name == "hotspot"  ? Kind::kHotspot
+         : name == "neighbor" ? Kind::kNeighbor
+                              : Kind::kUniform;
+}
+
 int cmd_network(int argc, const char* const* argv) {
   CliParser cli("drive a wormhole mesh/torus with synthetic traffic");
   cli.add_option("topo", "mesh<W>x<H> or torus<W>x<H>", "mesh4x4");
@@ -334,28 +432,11 @@ int cmd_network(int argc, const char* const* argv) {
   obs::add_trace_options(cli);
   add_jobs_option(cli);
   add_network_parallel_options(cli);
+  add_checkpoint_options(cli);
   if (!cli.parse(argc, argv)) return 1;
 
-  const std::string topo_text = cli.get("topo");
   wormhole::NetworkConfig config;
-  {
-    const bool torus = topo_text.rfind("torus", 0) == 0;
-    const bool mesh = topo_text.rfind("mesh", 0) == 0;
-    if (!torus && !mesh) {
-      std::fprintf(stderr, "bad --topo '%s'\n", topo_text.c_str());
-      return 1;
-    }
-    const std::string dims = topo_text.substr(torus ? 5 : 4);
-    const auto x = dims.find('x');
-    if (x == std::string::npos) {
-      std::fprintf(stderr, "bad --topo '%s'\n", topo_text.c_str());
-      return 1;
-    }
-    const auto w = static_cast<std::uint32_t>(std::stoul(dims.substr(0, x)));
-    const auto h = static_cast<std::uint32_t>(std::stoul(dims.substr(x + 1)));
-    config.topo = torus ? wormhole::TopologySpec::torus(w, h)
-                        : wormhole::TopologySpec::mesh(w, h);
-  }
+  if (!parse_topo(cli.get("topo"), &config.topo)) return 1;
   config.router.arbiter = cli.get("arbiter");
   config.router.num_vcs = static_cast<std::uint32_t>(cli.get_uint("vcs"));
   config.router.buffer_depth =
@@ -369,13 +450,7 @@ int cmd_network(int argc, const char* const* argv) {
   wormhole::NetworkTrafficSource::Config traffic_config;
   traffic_config.packets_per_node_per_cycle = cli.get_double("rate");
   traffic_config.inject_until = cli.get_uint("cycles");
-  const std::string pattern = cli.get("pattern");
-  using Kind = wormhole::PatternSpec::Kind;
-  traffic_config.pattern.kind = pattern == "transpose"  ? Kind::kTranspose
-                                : pattern == "bitcomp"  ? Kind::kBitComplement
-                                : pattern == "hotspot"  ? Kind::kHotspot
-                                : pattern == "neighbor" ? Kind::kNeighbor
-                                                        : Kind::kUniform;
+  traffic_config.pattern.kind = pattern_kind(cli.get("pattern"));
   harness::NetworkScenarioConfig point;
   point.network = config;
   point.traffic = traffic_config;
@@ -399,9 +474,39 @@ int cmd_network(int argc, const char* const* argv) {
 
   const std::string manifest_path = obs::manifest_path_from_cli(cli);
   const std::size_t seeds = cli.get_uint("seeds");
+  const std::string restore_path = cli.get("restore");
+  if (!restore_path.empty() && seeds > 1) {
+    std::fprintf(stderr, "--restore requires --seeds 1\n");
+    return 1;
+  }
   if (seeds <= 1) {
-    const auto result =
-        harness::run_network_scenario(point, cli.get_uint("seed"));
+    std::optional<harness::NetworkRun> run;
+    try {
+      if (!restore_path.empty()) {
+        const SnapshotFile file =
+            harness::load_checkpoint_or_exit(restore_path);
+        run.emplace(point, file);
+      } else {
+        run.emplace(point, cli.get_uint("seed"));
+      }
+    } catch (const SnapshotError& e) {
+      std::fprintf(stderr, "wormsched: %s: %s\n", restore_path.c_str(),
+                   e.what());
+      return 2;
+    }
+    if (run->restored()) {
+      const obs::TraceProvenance& prov = run->trace_provenance();
+      std::printf("restored from %s at cycle %llu (original seed %llu)\n",
+                  restore_path.c_str(),
+                  static_cast<unsigned long long>(prov.restore_cycle),
+                  static_cast<unsigned long long>(prov.original_seed));
+    }
+    drive_with_checkpoints(*run, cli.get("checkpoint"),
+                           cli.get_uint("checkpoint-every"));
+    const bool restored = run->restored();
+    const std::string restored_sha =
+        restored ? run->trace_provenance().restored_from_sha : std::string();
+    const auto result = run->finish();
     std::printf("%s, %s, %s: injected %llu packets, delivered %zu, drained "
                 "at cycle %llu\n",
                 config.topo.describe().c_str(), cli.get("arbiter").c_str(),
@@ -416,6 +521,10 @@ int cmd_network(int argc, const char* const* argv) {
       obs::RunManifest manifest =
           obs::manifest_from_cli("wormsched network", cli,
                                  cli.get_uint("seed"));
+      if (restored) {
+        manifest.add_config("restored_from", restore_path);
+        manifest.add_config("restored_from_sha", restored_sha);
+      }
       manifest.add_counter("generated_packets",
                            static_cast<double>(result.generated_packets));
       manifest.add_counter("delivered_packets",
@@ -492,6 +601,152 @@ int cmd_network(int argc, const char* const* argv) {
   return 0;
 }
 
+int cmd_soak(int argc, const char* const* argv) {
+  CliParser cli(
+      "long-horizon network soak: windowed steady-state metrics in O(1) "
+      "memory, chained across checkpointed segments");
+  cli.add_option("topo", "mesh<W>x<H> or torus<W>x<H>", "mesh8x8");
+  cli.add_option("arbiter", "err-cycles|err-flits|rr|fcfs", "err-cycles");
+  cli.add_option("pattern", "uniform|transpose|bitcomp|hotspot|neighbor",
+                 "uniform");
+  cli.add_option("rate", "packets per node per cycle", "0.01");
+  cli.add_option("cycles", "cycle target for this segment", "5000000");
+  cli.add_option("horizon",
+                 "injection horizon in cycles (0 = --cycles); fixed by the "
+                 "first segment and carried in the checkpoint thereafter",
+                 "0");
+  cli.add_option("vcs", "virtual channel classes", "2");
+  cli.add_option("buffers", "flit slots per input VC", "8");
+  cli.add_option("seed", "traffic seed", "99");
+  cli.add_option("window", "steady-state window width in cycles", "10000");
+  cli.add_option("stable-windows",
+                 "consecutive stable windows that declare warm-up done", "5");
+  cli.add_option("rel-tol",
+                 "relative mean-delay tolerance for window stability", "0.10");
+  cli.add_choice_flag("audit",
+                      "attach the conservation + ERR auditors for the "
+                      "whole soak (spellings as in the network subcommand)",
+                      {"incremental", "full", "off"}, "incremental", "off");
+  validate::add_fault_options(cli);
+  obs::add_trace_options(cli);
+  add_network_parallel_options(cli);
+  add_checkpoint_options(cli);
+  if (!cli.parse(argc, argv)) return 1;
+
+  harness::NetworkScenarioConfig point;
+  if (!parse_topo(cli.get("topo"), &point.network.topo)) return 1;
+  point.network.router.arbiter = cli.get("arbiter");
+  point.network.router.num_vcs =
+      static_cast<std::uint32_t>(cli.get_uint("vcs"));
+  point.network.router.buffer_depth =
+      static_cast<std::uint32_t>(cli.get_uint("buffers"));
+  {
+    const NetworkParallelism par = resolve_network_parallelism(cli);
+    point.network.threads = par.threads;
+    point.network.shards = par.shards;
+  }
+  point.traffic.packets_per_node_per_cycle = cli.get_double("rate");
+  const Cycle cycles = cli.get_uint("cycles");
+  const Cycle horizon = cli.get_uint("horizon");
+  point.traffic.inject_until = horizon > 0 ? horizon : cycles;
+  point.traffic.pattern.kind = pattern_kind(cli.get("pattern"));
+  point.faults = validate::fault_spec_from_cli(cli);
+  {
+    const std::string audit = cli.get("audit");
+    point.audit = audit != "off";
+    point.audit_config.mode = audit == "full"
+                                  ? validate::AuditMode::kFull
+                                  : validate::AuditMode::kIncremental;
+  }
+  {
+    std::string trace_error;
+    const auto trace_request = obs::trace_request_from_cli(cli, &trace_error);
+    if (!trace_request) {
+      std::fprintf(stderr, "%s\n", trace_error.c_str());
+      return 1;
+    }
+    point.trace = *trace_request;
+  }
+  if (point.faults.enabled)
+    std::printf("%s\n", point.faults.describe().c_str());
+
+  harness::SoakOptions options;
+  options.cycles = cycles;
+  options.checkpoint_every = cli.get_uint("checkpoint-every");
+  options.checkpoint_path = cli.get("checkpoint");
+  options.window.window = cli.get_uint("window");
+  options.window.stable_windows = cli.get_uint("stable-windows");
+  options.window.rel_tol = cli.get_double("rel-tol");
+
+  const std::string restore_path = cli.get("restore");
+  harness::SoakSummary summary;
+  try {
+    if (!restore_path.empty()) {
+      const SnapshotFile file = harness::load_checkpoint_or_exit(restore_path);
+      summary = harness::resume_soak(point, file, options);
+    } else {
+      summary = harness::run_soak(point, cli.get_uint("seed"), options);
+    }
+  } catch (const SnapshotError& e) {
+    std::fprintf(stderr, "wormsched: %s: %s\n", restore_path.c_str(),
+                 e.what());
+    return 2;
+  }
+
+  std::printf("%s, %s, %s: soaked to cycle %llu%s\n",
+              point.network.topo.describe().c_str(),
+              cli.get("arbiter").c_str(),
+              point.traffic.pattern.describe().c_str(),
+              static_cast<unsigned long long>(summary.end_cycle),
+              summary.restore_count > 0 ? " (resumed)" : "");
+  std::printf("delivered %llu packets / %llu flits over %llu window(s)\n",
+              static_cast<unsigned long long>(summary.delivered_packets),
+              static_cast<unsigned long long>(summary.delivered_flits),
+              static_cast<unsigned long long>(summary.windows_closed));
+  if (summary.warmed_up) {
+    std::printf("warm-up ended at cycle %llu; steady mean delay %.2f "
+                "cycles, throughput %.4f flits/cycle (window stddev %.2f)\n",
+                static_cast<unsigned long long>(summary.warmup_end),
+                summary.steady_mean_delay, summary.steady_throughput,
+                summary.window_mean_stddev);
+  } else {
+    std::printf("warm-up not reached within %llu windows\n",
+                static_cast<unsigned long long>(summary.windows_closed));
+  }
+  if (summary.checkpoints_written > 0)
+    std::printf("wrote %llu checkpoint(s) to %s\n",
+                static_cast<unsigned long long>(summary.checkpoints_written),
+                options.checkpoint_path.c_str());
+
+  const std::string manifest_path = obs::manifest_path_from_cli(cli);
+  if (!manifest_path.empty()) {
+    obs::RunManifest manifest =
+        obs::manifest_from_cli("wormsched soak", cli, cli.get_uint("seed"));
+    if (!restore_path.empty())
+      manifest.add_config("restored_from", restore_path);
+    manifest.add_counter("end_cycle", static_cast<double>(summary.end_cycle));
+    manifest.add_counter("delivered_packets",
+                         static_cast<double>(summary.delivered_packets));
+    manifest.add_counter("delivered_flits",
+                         static_cast<double>(summary.delivered_flits));
+    manifest.add_counter("windows_closed",
+                         static_cast<double>(summary.windows_closed));
+    manifest.add_counter("warmed_up", summary.warmed_up ? 1.0 : 0.0);
+    manifest.add_counter("warmup_end",
+                         static_cast<double>(summary.warmup_end));
+    manifest.add_counter("steady_mean_delay", summary.steady_mean_delay);
+    manifest.add_counter("steady_throughput", summary.steady_throughput);
+    manifest.violations = summary.audit_violations;
+    manifest.write_file(manifest_path);
+  }
+  if (point.audit) {
+    std::printf("audit: %llu violation(s)\n",
+                static_cast<unsigned long long>(summary.audit_violations));
+    if (summary.audit_violations != 0) return 2;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -507,6 +762,7 @@ int main(int argc, char** argv) {
   if (command == "gen-trace") return cmd_gen_trace(sub_argc, sub_argv);
   if (command == "replay") return cmd_replay(sub_argc, sub_argv);
   if (command == "network") return cmd_network(sub_argc, sub_argv);
+  if (command == "soak") return cmd_soak(sub_argc, sub_argv);
   if (command == "--help" || command == "-h") {
     std::fputs(kUsage, stdout);
     return 0;
