@@ -1,0 +1,119 @@
+// Epoch-stamped bitset over a dense index space.
+//
+// The million-flow scheduler pools need a membership structure that
+// (a) tests and flips single bits in O(1) with no branches on the hot
+// path, (b) clears the WHOLE set in O(1) — a 1M-bit memset per restore
+// or reset would dominate checkpoint replay — and (c) iterates set bits
+// in index order at one `countr_zero` per bit, the same trick the PR-3
+// router pipeline uses for its pending masks.
+//
+// The O(1) clear comes from stamping every 64-bit word with the epoch in
+// which it was last written: a word whose stamp is stale reads as zero.
+// clear_all() just bumps the epoch.  When the 32-bit epoch wraps, every
+// stamp is reset once — amortized nothing.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace wormsched {
+
+class EpochBitset {
+ public:
+  EpochBitset() = default;
+  explicit EpochBitset(std::size_t size) { resize(size); }
+
+  void resize(std::size_t size) {
+    size_ = size;
+    count_ = 0;
+    words_.assign((size + 63) / 64, 0);
+    stamps_.assign(words_.size(), epoch_);
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] bool any() const { return count_ > 0; }
+
+  [[nodiscard]] bool test(std::size_t i) const {
+    WS_CHECK(i < size_);
+    const std::size_t w = i >> 6;
+    if (stamps_[w] != epoch_) return false;
+    return (words_[w] >> (i & 63)) & 1u;
+  }
+
+  void set(std::size_t i) {
+    WS_CHECK(i < size_);
+    const std::size_t w = i >> 6;
+    std::uint64_t word = stamps_[w] == epoch_ ? words_[w] : 0;
+    const std::uint64_t bit = std::uint64_t{1} << (i & 63);
+    count_ += (word & bit) == 0;
+    words_[w] = word | bit;
+    stamps_[w] = epoch_;
+  }
+
+  void clear(std::size_t i) {
+    WS_CHECK(i < size_);
+    const std::size_t w = i >> 6;
+    if (stamps_[w] != epoch_) return;
+    const std::uint64_t bit = std::uint64_t{1} << (i & 63);
+    count_ -= (words_[w] & bit) != 0;
+    words_[w] &= ~bit;
+  }
+
+  /// O(1): stale-stamps every word by bumping the epoch.
+  void clear_all() {
+    count_ = 0;
+    if (++epoch_ == 0) {
+      // Epoch wrapped; stamp 0 would alias long-stale words as current.
+      for (std::size_t w = 0; w < words_.size(); ++w) {
+        words_[w] = 0;
+        stamps_[w] = 0;
+      }
+    }
+  }
+
+  /// First set index >= `from`, or npos.  One countr_zero per probe.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  [[nodiscard]] std::size_t next_set(std::size_t from) const {
+    if (from >= size_) return npos;
+    std::size_t w = from >> 6;
+    std::uint64_t word = stamps_[w] == epoch_ ? words_[w] : 0;
+    word &= ~std::uint64_t{0} << (from & 63);
+    for (;;) {
+      if (word != 0) {
+        const std::size_t i =
+            (w << 6) + static_cast<std::size_t>(std::countr_zero(word));
+        return i < size_ ? i : npos;
+      }
+      if (++w >= words_.size()) return npos;
+      word = stamps_[w] == epoch_ ? words_[w] : 0;
+    }
+  }
+
+  /// Calls `fn(index)` for every set bit in increasing index order.
+  template <typename Fn>
+  void for_each_set(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t word = stamps_[w] == epoch_ ? words_[w] : 0;
+      while (word != 0) {
+        const std::size_t i =
+            (w << 6) + static_cast<std::size_t>(std::countr_zero(word));
+        word &= word - 1;
+        fn(i);
+      }
+    }
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::vector<std::uint32_t> stamps_;
+  std::uint32_t epoch_ = 1;
+  std::size_t size_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace wormsched

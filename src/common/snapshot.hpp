@@ -65,6 +65,11 @@ class SnapshotWriter {
     u64(s.size());
     buf_.insert(buf_.end(), s.begin(), s.end());
   }
+  /// Appends pre-encoded bytes verbatim (no length prefix).  Lets writers
+  /// that stream a section body into a side buffer splice it in at the end.
+  void raw(const std::uint8_t* data, std::size_t n) {
+    buf_.insert(buf_.end(), data, data + n);
+  }
 
   /// Opens a tagged, length-prefixed section (sections may nest).  The
   /// length lets a reader skip sections it does not understand.

@@ -6,94 +6,68 @@
 namespace wormsched::core {
 
 DrrPolicy::DrrPolicy(const DrrConfig& config)
-    : flows_(config.num_flows), base_quantum_(config.quantum) {
+    : pool_(config.num_flows,
+            /*initial_weight=*/static_cast<double>(config.quantum)),
+      base_quantum_(config.quantum) {
   WS_CHECK(config.num_flows > 0);
   WS_CHECK_MSG(config.quantum > 0, "DRR quantum must be positive");
-  for (std::size_t i = 0; i < config.num_flows; ++i) {
-    flows_[i].id = FlowId(static_cast<FlowId::rep_type>(i));
-    flows_[i].quantum = static_cast<double>(base_quantum_);
-  }
 }
 
 void DrrPolicy::set_weight(FlowId flow, double weight) {
   WS_CHECK_MSG(weight > 0.0, "DRR weight must be positive");
-  flows_[flow.index()].quantum = weight * static_cast<double>(base_quantum_);
+  pool_.set_weight(flow.index(), weight * static_cast<double>(base_quantum_));
 }
 
 void DrrPolicy::flow_activated(FlowId flow) {
-  FlowState& state = flows_[flow.index()];
-  WS_CHECK(!decltype(active_list_)::is_linked(state));
-  state.deficit = 0.0;
-  active_list_.push_back(state);
+  const auto i = static_cast<std::uint32_t>(flow.index());
+  WS_CHECK(!pool_.active().contains(i));
+  pool_.set_sc(i, 0.0);
+  pool_.active().push_back(i);
 }
 
 FlowId DrrPolicy::begin_opportunity() {
   WS_CHECK(!in_opportunity_);
-  WS_CHECK(!active_list_.empty());
-  FlowState& state = active_list_.pop_front();
-  state.deficit += state.quantum;
+  WS_CHECK(!pool_.active().empty());
+  const std::uint32_t i = pool_.active().pop_front();
+  pool_.set_sc(i, pool_.sc(i) + pool_.weight(i));
   in_opportunity_ = true;
-  current_ = state.id;
-  return state.id;
+  current_ = FlowId(i);
+  return current_;
 }
 
 bool DrrPolicy::may_serve(Flits length) const {
   WS_CHECK(in_opportunity_);
-  return static_cast<double>(length) <= flows_[current_.index()].deficit;
+  return static_cast<double>(length) <= pool_.sc(current_.index());
 }
 
 void DrrPolicy::charge(Flits length) {
   WS_CHECK(in_opportunity_);
-  flows_[current_.index()].deficit -= static_cast<double>(length);
+  const std::size_t i = current_.index();
+  pool_.set_sc(i, pool_.sc(i) - static_cast<double>(length));
 }
 
 void DrrPolicy::end_opportunity(bool still_backlogged) {
   WS_CHECK(in_opportunity_);
-  FlowState& state = flows_[current_.index()];
+  const auto i = static_cast<std::uint32_t>(current_.index());
   if (still_backlogged) {
-    active_list_.push_back(state);
+    pool_.active().push_back(i);
   } else {
-    state.deficit = 0.0;  // idle flows forfeit accumulated deficit
+    pool_.set_sc(i, 0.0);  // idle flows forfeit accumulated deficit
   }
   in_opportunity_ = false;
 }
 
 void DrrPolicy::save(SnapshotWriter& w) const {
-  w.u64(flows_.size());
-  for (const FlowState& f : flows_) {
-    w.f64(f.deficit);
-    w.f64(f.quantum);
-  }
-  w.u64(active_list_.size());
-  for (const FlowState& f : active_list_) w.u32(f.id.value());
+  pool_.save_rows(w);
+  pool_.active().save(w);
   w.i64(base_quantum_);
   w.b(in_opportunity_);
   w.u32(current_.value());
 }
 
 void DrrPolicy::restore(SnapshotReader& r) {
-  const std::uint64_t n = r.u64();
-  if (n != flows_.size())
-    throw SnapshotError("DRR snapshot has " + std::to_string(n) +
-                        " flows, this policy has " +
-                        std::to_string(flows_.size()));
-  for (FlowState& f : flows_) {
-    f.deficit = r.f64();
-    f.quantum = r.f64();
-  }
-  active_list_.clear();
-  const std::uint64_t linked = r.u64();
-  if (linked > flows_.size())
-    throw SnapshotError("DRR ActiveList longer than the flow table");
-  for (std::uint64_t i = 0; i < linked; ++i) {
-    const FlowId id{r.u32()};
-    if (id.index() >= flows_.size())
-      throw SnapshotError("DRR ActiveList names an out-of-range flow");
-    FlowState& f = flows_[id.index()];
-    if (decltype(active_list_)::is_linked(f))
-      throw SnapshotError("DRR ActiveList names a flow twice");
-    active_list_.push_back(f);
-  }
+  pool_.restore_rows(r, "DRR");
+  pool_.active().restore(r, "DRR ActiveList");
   base_quantum_ = r.i64();
   in_opportunity_ = r.b();
   current_ = FlowId{r.u32()};

@@ -15,10 +15,9 @@
 
 #include <cstddef>
 #include <string_view>
-#include <vector>
 
-#include "common/intrusive_list.hpp"
 #include "common/types.hpp"
+#include "core/flow_state_pool.hpp"
 #include "core/scheduler.hpp"
 
 namespace wormsched::core {
@@ -39,7 +38,9 @@ class DrrPolicy {
   void set_weight(FlowId flow, double weight);
 
   void flow_activated(FlowId flow);
-  [[nodiscard]] bool has_active_flows() const { return !active_list_.empty(); }
+  [[nodiscard]] bool has_active_flows() const {
+    return !pool_.active().empty();
+  }
 
   /// Pops the next flow and adds its quantum to its deficit counter.
   FlowId begin_opportunity();
@@ -58,7 +59,7 @@ class DrrPolicy {
   [[nodiscard]] bool in_opportunity() const { return in_opportunity_; }
   [[nodiscard]] FlowId current_flow() const { return current_; }
   [[nodiscard]] double deficit(FlowId flow) const {
-    return flows_[flow.index()].deficit;
+    return pool_.sc(flow.index());
   }
 
   /// Checkpoint/restore: per-flow deficit/quantum, ActiveList order, and
@@ -67,15 +68,8 @@ class DrrPolicy {
   void restore(SnapshotReader& r);
 
  private:
-  struct FlowState {
-    FlowId id;
-    double deficit = 0.0;
-    double quantum = 0.0;
-    IntrusiveListHook hook;
-  };
-
-  std::vector<FlowState> flows_;
-  IntrusiveList<FlowState, &FlowState::hook> active_list_;
+  // SoA rows: sc column = deficit counter, weight column = quantum.
+  FlowStatePool pool_;
   Flits base_quantum_;
   bool in_opportunity_ = false;
   FlowId current_;

@@ -6,12 +6,9 @@
 namespace wormsched::core {
 
 ErrPolicy::ErrPolicy(const ErrConfig& config)
-    : flows_(config.num_flows), reset_on_idle_(config.reset_on_idle) {
-  // FlowState embeds an intrusive hook and is therefore pinned (immovable);
-  // the vector is sized once here and never reallocates.
+    : pool_(config.num_flows, /*initial_weight=*/1.0),
+      reset_on_idle_(config.reset_on_idle) {
   WS_CHECK(config.num_flows > 0);
-  for (std::size_t i = 0; i < config.num_flows; ++i)
-    flows_[i].id = FlowId(static_cast<FlowId::rep_type>(i));
 }
 
 void ErrPolicy::set_weight(FlowId flow, double weight) {
@@ -19,23 +16,23 @@ void ErrPolicy::set_weight(FlowId flow, double weight) {
   // allowance w_i*(1 + MaxSC(r-1)) - SC_i(r-1) stays >= 1 (the weighted
   // analogue of Lemma 1), because SC_i(r-1) <= MaxSC(r-1) always.
   WS_CHECK_MSG(weight >= 1.0, "ERR weights must be >= 1 (normalize first)");
-  flows_[flow.index()].weight = weight;
+  pool_.set_weight(flow.index(), weight);
 }
 
 void ErrPolicy::flow_activated(FlowId flow) {
-  FlowState& state = flows_[flow.index()];
-  WS_CHECK_MSG(!decltype(active_list_)::is_linked(state),
+  const auto i = static_cast<std::uint32_t>(flow.index());
+  WS_CHECK_MSG(!pool_.active().contains(i),
                "flow_activated on an already-active flow");
   WS_CHECK_MSG(!(in_opportunity_ && current_ == flow),
                "flow_activated on the flow in service");
-  state.sc = 0.0;  // Enqueue routine: SC_i = 0
-  active_list_.push_back(state);
+  pool_.set_sc(i, 0.0);  // Enqueue routine: SC_i = 0
+  pool_.active().push_back(i);
   ++active_count_;
 }
 
 FlowId ErrPolicy::begin_opportunity() {
   WS_CHECK_MSG(!in_opportunity_, "opportunity already in progress");
-  WS_CHECK_MSG(!active_list_.empty(), "no active flows");
+  WS_CHECK_MSG(!pool_.active().empty(), "no active flows");
 
   // Round boundary (Fig. 1): when the visit budget of the previous round
   // is exhausted, snapshot MaxSC and size a new round.
@@ -46,14 +43,14 @@ FlowId ErrPolicy::begin_opportunity() {
     ++round_;
   }
 
-  FlowState& state = active_list_.pop_front();
+  const std::uint32_t i = pool_.active().pop_front();
   in_opportunity_ = true;
-  current_ = state.id;
-  allowance_ = state.weight * (1.0 + previous_max_sc_) - state.sc;
+  current_ = FlowId(i);
+  allowance_ = pool_.weight(i) * (1.0 + previous_max_sc_) - pool_.sc(i);
   sent_ = 0.0;
   max_charge_ = 0.0;
   WS_CHECK_MSG(allowance_ > 0.0, "ERR allowance must be positive (Lemma 1)");
-  return state.id;
+  return current_;
 }
 
 void ErrPolicy::charge(double units) {
@@ -65,30 +62,31 @@ void ErrPolicy::charge(double units) {
 
 void ErrPolicy::end_opportunity(bool still_backlogged) {
   WS_CHECK(in_opportunity_);
-  FlowState& state = flows_[current_.index()];
+  const auto i = static_cast<std::uint32_t>(current_.index());
 
   // SC_i = Sent_i - A_i, folded into the round's MaxSC *before* the
   // empty-queue reset — the pseudo-code order, which means a flow that
   // overshot on its final packet still raises MaxSC even if it then idles.
-  state.sc = sent_ - allowance_;
-  if (state.sc > max_sc_) max_sc_ = state.sc;
+  const double sc = sent_ - allowance_;
+  pool_.set_sc(i, sc);
+  if (sc > max_sc_) max_sc_ = sc;
 
   ErrOpportunity record{
       .round = round_,
       .flow = current_,
-      .weight = state.weight,
+      .weight = pool_.weight(i),
       .allowance = allowance_,
       .sent = sent_,
-      .surplus_count = state.sc,
+      .surplus_count = sc,
       .max_sc_so_far = max_sc_,
       .previous_max_sc = previous_max_sc_,
       .max_charge = max_charge_,
   };
 
   if (still_backlogged) {
-    active_list_.push_back(state);
+    pool_.active().push_back(i);
   } else {
-    state.sc = 0.0;
+    pool_.set_sc(i, 0.0);
     record.surplus_count = 0.0;
     record.deactivated = true;
     WS_CHECK(active_count_ > 0);
@@ -109,13 +107,8 @@ void ErrPolicy::end_opportunity(bool still_backlogged) {
 }
 
 void ErrPolicy::save(SnapshotWriter& w) const {
-  w.u64(flows_.size());
-  for (const FlowState& f : flows_) {
-    w.f64(f.sc);
-    w.f64(f.weight);
-  }
-  w.u64(active_list_.size());
-  for (const FlowState& f : active_list_) w.u32(f.id.value());
+  pool_.save_rows(w);
+  pool_.active().save(w);
   w.u64(active_count_);
   w.u64(round_robin_visit_count_);
   w.f64(max_sc_);
@@ -130,28 +123,8 @@ void ErrPolicy::save(SnapshotWriter& w) const {
 }
 
 void ErrPolicy::restore(SnapshotReader& r) {
-  const std::uint64_t n = r.u64();
-  if (n != flows_.size())
-    throw SnapshotError("ERR snapshot has " + std::to_string(n) +
-                        " flows, this policy has " +
-                        std::to_string(flows_.size()));
-  for (FlowState& f : flows_) {
-    f.sc = r.f64();
-    f.weight = r.f64();
-  }
-  active_list_.clear();
-  const std::uint64_t linked = r.u64();
-  if (linked > flows_.size())
-    throw SnapshotError("ERR ActiveList longer than the flow table");
-  for (std::uint64_t i = 0; i < linked; ++i) {
-    const FlowId id{r.u32()};
-    if (id.index() >= flows_.size())
-      throw SnapshotError("ERR ActiveList names an out-of-range flow");
-    FlowState& f = flows_[id.index()];
-    if (decltype(active_list_)::is_linked(f))
-      throw SnapshotError("ERR ActiveList names a flow twice");
-    active_list_.push_back(f);
-  }
+  pool_.restore_rows(r, "ERR");
+  pool_.active().restore(r, "ERR ActiveList");
   active_count_ = r.u64();
   round_robin_visit_count_ = r.u64();
   max_sc_ = r.f64();

@@ -21,10 +21,9 @@
 #include <cstddef>
 #include <functional>
 #include <string_view>
-#include <vector>
 
-#include "common/intrusive_list.hpp"
 #include "common/types.hpp"
+#include "core/flow_state_pool.hpp"
 #include "core/scheduler.hpp"
 
 namespace wormsched::core {
@@ -97,10 +96,10 @@ class ErrPolicy {
   [[nodiscard]] double allowance() const { return allowance_; }
   [[nodiscard]] double sent() const { return sent_; }
   [[nodiscard]] double surplus_count(FlowId flow) const {
-    return flows_[flow.index()].sc;
+    return pool_.sc(flow.index());
   }
   [[nodiscard]] double weight(FlowId flow) const {
-    return flows_[flow.index()].weight;
+    return pool_.weight(flow.index());
   }
   [[nodiscard]] double max_sc() const { return max_sc_; }
   [[nodiscard]] double previous_max_sc() const { return previous_max_sc_; }
@@ -124,15 +123,9 @@ class ErrPolicy {
   void restore(SnapshotReader& r);
 
  private:
-  struct FlowState {
-    FlowId id;
-    double sc = 0.0;
-    double weight = 1.0;
-    IntrusiveListHook hook;
-  };
-
-  std::vector<FlowState> flows_;
-  IntrusiveList<FlowState, &FlowState::hook> active_list_;
+  // Per-flow state (SC, weight, activation links) lives in SoA pool rows
+  // — an idle flow costs two doubles, one link and one membership bit.
+  FlowStatePool pool_;
   std::size_t active_count_ = 0;  // flows in list + the one in service
   std::size_t round_robin_visit_count_ = 0;
   double max_sc_ = 0.0;

@@ -1,0 +1,92 @@
+#include "core/flow_state_pool.hpp"
+
+#include "common/snapshot.hpp"
+
+namespace wormsched::core {
+
+void ActiveFifo::save(SnapshotWriter& w) const {
+  w.u64(size_);
+  for_each([&](std::uint32_t flow) { w.u32(flow); });
+}
+
+void ActiveFifo::restore(SnapshotReader& r, std::string_view label) {
+  clear();
+  const std::uint64_t linked = r.u64();
+  if (linked > next_.size())
+    throw SnapshotError(std::string(label) + " longer than the flow table");
+  for (std::uint64_t i = 0; i < linked; ++i) {
+    const std::uint32_t flow = r.u32();
+    if (flow >= next_.size())
+      throw SnapshotError(std::string(label) +
+                          " names an out-of-range flow");
+    if (linked_.test(flow))
+      throw SnapshotError(std::string(label) + " names a flow twice");
+    push_back(flow);
+  }
+}
+
+void PacketQueuePool::grow() {
+  // Geometric growth; every new node goes straight onto the freelist.
+  const std::size_t old_size = next_.size();
+  const std::size_t new_size = old_size == 0 ? 64 : old_size * 2;
+  id_.resize(new_size);
+  length_.resize(new_size);
+  arrival_.resize(new_size);
+  first_service_.resize(new_size);
+  departure_.resize(new_size);
+  stamp_.resize(new_size);
+  next_.resize(new_size);
+  for (std::size_t n = new_size; n > old_size; --n) {
+    next_[n - 1] = free_head_;
+    free_head_ = static_cast<std::uint32_t>(n - 1);
+  }
+}
+
+void PacketQueuePool::save_flow(SnapshotWriter& w, std::size_t flow) const {
+  w.u64(len_[flow]);
+  for (std::uint32_t n = head_[flow]; n != kPoolNil; n = next_[n]) {
+    w.u64(id_[n]);
+    w.u32(static_cast<std::uint32_t>(flow));
+    w.i64(length_[n]);
+    w.u64(arrival_[n]);
+    w.u64(first_service_[n]);
+    w.u64(departure_[n]);
+  }
+}
+
+void PacketQueuePool::restore_flow(SnapshotReader& r, std::size_t flow) {
+  while (len_[flow] > 0) (void)pop_front(flow);
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Packet p;
+    p.id = PacketId(r.u64());
+    p.flow = FlowId(r.u32());
+    p.length = r.i64();
+    p.arrival = r.u64();
+    p.first_service = r.u64();
+    p.departure = r.u64();
+    push_back(flow, p);
+  }
+}
+
+void FlowStatePool::save_rows(SnapshotWriter& w) const {
+  w.u64(sc_.size());
+  for (std::size_t i = 0; i < sc_.size(); ++i) {
+    w.f64(sc_[i]);
+    w.f64(weight_[i]);
+  }
+}
+
+void FlowStatePool::restore_rows(SnapshotReader& r, std::string_view what) {
+  const std::uint64_t n = r.u64();
+  if (n != sc_.size())
+    throw SnapshotError(std::string(what) + " snapshot has " +
+                        std::to_string(n) + " flows, this policy has " +
+                        std::to_string(sc_.size()));
+  for (std::size_t i = 0; i < sc_.size(); ++i) {
+    sc_[i] = r.f64();
+    weight_[i] = r.f64();
+  }
+}
+
+}  // namespace wormsched::core

@@ -5,46 +5,27 @@
 
 namespace wormsched::core {
 
-ActiveFlowRing::ActiveFlowRing(std::size_t num_flows) : flows_(num_flows) {
-  for (std::size_t i = 0; i < num_flows; ++i)
-    flows_[i].id = FlowId(static_cast<FlowId::rep_type>(i));
-}
+ActiveFlowRing::ActiveFlowRing(std::size_t num_flows) : fifo_(num_flows) {}
 
 void ActiveFlowRing::activate(FlowId flow) {
-  FlowState& state = flows_[flow.index()];
-  WS_CHECK_MSG(!decltype(list_)::is_linked(state),
+  WS_CHECK_MSG(!fifo_.contains(static_cast<std::uint32_t>(flow.index())),
                "activate of an already-active flow");
-  list_.push_back(state);
+  fifo_.push_back(static_cast<std::uint32_t>(flow.index()));
 }
 
 FlowId ActiveFlowRing::take_next() {
-  WS_CHECK(!list_.empty());
-  return list_.pop_front().id;
+  WS_CHECK(!fifo_.empty());
+  return FlowId(fifo_.pop_front());
 }
 
 bool ActiveFlowRing::contains(FlowId flow) const {
-  return decltype(list_)::is_linked(flows_[flow.index()]);
+  return fifo_.contains(static_cast<std::uint32_t>(flow.index()));
 }
 
-void ActiveFlowRing::save(SnapshotWriter& w) const {
-  w.u64(list_.size());
-  for (const FlowState& f : list_) w.u32(f.id.value());
-}
+void ActiveFlowRing::save(SnapshotWriter& w) const { fifo_.save(w); }
 
 void ActiveFlowRing::restore(SnapshotReader& r) {
-  list_.clear();
-  const std::uint64_t linked = r.u64();
-  if (linked > flows_.size())
-    throw SnapshotError("round-robin ring longer than the flow table");
-  for (std::uint64_t i = 0; i < linked; ++i) {
-    const FlowId id{r.u32()};
-    if (id.index() >= flows_.size())
-      throw SnapshotError("round-robin ring names an out-of-range flow");
-    FlowState& f = flows_[id.index()];
-    if (decltype(list_)::is_linked(f))
-      throw SnapshotError("round-robin ring names a flow twice");
-    list_.push_back(f);
-  }
+  fifo_.restore(r, "round-robin ring");
 }
 
 PbrrScheduler::PbrrScheduler(std::size_t num_flows)

@@ -14,10 +14,9 @@
 #include <cstddef>
 #include <optional>
 #include <string_view>
-#include <vector>
 
-#include "common/intrusive_list.hpp"
 #include "common/types.hpp"
+#include "core/flow_state_pool.hpp"
 #include "core/scheduler.hpp"
 
 namespace wormsched::core {
@@ -28,8 +27,8 @@ class ActiveFlowRing {
   explicit ActiveFlowRing(std::size_t num_flows);
 
   void activate(FlowId flow);
-  [[nodiscard]] bool empty() const { return list_.empty(); }
-  [[nodiscard]] std::size_t size() const { return list_.size(); }
+  [[nodiscard]] bool empty() const { return fifo_.empty(); }
+  [[nodiscard]] std::size_t size() const { return fifo_.size(); }
   /// Pops the head flow; the caller re-activates it if still backlogged.
   FlowId take_next();
   [[nodiscard]] bool contains(FlowId flow) const;
@@ -39,12 +38,7 @@ class ActiveFlowRing {
   void restore(SnapshotReader& r);
 
  private:
-  struct FlowState {
-    FlowId id;
-    IntrusiveListHook hook;
-  };
-  std::vector<FlowState> flows_;
-  IntrusiveList<FlowState, &FlowState::hook> list_;
+  ActiveFifo fifo_;
 };
 
 class PbrrScheduler final : public Scheduler {

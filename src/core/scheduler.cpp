@@ -11,32 +11,13 @@ namespace {
 constexpr std::uint32_t kSchedBaseTag = 0x53424153;   // "SABS"
 constexpr std::uint32_t kSchedDiscTag = 0x53444953;   // "SIDS"
 
-void save_packet(SnapshotWriter& w, const Packet& p) {
-  w.u64(p.id.value());
-  w.u32(p.flow.value());
-  w.i64(p.length);
-  w.u64(p.arrival);
-  w.u64(p.first_service);
-  w.u64(p.departure);
-}
-
-Packet load_packet(SnapshotReader& r) {
-  Packet p;
-  p.id = PacketId(r.u64());
-  p.flow = FlowId(r.u32());
-  p.length = r.i64();
-  p.arrival = r.u64();
-  p.first_service = r.u64();
-  p.departure = r.u64();
-  return p;
-}
-
 }  // namespace
 
 void Scheduler::save_state(SnapshotWriter& w) const {
   w.begin_section(kSchedBaseTag);
-  w.u64(queues_.size());
-  for (const auto& q : queues_) save_sequence(w, q, save_packet);
+  w.u64(queues_.num_flows());
+  for (std::size_t f = 0; f < queues_.num_flows(); ++f)
+    queues_.save_flow(w, f);
   save_doubles(w, weights_);
   save_sequence(w, flits_sent_of_head_,
                 [](SnapshotWriter& o, Flits f) { o.i64(f); });
@@ -52,16 +33,17 @@ void Scheduler::save_state(SnapshotWriter& w) const {
 void Scheduler::restore_state(SnapshotReader& r) {
   r.enter_section(kSchedBaseTag);
   const std::uint64_t n = r.u64();
-  if (n != queues_.size())
+  if (n != queues_.num_flows())
     throw SnapshotError("scheduler snapshot has " + std::to_string(n) +
                         " flows, this scheduler has " +
-                        std::to_string(queues_.size()));
-  for (auto& q : queues_) restore_sequence(r, q, load_packet);
+                        std::to_string(queues_.num_flows()));
+  for (std::size_t f = 0; f < queues_.num_flows(); ++f)
+    queues_.restore_flow(r, f);
   restore_doubles(r, weights_);
   restore_sequence(r, flits_sent_of_head_,
                    [](SnapshotReader& i) { return i.i64(); });
-  if (weights_.size() != queues_.size() ||
-      flits_sent_of_head_.size() != queues_.size())
+  if (weights_.size() != queues_.num_flows() ||
+      flits_sent_of_head_.size() != queues_.num_flows())
     throw SnapshotError("scheduler snapshot per-flow arrays disagree");
   const bool latched = r.b();
   const std::uint32_t latched_value = r.u32();
@@ -87,30 +69,29 @@ void Scheduler::set_weight(FlowId flow, double w) {
 }
 
 void Scheduler::enqueue(Cycle now, Packet packet) {
-  WS_CHECK(packet.flow.index() < queues_.size());
+  WS_CHECK(packet.flow.index() < queues_.num_flows());
   WS_CHECK_MSG(packet.length > 0, "zero-length packet");
-  auto& q = queues_[packet.flow.index()];
-  const bool was_idle = q.empty();
+  const std::size_t f = packet.flow.index();
+  const bool was_idle = queues_.empty(f);
   packet.arrival = now;
   backlog_flits_ += packet.length;
   if (observer_ != nullptr) observer_->on_packet_arrival(now, packet);
-  q.push_back(packet);
+  queues_.push_back(f, packet);
   if (was_idle) on_flow_backlogged(packet.flow);
   on_packet_enqueued(now, packet.flow,
                      requires_apriori_length() ? packet.length : Flits{-1});
 }
 
 std::size_t Scheduler::queue_length(FlowId flow) const {
-  return queues_[flow.index()].size();
+  return queues_.size(flow.index());
 }
 
 Flits Scheduler::head_packet_length(FlowId flow) const {
   WS_CHECK_MSG(requires_apriori_length(),
                "length oracle used by a discipline that did not declare "
                "requires_apriori_length()");
-  const auto& q = queues_[flow.index()];
-  WS_CHECK(!q.empty());
-  return q.front().length;
+  WS_CHECK(!queues_.empty(flow.index()));
+  return queues_.head_length(flow.index());
 }
 
 std::optional<FlitEvent> Scheduler::pull_flit(Cycle now) {
@@ -130,21 +111,22 @@ std::optional<FlitEvent> Scheduler::pull_flit_impl(Cycle now) {
 }
 
 Scheduler::EmitResult Scheduler::emit_flit_from(Cycle now, FlowId flow) {
-  auto& q = queues_[flow.index()];
-  WS_CHECK_MSG(!q.empty(), "discipline selected a flow with an empty queue");
-  Packet& head = q.front();
-  Flits& progress = flits_sent_of_head_[flow.index()];
-  WS_CHECK(progress < head.length);
+  const std::size_t f = flow.index();
+  WS_CHECK_MSG(!queues_.empty(f),
+               "discipline selected a flow with an empty queue");
+  const Flits head_length = queues_.head_length(f);
+  Flits& progress = flits_sent_of_head_[f];
+  WS_CHECK(progress < head_length);
 
-  if (progress == 0) head.first_service = now;
+  if (progress == 0) queues_.set_head_first_service(f, now);
 
   EmitResult result;
   result.flit = FlitEvent{
       .flow = flow,
-      .packet = head.id,
+      .packet = queues_.head_id(f),
       .index = progress,
       .is_head = progress == 0,
-      .is_tail = progress + 1 == head.length,
+      .is_tail = progress + 1 == head_length,
   };
   ++progress;
   WS_CHECK(backlog_flits_ > 0);
@@ -152,12 +134,12 @@ Scheduler::EmitResult Scheduler::emit_flit_from(Cycle now, FlowId flow) {
   if (observer_ != nullptr) observer_->on_flit(now, result.flit);
 
   if (result.flit.is_tail) {
-    head.departure = now;
+    queues_.set_head_departure(f, now);
     result.packet_completed = true;
-    result.observed_length = head.length;
-    const Packet completed = q.pop_front();
+    result.observed_length = head_length;
+    const Packet completed = queues_.pop_front(f);
     progress = 0;
-    result.queue_now_empty = q.empty();
+    result.queue_now_empty = queues_.empty(f);
     if (observer_ != nullptr) observer_->on_packet_departure(now, completed);
   }
   return result;

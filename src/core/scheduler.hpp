@@ -21,8 +21,8 @@
 #include <string_view>
 #include <vector>
 
-#include "common/ring_buffer.hpp"
 #include "common/types.hpp"
+#include "core/flow_state_pool.hpp"
 #include "core/packet.hpp"
 
 namespace wormsched {
@@ -77,7 +77,7 @@ class Scheduler {
   /// or nullopt when all queues are empty.
   std::optional<FlitEvent> pull_flit(Cycle now);
 
-  [[nodiscard]] std::size_t num_flows() const { return queues_.size(); }
+  [[nodiscard]] std::size_t num_flows() const { return queues_.num_flows(); }
   [[nodiscard]] bool idle() const { return backlog_flits_ == 0; }
   /// Total untransmitted flits across all queues.
   [[nodiscard]] Flits backlog_flits() const { return backlog_flits_; }
@@ -136,7 +136,7 @@ class Scheduler {
 
   /// --- Services available to disciplines ------------------------------
   [[nodiscard]] bool flow_backlogged(FlowId flow) const {
-    return !queues_[flow.index()].empty();
+    return !queues_.empty(flow.index());
   }
 
   /// A-priori length oracle.  Only disciplines returning true from
@@ -160,8 +160,26 @@ class Scheduler {
   /// own bookkeeping.
   EmitResult emit_flit_from(Cycle now, FlowId flow);
 
+  /// --- Per-packet stamp rows (timestamp disciplines) -------------------
+  /// Queued packets carry a double stamp slot in the shared node pool;
+  /// these pass-throughs keep the queues themselves private.
+  [[nodiscard]] double queue_head_stamp(FlowId flow) const {
+    return queues_.head_stamp(flow.index());
+  }
+  void queue_set_tail_stamp(FlowId flow, double s) {
+    queues_.set_tail_stamp(flow.index(), s);
+  }
+  template <typename Fn>
+  void queue_for_each_stamp(FlowId flow, Fn&& fn) const {
+    queues_.for_each_stamp(flow.index(), fn);
+  }
+  template <typename Fn>
+  void queue_assign_stamps(FlowId flow, std::size_t count, Fn&& next_value) {
+    queues_.assign_stamps(flow.index(), count, next_value);
+  }
+
  private:
-  std::vector<RingBuffer<Packet>> queues_;
+  PacketQueuePool queues_;
   std::vector<double> weights_;
   std::vector<Flits> flits_sent_of_head_;  // progress into each head packet
   std::optional<FlowId> latched_flow_;     // packet in flight (default impl)

@@ -6,29 +6,27 @@
 namespace wormsched::core {
 
 SrrScheduler::SrrScheduler(const SrrConfig& config)
-    : Scheduler(config.num_flows), flows_(config.num_flows) {
+    : Scheduler(config.num_flows),
+      pool_(config.num_flows,
+            /*initial_weight=*/static_cast<double>(config.quantum)) {
   WS_CHECK_MSG(config.quantum >= 1, "SRR quantum must be >= 1");
-  for (std::size_t i = 0; i < config.num_flows; ++i) {
-    flows_[i].id = FlowId(static_cast<FlowId::rep_type>(i));
-    flows_[i].quantum = static_cast<double>(config.quantum);
-  }
   base_quantum_ = static_cast<double>(config.quantum);
 }
 
 void SrrScheduler::set_weight(FlowId flow, double weight) {
   Scheduler::set_weight(flow, weight);
-  flows_[flow.index()].quantum = weight * base_quantum_;
+  pool_.set_weight(flow.index(), weight * base_quantum_);
 }
 
 void SrrScheduler::on_flow_backlogged(FlowId flow) {
   if (in_opportunity_ && current_ == flow) return;
-  FlowState& state = flows_[flow.index()];
-  WS_CHECK(!decltype(active_list_)::is_linked(state));
+  const auto i = static_cast<std::uint32_t>(flow.index());
+  WS_CHECK(!pool_.active().contains(i));
   // A reactivating flow forfeits any leftover (positive or negative)
   // credit — the SRR analogue of DRR's deficit reset, which prevents an
   // idle flow from banking service.
-  state.credit = 0.0;
-  active_list_.push_back(state);
+  pool_.set_sc(i, 0.0);
+  pool_.active().push_back(i);
 }
 
 FlowId SrrScheduler::select_next_flow(Cycle) {
@@ -39,70 +37,45 @@ FlowId SrrScheduler::select_next_flow(Cycle) {
   // SRR remains wormhole-deployable.  The loop terminates because every
   // skipped visit adds a positive quantum.
   for (;;) {
-    WS_CHECK(!active_list_.empty());
-    FlowState& state = active_list_.pop_front();
-    state.credit += state.quantum;
-    if (state.credit > 0.0) {
+    WS_CHECK(!pool_.active().empty());
+    const std::uint32_t i = pool_.active().pop_front();
+    pool_.set_sc(i, pool_.sc(i) + pool_.weight(i));
+    if (pool_.sc(i) > 0.0) {
       in_opportunity_ = true;
-      current_ = state.id;
-      return state.id;
+      current_ = FlowId(i);
+      return current_;
     }
-    active_list_.push_back(state);
+    pool_.active().push_back(i);
   }
 }
 
 void SrrScheduler::on_packet_complete(FlowId flow, Flits observed_length,
                                       bool queue_now_empty) {
   WS_CHECK(in_opportunity_ && current_ == flow);
-  FlowState& state = flows_[flow.index()];
-  state.credit -= static_cast<double>(observed_length);
-  const bool may_continue = state.credit > 0.0;
+  const auto i = static_cast<std::uint32_t>(flow.index());
+  pool_.set_sc(i, pool_.sc(i) - static_cast<double>(observed_length));
+  const bool may_continue = pool_.sc(i) > 0.0;
   if (queue_now_empty || !may_continue) {
     if (queue_now_empty) {
-      state.credit = 0.0;
+      pool_.set_sc(i, 0.0);
     } else {
-      active_list_.push_back(state);
+      pool_.active().push_back(i);
     }
     in_opportunity_ = false;
   }
 }
 
 void SrrScheduler::save_discipline(SnapshotWriter& w) const {
-  w.u64(flows_.size());
-  for (const FlowState& f : flows_) {
-    w.f64(f.credit);
-    w.f64(f.quantum);
-  }
-  w.u64(active_list_.size());
-  for (const FlowState& f : active_list_) w.u32(f.id.value());
+  pool_.save_rows(w);
+  pool_.active().save(w);
   w.f64(base_quantum_);
   w.b(in_opportunity_);
   w.u32(current_.value());
 }
 
 void SrrScheduler::restore_discipline(SnapshotReader& r) {
-  const std::uint64_t n = r.u64();
-  if (n != flows_.size())
-    throw SnapshotError("SRR snapshot has " + std::to_string(n) +
-                        " flows, this scheduler has " +
-                        std::to_string(flows_.size()));
-  for (FlowState& f : flows_) {
-    f.credit = r.f64();
-    f.quantum = r.f64();
-  }
-  active_list_.clear();
-  const std::uint64_t linked = r.u64();
-  if (linked > flows_.size())
-    throw SnapshotError("SRR ActiveList longer than the flow table");
-  for (std::uint64_t i = 0; i < linked; ++i) {
-    const FlowId id{r.u32()};
-    if (id.index() >= flows_.size())
-      throw SnapshotError("SRR ActiveList names an out-of-range flow");
-    FlowState& f = flows_[id.index()];
-    if (decltype(active_list_)::is_linked(f))
-      throw SnapshotError("SRR ActiveList names a flow twice");
-    active_list_.push_back(f);
-  }
+  pool_.restore_rows(r, "SRR");
+  pool_.active().restore(r, "SRR ActiveList");
   base_quantum_ = r.f64();
   in_opportunity_ = r.b();
   current_ = FlowId{r.u32()};

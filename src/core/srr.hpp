@@ -19,10 +19,9 @@
 
 #include <cstddef>
 #include <string_view>
-#include <vector>
 
-#include "common/intrusive_list.hpp"
 #include "common/types.hpp"
+#include "core/flow_state_pool.hpp"
 #include "core/scheduler.hpp"
 
 namespace wormsched::core {
@@ -44,7 +43,7 @@ class SrrScheduler final : public Scheduler {
 
   /// Introspection for tests: the flow's running credit (may be negative).
   [[nodiscard]] double credit(FlowId flow) const {
-    return flows_[flow.index()].credit;
+    return pool_.sc(flow.index());
   }
 
  protected:
@@ -56,15 +55,8 @@ class SrrScheduler final : public Scheduler {
   void restore_discipline(SnapshotReader& r) override;
 
  private:
-  struct FlowState {
-    FlowId id;
-    double credit = 0.0;
-    double quantum = 0.0;
-    IntrusiveListHook hook;
-  };
-
-  std::vector<FlowState> flows_;
-  IntrusiveList<FlowState, &FlowState::hook> active_list_;
+  // SoA rows: sc column = running credit, weight column = quantum.
+  FlowStatePool pool_;
   double base_quantum_ = 0.0;
   bool in_opportunity_ = false;
   FlowId current_;

@@ -8,23 +8,24 @@
 namespace wormsched::core {
 
 TimestampScheduler::TimestampScheduler(std::size_t num_flows)
-    : Scheduler(num_flows), stamps_(num_flows), in_heap_(num_flows, false) {}
+    : Scheduler(num_flows), in_heap_(num_flows) {}
 
 void TimestampScheduler::push_candidate(FlowId flow) {
-  WS_CHECK(!in_heap_[flow.index()]);
-  WS_CHECK(!stamps_[flow.index()].empty());
-  heap_.push(HeapEntry{stamps_[flow.index()].front(), next_sequence_++, flow});
-  in_heap_[flow.index()] = true;
+  WS_CHECK(!in_heap_.test(flow.index()));
+  WS_CHECK(flow_backlogged(flow));
+  heap_.push(HeapEntry{queue_head_stamp(flow), next_sequence_++, flow});
+  in_heap_.set(flow.index());
 }
 
 void TimestampScheduler::on_packet_enqueued(Cycle now, FlowId flow,
                                             Flits length) {
   WS_CHECK_MSG(length > 0, "timestamp disciplines need a-priori lengths");
-  auto& flow_stamps = stamps_[flow.index()];
-  const bool was_empty = flow_stamps.empty();
+  // This hook runs after the base pushed the packet, so the queue holds
+  // exactly one packet iff the flow was idle.
+  const bool was_empty = queue_length(flow) == 1;
   // Stamps are per-flow monotone (each rule takes max with the flow's last
   // finish), so FIFO order within the flow equals stamp order.
-  flow_stamps.push_back(stamp(now, flow, length));
+  queue_set_tail_stamp(flow, stamp(now, flow, length));
   if (was_empty) {
     ++backlogged_flows_;
     if (serving_ != flow) push_candidate(flow);
@@ -35,7 +36,7 @@ FlowId TimestampScheduler::select_next_flow(Cycle) {
   WS_CHECK(!heap_.empty());
   const HeapEntry entry = heap_.top();
   heap_.pop();
-  in_heap_[entry.flow.index()] = false;
+  in_heap_.clear(entry.flow.index());
   serving_ = entry.flow;
   on_service_start(entry.flow, entry.tag);
   return entry.flow;
@@ -45,8 +46,8 @@ void TimestampScheduler::on_packet_complete(FlowId flow, Flits,
                                             bool queue_now_empty) {
   WS_CHECK(flow == serving_);
   serving_ = FlowId::invalid();
-  auto& flow_stamps = stamps_[flow.index()];
-  (void)flow_stamps.pop_front();
+  // The served packet's stamp was recycled with its queue node; the next
+  // head's stamp (if any) is already in place.
   if (!queue_now_empty) {
     push_candidate(flow);
   } else {
@@ -57,10 +58,15 @@ void TimestampScheduler::on_packet_complete(FlowId flow, Flits,
 }
 
 void TimestampScheduler::save_discipline(SnapshotWriter& w) const {
-  w.u64(stamps_.size());
-  for (const auto& flow_stamps : stamps_)
-    save_sequence(w, flow_stamps, [](SnapshotWriter& o, double x) { o.f64(x); });
-  for (const bool b : in_heap_) w.b(b);
+  // Legacy v1 layout: the stamps as per-flow sequences (they mirror the
+  // packet queues exactly), then one membership bool per flow.
+  w.u64(num_flows());
+  for (std::size_t f = 0; f < num_flows(); ++f) {
+    const FlowId flow(static_cast<FlowId::rep_type>(f));
+    w.u64(queue_length(flow));
+    queue_for_each_stamp(flow, [&](double x) { w.f64(x); });
+  }
+  for (std::size_t f = 0; f < num_flows(); ++f) w.b(in_heap_.test(f));
   auto drain = heap_;  // copy; pops in (tag, sequence) order
   w.u64(drain.size());
   while (!drain.empty()) {
@@ -78,21 +84,31 @@ void TimestampScheduler::save_discipline(SnapshotWriter& w) const {
 
 void TimestampScheduler::restore_discipline(SnapshotReader& r) {
   const std::uint64_t n = r.u64();
-  if (n != stamps_.size())
+  if (n != num_flows())
     throw SnapshotError("timestamp snapshot per-flow array size mismatch");
-  for (auto& flow_stamps : stamps_)
-    restore_sequence(r, flow_stamps, [](SnapshotReader& i) { return i.f64(); });
-  for (std::size_t i = 0; i < in_heap_.size(); ++i) in_heap_[i] = r.b();
+  // The base section restored the packet queues first; the stamps write
+  // straight back into the queue nodes, so the counts must agree.
+  for (std::size_t f = 0; f < num_flows(); ++f) {
+    const FlowId flow(static_cast<FlowId::rep_type>(f));
+    const std::uint64_t count = r.u64();
+    if (count != queue_length(flow))
+      throw SnapshotError(
+          "timestamp snapshot stamp count disagrees with the packet queue");
+    queue_assign_stamps(flow, count, [&] { return r.f64(); });
+  }
+  in_heap_.clear_all();
+  for (std::size_t f = 0; f < num_flows(); ++f)
+    if (r.b()) in_heap_.set(f);
   heap_ = {};
   const std::uint64_t entries = r.u64();
-  if (entries > stamps_.size())
+  if (entries > num_flows())
     throw SnapshotError("timestamp snapshot heap larger than the flow table");
   for (std::uint64_t i = 0; i < entries; ++i) {
     HeapEntry e;
     e.tag = r.f64();
     e.sequence = r.u64();
     e.flow = FlowId{r.u32()};
-    if (e.flow.index() >= stamps_.size())
+    if (e.flow.index() >= num_flows())
       throw SnapshotError("timestamp snapshot heap names an invalid flow");
     heap_.push(e);
   }

@@ -8,9 +8,10 @@
 // better fairness (FM ~ m for Fair Queuing per Table 1), but with a
 // per-packet priority-queue cost of O(log n).
 //
-// TimestampScheduler provides the shared machinery (per-flow stamp queues,
-// the head-candidate heap, service hooks); SCFQ and Virtual Clock are the
-// two concrete stamping rules.  WFQ/PGPS and WF2Q+ live in their own files
+// TimestampScheduler provides the shared machinery (per-packet stamps in
+// the scheduler's shared queue-node pool, the head-candidate heap,
+// service hooks); SCFQ and Virtual Clock are the two concrete stamping
+// rules.  WFQ/PGPS and WF2Q+ live in their own files
 // because they additionally track GPS virtual time.
 #pragma once
 
@@ -20,7 +21,7 @@
 #include <string_view>
 #include <vector>
 
-#include "common/ring_buffer.hpp"
+#include "common/epoch_bitset.hpp"
 #include "common/types.hpp"
 #include "core/scheduler.hpp"
 
@@ -53,8 +54,8 @@ class TimestampScheduler : public Scheduler {
   void on_packet_complete(FlowId flow, Flits observed_length,
                           bool queue_now_empty) final;
 
-  /// Checkpoint of the shared machinery (stamp queues, candidate heap,
-  /// sequence counter), then the stamping rule's own state through the
+  /// Checkpoint of the shared machinery (per-packet stamps, candidate
+  /// heap, sequence counter), then the stamping rule's own state via the
   /// save_stamping/restore_stamping hooks.  The heap is serialized by
   /// draining a copy in (tag, sequence) order; restoring by pushing in
   /// that order rebuilds an equivalent heap because the comparator is a
@@ -80,8 +81,9 @@ class TimestampScheduler : public Scheduler {
 
   void push_candidate(FlowId flow);
 
-  std::vector<RingBuffer<double>> stamps_;  // mirrors the packet queues
-  std::vector<bool> in_heap_;
+  // Stamps live in the queue-node pool (one double per queued packet);
+  // heap membership is an epoch bitset, O(1) to clear on restore.
+  EpochBitset in_heap_;
   std::priority_queue<HeapEntry, std::vector<HeapEntry>, Later> heap_;
   std::uint64_t next_sequence_ = 0;
   std::size_t backlogged_flows_ = 0;

@@ -1,0 +1,135 @@
+#include "traffic/trace_synth.hpp"
+
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace wormsched::traffic {
+
+namespace {
+
+// splitmix64 finalizer — the role/eligibility hash.  Stateless, so a
+// million idle flows cost nothing until one of them is actually drawn.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+bool hash_below(std::uint64_t key, double fraction) {
+  if (fraction >= 1.0) return true;
+  if (fraction <= 0.0) return false;
+  // Top 53 bits → uniform double in [0, 1).
+  const double u =
+      static_cast<double>(mix64(key) >> 11) * 0x1.0p-53;
+  return u < fraction;
+}
+
+struct FlowClass {
+  std::vector<std::uint32_t> flows;
+  double packets_per_cycle = 0.0;  // Poisson mean
+  Flits min_length = 1;
+  Flits max_length = 1;
+};
+
+// Picks an eligible flow from the class under churn; bounded rejection
+// sampling keeps the draw O(1) — after a few misses any flow goes, which
+// only softens the churn edge, never stalls generation.
+std::uint32_t pick_flow(const FlowClass& cls, const SynthSpec& spec,
+                        std::uint64_t seed, Cycle epoch, Rng& rng) {
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const std::uint32_t flow = cls.flows[static_cast<std::size_t>(
+        rng.uniform_u64(cls.flows.size()))];
+    if (spec.churn_epoch == 0 ||
+        hash_below(mix64(seed ^ 0x43485552ULL) ^ mix64(flow) ^ epoch,
+                   spec.active_fraction))
+      return flow;
+  }
+  return cls.flows[static_cast<std::size_t>(
+      rng.uniform_u64(cls.flows.size()))];
+}
+
+}  // namespace
+
+void synthesize_trace(const SynthSpec& spec, std::uint64_t seed,
+                      const std::function<void(const TraceEntry&)>& sink) {
+  WS_CHECK_MSG(spec.num_flows > 0, "synth spec needs at least one flow");
+  WS_CHECK_MSG(spec.load > 0.0, "synth spec needs positive load");
+  WS_CHECK_MSG(spec.mice_min_length > 0 &&
+                   spec.mice_max_length >= spec.mice_min_length,
+               "mice length range is invalid");
+  WS_CHECK_MSG(spec.elephant_min_length > 0 &&
+                   spec.elephant_max_length >= spec.elephant_min_length,
+               "elephant length range is invalid");
+
+  FlowClass elephants;
+  elephants.min_length = spec.elephant_min_length;
+  elephants.max_length = spec.elephant_max_length;
+  FlowClass mice;
+  mice.min_length = spec.mice_min_length;
+  mice.max_length = spec.mice_max_length;
+  for (std::uint32_t f = 0; f < spec.num_flows; ++f) {
+    const bool elephant =
+        hash_below(mix64(seed ^ 0x454C4550ULL) ^ f, spec.elephant_fraction);
+    (elephant ? elephants : mice).flows.push_back(f);
+  }
+
+  // Split the flit load into per-class packet rates; an empty class hands
+  // its share to the other so the offered load is honoured either way.
+  double elephant_share = spec.elephant_share;
+  if (elephants.flows.empty()) elephant_share = 0.0;
+  if (mice.flows.empty()) elephant_share = 1.0;
+  const auto mean_length = [](const FlowClass& c) {
+    return 0.5 * (static_cast<double>(c.min_length) +
+                  static_cast<double>(c.max_length));
+  };
+  if (!elephants.flows.empty())
+    elephants.packets_per_cycle =
+        spec.load * elephant_share / mean_length(elephants);
+  if (!mice.flows.empty())
+    mice.packets_per_cycle =
+        spec.load * (1.0 - elephant_share) / mean_length(mice);
+
+  Rng rng(mix64(seed) | 1);
+  for (Cycle now = 0; now < spec.horizon; ++now) {
+    const Cycle epoch =
+        spec.churn_epoch == 0 ? 0 : now / spec.churn_epoch;
+
+    if (spec.incast_every != 0 && now != 0 &&
+        now % spec.incast_every == 0) {
+      const std::size_t fanin =
+          spec.incast_fanin < spec.num_flows ? spec.incast_fanin
+                                             : spec.num_flows;
+      for (std::size_t i = 0; i < fanin; ++i) {
+        const std::uint32_t flow = static_cast<std::uint32_t>(
+            rng.uniform_u64(spec.num_flows));
+        sink(TraceEntry{now, FlowId(flow), spec.incast_length});
+      }
+    }
+
+    for (const FlowClass* cls : {&elephants, &mice}) {
+      if (cls->packets_per_cycle <= 0.0) continue;
+      const std::uint64_t arrivals = rng.poisson(cls->packets_per_cycle);
+      for (std::uint64_t i = 0; i < arrivals; ++i) {
+        const std::uint32_t flow =
+            pick_flow(*cls, spec, seed, epoch, rng);
+        const Flits length =
+            rng.uniform_int(cls->min_length, cls->max_length);
+        sink(TraceEntry{now, FlowId(flow), length});
+      }
+    }
+  }
+}
+
+Trace synthesize_trace(const SynthSpec& spec, std::uint64_t seed) {
+  Trace trace;
+  trace.num_flows = spec.num_flows;
+  synthesize_trace(spec, seed, [&](const TraceEntry& e) {
+    trace.entries.push_back(e);
+  });
+  return trace;
+}
+
+}  // namespace wormsched::traffic

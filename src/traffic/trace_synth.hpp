@@ -1,0 +1,63 @@
+// Multi-tenant trace synthesis for flow-scaling experiments.
+//
+// The WorkloadSpec path (workload.hpp) materialises a per-flow arrival
+// process and walks every flow every cycle — exactly right for the
+// paper's handful of flows, quadratically wrong at a million.  This
+// synthesizer works per *arrival* instead: each cycle it draws Poisson
+// arrival counts for the elephant and mice classes and assigns each
+// arrival to a flow, so cost is O(arrivals), independent of how many
+// flows merely exist.
+//
+// Flow roles (elephant vs mouse) and tenant-churn eligibility come from
+// a seed-keyed hash of the flow id, not from per-flow state, so a
+// million-flow spec costs two id vectors and nothing per cycle.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.hpp"
+#include "traffic/workload.hpp"
+
+namespace wormsched::traffic {
+
+struct SynthSpec {
+  std::size_t num_flows = 0;
+  /// Injection covers cycles [0, horizon).
+  Cycle horizon = 0;
+  /// Aggregate offered load in flits/cycle (output capacity is 1).
+  double load = 0.9;
+
+  /// Elephant/mice split: `elephant_fraction` of flows are elephants and
+  /// together carry `elephant_share` of the load in long packets.  Either
+  /// class may be empty; its share folds into the other.
+  double elephant_fraction = 0.1;
+  double elephant_share = 0.5;
+  Flits mice_min_length = 1;
+  Flits mice_max_length = 16;
+  Flits elephant_min_length = 32;
+  Flits elephant_max_length = 256;
+
+  /// Tenant churn: every `churn_epoch` cycles the set of eligible flows
+  /// reshuffles; only `active_fraction` of each class is eligible within
+  /// an epoch.  0 disables churn (all flows always eligible).
+  Cycle churn_epoch = 0;
+  double active_fraction = 0.25;
+
+  /// Incast bursts: every `incast_every` cycles, `incast_fanin` flows
+  /// fire one `incast_length` packet each in the same cycle.  0 disables.
+  Cycle incast_every = 0;
+  std::size_t incast_fanin = 32;
+  Flits incast_length = 4;
+};
+
+/// Streams the trace in order into `sink` without materialising it.
+/// Deterministic in (spec, seed).
+void synthesize_trace(const SynthSpec& spec, std::uint64_t seed,
+                      const std::function<void(const TraceEntry&)>& sink);
+
+/// Materialising wrapper around the streaming form.
+[[nodiscard]] Trace synthesize_trace(const SynthSpec& spec,
+                                     std::uint64_t seed);
+
+}  // namespace wormsched::traffic

@@ -129,6 +129,10 @@ void Network::eject(NodeId node, const Flit& flit, Cycle now) {
       delivered_.push_back(DeliveredPacket{flit.packet, flit.flow, flit.source,
                                            flit.dest, flit.index + 1,
                                            flit.created, now});
+    const std::size_t fi = flit.flow.index();
+    if (fi >= flow_delivered_flits_.size())
+      flow_delivered_flits_.resize(fi + 1, 0);
+    flow_delivered_flits_[fi] += flit.index + 1;
     ++delivered_packets_;
     latency = static_cast<double>(now - flit.created);
     latency_by_source_[flit.source.index()].add(latency);
@@ -710,11 +714,10 @@ void Network::restore_state(SnapshotReader& r) {
 
 std::vector<Flits> Network::delivered_flits_by_flow(
     std::size_t num_flows) const {
+  WS_CHECK(flow_delivered_flits_.size() <= num_flows);
   std::vector<Flits> counts(num_flows, 0);
-  for (const DeliveredPacket& p : delivered_) {
-    WS_CHECK(p.flow.index() < num_flows);
-    counts[p.flow.index()] += p.length;
-  }
+  std::copy(flow_delivered_flits_.begin(), flow_delivered_flits_.end(),
+            counts.begin());
   return counts;
 }
 

@@ -137,6 +137,9 @@ class Network final : public sim::Component, private RouterEnv {
     return latency_quantiles_;
   }
   /// Delivered flit counts keyed by flow id (for fairness comparisons).
+  /// O(num_flows): folded into a running accumulator at tail ejection —
+  /// never a scan of the delivered log — so it works with
+  /// config.record_delivered off and stays flat-RSS on long runs.
   [[nodiscard]] std::vector<Flits> delivered_flits_by_flow(
       std::size_t num_flows) const;
 
@@ -304,6 +307,12 @@ class Network final : public sim::Component, private RouterEnv {
   // non-decreasing (FaultModel contract), so this too is a FIFO.
   RingBuffer<WireCredit> credit_quarantine_;
   std::vector<DeliveredPacket> delivered_;
+  // Streaming per-flow delivered-flit totals (grown on first delivery of
+  // a flow).  Like the latency stats — and unlike the delivered log — it
+  // is derived observability state and not part of the snapshot; a
+  // restored network counts deliveries from the restore point, exactly
+  // as the log-scanning implementation did.
+  std::vector<Flits> flow_delivered_flits_;
   std::vector<RunningStat> latency_by_source_;  // indexed by source node
   RunningStat latency_overall_;
   QuantileEstimator latency_quantiles_;

@@ -114,4 +114,48 @@ void NetworkTrafficSource::restore_state(SnapshotReader& r) {
   next_cycle_ = r.u64();
 }
 
+TraceTrafficSource::TraceTrafficSource(Network& network, const Config& config)
+    : network_(network), config_(config), rng_(config.seed) {
+  WS_CHECK_MSG(config_.trace != nullptr, "trace source needs a trace");
+}
+
+void TraceTrafficSource::tick(Cycle now) {
+  const Topology& topo = network_.topology();
+  const std::vector<traffic::TraceEntry>& entries = config_.trace->entries;
+  while (cursor_ < entries.size() && entries[cursor_].cycle <= now) {
+    const traffic::TraceEntry& e = entries[cursor_];
+    const NodeId src(e.flow.value() % topo.num_nodes());
+    PacketDescriptor pkt;
+    pkt.id = PacketId(next_id_++);
+    pkt.flow = FlowId(src.value());  // fairness accounted per source node
+    pkt.source = src;
+    pkt.dest = pick_destination(topo, config_.pattern, src, rng_);
+    pkt.length = e.length;
+    pkt.created = now;
+    network_.inject(now, pkt);
+    ++generated_;
+    ++cursor_;
+  }
+}
+
+void TraceTrafficSource::save_state(SnapshotWriter& w) const {
+  for (const std::uint64_t word : rng_.state()) w.u64(word);
+  w.u64(cursor_);
+  w.u64(next_id_);
+  w.u64(generated_);
+}
+
+void TraceTrafficSource::restore_state(SnapshotReader& r) {
+  Rng::State state;
+  for (std::uint64_t& word : state) word = r.u64();
+  if ((state[0] | state[1] | state[2] | state[3]) == 0)
+    throw SnapshotError("trace source RNG state is all zero");
+  rng_.set_state(state);
+  cursor_ = r.u64();
+  if (cursor_ > config_.trace->entries.size())
+    throw SnapshotError("trace source cursor is past the end of the trace");
+  next_id_ = r.u64();
+  generated_ = r.u64();
+}
+
 }  // namespace wormsched::wormhole

@@ -9,6 +9,7 @@
 #include "common/types.hpp"
 #include "sim/engine.hpp"
 #include "traffic/length.hpp"
+#include "traffic/workload.hpp"
 #include "wormhole/network.hpp"
 
 namespace wormsched::wormhole {
@@ -80,6 +81,53 @@ class NetworkTrafficSource final : public sim::Component {
   PacketId::rep_type next_id_ = 0;
   std::uint64_t generated_ = 0;
   Cycle next_cycle_ = 0;  // first cycle this source has not yet ticked
+};
+
+/// Replays an arrival trace (CSV or binary, already loaded) into a
+/// Network.  Each trace entry becomes one packet: its source node is
+/// `flow mod num_nodes` (flow/fairness id == source node, matching
+/// NetworkTrafficSource), its length comes from the entry, and its
+/// destination is drawn from `pattern` with the source's RNG — traces
+/// carry *when/who/how much*, the pattern supplies *where to*, so one
+/// trace can drive many topologies.
+class TraceTrafficSource final : public sim::Component {
+ public:
+  struct Config {
+    /// Not owned; must outlive the source.  Entries must be time-ordered
+    /// (both trace loaders enforce this).
+    const traffic::Trace* trace = nullptr;
+    PatternSpec pattern;
+    std::uint64_t seed = 99;
+  };
+
+  TraceTrafficSource(Network& network, const Config& config);
+
+  void tick(Cycle now) override;
+  /// Idle once the replay cursor is past the last entry.
+  [[nodiscard]] bool idle() const override {
+    return cursor_ >= config_.trace->entries.size();
+  }
+
+  [[nodiscard]] std::uint64_t generated() const { return generated_; }
+  /// First cycle with no remaining entries (0 for an empty trace).
+  [[nodiscard]] Cycle inject_until() const {
+    return config_.trace->entries.empty()
+               ? 0
+               : config_.trace->entries.back().cycle + 1;
+  }
+
+  /// Checkpoint/restore: the RNG state, replay cursor and counters.
+  /// Restore on a source built over the identical trace.
+  void save_state(SnapshotWriter& w) const;
+  void restore_state(SnapshotReader& r);
+
+ private:
+  Network& network_;
+  Config config_;
+  Rng rng_;
+  std::size_t cursor_ = 0;  // next trace entry to inject
+  PacketId::rep_type next_id_ = 0;
+  std::uint64_t generated_ = 0;
 };
 
 }  // namespace wormsched::wormhole

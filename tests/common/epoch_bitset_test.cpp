@@ -1,0 +1,107 @@
+// EpochBitset: the O(1)-clear membership structure under the scheduler
+// pools.  The differential fuzz drives it against std::vector<bool>
+// through enough clear_all() cycles to cross an epoch wrap.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/epoch_bitset.hpp"
+#include "common/rng.hpp"
+
+namespace wormsched {
+namespace {
+
+TEST(EpochBitset, SetTestClearCount) {
+  EpochBitset bits(200);
+  EXPECT_EQ(bits.size(), 200u);
+  EXPECT_FALSE(bits.any());
+  bits.set(0);
+  bits.set(63);
+  bits.set(64);
+  bits.set(199);
+  EXPECT_EQ(bits.count(), 4u);
+  EXPECT_TRUE(bits.test(63));
+  EXPECT_FALSE(bits.test(65));
+  bits.set(63);  // idempotent
+  EXPECT_EQ(bits.count(), 4u);
+  bits.clear(63);
+  EXPECT_FALSE(bits.test(63));
+  bits.clear(63);  // idempotent
+  EXPECT_EQ(bits.count(), 3u);
+}
+
+TEST(EpochBitset, ClearAllIsImmediateAndReusable) {
+  EpochBitset bits(130);
+  for (std::size_t i = 0; i < 130; i += 3) bits.set(i);
+  EXPECT_TRUE(bits.any());
+  bits.clear_all();
+  EXPECT_EQ(bits.count(), 0u);
+  for (std::size_t i = 0; i < 130; ++i) EXPECT_FALSE(bits.test(i)) << i;
+  // Words written in a stale epoch must behave as zero when re-set.
+  bits.set(129);
+  EXPECT_EQ(bits.count(), 1u);
+  EXPECT_TRUE(bits.test(129));
+  EXPECT_FALSE(bits.test(126));
+}
+
+TEST(EpochBitset, NextSetWalksInOrder) {
+  EpochBitset bits(300);
+  const std::size_t expected[] = {5, 64, 127, 128, 299};
+  for (const std::size_t i : expected) bits.set(i);
+  std::size_t at = 0;
+  std::vector<std::size_t> seen;
+  for (std::size_t i = bits.next_set(0); i != EpochBitset::npos;
+       i = bits.next_set(i + 1))
+    seen.push_back(i);
+  for (const std::size_t i : expected) EXPECT_EQ(seen[at++], i);
+  EXPECT_EQ(at, seen.size());
+  EXPECT_EQ(bits.next_set(300), EpochBitset::npos);
+
+  std::vector<std::size_t> visited;
+  bits.for_each_set([&](std::size_t i) { visited.push_back(i); });
+  EXPECT_EQ(visited, seen);
+}
+
+TEST(EpochBitset, DifferentialFuzzAcrossEpochWraps) {
+  const std::size_t n = 257;
+  EpochBitset bits(n);
+  std::vector<bool> model(n, false);
+  Rng rng(2024);
+  for (int op = 0; op < 200'000; ++op) {
+    const std::uint64_t kind = rng.uniform_u64(100);
+    const std::size_t i = rng.uniform_u64(n);
+    if (kind < 45) {
+      bits.set(i);
+      model[i] = true;
+    } else if (kind < 90) {
+      bits.clear(i);
+      model[i] = false;
+    } else if (kind < 99) {
+      ASSERT_EQ(bits.test(i), model[i]) << "index " << i << " op " << op;
+    } else {
+      bits.clear_all();
+      model.assign(n, false);
+    }
+  }
+  std::size_t model_count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(bits.test(i), model[i]) << i;
+    model_count += model[i];
+  }
+  EXPECT_EQ(bits.count(), model_count);
+}
+
+TEST(EpochBitset, ResizeResetsContents) {
+  EpochBitset bits(10);
+  bits.set(3);
+  bits.resize(80);
+  EXPECT_EQ(bits.size(), 80u);
+  EXPECT_EQ(bits.count(), 0u);
+  EXPECT_FALSE(bits.test(3));
+  bits.set(79);
+  EXPECT_TRUE(bits.test(79));
+}
+
+}  // namespace
+}  // namespace wormsched

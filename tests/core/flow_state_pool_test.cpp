@@ -1,0 +1,230 @@
+// SoA pool primitives under the million-flow scheduler core.
+//
+// ActiveFifo is fuzzed against a std::deque + membership-flag model (the
+// seed's intrusive-list semantics), PacketQueuePool against per-flow
+// std::deque<Packet> queues — the pre-pool state layouts the SoA
+// migration replaced.  Exact FIFO order is the observable round-robin
+// order, so the differentials compare order, not just membership.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/snapshot.hpp"
+#include "core/flow_state_pool.hpp"
+
+namespace wormsched::core {
+namespace {
+
+TEST(ActiveFifo, PreservesActivationOrder) {
+  ActiveFifo fifo(8);
+  fifo.push_back(5);
+  fifo.push_back(2);
+  fifo.push_back(7);
+  EXPECT_EQ(fifo.size(), 3u);
+  EXPECT_TRUE(fifo.contains(2));
+  EXPECT_FALSE(fifo.contains(3));
+  EXPECT_EQ(fifo.front(), 5u);
+  EXPECT_EQ(fifo.pop_front(), 5u);
+  fifo.push_back(5);  // re-activation goes to the back
+  EXPECT_EQ(fifo.pop_front(), 2u);
+  EXPECT_EQ(fifo.pop_front(), 7u);
+  EXPECT_EQ(fifo.pop_front(), 5u);
+  EXPECT_TRUE(fifo.empty());
+}
+
+TEST(ActiveFifo, DifferentialFuzzAgainstDequeModel) {
+  const std::uint32_t n = 61;
+  ActiveFifo fifo(n);
+  std::deque<std::uint32_t> model;
+  std::vector<bool> linked(n, false);
+  Rng rng(77);
+  for (int op = 0; op < 100'000; ++op) {
+    const std::uint64_t kind = rng.uniform_u64(100);
+    if (kind < 50) {
+      const auto flow = static_cast<std::uint32_t>(rng.uniform_u64(n));
+      if (!linked[flow]) {
+        fifo.push_back(flow);
+        model.push_back(flow);
+        linked[flow] = true;
+      }
+      ASSERT_TRUE(fifo.contains(flow));
+    } else if (kind < 95) {
+      if (!model.empty()) {
+        ASSERT_EQ(fifo.front(), model.front());
+        ASSERT_EQ(fifo.pop_front(), model.front());
+        linked[model.front()] = false;
+        model.pop_front();
+      } else {
+        ASSERT_TRUE(fifo.empty());
+      }
+    } else if (kind < 99) {
+      ASSERT_EQ(fifo.size(), model.size());
+    } else {
+      fifo.clear();
+      model.clear();
+      linked.assign(n, false);
+    }
+  }
+  while (!model.empty()) {
+    ASSERT_EQ(fifo.pop_front(), model.front());
+    model.pop_front();
+  }
+  EXPECT_TRUE(fifo.empty());
+}
+
+TEST(ActiveFifo, SaveRestoreRoundTripsOrder) {
+  ActiveFifo fifo(16);
+  for (const std::uint32_t f : {9u, 1u, 14u, 0u}) fifo.push_back(f);
+  SnapshotWriter w;
+  fifo.save(w);
+
+  ActiveFifo restored(16);
+  restored.push_back(3);  // stale state the restore must discard
+  SnapshotReader r(w.bytes().data(), w.bytes().size());
+  restored.restore(r, "test list");
+  EXPECT_EQ(restored.size(), 4u);
+  EXPECT_FALSE(restored.contains(3));
+  for (const std::uint32_t f : {9u, 1u, 14u, 0u})
+    EXPECT_EQ(restored.pop_front(), f);
+}
+
+TEST(ActiveFifo, RestoreRejectsOutOfRangeFlow) {
+  ActiveFifo fifo(32);
+  fifo.push_back(31);
+  SnapshotWriter w;
+  fifo.save(w);
+  ActiveFifo small(8);
+  SnapshotReader r(w.bytes().data(), w.bytes().size());
+  EXPECT_THROW(small.restore(r, "test list"), SnapshotError);
+}
+
+Packet make_packet(std::uint64_t id, std::uint32_t flow, Flits length,
+                   Cycle arrival) {
+  Packet p;
+  p.id = PacketId(id);
+  p.flow = FlowId(flow);
+  p.length = length;
+  p.arrival = arrival;
+  return p;
+}
+
+TEST(PacketQueuePool, DifferentialFuzzAgainstPerFlowDeques) {
+  const std::size_t flows = 23;
+  PacketQueuePool pool(flows);
+  std::vector<std::deque<Packet>> model(flows);
+  Rng rng(12345);
+  std::uint64_t next_id = 0;
+  for (int op = 0; op < 100'000; ++op) {
+    const std::size_t flow = rng.uniform_u64(flows);
+    if (rng.uniform_u64(100) < 55) {
+      const Packet p =
+          make_packet(next_id++, static_cast<std::uint32_t>(flow),
+                      static_cast<Flits>(1 + rng.uniform_u64(64)),
+                      static_cast<Cycle>(op));
+      pool.push_back(flow, p);
+      model[flow].push_back(p);
+    } else if (!model[flow].empty()) {
+      const Packet& expect = model[flow].front();
+      ASSERT_EQ(pool.head_length(flow), expect.length);
+      ASSERT_EQ(pool.head_id(flow), expect.id);
+      const Packet got = pool.pop_front(flow);
+      ASSERT_EQ(got.id, expect.id);
+      ASSERT_EQ(got.flow.index(), flow);
+      ASSERT_EQ(got.length, expect.length);
+      ASSERT_EQ(got.arrival, expect.arrival);
+      model[flow].pop_front();
+    } else {
+      ASSERT_TRUE(pool.empty(flow));
+    }
+    ASSERT_EQ(pool.size(flow), model[flow].size());
+  }
+}
+
+TEST(PacketQueuePool, NodesAreRecycledAcrossFlows) {
+  // Freelist check: churning one flow then another reuses the same
+  // nodes — the steady-state footprint is the high-water mark, not the
+  // total packet count (the zero-allocation claim's mechanism).
+  PacketQueuePool pool(2);
+  for (int round = 0; round < 1'000; ++round) {
+    const std::size_t flow = round & 1;
+    for (std::uint64_t i = 0; i < 8; ++i)
+      pool.push_back(flow, make_packet(i, static_cast<std::uint32_t>(flow),
+                                       4, 0));
+    for (std::uint64_t i = 0; i < 8; ++i)
+      EXPECT_EQ(pool.pop_front(flow).id, PacketId(i));
+    EXPECT_TRUE(pool.empty(flow));
+  }
+}
+
+TEST(PacketQueuePool, StampsFollowTheirPackets) {
+  PacketQueuePool pool(1);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    pool.push_back(0, make_packet(i, 0, 1, 0));
+    pool.set_tail_stamp(0, static_cast<double>(10 * i));
+  }
+  EXPECT_EQ(pool.head_stamp(0), 0.0);
+  (void)pool.pop_front(0);
+  EXPECT_EQ(pool.head_stamp(0), 10.0);
+  std::vector<double> stamps;
+  pool.for_each_stamp(0, [&](double s) { stamps.push_back(s); });
+  EXPECT_EQ(stamps, (std::vector<double>{10.0, 20.0, 30.0, 40.0}));
+  int next = 0;
+  pool.assign_stamps(0, 4, [&] { return static_cast<double>(next++); });
+  EXPECT_EQ(pool.head_stamp(0), 0.0);
+}
+
+TEST(PacketQueuePool, SaveRestoreRoundTripsQueues) {
+  PacketQueuePool pool(3);
+  pool.push_back(0, make_packet(1, 0, 7, 10));
+  pool.push_back(0, make_packet(2, 0, 3, 11));
+  pool.push_back(2, make_packet(3, 2, 9, 12));
+  SnapshotWriter w;
+  for (std::size_t f = 0; f < 3; ++f) pool.save_flow(w, f);
+
+  PacketQueuePool restored(3);
+  restored.push_back(1, make_packet(99, 1, 1, 0));  // must be replaced
+  SnapshotReader r(w.bytes().data(), w.bytes().size());
+  for (std::size_t f = 0; f < 3; ++f) restored.restore_flow(r, f);
+  EXPECT_EQ(restored.size(0), 2u);
+  EXPECT_EQ(restored.size(1), 0u);
+  EXPECT_EQ(restored.size(2), 1u);
+  EXPECT_EQ(restored.pop_front(0).id, PacketId(1));
+  EXPECT_EQ(restored.pop_front(0).length, 3);
+  EXPECT_EQ(restored.pop_front(2).arrival, 12u);
+}
+
+TEST(FlowStatePool, RowsRoundTripThroughLegacyLayout) {
+  FlowStatePool pool(4, 1.0);
+  pool.set_sc(1, 2.5);
+  pool.set_weight(3, 4.0);
+  pool.active().push_back(3);
+  pool.active().push_back(1);
+  SnapshotWriter w;
+  pool.save_rows(w);
+  pool.active().save(w);
+
+  FlowStatePool restored(4, 1.0);
+  restored.set_sc(0, 9.0);  // stale state the restore must overwrite
+  SnapshotReader r(w.bytes().data(), w.bytes().size());
+  restored.restore_rows(r, "TEST");
+  restored.active().restore(r, "TEST ActiveList");
+  EXPECT_EQ(restored.sc(0), 0.0);
+  EXPECT_EQ(restored.sc(1), 2.5);
+  EXPECT_EQ(restored.weight(3), 4.0);
+  EXPECT_EQ(restored.active().pop_front(), 3u);
+  EXPECT_EQ(restored.active().pop_front(), 1u);
+}
+
+TEST(FlowStatePool, RestoreRejectsFlowCountMismatch) {
+  FlowStatePool pool(8, 1.0);
+  SnapshotWriter w;
+  pool.save_rows(w);
+  FlowStatePool other(4, 1.0);
+  SnapshotReader r(w.bytes().data(), w.bytes().size());
+  EXPECT_THROW(other.restore_rows(r, "TEST"), SnapshotError);
+}
+
+}  // namespace
+}  // namespace wormsched::core

@@ -3,6 +3,7 @@
 //   wormsched compare  --workload <spec> [--cycles N] [--schedulers a,b,c]
 //   wormsched run      --workload <spec> --scheduler err [--cycles N]
 //   wormsched gen-trace --workload <spec> --out trace.csv [--cycles N]
+//   wormsched trace-gen --flows 100000 --cycles 100000 --out trace.wst
 //   wormsched replay   --trace trace.csv --scheduler err
 //   wormsched network  --topo mesh4x4 --arbiter err-cycles [--rate R]
 //   wormsched soak     --topo mesh8x8 --cycles 5000000 --checkpoint s.wsnp
@@ -40,7 +41,9 @@
 #include "obs/trace_export.hpp"
 #include "obs/trace_sink.hpp"
 #include "sim/engine.hpp"
+#include "traffic/binary_trace.hpp"
 #include "traffic/trace_io.hpp"
+#include "traffic/trace_synth.hpp"
 #include "validate/faults.hpp"
 #include "wormhole/network.hpp"
 #include "wormhole/patterns.hpp"
@@ -55,9 +58,12 @@ constexpr const char* kUsage =
     "commands:\n"
     "  compare    run several schedulers on one workload, print summary\n"
     "  run        run one scheduler, print per-flow detail\n"
-    "  gen-trace  expand a workload spec into a trace CSV\n"
-    "  replay     replay a trace CSV through one scheduler\n"
+    "  gen-trace  expand a workload spec into a trace (CSV or binary)\n"
+    "  trace-gen  synthesize a multi-tenant arrival trace (binary;\n"
+    "             elephant/mice mixes, tenant churn, incast bursts)\n"
+    "  replay     replay a trace (CSV or binary) through one scheduler\n"
     "  network    drive a wormhole mesh/torus with synthetic traffic\n"
+    "             or a replayed trace (--trace-in)\n"
     "  soak       long-horizon network run with windowed steady-state\n"
     "             metrics and checkpointed segments\n"
     "\n"
@@ -336,18 +342,33 @@ int cmd_run(int argc, const char* const* argv) {
   return 0;
 }
 
+/// Provenance JSON for generated binary traces (wormsched-trace-meta-v1).
+std::string trace_meta_json(const std::string& tool, std::uint64_t seed) {
+  std::ostringstream os;
+  os << "{\"format\":\"wormsched-trace-meta-v1\",\"tool\":\"" << tool
+     << "\",\"seed\":" << seed << "}";
+  return os.str();
+}
+
 int cmd_gen_trace(int argc, const char* const* argv) {
-  CliParser cli("expand a workload spec into a trace CSV");
+  CliParser cli("expand a workload spec into a trace (CSV or binary)");
   cli.add_option("workload", "workload spec", "bern:0.01:u1-64*4");
   cli.add_option("cycles", "horizon", "100000");
   cli.add_option("seed", "seed", "1");
-  cli.add_option("out", "output CSV path", "trace.csv");
+  cli.add_option("out", "output trace path", "trace.csv");
+  cli.add_choice_flag("format", "output encoding", {"csv", "binary"}, "binary",
+                      "csv");
   if (!cli.parse(argc, argv)) return 1;
 
   const auto workload = parse_or_die(cli.get("workload"));
   const auto trace = traffic::generate_trace(
       workload.spec, cli.get_uint("cycles"), cli.get_uint("seed"));
-  traffic::save_trace_file(cli.get("out"), trace);
+  if (cli.get("format") == "binary")
+    traffic::save_binary_trace_file(
+        cli.get("out"), trace,
+        trace_meta_json("wormsched gen-trace", cli.get_uint("seed")));
+  else
+    traffic::save_trace_file(cli.get("out"), trace);
   std::printf("wrote %zu arrivals (%lld flits, %zu flows) to %s\n",
               trace.entries.size(),
               static_cast<long long>(trace.total_flits()), trace.num_flows,
@@ -355,19 +376,92 @@ int cmd_gen_trace(int argc, const char* const* argv) {
   return 0;
 }
 
+int cmd_trace_gen(int argc, const char* const* argv) {
+  CliParser cli(
+      "synthesize a multi-tenant arrival trace (binary): seed-hashed "
+      "elephant/mice roles, optional tenant churn and incast bursts");
+  cli.add_option("flows", "number of flows", "100000");
+  cli.add_option("cycles", "injection horizon", "100000");
+  cli.add_option("load", "aggregate offered load, flits/cycle", "0.9");
+  cli.add_option("seed", "seed", "1");
+  cli.add_option("elephant-fraction", "share of flows that are elephants",
+                 "0.1");
+  cli.add_option("elephant-share", "share of load elephants carry", "0.5");
+  cli.add_option("churn-epoch",
+                 "cycles per tenant-churn epoch (0 = no churn)", "0");
+  cli.add_option("active-fraction",
+                 "eligible share of each class within a churn epoch", "0.25");
+  cli.add_option("incast-every",
+                 "cycles between incast bursts (0 = no bursts)", "0");
+  cli.add_option("incast-fanin", "flows firing together per burst", "32");
+  cli.add_option("out", "output binary trace path", "trace.wst");
+  if (!cli.parse(argc, argv)) return 1;
+
+  traffic::SynthSpec spec;
+  spec.num_flows = cli.get_uint("flows");
+  spec.horizon = cli.get_uint("cycles");
+  spec.load = cli.get_double("load");
+  spec.elephant_fraction = cli.get_double("elephant-fraction");
+  spec.elephant_share = cli.get_double("elephant-share");
+  spec.churn_epoch = cli.get_uint("churn-epoch");
+  spec.active_fraction = cli.get_double("active-fraction");
+  spec.incast_every = cli.get_uint("incast-every");
+  spec.incast_fanin = cli.get_uint("incast-fanin");
+  if (spec.num_flows == 0 || spec.load <= 0.0) {
+    std::fprintf(stderr, "--flows and --load must be positive\n");
+    return 1;
+  }
+
+  // Stream straight into the encoder — a million-flow trace never exists
+  // as a materialised vector here.
+  const std::uint64_t seed = cli.get_uint("seed");
+  traffic::BinaryTraceWriter writer(spec.num_flows);
+  traffic::synthesize_trace(
+      spec, seed,
+      [&](const traffic::TraceEntry& e) { writer.append(e); });
+  traffic::write_binary_trace_bytes(
+      cli.get("out"),
+      writer.finish(trace_meta_json("wormsched trace-gen", seed)));
+  std::printf("wrote %llu arrivals (%lld flits, %llu flows) to %s\n",
+              static_cast<unsigned long long>(writer.entry_count()),
+              static_cast<long long>(writer.total_flits()),
+              static_cast<unsigned long long>(spec.num_flows),
+              cli.get("out").c_str());
+  return 0;
+}
+
+/// Loads a trace by magic sniff: binary container or CSV.  Malformed
+/// binary traces exit 2 (like snapshots), malformed CSV exits 1.
+std::optional<traffic::Trace> load_trace_any(const std::string& path,
+                                             int* exit_code) {
+  try {
+    if (traffic::is_binary_trace_file(path))
+      return traffic::load_binary_trace_file(path);
+    return traffic::load_trace_file(path);
+  } catch (const SnapshotError& e) {
+    std::fprintf(stderr, "wormsched: %s: %s\n", path.c_str(), e.what());
+    *exit_code = 2;
+  } catch (const std::runtime_error& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    *exit_code = 1;
+  }
+  return std::nullopt;
+}
+
 int cmd_replay(int argc, const char* const* argv) {
-  CliParser cli("replay a trace CSV through one scheduler");
-  cli.add_option("trace", "input trace CSV", "trace.csv");
+  CliParser cli("replay a trace (CSV or binary) through one scheduler");
+  cli.add_option("trace", "input trace (CSV or binary)", "trace.csv");
   cli.add_option("scheduler", "scheduler name", "err");
   if (!cli.parse(argc, argv)) return 1;
 
-  // load_trace_file rejects malformed, header-only and unreadable traces
-  // with a message naming the offending line.
-  traffic::Trace trace;
-  try {
-    trace = traffic::load_trace_file(cli.get("trace"));
-  } catch (const std::runtime_error& e) {
-    std::fprintf(stderr, "%s\n", e.what());
+  // Both loaders reject malformed, header-only and unreadable traces
+  // with a message naming the problem.
+  int exit_code = 1;
+  const auto loaded = load_trace_any(cli.get("trace"), &exit_code);
+  if (!loaded) return exit_code;
+  const traffic::Trace& trace = *loaded;
+  if (trace.entries.empty()) {
+    std::fprintf(stderr, "trace is empty\n");
     return 1;
   }
   harness::ScenarioConfig config;
@@ -423,6 +517,11 @@ int cmd_network(int argc, const char* const* argv) {
   cli.add_option("buffers", "flit slots per input VC", "8");
   cli.add_option("seed", "traffic seed (base seed when sweeping)", "99");
   cli.add_option("seeds", "seeds to average over (1 = single run)", "1");
+  cli.add_option("trace-in",
+                 "replay an arrival trace (binary or CSV) instead of the "
+                 "synthetic source; flow -> source node, destinations from "
+                 "--pattern (single run only)",
+                 "");
   cli.add_choice_flag("audit",
                       "attach the conservation + ERR auditors; incremental "
                       "audits O(touched) per cycle with periodic full-rescan "
@@ -471,6 +570,43 @@ int cmd_network(int argc, const char* const* argv) {
   point.trace = *trace_request;
   if (point.faults.enabled)
     std::printf("%s\n", point.faults.describe().c_str());
+
+  const std::string trace_in = cli.get("trace-in");
+  if (!trace_in.empty()) {
+    if (cli.get_uint("seeds") > 1 || !cli.get("restore").empty()) {
+      std::fprintf(stderr,
+                   "--trace-in supports a single run (no --seeds/--restore)\n");
+      return 1;
+    }
+    int exit_code = 1;
+    const auto loaded = load_trace_any(trace_in, &exit_code);
+    if (!loaded) return exit_code;
+    wormhole::Network net(config);
+    wormhole::TraceTrafficSource::Config src_config;
+    src_config.trace = &*loaded;
+    src_config.pattern = traffic_config.pattern;
+    src_config.seed = cli.get_uint("seed");
+    wormhole::TraceTrafficSource source(net, src_config);
+    sim::Engine engine;
+    engine.add_component(source);
+    engine.add_component(net);
+    // Same drain discipline as the scenario runner: injection window
+    // times the drain factor bounds a fabric that never goes idle.
+    const Cycle cap = source.inject_until() * 50 + 1000;
+    const Cycle end = engine.run_until_idle(cap);
+    std::printf("%s, %s, trace %s: injected %llu packets, delivered %llu, "
+                "drained at cycle %llu\n",
+                config.topo.describe().c_str(), cli.get("arbiter").c_str(),
+                trace_in.c_str(),
+                static_cast<unsigned long long>(source.generated()),
+                static_cast<unsigned long long>(net.delivered_packets()),
+                static_cast<unsigned long long>(end));
+    std::printf("latency cycles: mean %.1f  min %.0f  max %.0f  p99 %.0f\n",
+                net.latency_overall().mean(), net.latency_overall().min(),
+                net.latency_overall().max(),
+                net.latency_quantiles().quantile(0.99));
+    return 0;
+  }
 
   const std::string manifest_path = obs::manifest_path_from_cli(cli);
   const std::size_t seeds = cli.get_uint("seeds");
@@ -760,6 +896,7 @@ int main(int argc, char** argv) {
   if (command == "compare") return cmd_compare(sub_argc, sub_argv);
   if (command == "run") return cmd_run(sub_argc, sub_argv);
   if (command == "gen-trace") return cmd_gen_trace(sub_argc, sub_argv);
+  if (command == "trace-gen") return cmd_trace_gen(sub_argc, sub_argv);
   if (command == "replay") return cmd_replay(sub_argc, sub_argv);
   if (command == "network") return cmd_network(sub_argc, sub_argv);
   if (command == "soak") return cmd_soak(sub_argc, sub_argv);
