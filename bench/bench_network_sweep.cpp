@@ -60,6 +60,20 @@ int main(int argc, char** argv) {
     torus.router.num_vcs = 2;
     torus.router.buffer_depth = 8;
     cases.push_back({"torus DOR depth=8", torus});
+    // Flow-control schemes (PR 9): threshold signalling against the same
+    // mesh, and the fat tree under both up/down variants.
+    NetworkConfig onoff;
+    onoff.topo = TopologySpec::mesh(4, 4);
+    onoff.router.buffer_depth = 8;
+    onoff.router.flow_control = FlowControl::kOnOff;
+    cases.push_back({"mesh on/off depth=8", onoff});
+    NetworkConfig fat;
+    fat.topo = TopologySpec::fat_tree(4);
+    fat.router.buffer_depth = 8;
+    cases.push_back({"fattree:4 up/down depth=8", fat});
+    fat.routing = NetworkConfig::Routing::kUpDownAdaptive;
+    fat.router.flow_control = FlowControl::kOnOff;
+    cases.push_back({"fattree:4 adaptive on/off depth=8", fat});
   }
 
   AsciiTable table(

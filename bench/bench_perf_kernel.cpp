@@ -35,8 +35,13 @@
 //      the backlog; a paper-scale ERR run is additionally checked
 //      packet-for-packet against an AoS deque transcription of Fig. 1
 //      (the pre-pool state layout) and recorded as results_identical.
+//   6. flow-control — the same 8x8 hotspot point under credit vs on/off
+//      (threshold) backpressure, reported as ns/flit per scheme.  The
+//      schemes legitimately time flits differently, so the cross-check
+//      is packet-set equality (same delivered packets and flits), not
+//      cycle identity.
 // Prints an ASCII table and writes the machine-readable BENCH_perf.json
-// (schema wormsched-perf-v6) that reproduce.sh copies to the repo root.
+// (schema wormsched-perf-v7) that reproduce.sh copies to the repo root.
 // v2 added a provenance block — jobs, compiler, build type, git SHA; v3
 // added the pipeline split, the stage breakdown and the sweep skip flag;
 // v4 added the audited legs (audited/unaudited cycles_per_sec,
@@ -45,7 +50,8 @@
 // the sweep's parallel_skipped flag with the always-run parallel_forced
 // leg; v6 adds the flow_scaling block and the threads_scaling `forced`
 // annotation (single-hardware-thread sharding measures oversubscription,
-// not scaling — CI's ratio floors must not fire on that noise).
+// not scaling — CI's ratio floors must not fire on that noise); v7 adds
+// the flow_control block (credit vs on/off ns/flit on the hotspot point).
 #include <algorithm>
 #include <array>
 #include <chrono>
@@ -120,6 +126,7 @@ struct HotspotMode {
   bool audit = false;
   validate::AuditMode audit_mode = validate::AuditMode::kIncremental;
   bool audit_err = true;
+  wormhole::FlowControl flow_control = wormhole::FlowControl::kCredit;
 };
 
 NetworkRun run_hotspot(Cycle inject_cycles, double rate,
@@ -128,6 +135,7 @@ NetworkRun run_hotspot(Cycle inject_cycles, double rate,
   config.network.topo = wormhole::TopologySpec::mesh(8, 8);
   config.network.dense_tick = mode.dense_tick;
   config.network.router.dense_pipeline = mode.dense_pipeline;
+  config.network.router.flow_control = mode.flow_control;
   config.traffic.packets_per_node_per_cycle = rate;
   config.traffic.inject_until = inject_cycles;
   config.traffic.lengths = traffic::LengthSpec::uniform(1, 12);
@@ -595,6 +603,34 @@ int main(int argc, char** argv) {
                             static_cast<double>(grand_ticks)
                       : 0.0;
 
+  // Flow-control comparison: the production kernel's hotspot point under
+  // on/off backpressure (the credit leg is `active`, already timed).
+  // Cycle counts legitimately differ between schemes — the cross-check
+  // is that the same packets (and therefore flits) were delivered.
+  const NetworkRun onoff = run_hotspot(
+      hotspot_cycles, hotspot_rate,
+      HotspotMode{/*dense_tick=*/false, /*dense_pipeline=*/false, nullptr,
+                  /*audit=*/false, validate::AuditMode::kIncremental,
+                  /*audit_err=*/true, wormhole::FlowControl::kOnOff});
+  const bool flow_control_identical =
+      onoff.delivered_packets == active.delivered_packets &&
+      onoff.flits == active.flits;
+  if (!flow_control_identical) {
+    std::fprintf(stderr,
+                 "FATAL: on/off run delivered a different packet set than "
+                 "the credit run\n");
+    return 1;
+  }
+  const auto net_ns_per_flit = [](const NetworkRun& run) {
+    return run.flits > 0
+               ? run.wall_seconds * 1e9 / static_cast<double>(run.flits)
+               : 0.0;
+  };
+  const double onoff_vs_credit =
+      net_ns_per_flit(active) > 0.0
+          ? net_ns_per_flit(onoff) / net_ns_per_flit(active)
+          : 0.0;
+
   // The parallel sweep always runs.  On a single hardware thread a real
   // speedup is impossible, so the leg is forced to 2 jobs and flagged:
   // the number then measures oversubscription overhead, which is itself
@@ -732,6 +768,16 @@ int main(int argc, char** argv) {
                 fixed(per_sec(static_cast<double>(audited_incremental.flits),
                               audited_incremental.wall_seconds), 0),
                 fixed(audited_speedup, 2));
+  table.add_row("8x8 hotspot, on/off flow control",
+                fixed(onoff.wall_seconds, 3),
+                fixed(per_sec(static_cast<double>(onoff.cycles),
+                              onoff.wall_seconds), 0),
+                fixed(per_sec(static_cast<double>(onoff.flits),
+                              onoff.wall_seconds), 0),
+                fixed(onoff.wall_seconds > 0.0
+                          ? active.wall_seconds / onoff.wall_seconds
+                          : 0.0,
+                      2));
   table.add_row("sweep " + std::to_string(sweep_seeds) + " seeds, jobs=1",
                 fixed(sweep_serial, 3), "-", "-", "1.00 (baseline)");
   table.add_row("sweep " + std::to_string(sweep_seeds) +
@@ -815,7 +861,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::fprintf(out, "{\n");
-  std::fprintf(out, "  \"schema\": \"wormsched-perf-v6\",\n");
+  std::fprintf(out, "  \"schema\": \"wormsched-perf-v7\",\n");
   std::fprintf(out, "  \"hardware_threads\": %zu,\n", hardware_threads);
   std::fprintf(out, "  \"perf_counters_compiled\": %s,\n",
                metrics::kPerfCountersCompiled ? "true" : "false");
@@ -884,6 +930,23 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(total.calls));
   }
   std::fprintf(out, "}},\n");
+  // Credit vs on/off on the same hotspot point: ns/flit per scheme plus
+  // the packet-set cross-check (cycle identity is not expected).
+  std::fprintf(out,
+               "    \"flow_control\": {\"packets_identical\": %s,\n"
+               "      \"credit\": {\"wall_seconds\": %.6f, \"sim_cycles\": "
+               "%llu, \"delivered_flits\": %llu, \"ns_per_flit\": %.3f},\n"
+               "      \"onoff\": {\"wall_seconds\": %.6f, \"sim_cycles\": "
+               "%llu, \"delivered_flits\": %llu, \"ns_per_flit\": %.3f},\n"
+               "      \"onoff_vs_credit_ns_per_flit\": %.3f},\n",
+               flow_control_identical ? "true" : "false",
+               active.wall_seconds,
+               static_cast<unsigned long long>(active.cycles),
+               static_cast<unsigned long long>(active.flits),
+               net_ns_per_flit(active), onoff.wall_seconds,
+               static_cast<unsigned long long>(onoff.cycles),
+               static_cast<unsigned long long>(onoff.flits),
+               net_ns_per_flit(onoff), onoff_vs_credit);
   // Both sweep legs always run and are always recorded; parallel_forced
   // marks the oversubscribed single-hardware-thread measurement.
   std::fprintf(out,
@@ -982,6 +1045,7 @@ int main(int argc, char** argv) {
   manifest.add_counter("flow_scale_scfq_growth", growth(2));
   manifest.add_counter("flow_scale_err_ns_per_flit",
                        ns_per_flit(flow_scale.back()[0]));
+  manifest.add_counter("onoff_vs_credit_ns_per_flit", onoff_vs_credit);
   manifest.violations = instrumented.audit_violations;
   const std::string manifest_path = cli.get("out") + ".manifest.json";
   manifest.write_file(manifest_path);

@@ -37,7 +37,7 @@ namespace wormsched {
 
 /// Bumped whenever the payload layout changes.  The reader accepts only
 /// its own version; older builds reject newer files with a clear message.
-inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
+inline constexpr std::uint32_t kSnapshotFormatVersion = 2;
 
 class SnapshotError : public std::runtime_error {
  public:

@@ -154,8 +154,7 @@ NetworkRun::NetworkRun(const NetworkScenarioConfig& config, std::uint64_t seed)
   if (config_.faults.enabled) {
     // An independent fault schedule per run seed, sized to the topology.
     config_.faults.seed += seed;
-    config_.faults.num_nodes =
-        config_.network.topo.width * config_.network.topo.height;
+    config_.faults.num_nodes = config_.network.topo.num_nodes();
   }
   config_.traffic.seed = seed;
   build();

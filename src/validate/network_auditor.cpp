@@ -12,17 +12,6 @@ using wormhole::Direction;
 using wormhole::kNumDirections;
 using wormhole::Network;
 
-[[nodiscard]] Direction opposite(Direction d) {
-  switch (d) {
-    case Direction::kEast: return Direction::kWest;
-    case Direction::kWest: return Direction::kEast;
-    case Direction::kNorth: return Direction::kSouth;
-    case Direction::kSouth: return Direction::kNorth;
-    case Direction::kLocal: return Direction::kLocal;
-  }
-  return Direction::kLocal;
-}
-
 }  // namespace
 
 NetworkAuditor::NetworkAuditor(const NetworkAuditorConfig& config,
@@ -38,6 +27,11 @@ void NetworkAuditor::on_cycle_end(Cycle now, const Network& network,
     vcs_ = network.config().router.num_vcs;
     depth_ = network.config().router.buffer_depth;
     upn_ = kNumDirections * vcs_;
+    const auto& rc = network.config().router;
+    const bool finite = rc.buffer_model == wormhole::BufferModel::kFinite;
+    credit_ledgers_ =
+        finite && rc.flow_control == wormhole::FlowControl::kCredit;
+    onoff_ = finite && rc.flow_control == wormhole::FlowControl::kOnOff;
     const std::size_t units =
         static_cast<std::size_t>(nodes_) * kNumDirections * vcs_;
     led_buffered_.assign(nodes_, 0);
@@ -48,6 +42,7 @@ void NetworkAuditor::on_cycle_end(Cycle now, const Network& network,
     led_live_.assign(nodes_, 0);
     scratch_wire_flits_.assign(units, 0);
     scratch_wire_credits_.assign(units, 0);
+    scratch_last_signal_.assign(units, 0);
     peer_key_.assign(units, SIZE_MAX);
     const auto& topo = network.topology();
     for (std::uint32_t n = 0; n < nodes_; ++n) {
@@ -55,9 +50,9 @@ void NetworkAuditor::on_cycle_end(Cycle now, const Network& network,
         const auto dir = static_cast<Direction>(d);
         const NodeId nbr = topo.neighbor(NodeId(n), dir);
         if (!nbr.is_valid()) continue;
+        const Direction far = topo.peer_port(NodeId(n), dir);
         for (std::uint32_t cls = 0; cls < vcs_; ++cls)
-          peer_key_[unit_key(NodeId(n), dir, cls)] =
-              unit_key(nbr, opposite(dir), cls);
+          peer_key_[unit_key(NodeId(n), dir, cls)] = unit_key(nbr, far, cls);
       }
     }
     initialized_ = true;
@@ -128,7 +123,14 @@ void NetworkAuditor::finish(Cycle now, const Network& network) {
 
 void NetworkAuditor::full_scan(Cycle now, const Network& net) {
   check_flit_conservation(now, net);
-  check_credit_conservation(now, net);
+  // The drift cross-check reads the wire bins this pass leaves behind,
+  // so they are (re)built whichever protocol oracle runs — including
+  // the infinite-buffer case where neither does.
+  bin_wires(net);
+  if (credit_ledgers_)
+    check_credit_conservation(now, net);
+  else if (onoff_)
+    check_onoff_invariants(now, net);
   check_active_set(now, net);
   check_router_masks(now, net);
 }
@@ -153,15 +155,21 @@ void NetworkAuditor::check_flit_conservation(Cycle now, const Network& net) {
 void NetworkAuditor::bin_wires(const Network& net) {
   scratch_wire_flits_.assign(scratch_wire_flits_.size(), 0);
   scratch_wire_credits_.assign(scratch_wire_credits_.size(), 0);
+  scratch_last_signal_.assign(scratch_last_signal_.size(), 0);
   const auto& fw = net.flit_wire();
   for (std::size_t i = 0; i < fw.size(); ++i) {
     const Network::WireFlit& wf = fw[i];
     ++scratch_wire_flits_[unit_key(wf.to, wf.in, wf.cls)];
   }
+  // Ascending FIFO order: for each bin the last signal written is the
+  // newest in flight, which is what the handshake-sync check needs.
   const auto& cw = net.credit_wire();
   for (std::size_t i = 0; i < cw.size(); ++i) {
     const Network::WireCredit& wc = cw[i];
-    ++scratch_wire_credits_[unit_key(wc.to, wc.out, wc.cls)];
+    const std::size_t k = unit_key(wc.to, wc.out, wc.cls);
+    ++scratch_wire_credits_[k];
+    if (wc.kind != Network::WireCredit::Kind::kCredit)
+      scratch_last_signal_[k] = static_cast<std::uint8_t>(wc.kind);
   }
   const auto& cq = net.credit_quarantine();
   for (std::size_t i = 0; i < cq.size(); ++i) {
@@ -174,19 +182,18 @@ void NetworkAuditor::check_credit_conservation(Cycle now,
                                                const Network& net) {
   const auto& topo = net.topology();
 
-  // One pass over each wire, binned by (destination, port, class): a flit
-  // heading to (to, in, cls) came from exactly one upstream output, and a
-  // credit heading to (to, out, cls) replenishes exactly one output VC.
-  bin_wires(net);
-
+  // The caller (full_scan) just binned both wires by (destination, port,
+  // class): a flit heading to (to, in, cls) came from exactly one
+  // upstream output, and a credit heading to (to, out, cls) replenishes
+  // exactly one output VC.
   for (std::uint32_t n = 0; n < nodes_; ++n) {
     const NodeId node(n);
     const auto& router = net.router(node);
     for (std::uint32_t d = 1; d < kNumDirections; ++d) {  // skip kLocal sink
       const auto out = static_cast<Direction>(d);
       const NodeId neighbor = topo.neighbor(node, out);
-      if (!neighbor.is_valid()) continue;  // mesh edge: port unused
-      const Direction far_in = opposite(out);
+      if (!neighbor.is_valid()) continue;  // edge/unwired: port unused
+      const Direction far_in = topo.peer_port(node, out);
       for (std::uint32_t cls = 0; cls < vcs_; ++cls) {
         const std::uint32_t total =
             router.output_credits(out, cls) +
@@ -207,6 +214,66 @@ void NetworkAuditor::check_credit_conservation(Cycle now,
              << " != depth=" << depth_;
           log_.report("net.conservation.credits", os.str());
         }
+      }
+    }
+  }
+}
+
+void NetworkAuditor::check_onoff_invariants(Cycle now, const Network& net) {
+  const auto& topo = net.topology();
+  for (std::uint32_t n = 0; n < nodes_; ++n) {
+    const NodeId node(n);
+    const auto& router = net.router(node);
+    check_one_router_occupancy(now, net, n);
+    for (std::uint32_t d = 1; d < kNumDirections; ++d) {  // skip kLocal sink
+      const auto out = static_cast<Direction>(d);
+      const NodeId neighbor = topo.neighbor(node, out);
+      if (!neighbor.is_valid()) continue;  // edge/unwired: port unused
+      const Direction far_in = topo.peer_port(node, out);
+      const auto& down = net.router(neighbor);
+      for (std::uint32_t cls = 0; cls < vcs_; ++cls) {
+        // Handshake sync: with no signal in flight the sender's off_sent
+        // and the receiver's peer_on are complements; with signals in
+        // flight the newest one must match the sender's current state
+        // (signals are conserved and FIFO, so anything else means one
+        // was dropped, duplicated, or reordered).
+        const bool off_sent = down.off_sent(far_in, cls);
+        const bool peer_on = router.peer_on(out, cls);
+        const std::uint8_t last = scratch_last_signal_[unit_key(node, out,
+                                                                cls)];
+        const bool in_sync =
+            last == 0
+                ? peer_on == !off_sent
+                : off_sent ==
+                      (last == static_cast<std::uint8_t>(
+                                   Network::WireCredit::Kind::kOff));
+        if (!in_sync) {
+          std::ostringstream os;
+          os << "cycle=" << now << " router=" << n << " out=" << d
+             << " cls=" << cls << ": peer_on=" << peer_on
+             << " downstream off_sent=" << off_sent << " in-flight signal="
+             << (last == 0 ? "none" : last == 1 ? "off" : "on");
+          log_.report("net.onoff.signal_sync", os.str());
+        }
+      }
+    }
+  }
+}
+
+void NetworkAuditor::check_one_router_occupancy(Cycle now, const Network& net,
+                                                std::uint32_t n) {
+  const auto& router = net.router(NodeId(n));
+  for (std::uint32_t d = 0; d < kNumDirections; ++d) {
+    const auto dir = static_cast<Direction>(d);
+    for (std::uint32_t cls = 0; cls < vcs_; ++cls) {
+      const std::size_t occ = router.input_buffer_size(dir, cls);
+      if (occ > depth_) {
+        std::ostringstream os;
+        os << "cycle=" << now << " router=" << n << " in=" << d
+           << " cls=" << cls << ": occupancy=" << occ
+           << " exceeds buffer_depth=" << depth_
+           << " (the off watermark failed to stop the upstream)";
+        log_.report("net.onoff.overflow", os.str());
       }
     }
   }
@@ -332,8 +399,13 @@ bool NetworkAuditor::ingest(Cycle now, const Network& net,
     ++led_buffered_[e.node];
     ++led_buffered_total_;
   }
+  // Outside credit flow control the per-unit credit/input ledgers are
+  // unmaintainable from the delta (on/off signal events carry no buffer
+  // pop; infinite buffers emit no credit events at all), so only the
+  // wire-occupancy ledgers ingest credit-stream events — which is still
+  // enough to prove signal flits are conserved end to end.
   for (const auto& e : delta.flits_to_wire) {
-    --led_credits_[e.unit];
+    if (credit_ledgers_) --led_credits_[e.unit];
     ++led_wire_flits_[peer_key_[e.unit]];
     ++led_wire_flits_total_;
     --led_buffered_[e.node];
@@ -345,12 +417,12 @@ bool NetworkAuditor::ingest(Cycle now, const Network& net,
     ++led_delivered_;
   }
   for (const auto& e : delta.credits_to_wire) {
-    --led_in_buf_[e.unit];
+    if (credit_ledgers_) --led_in_buf_[e.unit];
     ++led_wire_credits_[peer_key_[e.unit]];
   }
   for (const auto& e : delta.credits_from_wire) {
     --led_wire_credits_[e.unit];
-    ++led_credits_[e.unit];
+    if (credit_ledgers_) ++led_credits_[e.unit];
   }
 
   bool ok = true;
@@ -393,7 +465,10 @@ bool NetworkAuditor::ingest(Cycle now, const Network& net,
          << " holds work but is not in the active set";
       log_.report("net.active_set.lost", os.str());
     }
-    if (check_masks) check_one_router_masks(now, net, n);
+    if (check_masks) {
+      check_one_router_masks(now, net, n);
+      if (onoff_) check_one_router_occupancy(now, net, n);
+    }
   }
   if (!verify) return true;
 
@@ -443,21 +518,23 @@ bool NetworkAuditor::ingest(Cycle now, const Network& net,
   // corruption shifts the same router's buffered aggregate, which the
   // touched-router loop above compares every verify; a compensating
   // intra-router split falls to the periodic full-rescan cross-check.
-  for (const auto& e : delta.flits_to_wire) {
-    const std::uint32_t local = e.unit - e.node * upn_;
-    const std::int64_t actual = static_cast<std::int64_t>(
-        net.router(NodeId(e.node)).output_credits_by_unit(local));
-    if (led_credits_[e.unit] != actual)
-      mismatch("net.ledger.credits", "output_credits", led_credits_[e.unit],
-               actual, e.node, static_cast<int>(local / vcs_),
-               static_cast<int>(local % vcs_));
-    const std::size_t kd = peer_key_[e.unit];
-    const std::int64_t sum = led_credits_[e.unit] + led_wire_flits_[kd] +
-                             led_in_buf_[kd] + led_wire_credits_[e.unit];
-    if (sum != static_cast<std::int64_t>(depth_))
-      mismatch("net.ledger.credit_sum", "credit sum", sum, depth_, e.node,
-               static_cast<int>(local / vcs_),
-               static_cast<int>(local % vcs_));
+  if (credit_ledgers_) {
+    for (const auto& e : delta.flits_to_wire) {
+      const std::uint32_t local = e.unit - e.node * upn_;
+      const std::int64_t actual = static_cast<std::int64_t>(
+          net.router(NodeId(e.node)).output_credits_by_unit(local));
+      if (led_credits_[e.unit] != actual)
+        mismatch("net.ledger.credits", "output_credits", led_credits_[e.unit],
+                 actual, e.node, static_cast<int>(local / vcs_),
+                 static_cast<int>(local % vcs_));
+      const std::size_t kd = peer_key_[e.unit];
+      const std::int64_t sum = led_credits_[e.unit] + led_wire_flits_[kd] +
+                               led_in_buf_[kd] + led_wire_credits_[e.unit];
+      if (sum != static_cast<std::int64_t>(depth_))
+        mismatch("net.ledger.credit_sum", "credit sum", sum, depth_, e.node,
+                 static_cast<int>(local / vcs_),
+                 static_cast<int>(local % vcs_));
+    }
   }
   return ok;
 }
@@ -495,12 +572,14 @@ void NetworkAuditor::full_rescan_crosscheck(Cycle now, const Network& net) {
       const auto dir = static_cast<Direction>(d);
       for (std::uint32_t cls = 0; cls < vcs_; ++cls) {
         const std::size_t k = unit_key(node, dir, cls);
-        if (led_credits_[k] !=
-            static_cast<std::int64_t>(router.output_credits(dir, cls)))
+        if (credit_ledgers_ &&
+            led_credits_[k] !=
+                static_cast<std::int64_t>(router.output_credits(dir, cls)))
           report_drift("credits router=" + std::to_string(n) +
                        " port=" + std::to_string(d) +
                        " cls=" + std::to_string(cls));
-        if (led_in_buf_[k] != static_cast<std::int64_t>(
+        if (credit_ledgers_ &&
+            led_in_buf_[k] != static_cast<std::int64_t>(
                                   router.input_buffer_size(dir, cls)))
           report_drift("in_buf router=" + std::to_string(n) +
                        " port=" + std::to_string(d) +

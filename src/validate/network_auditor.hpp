@@ -6,10 +6,20 @@
 //   * Flit conservation — every flit ever injected is exactly one of:
 //     still queued at its source NIC, buffered in a router input VC, in
 //     flight on a link, or delivered.
-//   * Credit conservation — for every (router, non-local output, VC
-//     class): held credits + flits on the outgoing wire + flits in the
-//     downstream input buffer + credits on the return wire (including
-//     any a fault quarantined) always sum to exactly buffer_depth.
+//   * Credit conservation (credit flow control, finite buffers) — for
+//     every (router, non-local output, VC class): held credits + flits
+//     on the outgoing wire + flits in the downstream input buffer +
+//     credits on the return wire (including any a fault quarantined)
+//     always sum to exactly buffer_depth.
+//   * On/off conservation (on/off flow control, finite buffers) — no
+//     input VC ever holds more than buffer_depth flits (the watermark
+//     headroom absorbed every in-flight flit), and each link's on/off
+//     handshake is in sync: with no signal in flight the receiver's
+//     peer_on mirrors the sender's !off_sent, and with signals in
+//     flight the newest one matches the sender's current state —
+//     signal flits are conserved, never dropped or reordered.  Under
+//     infinite buffers neither protocol runs, so only flit
+//     conservation and the structural checks apply.
 //   * Active-set consistency — a router holding work is enrolled in the
 //     live set, and the live counter matches the flags (the O(1) idle()
 //     fast path depends on both).
@@ -103,10 +113,17 @@ class NetworkAuditor final : public wormhole::NetworkObserver {
   void full_scan(Cycle now, const wormhole::Network& net);
   void check_flit_conservation(Cycle now, const wormhole::Network& net);
   void check_credit_conservation(Cycle now, const wormhole::Network& net);
+  /// On/off oracle: buffer occupancy bound + per-link signal handshake
+  /// sync.  Expects bin_wires() to have just run (scratch_last_signal_).
+  void check_onoff_invariants(Cycle now, const wormhole::Network& net);
   void check_active_set(Cycle now, const wormhole::Network& net);
   void check_router_masks(Cycle now, const wormhole::Network& net);
   void check_one_router_masks(Cycle now, const wormhole::Network& net,
                               std::uint32_t n);
+  /// On/off incremental: one touched router's input occupancies stay
+  /// within buffer_depth (net.onoff.overflow).
+  void check_one_router_occupancy(Cycle now, const wormhole::Network& net,
+                                  std::uint32_t n);
   /// Bins both wires + the quarantine into the scratch arrays.
   void bin_wires(const wormhole::Network& net);
 
@@ -159,6 +176,14 @@ class NetworkAuditor final : public wormhole::NetworkObserver {
   std::uint32_t depth_ = 0;
   std::uint32_t upn_ = 0;  // units per node: kNumDirections * vcs_
   bool initialized_ = false;
+  // Flow-control mode, cached at first observation.  credit_ledgers_
+  // (credit scheme + finite buffers) gates everything that models the
+  // credit protocol: led_credits_/led_in_buf_ maintenance, their drift
+  // compares, and the credit-conservation oracle.  onoff_ (on/off scheme
+  // + finite buffers) gates the occupancy/handshake oracle.  Infinite
+  // buffers clear both — no backpressure protocol exists to audit.
+  bool credit_ledgers_ = true;
+  bool onoff_ = false;
 
   // Ledger state (kIncremental).  Globals are whole-fabric counters;
   // per-unit vectors are keyed by unit_key().  Local input units carry no
@@ -188,9 +213,13 @@ class NetworkAuditor final : public wormhole::NetworkObserver {
   std::vector<std::size_t> peer_key_;
 
   // Scratch for wire binning, reused by every full scan so a rescan in
-  // steady state allocates nothing.
+  // steady state allocates nothing.  scratch_last_signal_ records, per
+  // (to, out, cls) bin, the kind of the NEWEST in-flight on/off signal
+  // (0 = none; else WireCredit::Kind) — the wire is FIFO, so the last
+  // one binned is the last one sent.
   std::vector<std::uint32_t> scratch_wire_flits_;
   std::vector<std::uint32_t> scratch_wire_credits_;
+  std::vector<std::uint8_t> scratch_last_signal_;
 };
 
 }  // namespace wormsched::validate

@@ -13,15 +13,54 @@ Network::Network(const NetworkConfig& config)
   WS_CHECK(config.link_latency >= 1);
   WS_CHECK_MSG(config.shards >= 1, "shards must be >= 1");
   WS_CHECK_MSG(config.threads >= 1, "threads must be >= 1");
+  WS_CHECK_MSG(config.router.buffer_depth >= 1,
+               "buffer_depth 0 deadlocks every flow-control scheme");
   if (config.topo.kind == TopologySpec::Kind::kTorus) {
     WS_CHECK_MSG(config.router.num_vcs >= 2,
                  "torus requires >= 2 VC classes (dateline rule)");
     WS_CHECK_MSG(config.routing == NetworkConfig::Routing::kDor,
-                 "west-first routing is mesh-only");
+                 "torus supports deterministic DOR routing only");
   }
+  if (config.routing == NetworkConfig::Routing::kWestFirst)
+    WS_CHECK_MSG(config.topo.kind == TopologySpec::Kind::kMesh,
+                 "west-first routing is mesh-only");
+  if (config.routing == NetworkConfig::Routing::kUpDownAdaptive)
+    WS_CHECK_MSG(config.topo.kind == TopologySpec::Kind::kFatTree,
+                 "up/down adaptive routing is fat-tree-only");
+  // Resolve the on/off auto watermarks before any router is built.  An
+  // "off" emitted at occupancy on_high takes link_latency (L) cycles to
+  // arrive, during which the sender streams L - 1 more flits on top of
+  // the L already in flight (2L - 1 of headroom).  A link-stall fault can
+  // additionally bunch up to L spaced arrivals into one delivery burst
+  // that jumps occupancy past on_high before the off fires, so the auto
+  // watermark reserves 3L - 2 slots — overflow-proof even under faults
+  // (for L = 1 the two bounds coincide).  Explicit watermarks are only
+  // required to be ordered; the auditor polices what a too-tight choice
+  // actually breaks.
+  if (config.router.flow_control == FlowControl::kOnOff &&
+      config.router.buffer_model == BufferModel::kFinite) {
+    RouterConfig& rc = config_.router;
+    const std::uint32_t headroom =
+        static_cast<std::uint32_t>(3 * config.link_latency - 2);
+    if (rc.on_high == 0)
+      rc.on_high =
+          rc.buffer_depth > headroom ? rc.buffer_depth - headroom : 1;
+    if (rc.on_low == 0) rc.on_low = (rc.on_high + 1) / 2;
+    WS_CHECK_MSG(rc.on_low >= 1 && rc.on_low <= rc.on_high &&
+                     rc.on_high <= rc.buffer_depth,
+                 "on/off watermarks must satisfy "
+                 "1 <= on_low <= on_high <= buffer_depth");
+  }
+  // In on/off mode a link stall freezes the router pipelines as well:
+  // with no credits to absorb the slip, a stalled channel asserts
+  // backpressure straight into the output stage, and senders that kept
+  // streaming would overflow the fixed watermark headroom the moment the
+  // stall released its bunched-up flits.
+  freeze_on_stall_ = config.router.flow_control == FlowControl::kOnOff &&
+                     config.router.buffer_model == BufferModel::kFinite;
   routers_.reserve(topo_.num_nodes());
   for (std::uint32_t n = 0; n < topo_.num_nodes(); ++n)
-    routers_.emplace_back(NodeId(n), config.router);
+    routers_.emplace_back(NodeId(n), config_.router);  // resolved watermarks
   nics_.resize(topo_.num_nodes());
   router_live_.resize(topo_.num_nodes(), 0);
   touched_flag_.resize(topo_.num_nodes(), 0);
@@ -52,8 +91,9 @@ Network::Network(const NetworkConfig& config)
 
 void Network::inject(Cycle, const PacketDescriptor& packet) {
   WS_CHECK(packet.length > 0);
-  WS_CHECK(packet.source.value() < topo_.num_nodes());
-  WS_CHECK(packet.dest.value() < topo_.num_nodes());
+  WS_CHECK_MSG(packet.source.value() < topo_.num_endpoints() &&
+                   packet.dest.value() < topo_.num_endpoints(),
+               "packet source/dest must be fabric endpoints");
   Nic& nic = nics_[packet.source.index()];
   const std::uint32_t s = shard_of_[packet.source.index()];
   if (nic.queue.empty()) ++shard_nonempty_nics_[s];
@@ -88,22 +128,19 @@ void Network::set_live(std::size_t index, bool live) {
   live ? ++count : --count;
 }
 
-Direction Network::opposite(Direction d) {
-  switch (d) {
-    case Direction::kEast: return Direction::kWest;
-    case Direction::kWest: return Direction::kEast;
-    case Direction::kNorth: return Direction::kSouth;
-    case Direction::kSouth: return Direction::kNorth;
-    case Direction::kLocal: return Direction::kLocal;
-  }
-  return Direction::kLocal;
+void Network::apply_wire_credit(const WireCredit& wc) {
+  Router& rt = routers_[wc.to.index()];
+  if (wc.kind == WireCredit::Kind::kCredit)
+    rt.accept_credit(wc.out, wc.cls);
+  else
+    rt.accept_signal(wc.out, wc.cls, wc.kind == WireCredit::Kind::kOn);
 }
 
 void Network::send_flit(NodeId from, Direction out, const Flit& flit) {
   const NodeId to = topo_.neighbor(from, out);
-  WS_CHECK_MSG(to.is_valid(), "flit sent off the edge of the mesh");
+  WS_CHECK_MSG(to.is_valid(), "flit sent off the edge of the fabric");
   flit_wire_.push_back(WireFlit{now_ + config_.link_latency, to,
-                                opposite(out),
+                                topo_.peer_port(from, out),
                                 static_cast<std::uint32_t>(flit.vc_class.value()),
                                 flit});
   if (collect_delta_) {
@@ -149,8 +186,24 @@ void Network::eject(NodeId node, const Flit& flit, Cycle now) {
 void Network::send_credit(NodeId node, Direction in, std::uint32_t cls) {
   const NodeId upstream = topo_.neighbor(node, in);
   WS_CHECK(upstream.is_valid());
+  credit_wire_.push_back(WireCredit{now_ + config_.link_latency, upstream,
+                                    topo_.peer_port(node, in), cls,
+                                    WireCredit::Kind::kCredit});
+  if (collect_delta_) {
+    touch(node.index());
+    delta_.credits_to_wire.push_back(
+        CycleDelta::UnitEvent{delta_unit(node, in, cls), node.value()});
+  }
+}
+
+void Network::send_signal(NodeId node, Direction in, std::uint32_t cls,
+                          bool on) {
+  const NodeId upstream = topo_.neighbor(node, in);
+  WS_CHECK(upstream.is_valid());
   credit_wire_.push_back(
-      WireCredit{now_ + config_.link_latency, upstream, opposite(in), cls});
+      WireCredit{now_ + config_.link_latency, upstream,
+                 topo_.peer_port(node, in), cls,
+                 on ? WireCredit::Kind::kOn : WireCredit::Kind::kOff});
   if (collect_delta_) {
     touch(node.index());
     delta_.credits_to_wire.push_back(
@@ -168,6 +221,10 @@ void Network::route_candidates(NodeId node, const Flit& flit,
                                RouteCandidates& out) {
   if (config_.routing == NetworkConfig::Routing::kWestFirst) {
     topo_.west_first_candidates(node, flit.dest, in_from, in_class, out);
+    return;
+  }
+  if (config_.routing == NetworkConfig::Routing::kUpDownAdaptive) {
+    topo_.updown_candidates(node, flit.dest, in_from, in_class, out);
     return;
   }
   out.push_back(route(node, flit, in_from, in_class));
@@ -236,6 +293,11 @@ void Network::tick_serial(Cycle now) {
   now_ = now;
   if (trace_ != nullptr) trace_->set_now(now);
   const FaultModel* faults = config_.faults;
+  const bool stalled = faults != nullptr && faults->link_stalled(now);
+  // Under on/off flow control a stalled link freezes the pipelines too
+  // (see the ctor comment); signals still deliver, traffic still queues
+  // at the NICs.
+  const bool frozen = stalled && freeze_on_stall_;
 
   {
     metrics::ScopedStageTimer timer(perf_, metrics::Stage::kWireDelivery);
@@ -245,7 +307,7 @@ void Network::tick_serial(Cycle now) {
     while (!credit_quarantine_.empty() &&
            credit_quarantine_.front().arrive <= now) {
       const WireCredit wc = credit_quarantine_.pop_front();
-      routers_[wc.to.index()].accept_credit(wc.out, wc.cls);
+      apply_wire_credit(wc);
       mark_live(wc.to.index());
       if (collect_delta_) {
         touch(wc.to.index());
@@ -258,7 +320,7 @@ void Network::tick_serial(Cycle now) {
     // flit or credit enrolls its destination router in the active set.  A
     // link stall pauses flit delivery for the cycle — the flits stay
     // queued, in order, and arrive late; nothing is ever dropped.
-    if (!(faults != nullptr && faults->link_stalled(now))) {
+    if (!stalled) {
       while (!flit_wire_.empty() && flit_wire_.front().arrive <= now) {
         const WireFlit wf = flit_wire_.pop_front();
         routers_[wf.to.index()].accept_flit(wf.in, wf.cls, wf.flit);
@@ -278,8 +340,15 @@ void Network::tick_serial(Cycle now) {
     }
     while (!credit_wire_.empty() && credit_wire_.front().arrive <= now) {
       const WireCredit wc = credit_wire_.pop_front();
+      // On/off signals are exempt from the credit-hold fault: delaying
+      // an "off" would break the watermark overshoot bound, turning a
+      // liveness fault into a buffer-overflow correctness bug.  The
+      // fault model is a pure hash of (cycle, node), so skipping the
+      // query for signals leaves every credit's verdict unchanged.
       const Cycle hold =
-          faults != nullptr ? faults->credit_hold_cycles(now, wc.to) : 0;
+          faults != nullptr && wc.kind == WireCredit::Kind::kCredit
+              ? faults->credit_hold_cycles(now, wc.to)
+              : 0;
       if (hold > 0) {
         WireCredit held = wc;
         held.arrive = now + hold;
@@ -289,7 +358,7 @@ void Network::tick_serial(Cycle now) {
               obs::TraceEvent::fault_credit_hold(now, wc.to.value(), hold));
         continue;
       }
-      routers_[wc.to.index()].accept_credit(wc.out, wc.cls);
+      apply_wire_credit(wc);
       mark_live(wc.to.index());
       if (collect_delta_) {
         touch(wc.to.index());
@@ -302,7 +371,7 @@ void Network::tick_serial(Cycle now) {
   // 2. NIC injection: one flit per node per cycle into local VC class 0.
   // Only NICs holding backlog are visited; `remaining` cuts the scan off
   // once every nonempty NIC has been seen.
-  if (nic_backlog_flits() != 0) {
+  if (!frozen && nic_backlog_flits() != 0) {
     metrics::ScopedStageTimer timer(perf_, metrics::Stage::kNicInject);
     std::uint32_t remaining = 0;
     for (const std::uint32_t c : shard_nonempty_nics_) remaining += c;
@@ -318,7 +387,9 @@ void Network::tick_serial(Cycle now) {
   // ascending scan keeps side-effect order — and therefore every figure —
   // identical to the legacy full-fabric loop.  New work can only arrive
   // through the wires (link latency >= 1), never mid-scan.
-  if (config_.dense_tick) {
+  if (frozen) {
+    // Stalled on/off cycle: no router ticks, no liveness changes.
+  } else if (config_.dense_tick) {
     for (std::uint32_t n = 0; n < routers_.size(); ++n) {
       routers_[n].tick(now, *this);
       const bool live_now = !routers_[n].drained();
@@ -364,6 +435,11 @@ void Network::tick_serial(Cycle now) {
 void Network::tick_sharded(Cycle now) {
   now_ = now;
   const FaultModel* faults = config_.faults;
+  const bool stalled = faults != nullptr && faults->link_stalled(now);
+  // link_stalled is a pure hash of (now), so every lane would reach the
+  // same answer; computing it once here keeps the shard hot path cheap
+  // and makes the freeze decision trivially serial-identical.
+  frozen_this_cycle_ = stalled && freeze_on_stall_;
   const auto num_shards = static_cast<std::uint32_t>(shard_ranges_.size());
 
   // Phase 0 — classify (serial).  The global wires are popped in exactly
@@ -384,7 +460,7 @@ void Network::tick_sharded(Cycle now) {
           delta_unit(wc.to, wc.out, wc.cls), wc.to.value()});
     }
   }
-  if (!(faults != nullptr && faults->link_stalled(now))) {
+  if (!stalled) {
     while (!flit_wire_.empty() && flit_wire_.front().arrive <= now) {
       const WireFlit wf = flit_wire_.pop_front();
       lanes_[shard_of_[wf.to.index()]].flits_due_.push_back(wf);
@@ -397,8 +473,11 @@ void Network::tick_sharded(Cycle now) {
   }
   while (!credit_wire_.empty() && credit_wire_.front().arrive <= now) {
     const WireCredit wc = credit_wire_.pop_front();
+    // Signals skip the credit-hold fault; see tick_serial.
     const Cycle hold =
-        faults != nullptr ? faults->credit_hold_cycles(now, wc.to) : 0;
+        faults != nullptr && wc.kind == WireCredit::Kind::kCredit
+            ? faults->credit_hold_cycles(now, wc.to)
+            : 0;
     if (hold > 0) {
       WireCredit held = wc;
       held.arrive = now + hold;
@@ -476,7 +555,7 @@ void Network::compute_shard(Cycle now, std::uint32_t s) {
   // order is all that matters for bit-identity (routers only interact
   // via the wires), and it is preserved exactly.
   for (const WireCredit& wc : lane.quarantine_due_) {
-    routers_[wc.to.index()].accept_credit(wc.out, wc.cls);
+    apply_wire_credit(wc);
     mark_live(wc.to.index());
   }
   for (const WireFlit& wf : lane.flits_due_) {
@@ -484,9 +563,14 @@ void Network::compute_shard(Cycle now, std::uint32_t s) {
     mark_live(wf.to.index());
   }
   for (const WireCredit& wc : lane.credits_due_) {
-    routers_[wc.to.index()].accept_credit(wc.out, wc.cls);
+    apply_wire_credit(wc);
     mark_live(wc.to.index());
   }
+
+  // Stalled on/off cycle: arrivals above still land (signals must keep
+  // moving), but injection and the pipelines freeze — mirroring
+  // tick_serial's gate exactly.
+  if (frozen_this_cycle_) return;
 
   // NIC injection for this shard's nodes.  Wire flits never land on a
   // kLocal input, so each node's accept decision depends only on its own
@@ -567,6 +651,7 @@ void save_wire_credit(SnapshotWriter& w, const WireCredit& wc) {
   w.u32(wc.to.value());
   w.u8(static_cast<std::uint8_t>(wc.out));
   w.u32(wc.cls);
+  w.u8(static_cast<std::uint8_t>(wc.kind));
 }
 
 WireCredit load_wire_credit(SnapshotReader& r, std::uint32_t num_nodes,
@@ -581,6 +666,10 @@ WireCredit load_wire_credit(SnapshotReader& r, std::uint32_t num_nodes,
   wc.cls = r.u32();
   if (wc.cls >= num_vcs)
     throw SnapshotError("wire credit names a VC class the fabric lacks");
+  const std::uint8_t kind = r.u8();
+  if (kind > static_cast<std::uint8_t>(WireCredit::Kind::kOn))
+    throw SnapshotError("wire credit has an unknown kind");
+  wc.kind = static_cast<WireCredit::Kind>(kind);
   return wc;
 }
 
@@ -598,6 +687,12 @@ void Network::save_state(SnapshotWriter& w) const {
   w.str(config_.router.arbiter);
   w.u64(config_.link_latency);
   w.u8(static_cast<std::uint8_t>(config_.routing));
+  w.u8(static_cast<std::uint8_t>(config_.router.flow_control));
+  w.u8(static_cast<std::uint8_t>(config_.router.buffer_model));
+  // Watermarks are saved post-resolution (the ctor replaced the 0 = auto
+  // sentinels), so resolved state compares against resolved state.
+  w.u32(config_.router.on_high);
+  w.u32(config_.router.on_low);
 
   w.u64(now_);
   w.u64(injected_);
@@ -646,6 +741,15 @@ void Network::restore_state(SnapshotReader& r) {
     throw SnapshotError("snapshot router config does not match this network");
   if (link_latency != config_.link_latency || routing != config_.routing)
     throw SnapshotError("snapshot link/routing config does not match this "
+                        "network");
+  const auto flow_control = static_cast<FlowControl>(r.u8());
+  const auto buffer_model = static_cast<BufferModel>(r.u8());
+  const std::uint32_t on_high = r.u32();
+  const std::uint32_t on_low = r.u32();
+  if (flow_control != config_.router.flow_control ||
+      buffer_model != config_.router.buffer_model ||
+      on_high != config_.router.on_high || on_low != config_.router.on_low)
+    throw SnapshotError("snapshot flow-control config does not match this "
                         "network");
 
   now_ = r.u64();

@@ -29,8 +29,11 @@ namespace wormsched::wormhole {
 
 struct NetworkConfig {
   enum class Routing {
-    kDor,        // deterministic XY (mesh + torus, dateline classes)
+    kDor,        // deterministic: XY on mesh/torus, hashed up/down on
+                 // the fat tree
     kWestFirst,  // adaptive west-first turn model (mesh only)
+    kUpDownAdaptive,  // adaptive up/down — all uplinks while climbing
+                      // (fat tree only)
   };
 
   TopologySpec topo = TopologySpec::mesh(4, 4);
@@ -242,13 +245,17 @@ class Network final : public sim::Component, private RouterEnv {
   void send_flit(NodeId from, Direction out, const Flit& flit) override;
   void eject(NodeId node, const Flit& flit, Cycle now) override;
   void send_credit(NodeId node, Direction in, std::uint32_t cls) override;
+  void send_signal(NodeId node, Direction in, std::uint32_t cls,
+                   bool on) override;
   RouteDecision route(NodeId node, const Flit& flit, Direction in_from,
                       std::uint32_t in_class) override;
   void route_candidates(NodeId node, const Flit& flit, Direction in_from,
                         std::uint32_t in_class,
                         RouteCandidates& out) override;
 
-  [[nodiscard]] static Direction opposite(Direction d);
+  /// Dispatches a delivered credit-wire entry by kind: a credit to
+  /// accept_credit, an on/off signal to accept_signal.
+  void apply_wire_credit(const WireCredit& wc);
 
   struct Nic {
     RingBuffer<PacketDescriptor> queue;
@@ -328,6 +335,13 @@ class Network final : public sim::Component, private RouterEnv {
   CycleDelta delta_;
   std::vector<std::uint8_t> touched_flag_;
   bool collect_delta_ = false;
+  // On/off + finite buffers: a link-stall fault freezes NIC injection and
+  // the router pipelines for the cycle (see the ctor comment); computed
+  // once so the tick hot path tests a bool.
+  bool freeze_on_stall_ = false;
+  // Set per cycle by tick_sharded so compute_shard freezes its shard
+  // without re-deriving the fault decision on every lane.
+  bool frozen_this_cycle_ = false;
   Cycle now_ = 0;  // cached for send_flit latency stamping
   // Active-set bookkeeping.  router_live_[n] means router n must tick
   // this cycle (it holds work or just received a flit/credit); the

@@ -25,17 +25,27 @@ std::string PatternSpec::describe() const {
 
 NodeId pick_destination(const Topology& topo, const PatternSpec& pattern,
                         NodeId src, Rng& rng) {
-  const std::uint32_t n = topo.num_nodes();
+  // Traffic flows between endpoints.  On mesh/torus every node is one,
+  // so the draws below are unchanged from the all-nodes form; on a fat
+  // tree only the edge switches inject/eject and n counts just those.
+  const std::uint32_t n = topo.num_endpoints();
   WS_CHECK(n >= 2);
+  const bool fat = topo.spec().kind == TopologySpec::Kind::kFatTree;
   const auto next_of = [n](NodeId id) {
     return NodeId((id.value() + 1) % n);
   };
   NodeId dest = src;
   switch (pattern.kind) {
     case PatternSpec::Kind::kUniform:
-      dest = NodeId(static_cast<std::uint32_t>(rng.uniform_u64(n)));
+      dest = topo.endpoint(static_cast<std::uint32_t>(rng.uniform_u64(n)));
       break;
     case PatternSpec::Kind::kTranspose: {
+      if (fat) {
+        // No grid to transpose: use the analogous fixed permutation, a
+        // half-rotation of the endpoint ring (maximally non-local).
+        dest = topo.endpoint((src.value() + n / 2) % n);
+        break;
+      }
       const Coord c = topo.coord(src);
       // Requires a square fabric to be a permutation; clamp otherwise.
       const Coord t{c.y % topo.spec().width, c.x % topo.spec().height};
@@ -43,14 +53,19 @@ NodeId pick_destination(const Topology& topo, const PatternSpec& pattern,
       break;
     }
     case PatternSpec::Kind::kBitComplement:
-      dest = NodeId((n - 1) - src.value());
+      dest = topo.endpoint((n - 1) - src.value());
       break;
     case PatternSpec::Kind::kHotspot:
       dest = rng.bernoulli(pattern.hotspot_fraction)
                  ? pattern.hotspot
-                 : NodeId(static_cast<std::uint32_t>(rng.uniform_u64(n)));
+                 : topo.endpoint(
+                       static_cast<std::uint32_t>(rng.uniform_u64(n)));
       break;
     case PatternSpec::Kind::kNeighbor: {
+      if (fat) {
+        dest = next_of(src);
+        break;
+      }
       const NodeId east = topo.neighbor(src, Direction::kEast);
       dest = east.is_valid() ? east : topo.neighbor(src, Direction::kWest);
       break;
@@ -69,8 +84,8 @@ void NetworkTrafficSource::tick(Cycle now) {
   if (now >= config_.inject_until) return;
   const Topology& topo = network_.topology();
   const FaultModel* faults = config_.faults;
-  for (std::uint32_t n = 0; n < topo.num_nodes(); ++n) {
-    const NodeId src(n);
+  for (std::uint32_t n = 0; n < topo.num_endpoints(); ++n) {
+    const NodeId src = topo.endpoint(n);
     double rate = config_.packets_per_node_per_cycle;
     if (faults != nullptr) {
       rate *= faults->injection_multiplier(now, src);
@@ -85,7 +100,7 @@ void NetworkTrafficSource::tick(Cycle now) {
     if (faults != nullptr) {
       const std::optional<NodeId> burst = faults->burst_destination(now, src);
       if (burst.has_value() && *burst != src &&
-          burst->value() < topo.num_nodes()) {
+          burst->value() < topo.num_endpoints()) {
         pkt.dest = *burst;
       }
     }
@@ -124,7 +139,7 @@ void TraceTrafficSource::tick(Cycle now) {
   const std::vector<traffic::TraceEntry>& entries = config_.trace->entries;
   while (cursor_ < entries.size() && entries[cursor_].cycle <= now) {
     const traffic::TraceEntry& e = entries[cursor_];
-    const NodeId src(e.flow.value() % topo.num_nodes());
+    const NodeId src = topo.endpoint(e.flow.value() % topo.num_endpoints());
     PacketDescriptor pkt;
     pkt.id = PacketId(next_id_++);
     pkt.flow = FlowId(src.value());  // fairness accounted per source node

@@ -84,8 +84,8 @@ class NetworkTrafficSource final : public sim::Component {
 };
 
 /// Replays an arrival trace (CSV or binary, already loaded) into a
-/// Network.  Each trace entry becomes one packet: its source node is
-/// `flow mod num_nodes` (flow/fairness id == source node, matching
+/// Network.  Each trace entry becomes one packet: its source is endpoint
+/// `flow mod num_endpoints` (flow/fairness id == source node, matching
 /// NetworkTrafficSource), its length comes from the entry, and its
 /// destination is drawn from `pattern` with the source's RNG — traces
 /// carry *when/who/how much*, the pattern supplies *where to*, so one

@@ -14,16 +14,33 @@ namespace {
 constexpr std::uint32_t kLocalCredits = 1u << 30;
 }  // namespace
 
+void RouterEnv::send_signal(NodeId, Direction, std::uint32_t, bool) {
+  WS_CHECK_MSG(false, "router env does not carry on/off signals");
+}
+
 Router::Router(NodeId id, const RouterConfig& config)
     : id_(id),
       config_(config),
+      credit_flow_(config.flow_control == FlowControl::kCredit &&
+                   config.buffer_model == BufferModel::kFinite),
+      onoff_flow_(config.flow_control == FlowControl::kOnOff &&
+                  config.buffer_model == BufferModel::kFinite),
       inputs_(kNumDirections * config.num_vcs),
       outputs_(kNumDirections * config.num_vcs),
+      off_sent_(kNumDirections * config.num_vcs, 0),
+      peer_on_(kNumDirections * config.num_vcs, 1),
       sa_pointer_(kNumDirections, 0) {
   WS_CHECK(config.num_vcs >= 1);
-  WS_CHECK(config.buffer_depth >= 1);
+  WS_CHECK_MSG(config.buffer_depth >= 1,
+               "buffer_depth 0 deadlocks every flow-control scheme");
   WS_CHECK_MSG(kNumDirections * config.num_vcs <= 64,
                "pending bitmasks hold at most 64 port/VC units");
+  if (onoff_flow_) {
+    WS_CHECK_MSG(config.on_low >= 1 && config.on_low <= config.on_high &&
+                     config.on_high <= config.buffer_depth,
+                 "on/off watermarks must satisfy "
+                 "1 <= on_low <= on_high <= buffer_depth");
+  }
   const std::size_t requesters = inputs_.size();
   for (std::uint32_t i = 0; i < outputs_.size(); ++i) {
     OutputVc& ov = outputs_[i];
@@ -37,16 +54,20 @@ Router::Router(NodeId id, const RouterConfig& config)
 void Router::save_state(SnapshotWriter& w) const {
   w.u64(inputs_.size());
   w.str(config_.arbiter);
-  for (const InputVc& iv : inputs_) {
+  for (std::uint32_t g = 0; g < inputs_.size(); ++g) {
+    const InputVc& iv = inputs_[g];
     save_sequence(w, iv.buffer, save_flit);
     w.b(iv.routed);
     w.u32(static_cast<std::uint32_t>(iv.out));
     w.u32(iv.out_class);
+    w.b(off_sent_[g] != 0);
   }
-  for (const OutputVc& ov : outputs_) {
+  for (std::uint32_t o = 0; o < outputs_.size(); ++o) {
+    const OutputVc& ov = outputs_[o];
     w.u32(ov.credits);
     w.b(ov.bound);
     w.u32(ov.owner);
+    w.b(peer_on_[o] != 0);
     ov.arbiter->save_state(w);
   }
   for (const std::uint32_t p : sa_pointer_) w.u32(p);
@@ -72,9 +93,11 @@ void Router::restore_state(SnapshotReader& r) {
   if (arb != config_.arbiter)
     throw SnapshotError("router snapshot was taken with arbiter '" + arb +
                         "', this router runs '" + config_.arbiter + "'");
-  for (InputVc& iv : inputs_) {
+  for (std::uint32_t g = 0; g < inputs_.size(); ++g) {
+    InputVc& iv = inputs_[g];
     restore_sequence(r, iv.buffer, load_flit);
-    if (iv.buffer.size() > config_.buffer_depth)
+    if (config_.buffer_model == BufferModel::kFinite &&
+        iv.buffer.size() > config_.buffer_depth)
       throw SnapshotError("router snapshot overflows an input buffer");
     iv.routed = r.b();
     const std::uint32_t out = r.u32();
@@ -84,13 +107,16 @@ void Router::restore_state(SnapshotReader& r) {
     iv.out_class = r.u32();
     if (iv.out_class >= config_.num_vcs)
       throw SnapshotError("router snapshot names an invalid VC class");
+    off_sent_[g] = r.b() ? 1 : 0;
   }
-  for (OutputVc& ov : outputs_) {
+  for (std::uint32_t o = 0; o < outputs_.size(); ++o) {
+    OutputVc& ov = outputs_[o];
     ov.credits = r.u32();
     ov.bound = r.b();
     ov.owner = r.u32();
     if (ov.owner >= inputs_.size())
       throw SnapshotError("router snapshot names an invalid owner unit");
+    peer_on_[o] = r.b() ? 1 : 0;
     ov.arbiter->restore_state(r);
   }
   for (std::uint32_t& p : sa_pointer_) p = r.u32();
@@ -111,8 +137,12 @@ void Router::restore_state(SnapshotReader& r) {
 void Router::accept_flit(Direction in, std::uint32_t cls, Flit flit) {
   const std::uint32_t g = unit(in, cls);
   InputVc& iv = inputs_[g];
-  WS_CHECK_MSG(iv.buffer.size() < config_.buffer_depth,
-               "credit protocol violated: input buffer overflow");
+  if (config_.buffer_model == BufferModel::kFinite) {
+    WS_CHECK_MSG(iv.buffer.size() < config_.buffer_depth,
+                 credit_flow_
+                     ? "credit protocol violated: input buffer overflow"
+                     : "on/off protocol violated: input buffer overflow");
+  }
   iv.buffer.push_back(flit);
   ++buffered_flits_;
   // While the VC holds no route its front is an unrouted packet head
@@ -121,15 +151,22 @@ void Router::accept_flit(Direction in, std::uint32_t cls, Flit flit) {
 }
 
 void Router::accept_credit(Direction out, std::uint32_t cls) {
+  WS_CHECK_MSG(credit_flow_, "credit delivered outside credit flow control");
   OutputVc& ov = outputs_[unit(out, cls)];
   WS_CHECK_MSG(ov.credits < config_.buffer_depth,
                "credit protocol violated: credit overflow");
   ++ov.credits;
 }
 
+void Router::accept_signal(Direction out, std::uint32_t cls, bool on) {
+  WS_CHECK_MSG(onoff_flow_, "on/off signal outside on/off flow control");
+  peer_on_[unit(out, cls)] = on ? 1 : 0;
+}
+
 bool Router::can_accept_local(std::uint32_t cls) const {
-  return inputs_[unit(Direction::kLocal, cls)].buffer.size() <
-         config_.buffer_depth;
+  return config_.buffer_model == BufferModel::kInfinite ||
+         inputs_[unit(Direction::kLocal, cls)].buffer.size() <
+             config_.buffer_depth;
 }
 
 RouteDecision Router::choose_route(RouterEnv& env, const Flit& head,
@@ -140,9 +177,21 @@ RouteDecision Router::choose_route(RouterEnv& env, const Flit& head,
   const RouteDecision* best = &candidates[0];
   std::int64_t best_score = -1;
   for (const RouteDecision& cand : candidates) {
-    const OutputVc& ov = outputs_[unit(cand.out, cand.out_class)];
-    const std::int64_t score =
-        ov.bound ? 0 : 1 + static_cast<std::int64_t>(ov.credits);
+    const std::uint32_t o = unit(cand.out, cand.out_class);
+    const OutputVc& ov = outputs_[o];
+    // Congestion signal per mode: free credits under credit flow, the
+    // peer's on/off state under threshold flow, nothing when buffers are
+    // infinite (any unbound output is equally good).
+    std::int64_t score = 0;
+    if (!ov.bound) {
+      if (credit_flow_) {
+        score = 1 + static_cast<std::int64_t>(ov.credits);
+      } else if (onoff_flow_) {
+        score = peer_on_[o] != 0 ? 2 : 1;
+      } else {
+        score = 1;
+      }
+    }
     if (score > best_score) {
       best_score = score;
       best = &cand;
@@ -195,19 +244,25 @@ void Router::sa_port(std::uint32_t p, bool port_busy, Cycle now,
     const std::uint32_t cls = (sa_pointer_[p] + probe) % vcs;
     const std::uint32_t o = unit(port, cls);
     OutputVc& ov = outputs_[o];
-    if (!ov.bound || ov.credits == 0) continue;
+    if (!ov.bound) continue;
+    // Downstream-space gate per mode; the infinite model never blocks.
+    if (credit_flow_) {
+      if (ov.credits == 0) continue;
+    } else if (onoff_flow_) {
+      if (peer_on_[o] == 0) continue;
+    }
     InputVc& iv = inputs_[ov.owner];
     if (iv.buffer.empty()) continue;  // worm bubble: flits still upstream
 
     Flit flit = iv.buffer.pop_front();
     --buffered_flits_;
     flit.vc_class = VcId(cls);
-    --ov.credits;
+    if (credit_flow_) --ov.credits;
     ov.arbiter->charge_flit();
     ++forwarded_;
 
     const Direction in_dir = unit_direction(ov.owner);
-    if (in_dir != Direction::kLocal)
+    if (credit_flow_ && in_dir != Direction::kLocal)
       env.send_credit(id_, in_dir, unit_class(ov.owner));
 
     if (port == Direction::kLocal) {
@@ -247,12 +302,35 @@ void Router::sa_port(std::uint32_t p, bool port_busy, Cycle now,
   if (port_moved) ++stats.flits;
 }
 
+void Router::emit_onoff_signals(RouterEnv& env) {
+  // Skip the local units (g < num_vcs): the NIC feeds them through
+  // can_accept_local, not a link, so there is no upstream to signal.
+  // Ports without an upstream (mesh edges, unwired fat-tree slots) never
+  // buffer a flit, so the >= on_high branch is unreachable for them.
+  for (std::uint32_t g = config_.num_vcs; g < inputs_.size(); ++g) {
+    const std::size_t occ = inputs_[g].buffer.size();
+    if (off_sent_[g] == 0) {
+      if (occ >= config_.on_high) {
+        off_sent_[g] = 1;
+        env.send_signal(id_, unit_direction(g), unit_class(g), /*on=*/false);
+      }
+    } else if (occ <= config_.on_low) {
+      off_sent_[g] = 0;
+      env.send_signal(id_, unit_direction(g), unit_class(g), /*on=*/true);
+    }
+  }
+}
+
 void Router::tick(Cycle now, RouterEnv& env) {
   if (config_.dense_pipeline) {
     tick_dense(now, env);
   } else {
     tick_sparse(now, env);
   }
+  // Hysteresis runs after SA in the same tick, so a router that drains
+  // completely always restores its upstream to "on" before retiring from
+  // the active set.
+  if (onoff_flow_) emit_onoff_signals(env);
 }
 
 // Bitmask-sparse pipeline: each stage walks only the units with work.

@@ -40,10 +40,39 @@
 
 namespace wormsched::wormhole {
 
+/// Backpressure scheme between adjacent routers.
+///  * kCredit — the classic wormhole credit loop: the sender holds one
+///    credit per downstream buffer slot and a credit flit returns per
+///    forwarded flit.
+///  * kOnOff — threshold (XON/XOFF) signalling: the receiver raises an
+///    "off" signal when an input VC's occupancy crosses `on_high` and an
+///    "on" signal when it falls back to `on_low`; the sender streams
+///    freely while the peer is "on".  Signals ride the credit wire, so
+///    they share its latency; the watermark headroom must absorb the
+///    flits in flight during one signal round-trip (Network resolves the
+///    auto watermarks to guarantee that).
+enum class FlowControl : std::uint8_t { kCredit = 0, kOnOff = 1 };
+
+/// Buffer model: kFinite bounds every input VC at `buffer_depth` (the
+/// flow-control scheme enforces it); kInfinite lets buffers grow without
+/// bound and disables backpressure entirely (no credits, no signals) —
+/// the idealized baseline the finite schemes are compared against.
+enum class BufferModel : std::uint8_t { kFinite = 0, kInfinite = 1 };
+
 struct RouterConfig {
   std::uint32_t num_vcs = 2;       // VC classes per port (torus needs >= 2)
   std::uint32_t buffer_depth = 8;  // flit slots per input VC
   std::string arbiter = "err-cycles";
+  FlowControl flow_control = FlowControl::kCredit;
+  BufferModel buffer_model = BufferModel::kFinite;
+  /// On/off watermarks (flits buffered in one input VC).  0 means "auto":
+  /// the Network resolves high = buffer_depth - (3*link_latency - 2)
+  /// (clamped to >= 1; the headroom derivation is in Network's ctor) and
+  /// low = (high + 1) / 2 before building routers.  A Router in on/off
+  /// mode requires resolved values with
+  /// 1 <= on_low <= on_high <= buffer_depth.
+  std::uint32_t on_high = 0;
+  std::uint32_t on_low = 0;
   /// Legacy full-scan pipeline: every input and output unit is visited
   /// every tick.  Bit-identical to the default bitmask-sparse pipeline
   /// (same helpers, same visit order); kept as the differential baseline
@@ -62,6 +91,12 @@ class RouterEnv {
   virtual void eject(NodeId node, const Flit& flit, Cycle now) = 0;
   /// Returns one credit to the upstream router feeding (`node`, `in`).
   virtual void send_credit(NodeId node, Direction in, std::uint32_t cls) = 0;
+  /// Carries an on/off signal to the upstream router feeding (`node`,
+  /// `in`): `on` false stops the peer, true restarts it.  Only called in
+  /// on/off flow-control mode; the default aborts so a credit-only env
+  /// never silently swallows a signal.
+  virtual void send_signal(NodeId node, Direction in, std::uint32_t cls,
+                           bool on);
   /// Routing oracle (delegates to the Topology).
   virtual RouteDecision route(NodeId node, const Flit& flit, Direction in_from,
                               std::uint32_t in_class) = 0;
@@ -89,6 +124,11 @@ class Router {
 
   /// Returns one credit to output (`out`, `cls`).
   void accept_credit(Direction out, std::uint32_t cls);
+
+  /// Applies an on/off signal from the downstream router fed through
+  /// output (`out`, `cls`): `on` false parks the output, true releases
+  /// it.  On/off mode only.
+  void accept_signal(Direction out, std::uint32_t cls, bool on);
 
   /// NIC-side query: can the local input VC take one more flit?
   [[nodiscard]] bool can_accept_local(std::uint32_t cls) const;
@@ -164,6 +204,16 @@ class Router {
   [[nodiscard]] bool output_bound(Direction out, std::uint32_t cls) const {
     return outputs_[unit(out, cls)].bound;
   }
+  /// On/off mode: whether this router has an outstanding "off" toward
+  /// the upstream feeding input VC (`in`, `cls`).
+  [[nodiscard]] bool off_sent(Direction in, std::uint32_t cls) const {
+    return off_sent_[unit(in, cls)] != 0;
+  }
+  /// On/off mode: the last signal received for output VC (`out`, `cls`)
+  /// (true until the first "off" arrives).
+  [[nodiscard]] bool peer_on(Direction out, std::uint32_t cls) const {
+    return peer_on_[unit(out, cls)] != 0;
+  }
   /// The arbiter governing output port `out`, class `cls` (never null).
   [[nodiscard]] PortArbiter& arbiter(Direction out, std::uint32_t cls) {
     return *outputs_[unit(out, cls)].arbiter;
@@ -236,11 +286,25 @@ class Router {
 
   void tick_sparse(Cycle now, RouterEnv& env);
   void tick_dense(Cycle now, RouterEnv& env);
+  /// On/off hysteresis, run at the end of every tick: raises "off" for
+  /// non-local input VCs that crossed on_high, "on" for parked ones that
+  /// drained to on_low.  Emitting from the router's own tick (not at
+  /// flit-arrival time) keeps the signal order identical between the
+  /// serial and the sharded network tick.
+  void emit_onoff_signals(RouterEnv& env);
 
   NodeId id_;
   RouterConfig config_;
+  // Mode shorthands: exactly one is set unless the buffer model is
+  // infinite (then neither — no backpressure at all).
+  bool credit_flow_ = true;
+  bool onoff_flow_ = false;
   std::vector<InputVc> inputs_;
   std::vector<OutputVc> outputs_;
+  /// On/off state: per input unit, 1 while our "off" is outstanding; per
+  /// output unit, 0 while the downstream peer has us parked.
+  std::vector<std::uint8_t> off_sent_;
+  std::vector<std::uint8_t> peer_on_;
   std::vector<std::uint32_t> sa_pointer_;  // per port: RR over its VCs
   std::vector<PortStats> port_stats_ =
       std::vector<PortStats>(kNumDirections);

@@ -7,10 +7,10 @@ namespace wormsched::wormhole {
 
 void ShardLane::send_flit(NodeId from, Direction out, const Flit& flit) {
   const NodeId to = net_->topo_.neighbor(from, out);
-  WS_CHECK_MSG(to.is_valid(), "flit sent off the edge of the mesh");
+  WS_CHECK_MSG(to.is_valid(), "flit sent off the edge of the fabric");
   const auto cls = static_cast<std::uint32_t>(flit.vc_class.value());
   out_flits_.push_back(WireFlit{net_->now_ + net_->config_.link_latency, to,
-                                Network::opposite(out), cls, flit});
+                                net_->topo_.peer_port(from, out), cls, flit});
   if (net_->collect_delta_) {
     net_->touch_into(delta_, from.index());
     delta_.flits_to_wire.push_back(
@@ -29,7 +29,23 @@ void ShardLane::send_credit(NodeId node, Direction in, std::uint32_t cls) {
   const NodeId upstream = net_->topo_.neighbor(node, in);
   WS_CHECK(upstream.is_valid());
   out_credits_.push_back(WireCredit{net_->now_ + net_->config_.link_latency,
-                                    upstream, Network::opposite(in), cls});
+                                    upstream, net_->topo_.peer_port(node, in),
+                                    cls, WireCredit::Kind::kCredit});
+  if (net_->collect_delta_) {
+    net_->touch_into(delta_, node.index());
+    delta_.credits_to_wire.push_back(
+        CycleDelta::UnitEvent{net_->delta_unit(node, in, cls), node.value()});
+  }
+}
+
+void ShardLane::send_signal(NodeId node, Direction in, std::uint32_t cls,
+                            bool on) {
+  const NodeId upstream = net_->topo_.neighbor(node, in);
+  WS_CHECK(upstream.is_valid());
+  out_credits_.push_back(WireCredit{
+      net_->now_ + net_->config_.link_latency, upstream,
+      net_->topo_.peer_port(node, in), cls,
+      on ? WireCredit::Kind::kOn : WireCredit::Kind::kOff});
   if (net_->collect_delta_) {
     net_->touch_into(delta_, node.index());
     delta_.credits_to_wire.push_back(
@@ -48,6 +64,10 @@ void ShardLane::route_candidates(NodeId node, const Flit& flit,
                                  RouteCandidates& out) {
   if (net_->config_.routing == NetworkConfig::Routing::kWestFirst) {
     net_->topo_.west_first_candidates(node, flit.dest, in_from, in_class, out);
+    return;
+  }
+  if (net_->config_.routing == NetworkConfig::Routing::kUpDownAdaptive) {
+    net_->topo_.updown_candidates(node, flit.dest, in_from, in_class, out);
     return;
   }
   out.push_back(route(node, flit, in_from, in_class));

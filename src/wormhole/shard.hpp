@@ -56,12 +56,17 @@ struct WireFlit {
   std::uint32_t cls;
   Flit flit;
 };
-/// One credit in flight back to `to`'s output (`out`, `cls`).
+/// One credit — or, in on/off flow control, one threshold signal — in
+/// flight back to `to`'s output (`out`, `cls`).  Signals share the
+/// credit wire (same latency, same FIFO order) so the sharded tick's
+/// commit argument covers them unchanged.
 struct WireCredit {
+  enum class Kind : std::uint8_t { kCredit = 0, kOff = 1, kOn = 2 };
   Cycle arrive;
   NodeId to;
-  Direction out;  // output port credited at the destination router
+  Direction out;  // output port credited/signalled at the destination
   std::uint32_t cls;
+  Kind kind = Kind::kCredit;
 };
 
 /// Per-shard staging state + the RouterEnv its routers tick against.
@@ -87,6 +92,8 @@ class ShardLane final : public RouterEnv {
   void send_flit(NodeId from, Direction out, const Flit& flit) override;
   void eject(NodeId node, const Flit& flit, Cycle now) override;
   void send_credit(NodeId node, Direction in, std::uint32_t cls) override;
+  void send_signal(NodeId node, Direction in, std::uint32_t cls,
+                   bool on) override;
   RouteDecision route(NodeId node, const Flit& flit, Direction in_from,
                       std::uint32_t in_class) override;
   void route_candidates(NodeId node, const Flit& flit, Direction in_from,

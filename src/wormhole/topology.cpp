@@ -1,10 +1,37 @@
 #include "wormhole/topology.hpp"
 
+#include <charconv>
 #include <sstream>
 
 #include "common/assert.hpp"
 
 namespace wormsched::wormhole {
+namespace {
+
+constexpr Direction kInvalidPort = Direction::kLocal;
+
+Direction opposite_compass(Direction d) {
+  switch (d) {
+    case Direction::kEast: return Direction::kWest;
+    case Direction::kWest: return Direction::kEast;
+    case Direction::kNorth: return Direction::kSouth;
+    case Direction::kSouth: return Direction::kNorth;
+    case Direction::kLocal: return Direction::kLocal;
+  }
+  return Direction::kLocal;
+}
+
+/// Full-string strict decimal parse; rejects empty, signs, and trailing
+/// garbage (the CLI exit-2 contract shared with CliParser's get_uint).
+bool parse_u32_strict(std::string_view text, std::uint32_t* out) {
+  if (text.empty()) return false;
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(first, last, *out);
+  return ec == std::errc{} && ptr == last;
+}
+
+}  // namespace
 
 const char* direction_name(Direction d) {
   switch (d) {
@@ -17,14 +44,74 @@ const char* direction_name(Direction d) {
   return "?";
 }
 
+std::uint32_t TopologySpec::num_nodes() const {
+  if (kind == Kind::kFatTree) {
+    const std::uint32_t k = width;
+    return k * k + (k / 2) * (k / 2);
+  }
+  return width * height;
+}
+
 std::string TopologySpec::describe() const {
   std::ostringstream os;
-  os << (kind == Kind::kMesh ? "mesh" : "torus") << " " << width << "x"
-     << height;
+  if (kind == Kind::kFatTree) {
+    os << "fattree:" << width;
+  } else {
+    os << (kind == Kind::kMesh ? "mesh" : "torus") << " " << width << "x"
+       << height;
+  }
   return os.str();
 }
 
+std::optional<TopologySpec> parse_topology_spec(const std::string& text,
+                                                std::string* error) {
+  const auto fail = [&](const std::string& why) -> std::optional<TopologySpec> {
+    if (error != nullptr) *error = why;
+    return std::nullopt;
+  };
+  if (text.rfind("fattree:", 0) == 0) {
+    std::uint32_t k = 0;
+    if (!parse_u32_strict(std::string_view(text).substr(8), &k))
+      return fail("expected fattree:<K> with a decimal K, got '" + text + "'");
+    if (k != 2 && k != 4)
+      return fail("fat-tree K must be 2 or 4 (router radix is 4), got '" +
+                  text + "'");
+    return TopologySpec::fat_tree(k);
+  }
+  TopologySpec spec;
+  std::string_view dims;
+  if (text.rfind("torus", 0) == 0) {
+    spec.kind = TopologySpec::Kind::kTorus;
+    dims = std::string_view(text).substr(5);
+  } else if (text.rfind("mesh", 0) == 0) {
+    spec.kind = TopologySpec::Kind::kMesh;
+    dims = std::string_view(text).substr(4);
+  } else {
+    return fail("expected mesh<W>x<H>, torus<W>x<H> or fattree:<K>, got '" +
+                text + "'");
+  }
+  const std::size_t x = dims.find('x');
+  if (x == std::string_view::npos)
+    return fail("expected <W>x<H> dimensions, got '" + text + "'");
+  if (!parse_u32_strict(dims.substr(0, x), &spec.width) ||
+      !parse_u32_strict(dims.substr(x + 1), &spec.height))
+    return fail("malformed <W>x<H> dimensions in '" + text + "'");
+  if (spec.width == 0 || spec.height == 0)
+    return fail("topology dimensions must be non-zero in '" + text + "'");
+  if (spec.kind == TopologySpec::Kind::kTorus &&
+      (spec.width < 2 || spec.height < 2))
+    return fail("torus needs at least 2 nodes per dimension in '" + text +
+                "'");
+  return spec;
+}
+
 Topology::Topology(const TopologySpec& spec) : spec_(spec) {
+  if (spec.kind == TopologySpec::Kind::kFatTree) {
+    WS_CHECK_MSG(spec.width == 2 || spec.width == 4,
+                 "fat-tree K must be 2 or 4 (router radix is 4)");
+    build_fat_tree();
+    return;
+  }
   WS_CHECK(spec.width >= 1 && spec.height >= 1);
   if (spec.kind == TopologySpec::Kind::kTorus) {
     WS_CHECK_MSG(spec.width >= 2 && spec.height >= 2,
@@ -32,7 +119,65 @@ Topology::Topology(const TopologySpec& spec) : spec_(spec) {
   }
 }
 
+std::uint32_t Topology::num_endpoints() const {
+  if (spec_.kind == TopologySpec::Kind::kFatTree)
+    return spec_.width * spec_.width / 2;  // edge switches only
+  return num_nodes();
+}
+
+NodeId Topology::endpoint(std::uint32_t i) const {
+  WS_CHECK(i < num_endpoints());
+  return NodeId(i);  // endpoints are the contiguous prefix of the ids
+}
+
+void Topology::add_link(NodeId a, Direction pa, NodeId b, Direction pb) {
+  auto& la = fat_links_[a.index()];
+  auto& lb = fat_links_[b.index()];
+  WS_CHECK(!la[port_of(pa).value()].is_valid());
+  WS_CHECK(!lb[port_of(pb).value()].is_valid());
+  la[port_of(pa).value()] = b;
+  lb[port_of(pb).value()] = a;
+  fat_peer_ports_[a.index()][port_of(pa).value()] = pb;
+  fat_peer_ports_[b.index()][port_of(pb).value()] = pa;
+}
+
+void Topology::build_fat_tree() {
+  const std::uint32_t k = spec_.width;
+  const std::uint32_t half = k / 2;
+  const std::uint32_t num_edges = k * half;
+  const std::uint32_t num_aggs = k * half;
+  const std::uint32_t total = num_nodes();
+  fat_links_.assign(total, {NodeId::invalid(), NodeId::invalid(),
+                            NodeId::invalid(), NodeId::invalid(),
+                            NodeId::invalid()});
+  fat_peer_ports_.assign(total, {kInvalidPort, kInvalidPort, kInvalidPort,
+                                 kInvalidPort, kInvalidPort});
+  // Edge (pod p, index i) uplink j -> agg (pod p, index j) down port 1+i.
+  for (std::uint32_t p = 0; p < k; ++p) {
+    for (std::uint32_t i = 0; i < half; ++i) {
+      const NodeId edge(p * half + i);
+      for (std::uint32_t j = 0; j < half; ++j) {
+        const NodeId agg(num_edges + p * half + j);
+        add_link(edge, static_cast<Direction>(1 + j), agg,
+                 static_cast<Direction>(1 + i));
+      }
+    }
+  }
+  // Agg (pod p, index j) uplink m -> core (j, m) down port 1+p.
+  for (std::uint32_t p = 0; p < k; ++p) {
+    for (std::uint32_t j = 0; j < half; ++j) {
+      const NodeId agg(num_edges + p * half + j);
+      for (std::uint32_t m = 0; m < half; ++m) {
+        const NodeId core(num_edges + num_aggs + j * half + m);
+        add_link(agg, static_cast<Direction>(1 + half + m), core,
+                 static_cast<Direction>(1 + p));
+      }
+    }
+  }
+}
+
 Coord Topology::coord(NodeId node) const {
+  WS_CHECK(spec_.kind != TopologySpec::Kind::kFatTree);
   WS_CHECK(node.value() < num_nodes());
   return Coord{node.value() % spec_.width, node.value() / spec_.width};
 }
@@ -43,6 +188,11 @@ NodeId Topology::node(Coord c) const {
 }
 
 NodeId Topology::neighbor(NodeId n, Direction d) const {
+  if (d == Direction::kLocal) return n;
+  if (spec_.kind == TopologySpec::Kind::kFatTree) {
+    WS_CHECK(n.value() < num_nodes());
+    return fat_links_[n.index()][port_of(d).value()];
+  }
   const Coord c = coord(n);
   const bool torus = spec_.kind == TopologySpec::Kind::kTorus;
   Coord target = c;
@@ -89,6 +239,17 @@ NodeId Topology::neighbor(NodeId n, Direction d) const {
   return node(target);
 }
 
+Direction Topology::peer_port(NodeId n, Direction d) const {
+  if (d == Direction::kLocal) return Direction::kLocal;
+  if (spec_.kind == TopologySpec::Kind::kFatTree) {
+    WS_CHECK(n.value() < num_nodes());
+    WS_CHECK_MSG(fat_links_[n.index()][port_of(d).value()].is_valid(),
+                 "peer_port on an unwired fat-tree port");
+    return fat_peer_ports_[n.index()][port_of(d).value()];
+  }
+  return opposite_compass(d);
+}
+
 bool Topology::is_wrap_link(NodeId n, Direction d) const {
   if (spec_.kind != TopologySpec::Kind::kTorus) return false;
   const Coord c = coord(n);
@@ -132,8 +293,41 @@ Direction Topology::y_step(std::uint32_t from_y, std::uint32_t to_y,
   return dir;
 }
 
+RouteDecision Topology::updown_route(NodeId current, NodeId dest,
+                                     std::uint32_t in_class) const {
+  RouteDecision decision;
+  if (current == dest) {
+    decision.out = Direction::kLocal;
+    decision.out_class = in_class;
+    return decision;
+  }
+  const std::uint32_t k = spec_.width;
+  const std::uint32_t half = k / 2;
+  const std::uint32_t num_edges = k * half;
+  const std::uint32_t cur = current.value();
+  WS_CHECK_MSG(is_endpoint(dest), "fat-tree destination must be an endpoint");
+  const std::uint32_t dest_pod = dest.value() / half;
+  const std::uint32_t dest_idx = dest.value() % half;
+  // Destination-hashed uplink choice: deterministic, and it spreads
+  // distinct destinations across the uplinks like ECMP would.
+  if (cur < num_edges) {
+    decision.out = static_cast<Direction>(1 + dest.value() % half);
+  } else if (cur < 2 * num_edges) {
+    const std::uint32_t pod = (cur - num_edges) / half;
+    decision.out = pod == dest_pod
+                       ? static_cast<Direction>(1 + dest_idx)
+                       : static_cast<Direction>(1 + half + dest.value() % half);
+  } else {
+    decision.out = static_cast<Direction>(1 + dest_pod);
+  }
+  decision.out_class = 0;
+  return decision;
+}
+
 RouteDecision Topology::route(NodeId current, NodeId dest, Direction in_from,
                               std::uint32_t in_class) const {
+  if (spec_.kind == TopologySpec::Kind::kFatTree)
+    return updown_route(current, dest, in_class);
   RouteDecision decision;
   if (current == dest) {
     decision.out = Direction::kLocal;
@@ -186,6 +380,35 @@ void Topology::west_first_candidates(NodeId current, NodeId dest, Direction,
   WS_CHECK(!out.empty());
 }
 
+void Topology::updown_candidates(NodeId current, NodeId dest, Direction,
+                                 std::uint32_t in_class,
+                                 RouteCandidates& out) const {
+  WS_CHECK_MSG(spec_.kind == TopologySpec::Kind::kFatTree,
+               "up/down routing is fat-tree-only");
+  if (current == dest) {
+    out.push_back(RouteDecision{Direction::kLocal, in_class, false});
+    return;
+  }
+  const std::uint32_t k = spec_.width;
+  const std::uint32_t half = k / 2;
+  const std::uint32_t num_edges = k * half;
+  const std::uint32_t cur = current.value();
+  WS_CHECK_MSG(is_endpoint(dest), "fat-tree destination must be an endpoint");
+  const std::uint32_t dest_pod = dest.value() / half;
+  const bool climbing =
+      cur < num_edges ||
+      (cur < 2 * num_edges && (cur - num_edges) / half != dest_pod);
+  if (!climbing) {
+    out.push_back(updown_route(current, dest, in_class));
+    return;
+  }
+  // Every uplink reaches a common ancestor of the destination.
+  const std::uint32_t first_up = cur < num_edges ? 1 : 1 + half;
+  for (std::uint32_t u = 0; u < half; ++u)
+    out.push_back(
+        RouteDecision{static_cast<Direction>(first_up + u), 0, false});
+}
+
 std::uint32_t Topology::hops(NodeId a, NodeId b) const {
   std::uint32_t count = 0;
   NodeId cur = a;
@@ -194,16 +417,10 @@ std::uint32_t Topology::hops(NodeId a, NodeId b) const {
   while (cur != b) {
     const RouteDecision d = route(cur, b, from, cls);
     WS_CHECK(d.out != Direction::kLocal);
+    // The next router sees the flit arriving on the link's far-end port.
+    from = peer_port(cur, d.out);
     cur = neighbor(cur, d.out);
     WS_CHECK(cur.is_valid());
-    // The next router sees the flit arriving from the opposite direction.
-    switch (d.out) {
-      case Direction::kEast: from = Direction::kWest; break;
-      case Direction::kWest: from = Direction::kEast; break;
-      case Direction::kNorth: from = Direction::kSouth; break;
-      case Direction::kSouth: from = Direction::kNorth; break;
-      case Direction::kLocal: break;
-    }
     cls = d.out_class;
     ++count;
     WS_CHECK_MSG(count <= num_nodes() * 2, "routing loop");

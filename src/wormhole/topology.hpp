@@ -7,17 +7,31 @@
 // classic Dally-Seitz dateline rule moves a packet to virtual-channel
 // class 1 when it crosses a wrap link, breaking each ring's channel-
 // dependency cycle.
+//
+// A k-ary fat tree (k in {2, 4}; the radix is capped by the router's
+// four non-local ports) provides the datacenter-flavored substrate: k
+// pods of k/2 edge and k/2 aggregation switches under (k/2)^2 cores.
+// Only edge switches carry NICs, so endpoints are the first k^2/2 node
+// ids.  Up/down routing — climb to a common ancestor, then descend — is
+// deadlock-free on the tree because a packet never turns from a down
+// channel back into an up channel.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "common/small_vec.hpp"
 #include "common/types.hpp"
 
 namespace wormsched::wormhole {
 
-/// Router port directions for 2D topologies.
+/// Router port directions.  For mesh/torus the names are geographic; the
+/// fat tree reuses the same four non-local slots as opaque port indices
+/// (edge switches use ports 1..k/2 as uplinks, aggregation switches use
+/// 1..k/2 down and k/2+1..k up, cores use 1..k down — one per pod).
 enum class Direction : std::uint8_t {
   kLocal = 0,
   kEast = 1,
@@ -42,7 +56,7 @@ struct Coord {
 };
 
 struct TopologySpec {
-  enum class Kind { kMesh, kTorus };
+  enum class Kind { kMesh, kTorus, kFatTree };
   Kind kind = Kind::kMesh;
   std::uint32_t width = 4;
   std::uint32_t height = 4;
@@ -53,8 +67,26 @@ struct TopologySpec {
   [[nodiscard]] static TopologySpec torus(std::uint32_t w, std::uint32_t h) {
     return {Kind::kTorus, w, h};
   }
+  /// k-ary fat tree; `width` carries k, `height` is 1.
+  [[nodiscard]] static TopologySpec fat_tree(std::uint32_t k) {
+    return {Kind::kFatTree, k, 1};
+  }
+
+  [[nodiscard]] std::uint32_t fat_tree_k() const { return width; }
+
+  /// Switch count (every switch is a routed node; for the fat tree that
+  /// is k^2 edge+aggregation switches plus (k/2)^2 cores).
+  [[nodiscard]] std::uint32_t num_nodes() const;
+
   [[nodiscard]] std::string describe() const;
 };
+
+/// Strict parser for the CLI `--topo` grammar: `mesh<W>x<H>`,
+/// `torus<W>x<H>`, `fattree:<K>`.  Dimensions must be full-string
+/// decimal integers (no trailing garbage) and non-zero; K must be 2 or
+/// 4.  On failure returns nullopt and fills `error` with a diagnostic.
+[[nodiscard]] std::optional<TopologySpec> parse_topology_spec(
+    const std::string& text, std::string* error);
 
 /// Result of one routing decision.
 struct RouteDecision {
@@ -78,21 +110,37 @@ class Topology {
   explicit Topology(const TopologySpec& spec);
 
   [[nodiscard]] const TopologySpec& spec() const { return spec_; }
-  [[nodiscard]] std::uint32_t num_nodes() const {
-    return spec_.width * spec_.height;
+  [[nodiscard]] std::uint32_t num_nodes() const { return spec_.num_nodes(); }
+
+  /// Nodes that carry a NIC.  Mesh/torus: every node.  Fat tree: the
+  /// edge switches, which occupy ids [0, k^2/2) — endpoints are always
+  /// the contiguous prefix of the id space.
+  [[nodiscard]] std::uint32_t num_endpoints() const;
+  [[nodiscard]] bool is_endpoint(NodeId n) const {
+    return n.value() < num_endpoints();
   }
+  [[nodiscard]] NodeId endpoint(std::uint32_t i) const;
+
   [[nodiscard]] Coord coord(NodeId node) const;
   [[nodiscard]] NodeId node(Coord c) const;
 
   /// The neighbour reached from `node` through `d`; invalid NodeId when
-  /// the mesh has no link there.  kLocal maps to the node itself.
+  /// no link exists there.  kLocal maps to the node itself.
   [[nodiscard]] NodeId neighbor(NodeId node, Direction d) const;
+
+  /// The port at the far end of link (node, d): a flit (or credit /
+  /// on-off signal) leaving `node` through `d` arrives at
+  /// `neighbor(node, d)` on this port.  Mesh/torus links are geometric,
+  /// so this is the opposite compass direction; fat-tree links come from
+  /// the wiring table.
+  [[nodiscard]] Direction peer_port(NodeId node, Direction d) const;
 
   /// True when (node, d) is a torus wrap-around link.
   [[nodiscard]] bool is_wrap_link(NodeId node, Direction d) const;
 
-  /// XY dimension-order routing step with dateline VC-class assignment.
-  /// `in_class` is the class the flit arrived on.
+  /// Deterministic routing step: XY dimension-order with dateline
+  /// VC-class assignment on mesh/torus, destination-hashed up/down on
+  /// the fat tree.  `in_class` is the class the flit arrived on.
   [[nodiscard]] RouteDecision route(NodeId current, NodeId dest,
                                     Direction in_from,
                                     std::uint32_t in_class) const;
@@ -109,7 +157,16 @@ class Topology {
                              std::uint32_t in_class,
                              RouteCandidates& out) const;
 
-  /// Minimum hop count between two nodes under this topology's DOR.
+  /// Adaptive up/down candidates (fat tree only): while climbing, every
+  /// uplink reaches some common ancestor, so all of them are legal and
+  /// the router may pick by congestion; the descent is deterministic
+  /// (single candidate).  Deadlock-free for the same reason as the
+  /// deterministic variant — no down-to-up turns.
+  void updown_candidates(NodeId current, NodeId dest, Direction in_from,
+                         std::uint32_t in_class, RouteCandidates& out) const;
+
+  /// Minimum hop count between two nodes under this topology's
+  /// deterministic routing.
   [[nodiscard]] std::uint32_t hops(NodeId a, NodeId b) const;
 
  private:
@@ -117,8 +174,16 @@ class Topology {
                                  bool* wraps) const;
   [[nodiscard]] Direction y_step(std::uint32_t from_y, std::uint32_t to_y,
                                  bool* wraps) const;
+  [[nodiscard]] RouteDecision updown_route(NodeId current, NodeId dest,
+                                           std::uint32_t in_class) const;
+  void build_fat_tree();
+  void add_link(NodeId a, Direction pa, NodeId b, Direction pb);
 
   TopologySpec spec_;
+  /// Fat-tree wiring (empty for mesh/torus): per node, the peer reached
+  /// through each port and the port index at that peer.
+  std::vector<std::array<NodeId, kNumDirections>> fat_links_;
+  std::vector<std::array<Direction, kNumDirections>> fat_peer_ports_;
 };
 
 }  // namespace wormsched::wormhole

@@ -1,10 +1,14 @@
-// Golden snapshot tests: the committed tests/data/golden_v1.wsnp pins
-// the v1 checkpoint format (compatibility policy in docs/TESTING.md).
+// Golden snapshot tests: the committed tests/data/golden_v2.wsnp pins
+// the v2 checkpoint format (compatibility policy in docs/TESTING.md).
+// v2 added flow-control state (router on/off handshake bools, wire
+// credit kind, flow-control config in the network fingerprint); the
+// retired golden_v1.wsnp stays committed so the version gate itself is
+// pinned — an old-format file must exit 2, never misparse.
 //
 // The golden file was written by `wormsched soak --topo mesh3x3
 // --cycles 3000 --horizon 20000 --window 1000 --rate 0.02 --seed 42`:
 // a mid-run fabric checkpoint with a trailing SOAK section.  Any layout
-// change that still claims version 1 breaks these tests; an intentional
+// change that still claims version 2 breaks these tests; an intentional
 // layout change must bump kSnapshotFormatVersion and commit a new
 // golden alongside this one.
 //
@@ -104,6 +108,14 @@ TEST(SnapshotGoldenDeathTest, WrongVersionExits2WithClearMessage) {
   EXPECT_EXIT((void)load_checkpoint_or_exit(path),
               ::testing::ExitedWithCode(2), "version");
   std::remove(path.c_str());
+}
+
+TEST(SnapshotGoldenDeathTest, V1GoldenRejectedWithVersionMessage) {
+  // The real retired v1 image (not a synthetic byte flip): the loader
+  // must refuse it at the version gate with exit 2, never attempt to
+  // parse v1 state with v2 readers.
+  EXPECT_EXIT((void)load_checkpoint_or_exit(WS_GOLDEN_SNAPSHOT_V1),
+              ::testing::ExitedWithCode(2), "version");
 }
 
 TEST(SnapshotGoldenDeathTest, BadMagicExits2WithClearMessage) {

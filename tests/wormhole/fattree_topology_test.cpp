@@ -1,0 +1,199 @@
+// Fat-tree topology tests: wiring-table symmetry, endpoint geometry,
+// up/down routing (deterministic and adaptive candidates), and the
+// strict `--topo` grammar parser (accept/reject matrix including the
+// trailing-garbage and zero-dimension regressions).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "wormhole/topology.hpp"
+
+namespace wormsched::wormhole {
+namespace {
+
+constexpr Direction kPorts[] = {Direction::kEast, Direction::kWest,
+                                Direction::kNorth, Direction::kSouth};
+
+/// Level of a fat-tree switch: 0 = edge, 1 = aggregation, 2 = core.
+std::uint32_t level_of(const TopologySpec& spec, NodeId n) {
+  const std::uint32_t num_edges = spec.fat_tree_k() * spec.fat_tree_k() / 2;
+  if (n.value() < num_edges) return 0;
+  if (n.value() < 2 * num_edges) return 1;
+  return 2;
+}
+
+TEST(FatTreeTopology, GeometryK4) {
+  Topology ft(TopologySpec::fat_tree(4));
+  EXPECT_EQ(ft.num_nodes(), 20u);      // 8 edge + 8 agg + 4 core
+  EXPECT_EQ(ft.num_endpoints(), 8u);   // edge switches only
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(ft.endpoint(i), NodeId(i));
+    EXPECT_TRUE(ft.is_endpoint(NodeId(i)));
+  }
+  for (std::uint32_t n = 8; n < 20; ++n)
+    EXPECT_FALSE(ft.is_endpoint(NodeId(n)));
+}
+
+TEST(FatTreeTopology, GeometryK2) {
+  Topology ft(TopologySpec::fat_tree(2));
+  EXPECT_EQ(ft.num_nodes(), 5u);  // 2 edge + 2 agg + 1 core
+  EXPECT_EQ(ft.num_endpoints(), 2u);
+}
+
+TEST(FatTreeTopology, WiringIsSymmetric) {
+  // Every wired link must agree end to end: following (node, port) and
+  // then the far-end port returned by peer_port lands back where we
+  // started.  This is the property the credit/signal return path rides.
+  for (const std::uint32_t k : {2u, 4u}) {
+    Topology ft(TopologySpec::fat_tree(k));
+    std::uint32_t wired = 0;
+    for (std::uint32_t n = 0; n < ft.num_nodes(); ++n) {
+      for (const Direction d : kPorts) {
+        const NodeId nbr = ft.neighbor(NodeId(n), d);
+        if (!nbr.is_valid()) continue;
+        ++wired;
+        const Direction far = ft.peer_port(NodeId(n), d);
+        EXPECT_EQ(ft.neighbor(nbr, far), NodeId(n)) << "k=" << k << " n=" << n;
+        EXPECT_EQ(ft.peer_port(nbr, far), d) << "k=" << k << " n=" << n;
+        // Links only join adjacent levels.
+        EXPECT_EQ(1u, level_of(ft.spec(), nbr) > level_of(ft.spec(), NodeId(n))
+                          ? level_of(ft.spec(), nbr) -
+                                level_of(ft.spec(), NodeId(n))
+                          : level_of(ft.spec(), NodeId(n)) -
+                                level_of(ft.spec(), nbr));
+      }
+    }
+    // k^3/4 edge-agg links + k^3/4 agg-core links, both directions seen.
+    EXPECT_EQ(wired, 2 * (k * k * k / 4 + k * k * k / 4));
+  }
+}
+
+TEST(FatTreeTopology, MeshAndTorusPeerPortIsOppositeCompass) {
+  Topology mesh(TopologySpec::mesh(3, 3));
+  EXPECT_EQ(mesh.peer_port(NodeId(4), Direction::kEast), Direction::kWest);
+  EXPECT_EQ(mesh.peer_port(NodeId(4), Direction::kNorth), Direction::kSouth);
+  Topology torus(TopologySpec::torus(3, 3));
+  // Wrap links too: the far end of an eastward wrap is still a west port.
+  EXPECT_EQ(torus.peer_port(NodeId(2), Direction::kEast), Direction::kWest);
+}
+
+TEST(FatTreeTopology, UpDownRouteReachesEveryPairWithoutTurningBackUp) {
+  // Walk the deterministic route for every endpoint pair: it must arrive
+  // within 4 hops (edge-agg-core-agg-edge), stay on VC class 0, and never
+  // climb again after the first descent (the deadlock-freedom invariant).
+  Topology ft(TopologySpec::fat_tree(4));
+  for (std::uint32_t s = 0; s < ft.num_endpoints(); ++s) {
+    for (std::uint32_t t = 0; t < ft.num_endpoints(); ++t) {
+      if (s == t) continue;
+      NodeId cur = ft.endpoint(s);
+      const NodeId dest = ft.endpoint(t);
+      Direction from = Direction::kLocal;
+      std::uint32_t hops = 0;
+      bool descended = false;
+      while (cur != dest) {
+        const RouteDecision d = ft.route(cur, dest, from, 0);
+        ASSERT_NE(d.out, Direction::kLocal);
+        EXPECT_EQ(d.out_class, 0u);
+        const NodeId next = ft.neighbor(cur, d.out);
+        ASSERT_TRUE(next.is_valid());
+        const bool down = level_of(ft.spec(), next) < level_of(ft.spec(), cur);
+        if (down) descended = true;
+        EXPECT_FALSE(descended && !down)
+            << "up-turn after descent " << s << "->" << t;
+        from = ft.peer_port(cur, d.out);
+        cur = next;
+        ASSERT_LE(++hops, 4u) << s << "->" << t;
+      }
+      // Intra-pod pairs stay under their shared aggregation layer.
+      const std::uint32_t half = ft.spec().fat_tree_k() / 2;
+      if (s / half == t / half) {
+        EXPECT_EQ(hops, 2u);
+      }
+      EXPECT_EQ(ft.hops(ft.endpoint(s), dest), hops);
+    }
+  }
+}
+
+TEST(FatTreeTopology, AdaptiveCandidatesWhileClimbing) {
+  Topology ft(TopologySpec::fat_tree(4));
+  // Edge switch, inter-pod destination: both uplinks are legal.
+  RouteCandidates out;
+  ft.updown_candidates(NodeId(0), NodeId(7), Direction::kLocal, 0, out);
+  ASSERT_EQ(out.size(), 2u);
+  std::set<Direction> ports;
+  for (const RouteDecision& d : out) {
+    EXPECT_EQ(d.out_class, 0u);
+    ports.insert(d.out);
+  }
+  EXPECT_EQ(ports, (std::set<Direction>{Direction::kEast, Direction::kWest}));
+
+  // Aggregation switch in the destination pod: deterministic descent.
+  out.clear();
+  const NodeId agg_in_dest_pod(8 + 3 * 2);  // pod 3, index 0
+  ft.updown_candidates(agg_in_dest_pod, NodeId(7), Direction::kEast, 0, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].out, ft.route(agg_in_dest_pod, NodeId(7),
+                                 Direction::kEast, 0).out);
+
+  // At the destination: local alone.
+  out.clear();
+  ft.updown_candidates(NodeId(7), NodeId(7), Direction::kEast, 0, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].out, Direction::kLocal);
+}
+
+TEST(TopologyParse, AcceptsWellFormedSpecs) {
+  std::string error;
+  const auto mesh = parse_topology_spec("mesh4x4", &error);
+  ASSERT_TRUE(mesh.has_value()) << error;
+  EXPECT_EQ(mesh->kind, TopologySpec::Kind::kMesh);
+  EXPECT_EQ(mesh->width, 4u);
+  EXPECT_EQ(mesh->height, 4u);
+
+  const auto torus = parse_topology_spec("torus3x2", &error);
+  ASSERT_TRUE(torus.has_value()) << error;
+  EXPECT_EQ(torus->kind, TopologySpec::Kind::kTorus);
+
+  for (const char* text : {"fattree:2", "fattree:4"}) {
+    const auto ft = parse_topology_spec(text, &error);
+    ASSERT_TRUE(ft.has_value()) << text << ": " << error;
+    EXPECT_EQ(ft->kind, TopologySpec::Kind::kFatTree);
+  }
+}
+
+TEST(TopologyParse, RejectsMalformedSpecs) {
+  // The regression matrix for the old std::stoul parser, which accepted
+  // "mesh8xjunk" (stoul stops at the first non-digit) and threw an
+  // uncaught std::invalid_argument on "meshx8".
+  const struct {
+    const char* text;
+    const char* why;  // substring the diagnostic must contain
+  } kRejects[] = {
+      {"mesh8xjunk", "malformed"},
+      {"meshx8", "malformed"},
+      {"mesh8x", "malformed"},
+      {"mesh+4x4", "malformed"},
+      {"mesh4x4 ", "malformed"},
+      {"mesh0x4", "non-zero"},
+      {"mesh4x0", "non-zero"},
+      {"mesh44", "<W>x<H>"},
+      {"torus1x4", "at least 2"},
+      {"fattree:3", "must be 2 or 4"},
+      {"fattree:8", "must be 2 or 4"},
+      {"fattree:4x", "decimal K"},
+      {"fattree:", "decimal K"},
+      {"ring8", "expected mesh"},
+      {"", "expected mesh"},
+  };
+  for (const auto& reject : kRejects) {
+    std::string error;
+    EXPECT_FALSE(parse_topology_spec(reject.text, &error).has_value())
+        << reject.text;
+    EXPECT_NE(error.find(reject.why), std::string::npos)
+        << "'" << reject.text << "' produced: " << error;
+  }
+}
+
+}  // namespace
+}  // namespace wormsched::wormhole

@@ -394,6 +394,13 @@ int cmd_trace_gen(int argc, const char* const* argv) {
   cli.add_option("incast-every",
                  "cycles between incast bursts (0 = no bursts)", "0");
   cli.add_option("incast-fanin", "flows firing together per burst", "32");
+  cli.add_choice_flag(
+      "scenario",
+      "named preset overriding the knobs above: incast = frequent "
+      "wide-fanin bursts (pair with --pattern hotspot when replaying); "
+      "elephant-mice = a few elephants carrying most of the load over a "
+      "mice swarm",
+      {"none", "incast", "elephant-mice"}, "incast", "none");
   cli.add_option("out", "output binary trace path", "trace.wst");
   if (!cli.parse(argc, argv)) return 1;
 
@@ -407,6 +414,16 @@ int cmd_trace_gen(int argc, const char* const* argv) {
   spec.active_fraction = cli.get_double("active-fraction");
   spec.incast_every = cli.get_uint("incast-every");
   spec.incast_fanin = cli.get_uint("incast-fanin");
+  const std::string scenario = cli.get("scenario");
+  if (scenario == "incast") {
+    // Synchronized fan-in every few hundred cycles: the workload the
+    // on/off-vs-credit and fat-tree adaptive differentials stress.
+    spec.incast_every = 512;
+    spec.incast_fanin = 64;
+  } else if (scenario == "elephant-mice") {
+    spec.elephant_fraction = 0.05;
+    spec.elephant_share = 0.7;
+  }
   if (spec.num_flows == 0 || spec.load <= 0.0) {
     std::fprintf(stderr, "--flows and --load must be positive\n");
     return 1;
@@ -474,26 +491,105 @@ int cmd_replay(int argc, const char* const* argv) {
   return 0;
 }
 
-/// "mesh4x4" / "torus8x8" -> TopologySpec; complains and returns false on
-/// malformed input.
-bool parse_topo(const std::string& text, wormhole::TopologySpec* out) {
-  const bool torus = text.rfind("torus", 0) == 0;
-  const bool mesh = text.rfind("mesh", 0) == 0;
-  if (!torus && !mesh) {
-    std::fprintf(stderr, "bad --topo '%s'\n", text.c_str());
-    return false;
+/// Strict "--topo" parse: mesh<W>x<H>, torus<W>x<H> or fattree:<K>.
+/// Malformed specs ("mesh8xjunk", "meshx8", "mesh0x4") print
+/// "option --topo: ..." and exit 2 — the same contract as the numeric
+/// getters — instead of silently truncating or throwing out of stoul.
+wormhole::TopologySpec parse_topo_or_exit(const std::string& text) {
+  std::string error;
+  const auto spec = wormhole::parse_topology_spec(text, &error);
+  if (!spec) {
+    std::fprintf(stderr, "option --topo: %s\n", error.c_str());
+    std::exit(2);
   }
-  const std::string dims = text.substr(torus ? 5 : 4);
-  const auto x = dims.find('x');
-  if (x == std::string::npos) {
-    std::fprintf(stderr, "bad --topo '%s'\n", text.c_str());
-    return false;
+  return *spec;
+}
+
+/// Shared flow-control / buffer-model / routing options for the network
+/// and soak subcommands, so every spelling and default matches.
+void add_flow_control_options(CliParser& cli) {
+  cli.add_choice_flag("flow-control",
+                      "backpressure scheme: per-VC credits or on/off "
+                      "(threshold) signalling with high/low watermarks",
+                      {"credit", "onoff"}, "onoff", "credit");
+  cli.add_choice_flag("buffer-model",
+                      "finite input buffers (backpressure active) or "
+                      "infinite buffers (no backpressure at all)",
+                      {"finite", "infinite"}, "infinite", "finite");
+  cli.add_option("on-high",
+                 "on/off only: occupancy that sends \"off\" (0 = auto, "
+                 "buffer_depth minus the signal round-trip)",
+                 "0");
+  cli.add_option("on-low",
+                 "on/off only: occupancy that sends \"on\" (0 = auto, "
+                 "half of on-high)",
+                 "0");
+  cli.add_choice_flag("routing",
+                      "dor = deterministic (XY / up-down); westfirst = "
+                      "partially adaptive mesh turns; adaptive = westfirst "
+                      "on mesh, adaptive up-down on fattree",
+                      {"dor", "westfirst", "adaptive"}, "adaptive", "dor");
+}
+
+/// Applies the shared options onto a NetworkConfig whose `topo` is
+/// already set.  Invalid combinations exit 2 with an option-style
+/// message rather than tripping a fabric assertion later.
+void apply_flow_control_options(const CliParser& cli,
+                                wormhole::NetworkConfig* config) {
+  const std::uint64_t buffers = cli.get_uint("buffers");
+  if (buffers == 0) {
+    std::fprintf(stderr,
+                 "option --buffers: buffer depth must be >= 1 (a zero-slot "
+                 "buffer can never accept a flit, deadlocking every "
+                 "flow-control scheme)\n");
+    std::exit(2);
   }
-  const auto w = static_cast<std::uint32_t>(std::stoul(dims.substr(0, x)));
-  const auto h = static_cast<std::uint32_t>(std::stoul(dims.substr(x + 1)));
-  *out = torus ? wormhole::TopologySpec::torus(w, h)
-               : wormhole::TopologySpec::mesh(w, h);
-  return true;
+  config->router.buffer_depth = static_cast<std::uint32_t>(buffers);
+  config->router.flow_control = cli.get("flow-control") == "onoff"
+                                    ? wormhole::FlowControl::kOnOff
+                                    : wormhole::FlowControl::kCredit;
+  config->router.buffer_model = cli.get("buffer-model") == "infinite"
+                                    ? wormhole::BufferModel::kInfinite
+                                    : wormhole::BufferModel::kFinite;
+  config->router.on_high = static_cast<std::uint32_t>(cli.get_uint("on-high"));
+  config->router.on_low = static_cast<std::uint32_t>(cli.get_uint("on-low"));
+  const bool fattree =
+      config->topo.kind == wormhole::TopologySpec::Kind::kFatTree;
+  const std::string routing = cli.get("routing");
+  if (routing == "dor") {
+    config->routing = wormhole::NetworkConfig::Routing::kDor;
+  } else if (routing == "westfirst") {
+    if (config->topo.kind != wormhole::TopologySpec::Kind::kMesh) {
+      std::fprintf(stderr, "option --routing: westfirst is mesh-only\n");
+      std::exit(2);
+    }
+    config->routing = wormhole::NetworkConfig::Routing::kWestFirst;
+  } else {  // adaptive: the topology's natural adaptive scheme
+    if (config->topo.kind == wormhole::TopologySpec::Kind::kTorus) {
+      std::fprintf(stderr,
+                   "option --routing: torus has no adaptive scheme (use "
+                   "dor)\n");
+      std::exit(2);
+    }
+    config->routing = fattree
+                          ? wormhole::NetworkConfig::Routing::kUpDownAdaptive
+                          : wormhole::NetworkConfig::Routing::kWestFirst;
+  }
+  if (config->router.flow_control == wormhole::FlowControl::kOnOff &&
+      config->router.buffer_model == wormhole::BufferModel::kFinite) {
+    const std::uint32_t high = config->router.on_high;
+    const std::uint32_t low = config->router.on_low;
+    if (high != 0 && high > config->router.buffer_depth) {
+      std::fprintf(stderr,
+                   "option --on-high: must be <= --buffers (%u)\n",
+                   config->router.buffer_depth);
+      std::exit(2);
+    }
+    if (low != 0 && high != 0 && low > high) {
+      std::fprintf(stderr, "option --on-low: must be <= --on-high\n");
+      std::exit(2);
+    }
+  }
 }
 
 wormhole::PatternSpec::Kind pattern_kind(const std::string& name) {
@@ -506,8 +602,10 @@ wormhole::PatternSpec::Kind pattern_kind(const std::string& name) {
 }
 
 int cmd_network(int argc, const char* const* argv) {
-  CliParser cli("drive a wormhole mesh/torus with synthetic traffic");
-  cli.add_option("topo", "mesh<W>x<H> or torus<W>x<H>", "mesh4x4");
+  CliParser cli(
+      "drive a wormhole mesh/torus/fat-tree with synthetic traffic");
+  cli.add_option("topo", "mesh<W>x<H>, torus<W>x<H> or fattree:<K>",
+                 "mesh4x4");
   cli.add_option("arbiter", "err-cycles|err-flits|rr|fcfs", "err-cycles");
   cli.add_option("pattern", "uniform|transpose|bitcomp|hotspot|neighbor",
                  "uniform");
@@ -515,6 +613,7 @@ int cmd_network(int argc, const char* const* argv) {
   cli.add_option("cycles", "injection cycles", "50000");
   cli.add_option("vcs", "virtual channel classes", "2");
   cli.add_option("buffers", "flit slots per input VC", "8");
+  add_flow_control_options(cli);
   cli.add_option("seed", "traffic seed (base seed when sweeping)", "99");
   cli.add_option("seeds", "seeds to average over (1 = single run)", "1");
   cli.add_option("trace-in",
@@ -535,11 +634,10 @@ int cmd_network(int argc, const char* const* argv) {
   if (!cli.parse(argc, argv)) return 1;
 
   wormhole::NetworkConfig config;
-  if (!parse_topo(cli.get("topo"), &config.topo)) return 1;
+  config.topo = parse_topo_or_exit(cli.get("topo"));
   config.router.arbiter = cli.get("arbiter");
   config.router.num_vcs = static_cast<std::uint32_t>(cli.get_uint("vcs"));
-  config.router.buffer_depth =
-      static_cast<std::uint32_t>(cli.get_uint("buffers"));
+  apply_flow_control_options(cli, &config);
   {
     const NetworkParallelism par = resolve_network_parallelism(cli);
     config.threads = par.threads;
@@ -741,7 +839,8 @@ int cmd_soak(int argc, const char* const* argv) {
   CliParser cli(
       "long-horizon network soak: windowed steady-state metrics in O(1) "
       "memory, chained across checkpointed segments");
-  cli.add_option("topo", "mesh<W>x<H> or torus<W>x<H>", "mesh8x8");
+  cli.add_option("topo", "mesh<W>x<H>, torus<W>x<H> or fattree:<K>",
+                 "mesh8x8");
   cli.add_option("arbiter", "err-cycles|err-flits|rr|fcfs", "err-cycles");
   cli.add_option("pattern", "uniform|transpose|bitcomp|hotspot|neighbor",
                  "uniform");
@@ -753,6 +852,7 @@ int cmd_soak(int argc, const char* const* argv) {
                  "0");
   cli.add_option("vcs", "virtual channel classes", "2");
   cli.add_option("buffers", "flit slots per input VC", "8");
+  add_flow_control_options(cli);
   cli.add_option("seed", "traffic seed", "99");
   cli.add_option("window", "steady-state window width in cycles", "10000");
   cli.add_option("stable-windows",
@@ -770,12 +870,11 @@ int cmd_soak(int argc, const char* const* argv) {
   if (!cli.parse(argc, argv)) return 1;
 
   harness::NetworkScenarioConfig point;
-  if (!parse_topo(cli.get("topo"), &point.network.topo)) return 1;
+  point.network.topo = parse_topo_or_exit(cli.get("topo"));
   point.network.router.arbiter = cli.get("arbiter");
   point.network.router.num_vcs =
       static_cast<std::uint32_t>(cli.get_uint("vcs"));
-  point.network.router.buffer_depth =
-      static_cast<std::uint32_t>(cli.get_uint("buffers"));
+  apply_flow_control_options(cli, &point.network);
   {
     const NetworkParallelism par = resolve_network_parallelism(cli);
     point.network.threads = par.threads;
